@@ -1,0 +1,113 @@
+// E10 (§2.3): "the replication provides for unbounded concurrent
+// execution of transactions" — how combining throughput scales with the
+// number of worker threads / replicant copies.
+//
+// Workload: Sum3 over a fixed 512-tuple dataspace; thread count and
+// replication width swept together. The combining transaction contends
+// on shared buckets, so scaling should be sublinear and eventually flat —
+// the paper's "degree of parallelism ... depends upon the availability of
+// computing resources" made measurable.
+#include <benchmark/benchmark.h>
+
+#include "workloads.hpp"
+
+namespace {
+
+using namespace sdl;
+using namespace sdl::bench;
+
+constexpr int kTuples = 512;
+
+void BM_Sum3Width(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  Rng rng(5);
+  std::vector<std::int64_t> values(kTuples);
+  std::int64_t want = 0;
+  for (auto& v : values) {
+    v = rng.below(1000);
+    want += v;
+  }
+  for (auto _ : state) {
+    RuntimeOptions o;
+    o.scheduler.workers = static_cast<std::size_t>(width);
+    o.scheduler.replication_width = static_cast<std::size_t>(width);
+    Runtime rt(o);
+    rt.define(sum3_def());
+    for (int k = 1; k <= kTuples; ++k) {
+      rt.seed(tup(k, values[static_cast<std::size_t>(k - 1)]));
+    }
+    rt.spawn("Sum3");
+    rt.run();
+    std::int64_t got = -1;
+    rt.space().scan_arity(2, [&](const Record& r) {
+      got = r.tuple[1].as_int();
+      return true;
+    });
+    if (got != want) {
+      state.SkipWithError("wrong sum");
+      break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * (kTuples - 1));
+}
+
+/// Same combining work expressed without replication: width independent
+/// host threads hammering the engine directly — the upper bound the
+/// replication machinery is paying scheduler overhead against.
+void BM_RawEngineWidth(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  Rng rng(5);
+  std::vector<std::int64_t> values(kTuples);
+  std::int64_t want = 0;
+  for (auto& v : values) {
+    v = rng.below(1000);
+    want += v;
+  }
+  for (auto _ : state) {
+    Dataspace space(64);
+    WaitSet waits;
+    FunctionRegistry fns;
+    ShardedEngine engine(space, waits, &fns);
+    for (int k = 1; k <= kTuples; ++k) {
+      space.insert(tup(k, values[static_cast<std::size_t>(k - 1)]),
+                   kEnvironmentProcess);
+    }
+    {
+      std::vector<std::jthread> workers;
+      for (int t = 0; t < width; ++t) {
+        workers.emplace_back([&, t] {
+          Transaction txn = TxnBuilder()
+                                .exists({"v", "a", "u", "b"})
+                                .match(pat({V("v"), V("a")}), true)
+                                .match(pat({V("u"), V("b")}), true)
+                                .where(ne(evar("v"), evar("u")))
+                                .assert_tuple({evar("u"),
+                                               add(evar("a"), evar("b"))})
+                                .build();
+          SymbolTable st;
+          txn.resolve(st);
+          Env env(static_cast<std::size_t>(st.size()));
+          while (engine.execute(txn, env, static_cast<ProcessId>(t + 1)).success) {
+          }
+        });
+      }
+    }
+    std::int64_t got = -1;
+    space.scan_arity(2, [&](const Record& r) {
+      got = r.tuple[1].as_int();
+      return true;
+    });
+    if (got != want) {
+      state.SkipWithError("wrong sum");
+      break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * (kTuples - 1));
+}
+
+BENCHMARK(BM_Sum3Width)->RangeMultiplier(2)->Range(1, 8)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_RawEngineWidth)->RangeMultiplier(2)->Range(1, 8)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

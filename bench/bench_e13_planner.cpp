@@ -1,0 +1,61 @@
+// E13 (ablation): the join planner — greedy ready/exact-first pattern
+// ordering vs strict textual order.
+//
+// Workload: a *failing* two-pattern join written selective-pattern-LAST.
+// Failing guard evaluations are SDL's hot path — every repetition retries
+// its guards to failure before blocking — so their cost matters most.
+// Naive order scans all of D before discovering the empty pinned bucket;
+// the planner probes the empty bucket first and fails in O(1). Sweep |D|.
+#include <benchmark/benchmark.h>
+
+#include "workloads.hpp"
+
+namespace {
+
+using namespace sdl;
+using namespace sdl::bench;
+
+struct Setup {
+  Dataspace space{64};
+  SymbolTable st;
+  Query query;
+  Env env;
+
+  Setup(std::int64_t size, bool planner) {
+    for (std::int64_t i = 0; i < size; ++i) {
+      space.insert(tup(i, i), kEnvironmentProcess);
+    }
+    // No <pinned, _> tuple exists: the join must fail. Written
+    // selective-last: [h, v] (arity-wide), [pinned, v] (empty bucket).
+    query.use_planner = planner;
+    query.local_vars = {"h", "v"};
+    query.patterns = {pat({V("h"), V("v")}), pat({A("pinned"), V("v")})};
+    query.resolve(st);
+    env.resize(static_cast<std::size_t>(st.size()));
+  }
+};
+
+void BM_NaiveOrder(benchmark::State& state) {
+  Setup s(state.range(0), /*planner=*/false);
+  const DataspaceSource src(s.space);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.query.evaluate(src, s.env, nullptr).success);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_PlannedOrder(benchmark::State& state) {
+  Setup s(state.range(0), /*planner=*/true);
+  const DataspaceSource src(s.space);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.query.evaluate(src, s.env, nullptr).success);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_NaiveOrder)->RangeMultiplier(4)->Range(64, 16384)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PlannedOrder)->RangeMultiplier(4)->Range(64, 16384)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// E14 (§2.2): clocked-system simulation — consensus barrier per
+// generation vs free-running delayed-transaction dataflow, on Conway's
+// Game of Life over a torus.
+//
+// This is the Sum1-vs-Sum2 contrast of E1 at a structured scale: the
+// async variant lets generations interleave (cell A may be two
+// generations ahead of a distant cell B); the clocked variant pays one
+// global consensus per generation. Claim under test: the consensus clock
+// is expressible and correct, and its detection cost is the price of the
+// lockstep the paper's §3.1 Sum1 also pays.
+#include <benchmark/benchmark.h>
+
+#include "workloads.hpp"
+
+namespace {
+
+using namespace sdl;
+using namespace sdl::bench;
+
+constexpr int kGenerations = 3;
+
+void run_life(benchmark::State& state, bool clocked) {
+  const int side = static_cast<int>(state.range(0));
+  const int n = side * side;
+  Rng rng(2026);
+  std::vector<int> start(static_cast<std::size_t>(n));
+  for (auto& c : start) c = rng.below(3) == 0 ? 1 : 0;
+
+  std::uint64_t fires = 0;
+  for (auto _ : state) {
+    RuntimeOptions o;
+    o.scheduler.workers = 4;
+    Runtime rt(o);
+    register_life_functions(rt, side, side);
+    for (int p = 0; p < n; ++p) {
+      rt.seed(tup(p, 0, start[static_cast<std::size_t>(p)]));
+    }
+    rt.define(life_cell_def(clocked, kGenerations));
+    for (int p = 0; p < n; ++p) rt.spawn("Cell", {Value(p)});
+    const RunReport report = rt.run();
+    if (!report.clean()) {
+      state.SkipWithError("society did not quiesce");
+      break;
+    }
+    fires += rt.consensus().fires();
+  }
+  state.counters["consensus_fires"] = benchmark::Counter(
+      static_cast<double>(fires) / static_cast<double>(state.iterations()));
+  state.SetItemsProcessed(state.iterations() * n * kGenerations);
+}
+
+void BM_LifeAsync(benchmark::State& state) { run_life(state, /*clocked=*/false); }
+void BM_LifeClocked(benchmark::State& state) { run_life(state, /*clocked=*/true); }
+
+BENCHMARK(BM_LifeAsync)->DenseRange(4, 16, 4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LifeClocked)->DenseRange(4, 16, 4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

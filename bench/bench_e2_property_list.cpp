@@ -1,0 +1,95 @@
+// E2 (§3.2): content-addressed Find vs structural recursive Search over
+// a linked property list of length L.
+//
+// Claim under test: "It is unlikely ... that the programmer would go to
+// the trouble of simulating the recursion when the language permits one
+// to address data by contents." — Find's cost should stay flat in L
+// (one indexed query) while Search grows linearly (L process spawns).
+#include <benchmark/benchmark.h>
+
+#include "workloads.hpp"
+
+namespace {
+
+using namespace sdl;
+using namespace sdl::bench;
+
+constexpr int kLookupsPerRun = 16;
+
+RuntimeOptions opts() {
+  RuntimeOptions o;
+  o.scheduler.workers = 4;
+  return o;
+}
+
+void BM_Find(benchmark::State& state) {
+  const int len = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Runtime rt(opts());
+    seed_property_list(rt, len, 7);
+    rt.define(find_def());
+    Rng rng(13);
+    for (int q = 0; q < kLookupsPerRun; ++q) {
+      rt.spawn("Find", {Value::atom("p" + std::to_string(1 + rng.below(len)))});
+    }
+    const RunReport report = rt.run();
+    if (!report.clean()) state.SkipWithError("Find run not clean");
+  }
+  state.SetItemsProcessed(state.iterations() * kLookupsPerRun);
+}
+
+void BM_Search(benchmark::State& state) {
+  const int len = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Runtime rt(opts());
+    seed_property_list(rt, len, 7);
+    rt.define(search_def());
+    Rng rng(13);
+    for (int q = 0; q < kLookupsPerRun; ++q) {
+      rt.spawn("Search",
+               {Value(1), Value::atom("p" + std::to_string(1 + rng.below(len)))});
+    }
+    const RunReport report = rt.run();
+    if (!report.clean()) state.SkipWithError("Search run not clean");
+  }
+  state.SetItemsProcessed(state.iterations() * kLookupsPerRun);
+}
+
+/// Miss lookups: Find answers via one failed indexed probe + negation;
+/// Search must walk the whole list first.
+void BM_Find_Miss(benchmark::State& state) {
+  const int len = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Runtime rt(opts());
+    seed_property_list(rt, len, 7);
+    rt.define(find_def());
+    for (int q = 0; q < kLookupsPerRun; ++q) {
+      rt.spawn("Find", {Value::atom("absent" + std::to_string(q))});
+    }
+    rt.run();
+  }
+  state.SetItemsProcessed(state.iterations() * kLookupsPerRun);
+}
+
+void BM_Search_Miss(benchmark::State& state) {
+  const int len = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Runtime rt(opts());
+    seed_property_list(rt, len, 7);
+    rt.define(search_def());
+    for (int q = 0; q < kLookupsPerRun; ++q) {
+      rt.spawn("Search", {Value(1), Value::atom("absent" + std::to_string(q))});
+    }
+    rt.run();
+  }
+  state.SetItemsProcessed(state.iterations() * kLookupsPerRun);
+}
+
+BENCHMARK(BM_Find)->RangeMultiplier(4)->Range(8, 2048)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Search)->RangeMultiplier(4)->Range(8, 2048)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Find_Miss)->RangeMultiplier(4)->Range(8, 2048)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Search_Miss)->RangeMultiplier(4)->Range(8, 2048)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// E4 (§3.3): region labeling — worker model (one replication roaming the
+// dataspace) vs community model (per-pixel Label processes with dynamic
+// views; consensus fires per region).
+//
+// Claims under test: both models label correctly; the community model
+// localizes consensus to per-region communities (fires ≈ region count);
+// the worker model avoids per-pixel process overhead but offers no
+// per-region completion signal.
+#include <benchmark/benchmark.h>
+
+#include <unordered_map>
+
+#include "workloads.hpp"
+
+namespace {
+
+using namespace sdl;
+using namespace sdl::bench;
+
+RuntimeOptions opts() {
+  RuntimeOptions o;
+  o.scheduler.workers = 4;
+  o.scheduler.replication_width = 4;
+  return o;
+}
+
+void BM_WorkerModel(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const BenchImage img = make_image(side, side, 99);
+  for (auto _ : state) {
+    Runtime rt(opts());
+    register_image_functions(rt, side);
+    seed_image(rt, img);
+    rt.define(worker_label_def());
+    rt.spawn("ThresholdAndLabel");
+    const RunReport report = rt.run();
+    if (!report.clean()) {
+      state.SkipWithError("worker model did not quiesce");
+      break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * side * side);
+}
+
+void BM_CommunityModel(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const BenchImage img = make_image(side, side, 99);
+  std::uint64_t fires = 0;
+  for (auto _ : state) {
+    Runtime rt(opts());
+    register_image_functions(rt, side);
+    seed_image(rt, img);
+    rt.define(community_threshold_def());
+    rt.define(community_label_def());
+    rt.spawn("Threshold");
+    const RunReport report = rt.run();
+    if (!report.clean()) {
+      state.SkipWithError("community model did not quiesce");
+      break;
+    }
+    fires += rt.consensus().fires();
+  }
+  state.counters["consensus_fires"] = benchmark::Counter(
+      static_cast<double>(fires) / static_cast<double>(state.iterations()));
+  state.SetItemsProcessed(state.iterations() * side * side);
+}
+
+// The worker model's content-addressed pair-seeking is O(N^2) per failed
+// guard sweep even with the secondary index (neighbor() is a predicate,
+// not an index), so its wall time explodes past 16x16 — itself a measured
+// finding; see EXPERIMENTS.md.
+BENCHMARK(BM_WorkerModel)->DenseRange(8, 16, 8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CommunityModel)->DenseRange(8, 16, 8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// E6 (§2.2, ablation): atomicity engines — GlobalLockEngine (one mutex)
+// vs ShardedEngine (2PL over dataspace shards) under T threads.
+//
+// Claim under test: transactional atomicity need not serialize
+// everything. With disjoint working sets the sharded engine scales with
+// threads; with one contended bucket both engines serialize (and the
+// sharded engine's extra bookkeeping shows as constant overhead).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <thread>
+
+#include "workloads.hpp"
+
+namespace {
+
+using namespace sdl;
+using namespace sdl::bench;
+
+constexpr int kOpsPerThread = 5000;
+
+enum class Contention { Disjoint, Shared };
+
+template <typename EngineT>
+void run_counters(benchmark::State& state, Contention contention) {
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Dataspace space(64);
+    WaitSet waits;
+    FunctionRegistry fns;
+    EngineT engine(space, waits, &fns);
+    const int counters = contention == Contention::Disjoint ? threads : 1;
+    for (int c = 0; c < counters; ++c) {
+      space.insert(tup(c, 0), kEnvironmentProcess);
+    }
+    state.ResumeTiming();
+
+    {
+      std::vector<std::jthread> workers;
+      workers.reserve(static_cast<std::size_t>(threads));
+      for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+          const int mine = contention == Contention::Disjoint ? t : 0;
+          Transaction txn = TxnBuilder(TxnType::Delayed)
+                                .exists({"n"})
+                                .match(pat({C(mine), V("n")}), true)
+                                .assert_tuple({lit(Value(mine)),
+                                               add(evar("n"), lit(1))})
+                                .build();
+          SymbolTable st;
+          txn.resolve(st);
+          Env env(static_cast<std::size_t>(st.size()));
+          for (int i = 0; i < kOpsPerThread; ++i) {
+            execute_blocking(engine, txn, env, static_cast<ProcessId>(t + 1));
+          }
+        });
+      }
+    }
+
+    state.PauseTiming();
+    // Verify no lost updates.
+    const std::int64_t per_counter =
+        contention == Contention::Disjoint ? kOpsPerThread
+                                           : static_cast<std::int64_t>(threads) *
+                                                 kOpsPerThread;
+    for (int c = 0; c < counters; ++c) {
+      if (space.count(tup(c, per_counter)) != 1) {
+        state.SkipWithError("lost update detected");
+      }
+    }
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * threads * kOpsPerThread);
+}
+
+void BM_Global_Disjoint(benchmark::State& state) {
+  run_counters<GlobalLockEngine>(state, Contention::Disjoint);
+}
+void BM_Sharded_Disjoint(benchmark::State& state) {
+  run_counters<ShardedEngine>(state, Contention::Disjoint);
+}
+void BM_Global_Shared(benchmark::State& state) {
+  run_counters<GlobalLockEngine>(state, Contention::Shared);
+}
+void BM_Sharded_Shared(benchmark::State& state) {
+  run_counters<ShardedEngine>(state, Contention::Shared);
+}
+
+BENCHMARK(BM_Global_Disjoint)->RangeMultiplier(2)->Range(1, 8)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_Sharded_Disjoint)->RangeMultiplier(2)->Range(1, 8)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_Global_Shared)->RangeMultiplier(2)->Range(1, 8)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_Sharded_Shared)->RangeMultiplier(2)->Range(1, 8)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

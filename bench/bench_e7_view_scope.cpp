@@ -1,0 +1,89 @@
+// E7 (§2): "the view also provides bounds on the scope of the
+// transactions which, in turn, reduce the transaction execution time.
+// Thus, transaction types that might be expensive to implement may be
+// used comfortably when the number of tuples they examine is small."
+//
+// Workload: a head-blind (arity-wide) worst-case query over a dataspace
+// of S tuples spread across 1024 heads. Without a view it scans all of
+// D; with an import confined to one head the window narrows the scan to
+// one bucket. Time should grow with S for NoView and stay flat for View.
+#include <benchmark/benchmark.h>
+
+#include "workloads.hpp"
+
+namespace {
+
+using namespace sdl;
+using namespace sdl::bench;
+
+constexpr std::int64_t kHeads = 1024;
+
+struct Setup {
+  Dataspace space{64};
+  WaitSet waits;
+  FunctionRegistry fns;
+  GlobalLockEngine engine{space, waits, &fns};
+  SymbolTable st;
+  Transaction txn;
+  ViewSpec view_spec;
+  Env env;
+
+  explicit Setup(std::int64_t size) {
+    for (std::int64_t i = 0; i < size; ++i) {
+      space.insert(tup(i % kHeads, i), kEnvironmentProcess);
+    }
+    // Worst-case query: head-blind, never satisfiable — must examine the
+    // whole window.
+    txn = TxnBuilder(TxnType::Immediate)
+              .exists({"h", "x"})
+              .match(pat({V("h"), V("x")}))
+              .where(lt(evar("x"), lit(0)))
+              .build();
+    view_spec.import(pat({C(7), W()}));  // window = one bucket
+    txn.resolve(st);
+    view_spec.resolve(st);
+    env.resize(static_cast<std::size_t>(st.size()));
+  }
+};
+
+void BM_NoView(benchmark::State& state) {
+  Setup s(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.engine.execute(s.txn, s.env, 1).success);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_WithView(benchmark::State& state) {
+  Setup s(state.range(0));
+  const View view(s.view_spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.engine.execute(s.txn, s.env, 1, &view).success);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+/// Window fraction sweep at fixed |D|: import f of the 1024 heads.
+void BM_WindowFraction(benchmark::State& state) {
+  Setup s(100000);
+  const std::int64_t imported_heads = state.range(0);
+  ViewSpec spec;
+  for (std::int64_t h = 0; h < imported_heads; ++h) {
+    spec.import(pat({C(h), W()}));
+  }
+  spec.resolve(s.st);
+  s.env.resize(static_cast<std::size_t>(s.st.size()));
+  const View view(spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.engine.execute(s.txn, s.env, 1, &view).success);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_NoView)->RangeMultiplier(4)->Range(1000, 256000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_WithView)->RangeMultiplier(4)->Range(1000, 256000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_WindowFraction)->RangeMultiplier(4)->Range(1, 1024)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// E9 (§2.2, ablation): delayed-transaction wakeup — targeted (index-key
+// subscriptions) vs wake-all (every commit wakes every waiter).
+//
+// Workload: W processes each parked on a delayed transaction over its own
+// distinct key; a driver then asserts the W tuples one by one. Under
+// Targeted wakeup each commit wakes exactly one waiter (O(W) total
+// wakes); under WakeAll each commit wakes all remaining waiters (O(W^2)
+// retries) — the retry storm the subscription index exists to avoid.
+#include <benchmark/benchmark.h>
+
+#include "workloads.hpp"
+
+namespace {
+
+using namespace sdl;
+using namespace sdl::bench;
+
+void run_waiters(benchmark::State& state, WaitSet::WakePolicy policy) {
+  const int waiters = static_cast<int>(state.range(0));
+  std::uint64_t wakes = 0;
+  for (auto _ : state) {
+    RuntimeOptions o;
+    o.scheduler.workers = 4;
+    o.wake_policy = policy;
+    Runtime rt(o);
+
+    ProcessDef waiter;
+    waiter.name = "Waiter";
+    waiter.params = {"i"};
+    waiter.body = seq({stmt(TxnBuilder(TxnType::Delayed)
+                                .match(pat({E(evar("i")), A("go")}), true)
+                                .build())});
+    rt.define(std::move(waiter));
+
+    // Driver: one statement per tuple to assert (commits come one at a
+    // time, so each publish is a separate wake decision).
+    ProcessDef driver;
+    driver.name = "Driver";
+    std::vector<StmtPtr> stmts;
+    stmts.reserve(static_cast<std::size_t>(waiters));
+    for (int i = 0; i < waiters; ++i) {
+      stmts.push_back(stmt(TxnBuilder()
+                               .assert_tuple({lit(Value(i)),
+                                              lit(Value::atom("go"))})
+                               .build()));
+    }
+    driver.body = seq(std::move(stmts));
+    rt.define(std::move(driver));
+
+    for (int i = 0; i < waiters; ++i) rt.spawn("Waiter", {Value(i)});
+    rt.spawn("Driver");
+    const RunReport report = rt.run();
+    if (!report.clean()) {
+      state.SkipWithError("waiters did not all complete");
+      break;
+    }
+    wakes += rt.waits().wakes_delivered();
+  }
+  state.counters["wakes"] = benchmark::Counter(
+      static_cast<double>(wakes) / static_cast<double>(state.iterations()));
+  state.SetItemsProcessed(state.iterations() * waiters);
+}
+
+void BM_TargetedWakeup(benchmark::State& state) {
+  run_waiters(state, WaitSet::WakePolicy::Targeted);
+}
+void BM_WakeAll(benchmark::State& state) {
+  run_waiters(state, WaitSet::WakePolicy::WakeAll);
+}
+
+BENCHMARK(BM_TargetedWakeup)->RangeMultiplier(4)->Range(16, 1024)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WakeAll)->RangeMultiplier(4)->Range(16, 1024)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

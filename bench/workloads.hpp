@@ -1,0 +1,358 @@
+// Shared workload builders for the experiment benches (E1..E12).
+// Each builder returns the paper program as a ProcessDef, plus seeding
+// helpers with fixed-seed generators so runs are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "process/runtime.hpp"
+
+namespace sdl::bench {
+
+/// Deterministic 64-bit mixer (seeded LCG; no global state).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed * 0x9e3779b97f4a7c15ull + 1) {}
+  std::uint64_t next() {
+    state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+    return state_ >> 11;
+  }
+  std::int64_t below(std::int64_t m) {
+    return static_cast<std::int64_t>(next() % static_cast<std::uint64_t>(m));
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// ---- §3.1 array summation ----
+
+inline ProcessDef sum1_def() {
+  ProcessDef def;
+  def.name = "Sum1";
+  def.params = {"k", "j"};
+  def.body = seq({
+      stmt(TxnBuilder(TxnType::Delayed)
+               .exists({"a", "b"})
+               .match(pat({E(sub(evar("k"), pow_(lit(2), sub(evar("j"), lit(1))))),
+                           V("a")}),
+                      true)
+               .match(pat({E(evar("k")), V("b")}), true)
+               .assert_tuple({evar("k"), add(evar("a"), evar("b"))})
+               .build()),
+      select({
+          branch(TxnBuilder(TxnType::Consensus)
+                     .where(eq(mod(evar("k"), pow_(lit(2), add(evar("j"), lit(1)))),
+                               lit(0)))
+                     .spawn("Sum1", {evar("k"), add(evar("j"), lit(1))})
+                     .build()),
+          branch(TxnBuilder(TxnType::Consensus)
+                     .where(ne(mod(evar("k"), pow_(lit(2), add(evar("j"), lit(1)))),
+                               lit(0)))
+                     .build()),
+      }),
+  });
+  return def;
+}
+
+inline ProcessDef sum2_def() {
+  ProcessDef def;
+  def.name = "Sum2";
+  def.params = {"k", "j"};
+  def.body = seq({stmt(
+      TxnBuilder(TxnType::Delayed)
+          .exists({"a", "b"})
+          .match(pat({E(sub(evar("k"), pow_(lit(2), sub(evar("j"), lit(1))))),
+                      V("a"), E(evar("j"))}),
+                 true)
+          .match(pat({E(evar("k")), V("b"), E(evar("j"))}), true)
+          .assert_tuple({evar("k"), add(evar("a"), evar("b")),
+                         add(evar("j"), lit(1))})
+          .build())});
+  return def;
+}
+
+inline ProcessDef sum3_def() {
+  ProcessDef def;
+  def.name = "Sum3";
+  def.body = seq({replicate({branch(TxnBuilder()
+                                        .exists({"v", "a", "u", "b"})
+                                        .match(pat({V("v"), V("a")}), true)
+                                        .match(pat({V("u"), V("b")}), true)
+                                        .where(ne(evar("v"), evar("u")))
+                                        .assert_tuple({evar("u"),
+                                                       add(evar("a"), evar("b"))})
+                                        .build())})});
+  return def;
+}
+
+// ---- §3.2 property list ----
+
+/// Seeds an n-node list <id, name-atom, value, next>; names/values are a
+/// seeded shuffle of 1..n (value = 10*rank).
+inline void seed_property_list(Runtime& rt, int n, std::uint64_t seed) {
+  std::vector<int> order(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i + 1;
+  Rng rng(seed);
+  for (int i = n - 1; i > 0; --i) {
+    std::swap(order[static_cast<std::size_t>(i)],
+              order[static_cast<std::size_t>(rng.below(i + 1))]);
+  }
+  for (int i = 1; i <= n; ++i) {
+    const int p = order[static_cast<std::size_t>(i - 1)];
+    rt.seed(tup(i, Value::atom("p" + std::to_string(p)), p * 10,
+                i == n ? Value::atom("nil") : Value(i + 1)));
+  }
+}
+
+inline ProcessDef find_def() {
+  ProcessDef def;
+  def.name = "Find";
+  def.params = {"P"};
+  def.body = seq({select({
+      branch(TxnBuilder()
+                 .exists({"v"})
+                 .match(pat({W(), E(evar("P")), V("v"), W()}))
+                 .assert_tuple({evar("P"), evar("v")})
+                 .build()),
+      branch(TxnBuilder()
+                 .none({pat({W(), E(evar("P")), W(), W()})})
+                 .assert_tuple({evar("P"), lit(Value::atom("not_found"))})
+                 .build()),
+  })});
+  return def;
+}
+
+inline ProcessDef search_def() {
+  ProcessDef def;
+  def.name = "Search";
+  def.params = {"id", "P"};
+  def.body = seq({select({
+      branch(TxnBuilder()
+                 .exists({"v"})
+                 .match(pat({E(evar("id")), E(evar("P")), V("v"), W()}))
+                 .assert_tuple({evar("P"), evar("v")})
+                 .build()),
+      branch(TxnBuilder()
+                 .exists({"pi"})
+                 .match(pat({E(evar("id")), V("pi"), W(), A("nil")}))
+                 .where(ne(evar("pi"), evar("P")))
+                 .assert_tuple({evar("P"), lit(Value::atom("not_found"))})
+                 .build()),
+      branch(TxnBuilder()
+                 .exists({"rho", "i"})
+                 .match(pat({E(evar("id")), V("rho"), W(), V("i")}))
+                 .where(land(ne(evar("rho"), evar("P")),
+                             ne(evar("i"), lit(Value::atom("nil")))))
+                 .spawn("Search", {evar("i"), evar("P")})
+                 .build()),
+  })});
+  return def;
+}
+
+inline ProcessDef sort_def() {
+  ProcessDef def;
+  def.name = "Sort";
+  def.params = {"id1", "id2"};
+  def.view.import(pat({V("id1"), W(), W(), W()}));
+  def.view.import(pat({V("id2"), W(), W(), W()}));
+  def.view.export_(pat({V("id1"), W(), W(), W()}));
+  def.view.export_(pat({V("id2"), W(), W(), W()}));
+  def.body = seq({repeat({
+      branch(TxnBuilder()
+                 .exists({"p1", "v1", "n1", "p2", "v2", "n2"})
+                 .match(pat({E(evar("id1")), V("p1"), V("v1"), V("n1")}), true)
+                 .match(pat({E(evar("id2")), V("p2"), V("v2"), V("n2")}), true)
+                 .where(gt(evar("v1"), evar("v2")))
+                 .assert_tuple({evar("id1"), evar("p2"), evar("v2"), evar("n1")})
+                 .assert_tuple({evar("id2"), evar("p1"), evar("v1"), evar("n2")})
+                 .build()),
+      branch(TxnBuilder(TxnType::Consensus)
+                 .exists({"v1", "v2"})
+                 .match(pat({E(evar("id1")), W(), V("v1"), W()}))
+                 .match(pat({E(evar("id2")), W(), V("v2"), W()}))
+                 .where(le(evar("v1"), evar("v2")))
+                 .exit_()
+                 .build()),
+  })});
+  return def;
+}
+
+// ---- §3.3 region labeling ----
+
+struct BenchImage {
+  int w = 0;
+  int h = 0;
+  std::vector<int> intensity;
+};
+
+inline BenchImage make_image(int w, int h, std::uint64_t seed) {
+  BenchImage img;
+  img.w = w;
+  img.h = h;
+  img.intensity.assign(static_cast<std::size_t>(w * h), 10);
+  Rng rng(seed);
+  const int blobs = std::max(2, (w * h) / 24);
+  for (int b = 0; b < blobs; ++b) {
+    const int cx = static_cast<int>(rng.below(w));
+    const int cy = static_cast<int>(rng.below(h));
+    const int r = 1 + static_cast<int>(rng.below(2));
+    for (int y = std::max(0, cy - r); y <= std::min(h - 1, cy + r); ++y) {
+      for (int x = std::max(0, cx - r); x <= std::min(w - 1, cx + r); ++x) {
+        img.intensity[static_cast<std::size_t>(y * w + x)] = 200;
+      }
+    }
+  }
+  return img;
+}
+
+inline void register_image_functions(Runtime& rt, int w) {
+  rt.functions().register_function(
+      "neighbor", [w](std::span<const Value> a) -> Value {
+        const std::int64_t p = a[0].as_int();
+        const std::int64_t q = a[1].as_int();
+        const std::int64_t dx = p % w - q % w;
+        const std::int64_t dy = p / w - q / w;
+        const std::int64_t manhattan = (dx < 0 ? -dx : dx) + (dy < 0 ? -dy : dy);
+        return manhattan == 1;
+      });
+  rt.functions().register_function("T", [](std::span<const Value> a) -> Value {
+    return a[0].as_int() >= 128 ? 1 : 0;
+  });
+}
+
+inline void seed_image(Runtime& rt, const BenchImage& img) {
+  for (int y = 0; y < img.h; ++y) {
+    for (int x = 0; x < img.w; ++x) {
+      rt.seed(tup("image", y * img.w + x,
+                  img.intensity[static_cast<std::size_t>(y * img.w + x)]));
+    }
+  }
+}
+
+inline ProcessDef worker_label_def() {
+  ProcessDef def;
+  def.name = "ThresholdAndLabel";
+  def.body = seq({replicate({
+      branch(TxnBuilder()
+                 .exists({"p", "v"})
+                 .match(pat({A("image"), V("p"), V("v")}), true)
+                 .assert_tuple({lit(Value::atom("threshold")), evar("p"),
+                                call_fn("T", {evar("v")})})
+                 .assert_tuple({lit(Value::atom("label")), evar("p"), evar("p")})
+                 .build()),
+      branch(TxnBuilder()
+                 .exists({"p1", "p2", "t", "l1", "l2"})
+                 .match(pat({A("threshold"), V("p1"), V("t")}))
+                 .match(pat({A("threshold"), V("p2"), V("t")}))
+                 .match(pat({A("label"), V("p1"), V("l1")}), true)
+                 .match(pat({A("label"), V("p2"), V("l2")}), true)
+                 .where(land(call_fn("neighbor", {evar("p1"), evar("p2")}),
+                             lt(evar("l1"), evar("l2"))))
+                 .assert_tuple({lit(Value::atom("label")), evar("p1"), evar("l2")})
+                 .assert_tuple({lit(Value::atom("label")), evar("p2"), evar("l2")})
+                 .build()),
+  })});
+  return def;
+}
+
+inline ProcessDef community_threshold_def() {
+  ProcessDef def;
+  def.name = "Threshold";
+  def.body = seq({replicate({branch(
+      TxnBuilder()
+          .exists({"p", "v"})
+          .match(pat({A("image"), V("p"), V("v")}), true)
+          .assert_tuple({lit(Value::atom("label")), evar("p"),
+                         call_fn("T", {evar("v")}), evar("p")})
+          .spawn("Label", {evar("p"), call_fn("T", {evar("v")})})
+          .build())})});
+  return def;
+}
+
+inline ProcessDef community_label_def() {
+  ProcessDef def;
+  def.name = "Label";
+  def.params = {"r", "t"};
+  def.view.import(pat({A("label"), E(evar("r")), E(evar("t")), W()}));
+  def.view.import(pat({A("label"), V("q"), E(evar("t")), W()}),
+                  call_fn("neighbor", {evar("q"), evar("r")}));
+  def.view.export_(pat({A("label"), E(evar("r")), W(), W()}));
+  def.body = seq({repeat({
+      branch(TxnBuilder()
+                 .exists({"l1", "p2", "l2"})
+                 .match(pat({A("label"), E(evar("r")), E(evar("t")), V("l1")}),
+                        true)
+                 .match(pat({A("label"), V("p2"), E(evar("t")), V("l2")}))
+                 .where(gt(evar("l2"), evar("l1")))
+                 .assert_tuple({lit(Value::atom("label")), evar("r"), evar("t"),
+                                evar("l2")})
+                 .build()),
+      branch(TxnBuilder(TxnType::Consensus)
+                 .exists({"l1"})
+                 .match(pat({A("label"), E(evar("r")), E(evar("t")), V("l1")}))
+                 .none({pat({A("label"), V("q2"), E(evar("t")), V("l2")})},
+                       gt(evar("l2"), evar("l1")))
+                 .exit_()
+                 .build()),
+  })});
+  return def;
+}
+
+// ---- clocked-system simulation (Game of Life, §2.2 consensus-as-clock) ----
+
+inline void register_life_functions(Runtime& rt, int w, int h) {
+  rt.functions().register_function("nbr", [w, h](std::span<const Value> a) -> Value {
+    static constexpr int dx[8] = {-1, 0, 1, -1, 1, -1, 0, 1};
+    static constexpr int dy[8] = {-1, -1, -1, 0, 0, 1, 1, 1};
+    const auto p = static_cast<int>(a[0].as_int());
+    const auto k = static_cast<int>(a[1].as_int());
+    const int x = (p % w + dx[k] + w) % w;
+    const int y = (p / w + dy[k] + h) % h;
+    return static_cast<std::int64_t>(y * w + x);
+  });
+  rt.functions().register_function("life", [](std::span<const Value> a) -> Value {
+    const std::int64_t self = a[0].as_int();
+    const std::int64_t sum = a[1].as_int();
+    return static_cast<std::int64_t>(
+        (self == 1 && (sum == 2 || sum == 3)) || (self == 0 && sum == 3) ? 1 : 0);
+  });
+}
+
+inline Transaction life_compute_txn(TxnType type, int generations) {
+  TxnBuilder b(type);
+  b.exists({"s", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7"});
+  b.match(pat({E(evar("p")), E(evar("g")), V("s")}));
+  for (int k = 0; k < 8; ++k) {
+    b.match(pat({E(call_fn("nbr", {evar("p"), lit(k)})), E(evar("g")),
+                 V("s" + std::to_string(k))}));
+  }
+  ExprPtr sum = evar("s0");
+  for (int k = 1; k < 8; ++k) sum = add(std::move(sum), evar("s" + std::to_string(k)));
+  return b.where(lt(evar("g"), lit(generations)))
+      .assert_tuple({evar("p"), add(evar("g"), lit(1)),
+                     call_fn("life", {evar("s"), std::move(sum)})})
+      .let_("g", add(evar("g"), lit(1)))
+      .build();
+}
+
+inline ProcessDef life_cell_def(bool clocked, int generations) {
+  ProcessDef def;
+  def.name = "Cell";
+  def.params = {"p"};
+  Transaction exit_guard =
+      TxnBuilder().where(ge(evar("g"), lit(generations))).exit_().build();
+  Branch compute =
+      clocked ? branch(life_compute_txn(TxnType::Immediate, generations),
+                       {stmt(TxnBuilder(TxnType::Consensus).build())})
+              : branch(life_compute_txn(TxnType::Delayed, generations));
+  def.body = seq({
+      stmt(TxnBuilder().let_("g", lit(0)).build()),
+      repeat({branch(std::move(exit_guard)), std::move(compute)}),
+  });
+  return def;
+}
+
+}  // namespace sdl::bench

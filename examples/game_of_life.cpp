@@ -1,0 +1,217 @@
+// Conway's Game of Life as an SDL process society — the paper's
+// "simulation of clocked systems" (§2.2) made concrete.
+//
+// One Cell process per pixel of a torus grid; the state of cell p at
+// generation g is the tuple [p, g, alive]. Two drive styles:
+//
+//   async:   Sum2-style — each cell advances as soon as its 8 neighbors'
+//            generation-g states exist (delayed transaction). No global
+//            synchronization anywhere; generations interleave freely.
+//   clocked: Sum1-style — each cell computes, then joins a CONSENSUS
+//            barrier; the society advances in lockstep generations, the
+//            consensus transaction playing the clock.
+//
+// Both must agree with a sequential reference simulation.
+//
+// Run:  ./build/examples/game_of_life [width] [height] [generations]
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "process/runtime.hpp"
+
+using namespace sdl;
+
+namespace {
+
+struct Grid {
+  int w = 0;
+  int h = 0;
+  std::vector<int> cells;  // row-major, 0/1
+  [[nodiscard]] int at(int x, int y) const {
+    return cells[static_cast<std::size_t>(((y + h) % h) * w + ((x + w) % w))];
+  }
+};
+
+Grid make_grid(int w, int h, unsigned seed) {
+  Grid g;
+  g.w = w;
+  g.h = h;
+  g.cells.assign(static_cast<std::size_t>(w * h), 0);
+  std::uint64_t state = seed * 0x9e3779b97f4a7c15ull + 1;
+  for (auto& c : g.cells) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    c = (state >> 33) % 3 == 0 ? 1 : 0;
+  }
+  return g;
+}
+
+Grid step_reference(const Grid& g) {
+  Grid next = g;
+  for (int y = 0; y < g.h; ++y) {
+    for (int x = 0; x < g.w; ++x) {
+      int sum = 0;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0) continue;
+          sum += g.at(x + dx, y + dy);
+        }
+      }
+      const int self = g.at(x, y);
+      next.cells[static_cast<std::size_t>(y * g.w + x)] =
+          (self == 1 && (sum == 2 || sum == 3)) || (self == 0 && sum == 3) ? 1 : 0;
+    }
+  }
+  return next;
+}
+
+void register_functions(Runtime& rt, int w, int h) {
+  // nbr(p, k): k-th of the 8 torus neighbors of cell p.
+  rt.functions().register_function("nbr", [w, h](std::span<const Value> a) -> Value {
+    static constexpr int dx[8] = {-1, 0, 1, -1, 1, -1, 0, 1};
+    static constexpr int dy[8] = {-1, -1, -1, 0, 0, 1, 1, 1};
+    const auto p = static_cast<int>(a[0].as_int());
+    const auto k = static_cast<int>(a[1].as_int());
+    const int x = (p % w + dx[k] + w) % w;
+    const int y = (p / w + dy[k] + h) % h;
+    return static_cast<std::int64_t>(y * w + x);
+  });
+  // life(self, sum): the B3/S23 rule.
+  rt.functions().register_function("life", [](std::span<const Value> a) -> Value {
+    const std::int64_t self = a[0].as_int();
+    const std::int64_t sum = a[1].as_int();
+    return static_cast<std::int64_t>(
+        (self == 1 && (sum == 2 || sum == 3)) || (self == 0 && sum == 3) ? 1 : 0);
+  });
+}
+
+/// The compute transaction shared by both variants: read own + 8
+/// neighbors' states at generation g, assert own state at g+1.
+Transaction compute_txn(TxnType type, int generations) {
+  TxnBuilder b(type);
+  b.exists({"s", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7"});
+  b.match(pat({E(evar("p")), E(evar("g")), V("s")}));
+  for (int k = 0; k < 8; ++k) {
+    b.match(pat({E(call_fn("nbr", {evar("p"), lit(k)})), E(evar("g")),
+                 V("s" + std::to_string(k))}));
+  }
+  ExprPtr sum = evar("s0");
+  for (int k = 1; k < 8; ++k) sum = add(std::move(sum), evar("s" + std::to_string(k)));
+  return b.where(lt(evar("g"), lit(generations)))
+      .assert_tuple({evar("p"), add(evar("g"), lit(1)),
+                     call_fn("life", {evar("s"), std::move(sum)})})
+      .let_("g", add(evar("g"), lit(1)))
+      .build();
+}
+
+Transaction exit_txn(int generations) {
+  return TxnBuilder()
+      .where(ge(evar("g"), lit(generations)))
+      .exit_()
+      .build();
+}
+
+ProcessDef async_cell_def(int generations) {
+  ProcessDef def;
+  def.name = "Cell";
+  def.params = {"p"};
+  def.body = seq({
+      stmt(TxnBuilder().let_("g", lit(0)).build()),
+      repeat({
+          branch(exit_txn(generations)),
+          branch(compute_txn(TxnType::Delayed, generations)),
+      }),
+  });
+  return def;
+}
+
+ProcessDef clocked_cell_def(int generations) {
+  ProcessDef def;
+  def.name = "Cell";
+  def.params = {"p"};
+  // Compute immediately (the barrier guarantees inputs exist), then wait
+  // at the consensus clock edge before the next generation.
+  def.body = seq({
+      stmt(TxnBuilder().let_("g", lit(0)).build()),
+      repeat({
+          branch(exit_txn(generations)),
+          branch(compute_txn(TxnType::Immediate, generations),
+                 {stmt(TxnBuilder(TxnType::Consensus).build())}),
+      }),
+  });
+  return def;
+}
+
+/// Runs a society variant and extracts the generation-K grid.
+Grid run_society(const Grid& start, int generations, bool clocked) {
+  RuntimeOptions o;
+  o.scheduler.workers = 4;
+  Runtime rt(o);
+  register_functions(rt, start.w, start.h);
+  const int n = start.w * start.h;
+  for (int p = 0; p < n; ++p) {
+    rt.seed(tup(p, 0, start.cells[static_cast<std::size_t>(p)]));
+  }
+  rt.define(clocked ? clocked_cell_def(generations) : async_cell_def(generations));
+  for (int p = 0; p < n; ++p) rt.spawn("Cell", {Value(p)});
+  const RunReport report = rt.run();
+  if (!report.clean()) {
+    std::cerr << (clocked ? "clocked" : "async") << " society did not quiesce ("
+              << report.still_parked << " parked)\n";
+    std::exit(1);
+  }
+  Grid out = start;
+  for (int p = 0; p < n; ++p) {
+    bool found = false;
+    rt.space().scan_key(IndexKey::of_head(3, Value(p)), [&](const Record& r) {
+      if (r.tuple[1] == Value(generations)) {
+        out.cells[static_cast<std::size_t>(p)] =
+            static_cast<int>(r.tuple[2].as_int());
+        found = true;
+      }
+      return true;
+    });
+    if (!found) {
+      std::cerr << "cell " << p << " missing generation " << generations << "\n";
+      std::exit(1);
+    }
+  }
+  return out;
+}
+
+void print_grid(const Grid& g) {
+  for (int y = 0; y < g.h; ++y) {
+    for (int x = 0; x < g.w; ++x) std::cout << (g.at(x, y) ? '#' : '.');
+    std::cout << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int w = argc > 1 ? std::atoi(argv[1]) : 8;
+  const int h = argc > 2 ? std::atoi(argv[2]) : 8;
+  const int generations = argc > 3 ? std::atoi(argv[3]) : 4;
+
+  Grid start = make_grid(w, h, 2026);
+  std::cout << "start (" << w << "x" << h << ", torus):\n";
+  print_grid(start);
+
+  Grid want = start;
+  for (int gen = 0; gen < generations; ++gen) want = step_reference(want);
+
+  const Grid async_result = run_society(start, generations, /*clocked=*/false);
+  const Grid clocked_result = run_society(start, generations, /*clocked=*/true);
+
+  std::cout << "\nafter " << generations << " generations:\n";
+  print_grid(want);
+
+  const bool ok = async_result.cells == want.cells &&
+                  clocked_result.cells == want.cells;
+  std::cout << "\nasync  == reference: "
+            << (async_result.cells == want.cells ? "yes" : "NO") << "\n"
+            << "clocked == reference: "
+            << (clocked_result.cells == want.cells ? "yes" : "NO") << "\n"
+            << (ok ? "game_of_life OK\n" : "game_of_life FAILED\n");
+  return ok ? 0 : 1;
+}

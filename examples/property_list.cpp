@@ -1,0 +1,180 @@
+// §3.2 Property List — accessing and sorting a distributed linked list.
+//
+//   Search(id, P): recursive traversal, recursion replaced by dynamic
+//                  process creation.
+//   Find(P):       content addressing — no traversal at all.
+//   Sort:          one process per adjacent node pair, views confined to
+//                  the two nodes, consensus transaction detecting global
+//                  sortedness (distributed termination detection).
+//
+// Run:  ./build/examples/property_list [n_nodes]
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "process/runtime.hpp"
+
+using namespace sdl;
+
+namespace {
+
+RuntimeOptions opts() {
+  RuntimeOptions o;
+  o.scheduler.workers = 4;
+  return o;
+}
+
+/// Nodes are <node_id, property_name, value, next_node_id>; names here are
+/// "p<i>" atoms with integer values i*10 so sortedness is checkable.
+void seed_list(Runtime& rt, int n, unsigned seed) {
+  std::vector<int> order(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i + 1;
+  std::uint64_t state = seed;
+  for (int i = n - 1; i > 0; --i) {  // Fisher-Yates
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    std::swap(order[static_cast<std::size_t>(i)],
+              order[static_cast<std::size_t>(state % static_cast<std::uint64_t>(i + 1))]);
+  }
+  for (int i = 1; i <= n; ++i) {
+    const int p = order[static_cast<std::size_t>(i - 1)];
+    rt.seed(tup(i, Value::atom("p" + std::to_string(p)), p * 10,
+                i == n ? Value::atom("nil") : Value(i + 1)));
+  }
+}
+
+ProcessDef search_def() {
+  ProcessDef def;
+  def.name = "Search";
+  def.params = {"id", "P"};
+  def.body = seq({select({
+      branch(TxnBuilder()
+                 .exists({"v"})
+                 .match(pat({E(evar("id")), E(evar("P")), V("v"), W()}))
+                 .assert_tuple({evar("P"), evar("v")})
+                 .build()),
+      branch(TxnBuilder()
+                 .exists({"pi"})
+                 .match(pat({E(evar("id")), V("pi"), W(), A("nil")}))
+                 .where(ne(evar("pi"), evar("P")))
+                 .assert_tuple({evar("P"), lit(Value::atom("not_found"))})
+                 .build()),
+      branch(TxnBuilder()
+                 .exists({"rho", "i"})
+                 .match(pat({E(evar("id")), V("rho"), W(), V("i")}))
+                 .where(land(ne(evar("rho"), evar("P")),
+                             ne(evar("i"), lit(Value::atom("nil")))))
+                 .spawn("Search", {evar("i"), evar("P")})
+                 .build()),
+  })});
+  return def;
+}
+
+ProcessDef find_def() {
+  ProcessDef def;
+  def.name = "Find";
+  def.params = {"P"};
+  def.body = seq({select({
+      branch(TxnBuilder()
+                 .exists({"v"})
+                 .match(pat({W(), E(evar("P")), V("v"), W()}))
+                 .assert_tuple({evar("P"), evar("v")})
+                 .build()),
+      branch(TxnBuilder()
+                 .none({pat({W(), E(evar("P")), W(), W()})})
+                 .assert_tuple({evar("P"), lit(Value::atom("not_found"))})
+                 .build()),
+  })});
+  return def;
+}
+
+ProcessDef sort_def() {
+  ProcessDef def;
+  def.name = "Sort";
+  def.params = {"id1", "id2"};
+  def.view.import(pat({V("id1"), W(), W(), W()}));
+  def.view.import(pat({V("id2"), W(), W(), W()}));
+  def.view.export_(pat({V("id1"), W(), W(), W()}));
+  def.view.export_(pat({V("id2"), W(), W(), W()}));
+  def.body = seq({repeat({
+      branch(TxnBuilder()
+                 .exists({"p1", "v1", "n1", "p2", "v2", "n2"})
+                 .match(pat({E(evar("id1")), V("p1"), V("v1"), V("n1")}), true)
+                 .match(pat({E(evar("id2")), V("p2"), V("v2"), V("n2")}), true)
+                 .where(gt(evar("v1"), evar("v2")))
+                 .assert_tuple({evar("id1"), evar("p2"), evar("v2"), evar("n1")})
+                 .assert_tuple({evar("id2"), evar("p1"), evar("v1"), evar("n2")})
+                 .build()),
+      branch(TxnBuilder(TxnType::Consensus)
+                 .exists({"v1", "v2"})
+                 .match(pat({E(evar("id1")), W(), V("v1"), W()}))
+                 .match(pat({E(evar("id2")), W(), V("v2"), W()}))
+                 .where(le(evar("v1"), evar("v2")))
+                 .exit_()
+                 .build()),
+  })});
+  return def;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 12;
+  bool ok = true;
+
+  {
+    std::cout << "== Search (recursive traversal via process creation) ==\n";
+    Runtime rt(opts());
+    seed_list(rt, n, 7);
+    rt.define(search_def());
+    rt.spawn("Search", {Value(1), Value::atom("p3")});
+    rt.spawn("Search", {Value(1), Value::atom("zzz")});
+    const RunReport report = rt.run();
+    ok &= report.clean();
+    std::cout << "  <p3, 30>: " << rt.space().count(tup("p3", 30))
+              << ", <zzz, not_found>: "
+              << rt.space().count(tup("zzz", Value::atom("not_found"))) << "\n";
+    ok &= rt.space().count(tup("p3", 30)) == 1;
+    ok &= rt.space().count(tup("zzz", Value::atom("not_found"))) == 1;
+  }
+
+  {
+    std::cout << "== Find (content addressing) ==\n";
+    Runtime rt(opts());
+    seed_list(rt, n, 7);
+    rt.define(find_def());
+    rt.spawn("Find", {Value::atom("p3")});
+    rt.spawn("Find", {Value::atom("zzz")});
+    const RunReport report = rt.run();
+    ok &= report.clean();
+    std::cout << "  <p3, 30>: " << rt.space().count(tup("p3", 30))
+              << ", <zzz, not_found>: "
+              << rt.space().count(tup("zzz", Value::atom("not_found"))) << "\n";
+    ok &= rt.space().count(tup("p3", 30)) == 1;
+  }
+
+  {
+    std::cout << "== Sort (pairwise processes + consensus termination) ==\n";
+    Runtime rt(opts());
+    seed_list(rt, n, 7);
+    rt.define(sort_def());
+    for (int i = 1; i < n; ++i) rt.spawn("Sort", {Value(i), Value(i + 1)});
+    const RunReport report = rt.run();
+    ok &= report.clean();
+    if (!report.clean()) {
+      std::cout << "  NOT CLEAN: parked=" << report.still_parked << "\n";
+    }
+    bool sorted = true;
+    for (int i = 1; i <= n; ++i) {
+      rt.space().scan_key(IndexKey::of_head(4, Value(i)), [&](const Record& r) {
+        if (r.tuple[2] != Value(i * 10)) sorted = false;
+        return true;
+      });
+    }
+    std::cout << "  list sorted by value: " << (sorted ? "yes" : "NO") << "\n";
+    ok &= sorted;
+  }
+
+  std::cout << (ok ? "property_list OK\n" : "property_list FAILED\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,292 @@
+// §3.3 Region Labeling — the worker model vs the community model.
+//
+//   Worker model:    one process, one replication; transactions roam the
+//                    dataspace seeking work ("workers model, often used in
+//                    Linda programming").
+//   Community model: a Threshold process spawns one Label process per
+//                    pixel; each Label has a *dynamic view* confined to
+//                    its 4-neighbors of the same threshold class, so
+//                    label-propagation communities form per region and
+//                    consensus fires per region.
+//
+// Both must agree with a sequential connected-component reference.
+//
+// Run:  ./build/examples/region_labeling [width] [height]
+#include <algorithm>
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <unordered_map>
+#include <vector>
+
+#include "process/runtime.hpp"
+
+using namespace sdl;
+
+namespace {
+
+struct Image {
+  int w = 0;
+  int h = 0;
+  std::vector<int> intensity;  // row-major
+  [[nodiscard]] int at(int x, int y) const {
+    return intensity[static_cast<std::size_t>(y * w + x)];
+  }
+};
+
+/// Synthetic image: blobs of bright pixels on a dark background (seeded).
+Image make_image(int w, int h, unsigned seed) {
+  Image img;
+  img.w = w;
+  img.h = h;
+  img.intensity.assign(static_cast<std::size_t>(w * h), 10);
+  std::uint64_t state = seed * 0x9e3779b97f4a7c15ull + 1;
+  auto rnd = [&](int m) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<int>((state >> 33) % static_cast<std::uint64_t>(m));
+  };
+  const int blobs = std::max(2, (w * h) / 24);
+  for (int b = 0; b < blobs; ++b) {
+    const int cx = rnd(w);
+    const int cy = rnd(h);
+    const int r = 1 + rnd(2);
+    for (int y = std::max(0, cy - r); y <= std::min(h - 1, cy + r); ++y) {
+      for (int x = std::max(0, cx - r); x <= std::min(w - 1, cx + r); ++x) {
+        img.intensity[static_cast<std::size_t>(y * w + x)] = 200;
+      }
+    }
+  }
+  return img;
+}
+
+int threshold(int v) { return v >= 128 ? 1 : 0; }
+
+/// Sequential reference: per-pixel label = max pixel id in its 4-connected
+/// equal-threshold region (which is what the SDL programs compute).
+std::vector<int> reference_labels(const Image& img) {
+  const int n = img.w * img.h;
+  std::vector<int> parent(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) parent[static_cast<std::size_t>(i)] = i;
+  std::function<int(int)> find = [&](int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+  auto unite = [&](int a, int b) { parent[static_cast<std::size_t>(find(a))] = find(b); };
+  for (int y = 0; y < img.h; ++y) {
+    for (int x = 0; x < img.w; ++x) {
+      const int p = y * img.w + x;
+      if (x + 1 < img.w && threshold(img.at(x, y)) == threshold(img.at(x + 1, y))) {
+        unite(p, p + 1);
+      }
+      if (y + 1 < img.h && threshold(img.at(x, y)) == threshold(img.at(x, y + 1))) {
+        unite(p, p + img.w);
+      }
+    }
+  }
+  std::vector<int> max_of(static_cast<std::size_t>(n), -1);
+  for (int i = 0; i < n; ++i) {
+    const int root = find(i);
+    max_of[static_cast<std::size_t>(root)] =
+        std::max(max_of[static_cast<std::size_t>(root)], i);
+  }
+  std::vector<int> labels(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    labels[static_cast<std::size_t>(i)] = max_of[static_cast<std::size_t>(find(i))];
+  }
+  return labels;
+}
+
+void register_functions(Runtime& rt, const Image& img) {
+  const int w = img.w;
+  const int h = img.h;
+  rt.functions().register_function("neighbor", [w, h](std::span<const Value> a) -> Value {
+    const std::int64_t p = a[0].as_int();
+    const std::int64_t q = a[1].as_int();
+    if (p < 0 || q < 0 || p >= w * h || q >= w * h) return false;
+    const std::int64_t px = p % w, py = p / w, qx = q % w, qy = q / w;
+    return std::abs(px - qx) + std::abs(py - qy) == 1;
+  });
+  rt.functions().register_function("T", [](std::span<const Value> a) -> Value {
+    return static_cast<std::int64_t>(threshold(static_cast<int>(a[0].as_int())));
+  });
+}
+
+void seed_image(Runtime& rt, const Image& img) {
+  for (int y = 0; y < img.h; ++y) {
+    for (int x = 0; x < img.w; ++x) {
+      rt.seed(tup("image", y * img.w + x, img.at(x, y)));
+    }
+  }
+}
+
+std::unordered_map<int, int> collect_labels(Runtime& rt, std::size_t label_arity,
+                                            bool with_class) {
+  std::unordered_map<int, int> out;
+  rt.space().scan_arity(static_cast<std::uint32_t>(label_arity),
+                        [&](const Record& r) {
+                          if (r.tuple[0] == Value::atom("label")) {
+                            const int p = static_cast<int>(r.tuple[1].as_int());
+                            const int l = static_cast<int>(
+                                r.tuple[with_class ? 3 : 2].as_int());
+                            out[p] = l;
+                          }
+                          return true;
+                        });
+  return out;
+}
+
+/// Worker model (§3.3 Threshold_and_label): one replication does both the
+/// thresholding and the label propagation.
+std::unordered_map<int, int> run_worker_model(const Image& img) {
+  RuntimeOptions o;
+  o.scheduler.workers = 4;
+  o.scheduler.replication_width = 4;
+  Runtime rt(o);
+  register_functions(rt, img);
+  seed_image(rt, img);
+
+  ProcessDef def;
+  def.name = "ThresholdAndLabel";
+  def.body = seq({replicate({
+      branch(TxnBuilder()
+                 .exists({"p", "v"})
+                 .match(pat({A("image"), V("p"), V("v")}), true)
+                 .assert_tuple({lit(Value::atom("threshold")), evar("p"),
+                                call_fn("T", {evar("v")})})
+                 .assert_tuple({lit(Value::atom("label")), evar("p"), evar("p")})
+                 .build()),
+      branch(TxnBuilder()
+                 .exists({"p1", "p2", "t", "l1", "l2"})
+                 .match(pat({A("threshold"), V("p1"), V("t")}))
+                 .match(pat({A("threshold"), V("p2"), V("t")}))
+                 .match(pat({A("label"), V("p1"), V("l1")}), true)
+                 .match(pat({A("label"), V("p2"), V("l2")}), true)
+                 .where(land(call_fn("neighbor", {evar("p1"), evar("p2")}),
+                             lt(evar("l1"), evar("l2"))))
+                 .assert_tuple({lit(Value::atom("label")), evar("p1"), evar("l2")})
+                 .assert_tuple({lit(Value::atom("label")), evar("p2"), evar("l2")})
+                 .build()),
+  })});
+  rt.define(std::move(def));
+  rt.spawn("ThresholdAndLabel");
+  const RunReport report = rt.run();
+  if (!report.clean()) {
+    std::cerr << "worker model did not quiesce cleanly\n";
+    std::exit(1);
+  }
+  return collect_labels(rt, 3, /*with_class=*/false);
+}
+
+/// Community model (§3.3 Threshold + Label): per-pixel Label processes
+/// with views confined to same-class neighbors; consensus per region.
+/// Label tuples carry the threshold class: <label, p, t, l>.
+std::unordered_map<int, int> run_community_model(const Image& img) {
+  RuntimeOptions o;
+  o.scheduler.workers = 4;
+  o.scheduler.replication_width = 4;
+  Runtime rt(o);
+  register_functions(rt, img);
+  seed_image(rt, img);
+
+  ProcessDef thresh;
+  thresh.name = "Threshold";
+  thresh.body = seq({replicate({branch(
+      TxnBuilder()
+          .exists({"p", "v"})
+          .match(pat({A("image"), V("p"), V("v")}), true)
+          .assert_tuple({lit(Value::atom("label")), evar("p"),
+                         call_fn("T", {evar("v")}), evar("p")})
+          .spawn("Label", {evar("p"), call_fn("T", {evar("v")})})
+          .build())})});
+  rt.define(std::move(thresh));
+
+  ProcessDef label;
+  label.name = "Label";
+  label.params = {"r", "t"};
+  // Dynamic view: own label + labels of 4-neighbors in the same class.
+  label.view.import(pat({A("label"), E(evar("r")), E(evar("t")), W()}));
+  label.view.import(pat({A("label"), V("q"), E(evar("t")), W()}),
+                    call_fn("neighbor", {evar("q"), evar("r")}));
+  label.view.export_(pat({A("label"), E(evar("r")), W(), W()}));
+  label.body = seq({repeat({
+      // Adopt a greater neighboring label.
+      branch(TxnBuilder()
+                 .exists({"l1", "p2", "l2"})
+                 .match(pat({A("label"), E(evar("r")), E(evar("t")), V("l1")}),
+                        true)
+                 .match(pat({A("label"), V("p2"), E(evar("t")), V("l2")}))
+                 .where(gt(evar("l2"), evar("l1")))
+                 .assert_tuple({lit(Value::atom("label")), evar("r"), evar("t"),
+                                evar("l2")})
+                 .build()),
+      // Community consensus: nobody in my window outranks me -> done.
+      branch(TxnBuilder(TxnType::Consensus)
+                 .exists({"l1"})
+                 .match(pat({A("label"), E(evar("r")), E(evar("t")), V("l1")}))
+                 .none({pat({A("label"), V("q2"), E(evar("t")), V("l2")})},
+                       gt(evar("l2"), evar("l1")))
+                 .exit_()
+                 .build()),
+  })});
+  rt.define(std::move(label));
+
+  rt.spawn("Threshold");
+  const RunReport report = rt.run();
+  if (!report.clean()) {
+    std::cerr << "community model did not quiesce cleanly ("
+              << report.still_parked << " parked)\n";
+    std::exit(1);
+  }
+  return collect_labels(rt, 4, /*with_class=*/true);
+}
+
+bool check(const char* name, const std::unordered_map<int, int>& got,
+           const std::vector<int>& want) {
+  if (got.size() != want.size()) {
+    std::cout << name << ": label count mismatch (" << got.size() << " vs "
+              << want.size() << ")\n";
+    return false;
+  }
+  for (std::size_t p = 0; p < want.size(); ++p) {
+    auto it = got.find(static_cast<int>(p));
+    if (it == got.end() || it->second != want[p]) {
+      std::cout << name << ": pixel " << p << " labeled "
+                << (it == got.end() ? -1 : it->second) << ", want " << want[p]
+                << "\n";
+      return false;
+    }
+  }
+  std::cout << name << ": all " << want.size() << " pixels correctly labeled\n";
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int w = argc > 1 ? std::atoi(argv[1]) : 8;
+  const int h = argc > 2 ? std::atoi(argv[2]) : 8;
+  const Image img = make_image(w, h, 99);
+  const std::vector<int> want = reference_labels(img);
+
+  int regions = 0;
+  {
+    std::vector<bool> seen(static_cast<std::size_t>(w * h), false);
+    for (const int l : want) {
+      if (!seen[static_cast<std::size_t>(l)]) {
+        seen[static_cast<std::size_t>(l)] = true;
+        ++regions;
+      }
+    }
+  }
+  std::cout << w << "x" << h << " image, " << regions << " regions\n";
+
+  bool ok = true;
+  ok &= check("worker model   ", run_worker_model(img), want);
+  ok &= check("community model", run_community_model(img), want);
+  std::cout << (ok ? "region_labeling OK\n" : "region_labeling FAILED\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,55 @@
+// sdl_repl — an interactive SDL session.
+//
+//   $ ./build/examples/sdl_repl
+//   sdl> -> [year, 87]
+//   committed  (+1 tuples)
+//   sdl> exists a : [year, a]! when a > 80 -> let N = a, [found, a]
+//   committed  a = 87  N = 87
+//   sdl> :load examples/sdl/sort.sdl
+//   sdl> :run
+//   sdl> :dump
+//
+// Registers the same host functions as sdl_run so the shipped scripts
+// work. Reads from stdin; also usable as a batch filter:
+//   echo ':load examples/sdl/sum3.sdl
+//   :run
+//   :dump' | ./build/examples/sdl_repl
+#include <unistd.h>
+
+#include <iostream>
+#include <string>
+
+#include "lang/repl.hpp"
+
+using namespace sdl;
+
+int main() {
+  lang::ReplSession session;
+
+  constexpr std::int64_t kGridWidth = 16;
+  session.runtime().functions().register_function(
+      "neighbor", [](std::span<const Value> a) -> Value {
+        const std::int64_t p = a[0].as_int();
+        const std::int64_t q = a[1].as_int();
+        const std::int64_t dx = p % kGridWidth - q % kGridWidth;
+        const std::int64_t dy = p / kGridWidth - q / kGridWidth;
+        return (dx * dx + dy * dy) == 1;
+      });
+  session.runtime().functions().register_function(
+      "T", [](std::span<const Value> a) -> Value {
+        return a[0].as_int() >= 128 ? 1 : 0;
+      });
+
+  const bool interactive = static_cast<bool>(isatty(0));
+  if (interactive) {
+    std::cout << "SDL repl — :help for commands, :quit to leave\n";
+  }
+  std::string line;
+  while (!session.done()) {
+    if (interactive) std::cout << "sdl> " << std::flush;
+    if (!std::getline(std::cin, line)) break;
+    const std::string out = session.eval(line);
+    if (!out.empty()) std::cout << out << "\n";
+  }
+  return 0;
+}

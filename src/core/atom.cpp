@@ -1,0 +1,66 @@
+#include "core/atom.hpp"
+
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace sdl {
+namespace {
+
+// The intern table. Spellings are stored in a deque<std::string> so that
+// growth never invalidates string_views handed out by Atom::text().
+struct InternTable {
+  mutable std::shared_mutex mutex;  // guards both members below
+  std::deque<std::string> spellings;
+  std::unordered_map<std::string_view, std::uint32_t> index;
+
+  InternTable() {
+    // Reserve id 0 for the empty atom so that Atom{} is well-defined.
+    spellings.emplace_back("");
+    index.emplace(spellings.back(), 0);
+  }
+};
+
+InternTable& table() {
+  static InternTable t;
+  return t;
+}
+
+}  // namespace
+
+Atom Atom::intern(std::string_view spelling) {
+  InternTable& t = table();
+  {
+    std::shared_lock lock(t.mutex);
+    if (auto it = t.index.find(spelling); it != t.index.end()) {
+      return Atom(it->second);
+    }
+  }
+  std::unique_lock lock(t.mutex);
+  if (auto it = t.index.find(spelling); it != t.index.end()) {
+    return Atom(it->second);
+  }
+  if (t.spellings.size() > 0xFFFFFFFFull) {
+    throw std::length_error("sdl::Atom intern table overflow");
+  }
+  const auto id = static_cast<std::uint32_t>(t.spellings.size());
+  t.spellings.emplace_back(spelling);
+  t.index.emplace(t.spellings.back(), id);
+  return Atom(id);
+}
+
+std::string_view Atom::text() const {
+  InternTable& t = table();
+  std::shared_lock lock(t.mutex);
+  return t.spellings[id_];
+}
+
+std::size_t Atom::interned_count() {
+  InternTable& t = table();
+  std::shared_lock lock(t.mutex);
+  return t.spellings.size();
+}
+
+}  // namespace sdl

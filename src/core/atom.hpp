@@ -1,0 +1,52 @@
+// Interned symbolic constants ("atoms") for the SDL value domain.
+//
+// The paper's value domain V consists of "atoms and integers" (§2.1).
+// Atoms are interned process-wide so that equality and hashing are O(1)
+// integer operations regardless of spelling length; this is what makes the
+// (head, arity) dataspace index cheap (see src/space/dataspace.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sdl {
+
+/// An interned symbol. Two atoms are equal iff their spellings are equal.
+/// Copying an Atom is copying a 32-bit id; the spelling lives in a
+/// process-wide intern table that is never shrunk, so `text()` views remain
+/// valid for the life of the process.
+class Atom {
+ public:
+  /// Default-constructed atom is the empty-spelling atom.
+  Atom() : id_(0) {}
+
+  /// Interns `spelling` (idempotent, thread-safe) and returns its atom.
+  static Atom intern(std::string_view spelling);
+
+  /// Returns the spelling of this atom. The view is valid forever.
+  [[nodiscard]] std::string_view text() const;
+
+  /// The dense intern-table index; useful as a hash or array key.
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+
+  friend bool operator==(Atom a, Atom b) { return a.id_ == b.id_; }
+  friend bool operator!=(Atom a, Atom b) { return a.id_ != b.id_; }
+  /// Order is by intern id (first-interned first), not lexicographic.
+  /// Use text() comparisons when lexicographic order matters.
+  friend bool operator<(Atom a, Atom b) { return a.id_ < b.id_; }
+
+  /// Number of distinct atoms interned so far (for diagnostics/tests).
+  static std::size_t interned_count();
+
+ private:
+  explicit Atom(std::uint32_t id) : id_(id) {}
+  std::uint32_t id_;
+};
+
+}  // namespace sdl
+
+template <>
+struct std::hash<sdl::Atom> {
+  std::size_t operator()(sdl::Atom a) const noexcept { return a.id(); }
+};

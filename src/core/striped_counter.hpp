@@ -1,0 +1,40 @@
+// A cache-friendly statistics counter: increments land on one of 16
+// cache-line-sized stripes selected per thread, so hot-path counting does
+// not serialize unrelated cores on a shared line; reads sum the stripes.
+// For statistics only — the sum is not a linearizable snapshot.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace sdl {
+
+class StripedCounter {
+ public:
+  void add(std::uint64_t n = 1) {
+    stripe().fetch_add(n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t load() const {
+    std::uint64_t sum = 0;
+    for (const Cell& c : cells_) sum += c.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+
+  std::atomic<std::uint64_t>& stripe() {
+    static thread_local const std::size_t index =
+        std::hash<std::thread::id>{}(std::this_thread::get_id());
+    return cells_[index % cells_.size()].v;
+  }
+
+  std::array<Cell, 16> cells_;
+};
+
+}  // namespace sdl

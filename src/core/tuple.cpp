@@ -1,0 +1,38 @@
+#include "core/tuple.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace sdl {
+
+std::string TupleId::to_string() const {
+  return "#" + std::to_string(owner()) + "." + std::to_string(sequence());
+}
+
+bool operator<(const Tuple& a, const Tuple& b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
+std::size_t Tuple::hash() const {
+  std::size_t seed = fields_.size();
+  for (const Value& v : fields_) {
+    seed ^= v.hash() + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+  }
+  return seed;
+}
+
+std::string Tuple::to_string() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].to_string();
+  }
+  out += "]";
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Tuple& t) {
+  return os << t.to_string();
+}
+
+}  // namespace sdl

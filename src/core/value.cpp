@@ -1,0 +1,133 @@
+#include "core/value.hpp"
+
+#include <cmath>
+#include <functional>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sdl {
+namespace {
+
+// Boost-style hash combiner.
+std::size_t combine(std::size_t seed, std::size_t h) {
+  return seed ^ (h + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace
+
+double Value::as_number() const {
+  if (is_int()) return static_cast<double>(as_int());
+  if (is_double()) return as_double();
+  throw std::invalid_argument("sdl::Value: not a number: " + to_string());
+}
+
+bool Value::truthy() const {
+  if (is_bool()) return as_bool();
+  throw std::invalid_argument("sdl::Value: guard did not evaluate to a boolean: " +
+                              to_string());
+}
+
+bool operator<(const Value& a, const Value& b) {
+  if (a.kind() != b.kind()) return a.kind() < b.kind();
+  switch (a.kind()) {
+    case Value::Kind::Nil:
+      return false;
+    case Value::Kind::Bool:
+      return a.as_bool() < b.as_bool();
+    case Value::Kind::Int:
+      return a.as_int() < b.as_int();
+    case Value::Kind::Double:
+      return a.as_double() < b.as_double();
+    case Value::Kind::Atom:
+      return a.as_atom().text() < b.as_atom().text();
+    case Value::Kind::String:
+      return a.as_string() < b.as_string();
+  }
+  return false;  // unreachable
+}
+
+std::string Value::to_string() const {
+  switch (kind()) {
+    case Kind::Nil:
+      return "nil?";
+    case Kind::Bool:
+      return as_bool() ? "true" : "false";
+    case Kind::Int:
+      return std::to_string(as_int());
+    case Kind::Double: {
+      std::ostringstream os;
+      os << as_double();
+      std::string s = os.str();
+      // Keep doubles visually distinct from ints in dumps.
+      if (s.find_first_of(".eEn") == std::string::npos) s += ".0";
+      return s;
+    }
+    case Kind::Atom:
+      return std::string(as_atom().text());
+    case Kind::String: {
+      std::string out = "\"";
+      for (char c : as_string()) {
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+      }
+      out += '"';
+      return out;
+    }
+  }
+  return "?";
+}
+
+std::size_t Value::hash() const {
+  const auto k = static_cast<std::size_t>(kind());
+  switch (kind()) {
+    case Kind::Nil:
+      return combine(k, 0);
+    case Kind::Bool:
+      return combine(k, as_bool() ? 1 : 0);
+    case Kind::Int:
+      return combine(k, std::hash<std::int64_t>{}(as_int()));
+    case Kind::Double:
+      return combine(k, std::hash<double>{}(as_double()));
+    case Kind::Atom:
+      return combine(k, as_atom().id());
+    case Kind::String:
+      return combine(k, std::hash<std::string>{}(as_string()));
+  }
+  return 0;  // unreachable
+}
+
+int Value::numeric_compare(const Value& a, const Value& b) {
+  if (a.is_number() && b.is_number()) {
+    const double x = a.as_number();
+    const double y = b.as_number();
+    if (x < y) return -1;
+    if (x > y) return 1;
+    return 0;
+  }
+  if (a.kind() != b.kind()) {
+    throw std::invalid_argument("sdl::Value: cannot compare " + a.to_string() +
+                                " with " + b.to_string());
+  }
+  switch (a.kind()) {
+    case Kind::Bool:
+      return static_cast<int>(a.as_bool()) - static_cast<int>(b.as_bool());
+    case Kind::Atom: {
+      const int c = a.as_atom().text().compare(b.as_atom().text());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    case Kind::String: {
+      const int c = a.as_string().compare(b.as_string());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    default:
+      throw std::invalid_argument("sdl::Value: cannot compare " + a.to_string() +
+                                  " with " + b.to_string());
+  }
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.to_string();
+}
+
+}  // namespace sdl

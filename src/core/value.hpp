@@ -1,0 +1,101 @@
+// The SDL value domain V (§2.1): the scalar values tuple fields may hold.
+//
+// The paper's domain is "atoms and integers"; we extend it with booleans,
+// doubles and strings, which the examples use implicitly (thresholds,
+// property values) and which cost nothing to support.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "core/atom.hpp"
+
+namespace sdl {
+
+/// A single field value. `Nil` (monostate) is the "absent" value used by
+/// default-constructed Values; it never results from evaluating an SDL
+/// expression and never appears in an asserted tuple.
+class Value {
+ public:
+  using Variant =
+      std::variant<std::monostate, bool, std::int64_t, double, Atom, std::string>;
+
+  /// Discriminator, in the canonical cross-type ordering used by
+  /// operator< (Nil < Bool < Int < Double < Atom < String).
+  enum class Kind { Nil = 0, Bool, Int, Double, Atom, String };
+
+  Value() = default;
+  Value(bool b) : v_(b) {}                                    // NOLINT(google-explicit-constructor)
+  Value(std::int64_t i) : v_(i) {}                            // NOLINT
+  Value(int i) : v_(static_cast<std::int64_t>(i)) {}          // NOLINT
+  Value(double d) : v_(d) {}                                  // NOLINT
+  Value(Atom a) : v_(a) {}                                    // NOLINT
+  Value(std::string s) : v_(std::move(s)) {}                  // NOLINT
+  Value(const char* s) : v_(std::string(s)) {}                // NOLINT
+
+  [[nodiscard]] Kind kind() const { return static_cast<Kind>(v_.index()); }
+  [[nodiscard]] bool is_nil() const { return kind() == Kind::Nil; }
+  [[nodiscard]] bool is_bool() const { return kind() == Kind::Bool; }
+  [[nodiscard]] bool is_int() const { return kind() == Kind::Int; }
+  [[nodiscard]] bool is_double() const { return kind() == Kind::Double; }
+  [[nodiscard]] bool is_atom() const { return kind() == Kind::Atom; }
+  [[nodiscard]] bool is_string() const { return kind() == Kind::String; }
+  /// True for Int or Double.
+  [[nodiscard]] bool is_number() const { return is_int() || is_double(); }
+
+  /// Checked accessors: throw std::bad_variant_access on kind mismatch.
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(v_); }
+  [[nodiscard]] std::int64_t as_int() const { return std::get<std::int64_t>(v_); }
+  [[nodiscard]] double as_double() const { return std::get<double>(v_); }
+  [[nodiscard]] Atom as_atom() const { return std::get<Atom>(v_); }
+  [[nodiscard]] const std::string& as_string() const {
+    return std::get<std::string>(v_);
+  }
+
+  /// Numeric value as double (Int is widened); throws if not a number.
+  [[nodiscard]] double as_number() const;
+
+  /// SDL truthiness: Bool is itself; everything else throws — SDL guards
+  /// are typed and a non-boolean guard is a programming error.
+  [[nodiscard]] bool truthy() const;
+
+  /// Structural equality. Int 3 and Double 3.0 compare *equal* under
+  /// numeric comparison in guards, but are distinct tuple-field values
+  /// here (content addressing is exact).
+  friend bool operator==(const Value& a, const Value& b) { return a.v_ == b.v_; }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+  /// Total order: by Kind first, then value. Used by canonicalization and
+  /// deterministic test output — not by SDL guard comparisons, which use
+  /// numeric_compare below.
+  friend bool operator<(const Value& a, const Value& b);
+
+  /// Renders the value in SDL literal syntax (atoms bare, strings quoted).
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t hash() const;
+
+  /// Numeric three-way comparison for guards: Int/Double compare by value
+  /// (3 == 3.0); atoms compare lexicographically by spelling; strings
+  /// lexicographically; bools false<true. Mixed non-numeric kinds throw
+  /// std::invalid_argument — SDL guards do not order across kinds.
+  [[nodiscard]] static int numeric_compare(const Value& a, const Value& b);
+
+  /// Convenience: intern an atom value.
+  static Value atom(std::string_view spelling) { return Value(Atom::intern(spelling)); }
+
+ private:
+  Variant v_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+}  // namespace sdl
+
+template <>
+struct std::hash<sdl::Value> {
+  std::size_t operator()(const sdl::Value& v) const noexcept { return v.hash(); }
+};

@@ -1,0 +1,31 @@
+// Loading parsed SDL programs into a Runtime.
+#pragma once
+
+#include <string>
+
+#include "lang/parser.hpp"
+#include "process/runtime.hpp"
+
+namespace sdl::lang {
+
+/// Defines every process, seeds the initial dataspace, and spawns the
+/// initial society. The runtime is then ready for Runtime::run().
+void load_program(Runtime& rt, Program program);
+
+/// parse_program + load_program.
+void load_source(Runtime& rt, const std::string& source);
+
+/// parse_file + load_program.
+void load_path(Runtime& rt, const std::string& path);
+
+/// Checkpoints the current dataspace as SDL source: an `init { ... }`
+/// block that, parsed and loaded into a fresh runtime, reproduces the
+/// same multiset of tuples. Tuple identifiers (owners) are not preserved
+/// — the checkpoint captures the data state, per the paper's decoupling
+/// of data and control state. Call with the runtime quiescent.
+/// Limitations (inherited from SDL's literal syntax): atom spellings must
+/// be identifier-shaped and not keywords, and doubles must not need
+/// exponent notation; other values round-trip exactly.
+std::string checkpoint_dataspace(const Dataspace& space);
+
+}  // namespace sdl::lang

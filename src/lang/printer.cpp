@@ -1,0 +1,100 @@
+#include "lang/printer.hpp"
+
+#include <unordered_set>
+
+namespace sdl::lang {
+namespace {
+
+/// Variable names declared by a view entry: the Var terms of its pattern
+/// that are not process parameters (parameters constrain; fresh names
+/// bind per candidate and must be declared in the `vars :` prefix).
+std::vector<std::string> entry_vars(const ViewEntry& entry,
+                                    const std::vector<std::string>& params) {
+  const std::unordered_set<std::string> param_set(params.begin(), params.end());
+  std::vector<std::string> vars;
+  for (const Term& t : entry.pattern.terms()) {
+    if (t.kind != Term::Kind::Var || param_set.count(t.name) > 0) continue;
+    bool seen = false;
+    for (const std::string& v : vars) {
+      if (v == t.name) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) vars.push_back(t.name);
+  }
+  return vars;
+}
+
+std::string print_entry(const ViewEntry& entry,
+                        const std::vector<std::string>& params) {
+  std::string out;
+  const std::vector<std::string> vars = entry_vars(entry, params);
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    out += (i > 0 ? ", " : "") + vars[i];
+  }
+  if (!vars.empty()) out += " : ";
+  out += entry.pattern.to_string();
+  if (entry.guard) out += " where " + entry.guard->to_string();
+  return out;
+}
+
+void print_entries(std::string& out, const char* keyword,
+                   const std::vector<ViewEntry>& entries,
+                   const std::vector<std::string>& params) {
+  if (entries.empty()) return;
+  out += keyword;
+  out += " ";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (i > 0) out += ",\n       ";
+    out += print_entry(entries[i], params);
+  }
+  out += "\n";
+}
+
+}  // namespace
+
+std::string print_process(const ProcessDef& def) {
+  std::string out = "process " + def.name;
+  if (!def.params.empty()) {
+    out += "(";
+    for (std::size_t i = 0; i < def.params.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += def.params[i];
+    }
+    out += ")";
+  }
+  out += "\n";
+  print_entries(out, "import", def.view.imports, def.params);
+  print_entries(out, "export", def.view.exports, def.params);
+  out += "behavior\n";
+  if (def.body) out += def.body->to_string(1) + "\n";
+  out += "end\n";
+  return out;
+}
+
+std::string print_program(const Program& program) {
+  std::string out;
+  for (const ProcessDef& def : program.defs) {
+    out += print_process(def);
+    out += "\n";
+  }
+  if (!program.seeds.empty()) {
+    out += "init {\n";
+    for (const Tuple& t : program.seeds) {
+      out += "  " + t.to_string() + ";\n";
+    }
+    out += "}\n\n";
+  }
+  for (const auto& [name, args] : program.spawns) {
+    out += "spawn " + name + "(";
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += args[i].to_string();
+    }
+    out += ")\n";
+  }
+  return out;
+}
+
+}  // namespace sdl::lang

@@ -1,0 +1,31 @@
+// SDL pretty-printer: renders process definitions and whole programs back
+// to concrete SDL source. The output re-parses to an equivalent program
+// (`parse(print(parse(src)))` is a fixpoint), which the round-trip tests
+// exploit and which makes traces/reports readable as the language itself.
+//
+// Caveat for C++-built definitions (cannot arise from parsed programs):
+// an atom constant spelled identically to a declared variable of the same
+// process would re-parse as that variable. The parser's naming rule makes
+// such programs inexpressible in source, so parsed programs always
+// round-trip.
+#pragma once
+
+#include <string>
+
+#include "lang/parser.hpp"
+
+namespace sdl::lang {
+
+/// Renders one process definition:
+///
+///   process Sort(id1, id2)
+///   import [id1, *, *, *], [id2, *, *, *]
+///   behavior
+///     ...
+///   end
+std::string print_process(const ProcessDef& def);
+
+/// Renders a full program: definitions, `init { ... }`, `spawn` lines.
+std::string print_program(const Program& program);
+
+}  // namespace sdl::lang

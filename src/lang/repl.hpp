@@ -1,0 +1,54 @@
+// An interactive SDL session: type transactions, watch the dataspace
+// change — the minimal version of the exploratory environment the paper's
+// §4 calls for ("design, analysis, understanding, and testing").
+//
+// Inputs are either SDL transactions, executed immediately against the
+// session's dataspace as the environment process:
+//
+//   sdl> -> [year, 87]
+//   committed
+//   sdl> exists a : [year, a]! when a > 80 -> let N = a, [found, a]
+//   committed  a = 87  N = 87  (+1 tuple, -1 tuple)
+//
+// or colon-commands: :load <file.sdl>, :run, :spawn Name(args...),
+// :dump, :stats, :timeline, :checkpoint, :help.
+//
+// ReplSession is a plain class (no terminal I/O) so tests can drive it;
+// examples/sdl_repl.cpp wraps it in a stdin loop.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "process/runtime.hpp"
+
+namespace sdl::lang {
+
+class ReplSession {
+ public:
+  explicit ReplSession(RuntimeOptions options = {});
+
+  /// Evaluates one input line (transaction or colon-command) and returns
+  /// the text to show the user. Never throws: errors come back as
+  /// "error: ..." strings.
+  std::string eval(const std::string& line);
+
+  /// True once :quit has been evaluated.
+  [[nodiscard]] bool done() const { return done_; }
+
+  [[nodiscard]] Runtime& runtime() { return runtime_; }
+
+ private:
+  std::string eval_command(const std::string& line);
+  std::string eval_transaction(const std::string& line);
+
+  Runtime runtime_;
+  /// The environment "process" state shared by all typed transactions:
+  /// lets persist across inputs, like a notebook.
+  SymbolTable symbols_;
+  Env env_;
+  std::set<std::string> scope_;
+  bool done_ = false;
+};
+
+}  // namespace sdl::lang

@@ -1,0 +1,59 @@
+// Linda baseline (S9).
+//
+// The paper positions SDL against Linda: "Linda provides processes with
+// very simple dataspace access primitives (read, assert, and retract one
+// tuple at a time)" (§1). This module implements those primitives —
+// out / in / rd (blocking) and inp / rdp (non-blocking) plus eval-style
+// process spawning — over the same dataspace and engines, so experiment
+// E12 can compare SDL's multi-tuple atomic transactions against idiomatic
+// one-tuple-at-a-time Linda compositions on identical substrates.
+#pragma once
+
+#include <optional>
+
+#include "txn/engine.hpp"
+
+namespace sdl {
+
+/// A Linda template: like a TuplePattern but restricted to constants and
+/// typed/untyped wildcards — Linda has no cross-tuple joins. Reuses
+/// TuplePattern for implementation; formal variables extract fields.
+///
+/// Template sharing: constant/wildcard/variable templates (the Linda
+/// repertoire) may be shared freely across threads. Templates embedding
+/// *variable-referencing expressions* are resolved per access and must
+/// not be shared concurrently — build such patterns per call site.
+class Linda {
+ public:
+  /// The Linda space borrows an engine (and its dataspace/waitset).
+  explicit Linda(Engine& engine) : engine_(engine) {}
+
+  /// out(t): asserts a tuple. Never blocks.
+  TupleId out(Tuple t, ProcessId owner = kEnvironmentProcess);
+
+  /// in(template): blocks until a matching tuple exists, retracts and
+  /// returns it.
+  Tuple in(const TuplePattern& pattern, ProcessId owner = kEnvironmentProcess);
+
+  /// rd(template): blocks until a matching tuple exists; returns a copy.
+  Tuple rd(const TuplePattern& pattern, ProcessId owner = kEnvironmentProcess);
+
+  /// inp(template): non-blocking in; nullopt when no match.
+  std::optional<Tuple> inp(const TuplePattern& pattern,
+                           ProcessId owner = kEnvironmentProcess);
+
+  /// rdp(template): non-blocking rd.
+  std::optional<Tuple> rdp(const TuplePattern& pattern,
+                           ProcessId owner = kEnvironmentProcess);
+
+  [[nodiscard]] Engine& engine() { return engine_; }
+  [[nodiscard]] Dataspace& space() { return engine_.space(); }
+
+ private:
+  std::optional<Tuple> access(const TuplePattern& pattern, bool remove,
+                              bool blocking, ProcessId owner);
+
+  Engine& engine_;
+};
+
+}  // namespace sdl

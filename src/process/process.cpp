@@ -1,0 +1,80 @@
+#include "process/process.hpp"
+
+#include <stdexcept>
+
+namespace sdl {
+
+void ProcessDef::finalize() {
+  if (finalized_) throw std::logic_error("ProcessDef '" + name + "' finalized twice");
+  param_slots_.reserve(params.size());
+  for (const std::string& p : params) param_slots_.push_back(symtab_.intern(p));
+  view.resolve(symtab_);
+  if (body) body->resolve(symtab_);
+  finalized_ = true;
+}
+
+Process::Process(ProcessId pid_, const ProcessDef& def_, std::vector<Value> args)
+    : pid(pid_), def(def_) {
+  if (!def.finalized()) {
+    throw std::logic_error("Process spawned from unfinalized def '" + def.name + "'");
+  }
+  if (args.size() != def.params.size()) {
+    throw std::invalid_argument("Process '" + def.name + "' expects " +
+                                std::to_string(def.params.size()) + " args, got " +
+                                std::to_string(args.size()));
+  }
+  env.resize(def.env_size());
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    env[static_cast<std::size_t>(def.param_slot(i))] = std::move(args[i]);
+  }
+  if (!def.view.import_all || !def.view.export_all) view.emplace(def.view);
+  compute_static_imports();
+  if (def.body) push_statement(*this, def.body.get());
+}
+
+void Process::compute_static_imports() {
+  if (!view.has_value() || view->imports_everything()) {
+    static_imports.everything = true;
+    return;
+  }
+  // key_spec is evaluated with the parameter-only environment (lets have
+  // not run yet) and no function registry: heads that cannot be pinned
+  // fall back to arity-wide coverage — conservative by construction.
+  for (const ViewEntry& entry : def.view.imports) {
+    const KeySpec spec = entry.pattern.key_spec(env, nullptr);
+    if (spec.kind == KeySpec::Kind::Exact) {
+      static_imports.keys.push_back(spec.key);
+    } else {
+      static_imports.arities.push_back(spec.arity);
+    }
+  }
+}
+
+Process::Process(ProcessId pid_, const Process& parent, ReplicationGroup* group_)
+    : pid(pid_), def(parent.def), env(parent.env), group(group_) {
+  if (!def.view.import_all || !def.view.export_all) view.emplace(def.view);
+  static_imports = parent.static_imports;
+  Frame f;
+  f.type = Frame::Type::Sweep;
+  f.stmt = group_->stmt;
+  frames.push_back(f);
+}
+
+std::string Process::label() const {
+  return def.name + "#" + std::to_string(pid);
+}
+
+void push_statement(Process& p, const Statement* s) {
+  Frame f;
+  f.stmt = s;
+  switch (s->kind) {
+    case Statement::Kind::Txn: f.type = Frame::Type::Txn; break;
+    case Statement::Kind::Sequence: f.type = Frame::Type::Seq; break;
+    case Statement::Kind::Selection: f.type = Frame::Type::Select; break;
+    case Statement::Kind::Repetition: f.type = Frame::Type::Repeat; break;
+    case Statement::Kind::Replication: f.type = Frame::Type::Replicate; break;
+  }
+  p.frames.push_back(f);
+}
+
+}  // namespace sdl

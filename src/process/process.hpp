@@ -1,0 +1,188 @@
+// Process definitions and process instances (§2.4).
+//
+// "SDL supports the definition of parameterized process types ... processes
+//  may be created dynamically ... Process termination occurs when the last
+//  statement is executed or upon execution of the abort action."
+//
+// A Process here is a *logical* process: its execution state is an explicit
+// frame stack interpreted by scheduler workers, so a parked process costs a
+// few hundred bytes, not an OS thread — this is what lets a society reach
+// the paper's "many thousands of concurrent processes" (experiment E11).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "process/statement.hpp"
+#include "txn/engine.hpp"
+
+namespace sdl {
+
+/// A parameterized process type. Build the body with the statement
+/// factories, then finalize() once; definitions are immutable afterwards
+/// and shared by all instances.
+class ProcessDef {
+ public:
+  std::string name;
+  std::vector<std::string> params;
+  ViewSpec view;
+  StmtPtr body;
+
+  /// Resolves the body and view against a fresh symbol table; params take
+  /// the first slots. Call exactly once, before registering with a Runtime.
+  void finalize();
+
+  [[nodiscard]] bool finalized() const { return finalized_; }
+  [[nodiscard]] const SymbolTable& symbols() const { return symtab_; }
+  [[nodiscard]] int param_slot(std::size_t i) const { return param_slots_[i]; }
+  [[nodiscard]] std::size_t env_size() const {
+    return static_cast<std::size_t>(symtab_.size());
+  }
+
+ private:
+  SymbolTable symtab_;
+  std::vector<int> param_slots_;
+  bool finalized_ = false;
+};
+
+/// Scheduling state of a logical process. Transitions are guarded by the
+/// process's own mutex (state_mutex_):
+///   Ready --(worker pops)--> Running
+///   Running --(blocks)-->    Parked        --(wake)--> Ready
+///   Parked --(consensus manager)--> Claimed --(fire)--> Ready
+///                                           --(revoke)--> Parked
+///   Running/any --(final statement or abort)--> Done
+enum class RunState { Ready, Running, Parked, Claimed, Done };
+
+/// Why a parked process is parked (diagnostics / deadlock reports).
+enum class ParkReason { None, DelayedTxn, Selection, Consensus, Replication };
+
+/// One consensus offer: a consensus-tagged transaction this process is
+/// ready to commit as part of an n-way consensus (§2.2). `branch` is the
+/// selection branch index it corresponds to (-1 for a standalone
+/// transaction statement).
+struct ConsensusOffer {
+  const Transaction* txn = nullptr;
+  int branch = -1;
+};
+
+/// Result delivered to a process by the consensus manager when its offer
+/// fired: which offer, and the committed transaction's matches.
+struct ConsensusResult {
+  int branch = -1;
+  TxnResult result;
+};
+
+/// A bucket-level over-approximation of a process's import set, frozen at
+/// spawn time (it depends only on parameters, which never change). The
+/// consensus manager uses it for processes that are currently runnable —
+/// their environments cannot be read safely, but the summary can, and an
+/// over-approximation only delays consensus, never fires it wrongly.
+struct ImportSummary {
+  bool everything = false;
+  std::vector<IndexKey> keys;
+  std::vector<std::uint32_t> arities;
+
+  /// Could a tuple in bucket `key` be in the import set?
+  [[nodiscard]] bool may_cover(const IndexKey& key) const {
+    if (everything) return true;
+    for (const IndexKey& k : keys) {
+      if (k == key) return true;
+    }
+    for (std::uint32_t a : arities) {
+      if (a == key.arity) return true;
+    }
+    return false;
+  }
+};
+
+class Process;
+
+/// Shared coordination state of one replication construct (§2.3). The
+/// parent parks; `width` replicant processes sweep the guards; the group
+/// is done when no guard is enabled and every replicant is parked (the
+/// last parker verifies under total exclusion).
+struct ReplicationGroup {
+  const Statement* stmt = nullptr;
+  ProcessId parent = 0;
+  int width = 0;
+  std::atomic<int> active{0};   // replicants not yet Done
+  std::atomic<int> parked{0};   // replicants parked in guard-sweep failure
+  std::atomic<bool> done{false};
+  std::atomic<bool> abort{false};
+  std::vector<ProcessId> members;  // fixed at creation; replicant pids
+};
+
+/// One interpreter frame.
+struct Frame {
+  enum class Type {
+    Seq,        // executing stmt->children, pc = next child
+    Txn,        // executing a single transaction statement
+    Select,     // selection: choosing a branch
+    Repeat,     // repetition: pc 0 = selecting, 1 = running branch body
+    BranchBody, // running the body of a chosen branch (stmt = body seq)
+    Replicate,  // parent side of a replication (parked until group done)
+    Sweep,      // replicant side: sweep guards of stmt (a Replication)
+  };
+  Type type = Type::Seq;
+  const Statement* stmt = nullptr;
+  std::size_t pc = 0;
+};
+
+/// A logical process instance. Owned by the Society; touched by scheduler
+/// workers (one at a time — the state machine guarantees single ownership
+/// while Running) and by the wake/consensus paths under state_mutex_.
+class Process {
+ public:
+  Process(ProcessId pid, const ProcessDef& def, std::vector<Value> args);
+
+  /// Replicant constructor: clones `parent`'s environment.
+  Process(ProcessId pid, const Process& parent, ReplicationGroup* group);
+
+  const ProcessId pid;
+  const ProcessDef& def;
+
+  // --- interpreter state: owned by the worker while Running ---
+  Env env;
+  std::vector<Frame> frames;
+  std::optional<View> view;           // engaged when def.view is non-trivial
+  ReplicationGroup* group = nullptr;  // non-null for replicants
+  std::shared_ptr<ReplicationGroup> owned_group;  // parent's group
+  WaitSet::Ticket ticket = WaitSet::kInvalidTicket;  // live subscription
+  std::uint64_t txns_committed = 0;
+  /// This replicant is counted in group->parked (exactly-once accounting;
+  /// set before parking, cleared when the scheduler resumes it).
+  bool counted_parked = false;
+  /// This process is counted in the scheduler's consensus-waiter gate.
+  bool counted_waiter = false;
+  /// Frozen bucket-level import over-approximation (see ImportSummary).
+  ImportSummary static_imports;
+
+  // --- scheduling state: guarded by state_mutex_ ---
+  std::mutex state_mutex;
+  RunState state = RunState::Ready;
+  bool pending_wake = false;
+  ParkReason park_reason = ParkReason::None;
+  std::vector<ConsensusOffer> offers;            // valid while Parked/Claimed
+  std::optional<ConsensusResult> consensus_result;
+
+  [[nodiscard]] const View* view_ptr() const {
+    return view.has_value() ? &*view : nullptr;
+  }
+
+  /// Human-readable "Name#pid" label.
+  [[nodiscard]] std::string label() const;
+
+ private:
+  void compute_static_imports();
+};
+
+/// Pushes onto `p.frames` the frame type appropriate to `s`'s kind.
+void push_statement(Process& p, const Statement* s);
+
+}  // namespace sdl

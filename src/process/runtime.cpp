@@ -1,0 +1,88 @@
+#include "process/runtime.hpp"
+
+namespace sdl {
+
+Runtime::Runtime(RuntimeOptions options)
+    : options_(options),
+      space_(options.shards),
+      waits_(options.wake_policy),
+      trace_(options.trace_capacity) {
+  trace_.set_enabled(options.tracing);
+  if (options_.engine == EngineKind::GlobalLock) {
+    engine_ = std::make_unique<GlobalLockEngine>(space_, waits_, &functions_);
+  } else {
+    engine_ = std::make_unique<ShardedEngine>(space_, waits_, &functions_);
+  }
+  scheduler_ = std::make_unique<Scheduler>(*engine_, options_.scheduler);
+  consensus_ = std::make_unique<ConsensusManager>(*engine_, *scheduler_);
+  scheduler_->set_consensus_manager(consensus_.get());
+  if (options_.tracing) scheduler_->set_trace(&trace_);
+}
+
+TupleId Runtime::seed(Tuple t) {
+  TupleId id;
+  const IndexKey key = IndexKey::of(t);
+  engine_->exclusive([&]() -> std::vector<IndexKey> {
+    id = space_.insert(std::move(t), kEnvironmentProcess);
+    return {key};
+  });
+  if (trace_.enabled()) trace_.record(TraceKind::SeedTuple, 0, "");
+  return id;
+}
+
+Runtime::Stats Runtime::stats() const {
+  Stats s;
+  s.tuples_resident = space_.size();
+  s.tuples_asserted = space_.stats().asserts;
+  s.tuples_retracted = space_.stats().retracts;
+  s.txn_attempts = engine_->stats().attempts.load();
+  s.txn_commits = engine_->stats().commits.load();
+  s.txn_failures = engine_->stats().failures.load();
+  s.wakes_delivered = waits_.wakes_delivered();
+  s.processes_spawned = scheduler_->total_spawned();
+  s.processes_completed = scheduler_->total_completed();
+  s.consensus_sweeps = consensus_->sweeps();
+  s.consensus_fires = consensus_->fires();
+  return s;
+}
+
+std::string Runtime::Stats::to_string() const {
+  std::string out;
+  out += "tuples:     " + std::to_string(tuples_resident) + " resident, " +
+         std::to_string(tuples_asserted) + " asserted, " +
+         std::to_string(tuples_retracted) + " retracted\n";
+  out += "txns:       " + std::to_string(txn_commits) + " committed / " +
+         std::to_string(txn_attempts) + " attempts (" +
+         std::to_string(txn_failures) + " failed)\n";
+  out += "wakeups:    " + std::to_string(wakes_delivered) + "\n";
+  out += "processes:  " + std::to_string(processes_completed) + " completed / " +
+         std::to_string(processes_spawned) + " spawned\n";
+  out += "consensus:  " + std::to_string(consensus_fires) + " fires, " +
+         std::to_string(consensus_sweeps) + " detection sweeps\n";
+  return out;
+}
+
+TxnResult Runtime::execute(const Transaction& txn, Env& env, ProcessId owner) {
+  TxnResult result = txn.type == TxnType::Delayed
+                         ? execute_blocking(*engine_, txn, env, owner)
+                         : engine_->execute(txn, env, owner);
+  if (!result.success) return result;
+  // Apply the local action list (lets, spawns) the way the scheduler does
+  // for society processes — the dataspace effects already committed.
+  const bool exists = txn.query.quantifier == Quantifier::Exists;
+  for (const QueryMatch& m : result.matches) {
+    const Env& base = exists ? env : m.binding;
+    for (const LetAction& let : txn.lets) {
+      env[static_cast<std::size_t>(let.slot)] = let.value->eval(base, &functions_);
+    }
+    for (const SpawnAction& s : txn.spawns) {
+      std::vector<Value> args;
+      args.reserve(s.args.size());
+      for (const ExprPtr& a : s.args) args.push_back(a->eval(base, &functions_));
+      scheduler_->spawn(s.process_type, std::move(args));
+    }
+  }
+  return result;
+}
+
+}  // namespace sdl

@@ -1,0 +1,105 @@
+// The SDL runtime: one object wiring together the dataspace, an engine,
+// the wait set, the scheduler, the consensus manager and tracing — the
+// "language implementation" the paper's §3.1 alludes to when it says the
+// replication style "requires a sophisticated language implementation".
+//
+// Typical host-program use:
+//
+//   Runtime rt;
+//   rt.define(sum3_def());               // process definitions (§2.4)
+//   rt.seed(tup(1, 10));                 // initial dataspace
+//   rt.seed(tup(2, 32));
+//   rt.spawn("Sum3", {});                // initial process society
+//   RunReport report = rt.run();         // drive to quiescence
+//   rt.space().snapshot();               // inspect results
+#pragma once
+
+#include <memory>
+
+#include "consensus/consensus.hpp"
+#include "process/scheduler.hpp"
+
+namespace sdl {
+
+enum class EngineKind { GlobalLock, Sharded };
+
+struct RuntimeOptions {
+  std::size_t shards = 64;
+  EngineKind engine = EngineKind::Sharded;
+  WaitSet::WakePolicy wake_policy = WaitSet::WakePolicy::Targeted;
+  SchedulerOptions scheduler;
+  bool tracing = false;
+  std::size_t trace_capacity = 65536;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(RuntimeOptions options = {});
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Host functions callable from guards and fields (register before
+  /// defining processes that use them).
+  [[nodiscard]] FunctionRegistry& functions() { return functions_; }
+
+  /// Registers a process definition; finalizes it if needed.
+  const ProcessDef& define(ProcessDef def) { return scheduler_->define(std::move(def)); }
+
+  /// Asserts a tuple as the environment (process id 0) — atomically, with
+  /// wakeups, so seeding may also happen between run() calls.
+  TupleId seed(Tuple t);
+
+  /// Creates a process; it runs at the next run().
+  ProcessId spawn(const std::string& def_name, std::vector<Value> args = {}) {
+    return scheduler_->spawn(def_name, std::move(args));
+  }
+
+  /// Drives the society to quiescence.
+  RunReport run() { return scheduler_->run(); }
+
+  /// Executes one transaction on behalf of the environment (blocking for
+  /// delayed transactions) — the host-program escape hatch.
+  TxnResult execute(const Transaction& txn, Env& env,
+                    ProcessId owner = kEnvironmentProcess);
+
+  /// One-struct summary of runtime counters — what an operator dashboard
+  /// (or the paper's envisioned environment) would display after a run.
+  struct Stats {
+    std::size_t tuples_resident = 0;
+    std::uint64_t tuples_asserted = 0;
+    std::uint64_t tuples_retracted = 0;
+    std::uint64_t txn_attempts = 0;
+    std::uint64_t txn_commits = 0;
+    std::uint64_t txn_failures = 0;
+    std::uint64_t wakes_delivered = 0;
+    std::uint64_t processes_spawned = 0;
+    std::uint64_t processes_completed = 0;
+    std::uint64_t consensus_sweeps = 0;
+    std::uint64_t consensus_fires = 0;
+
+    /// Multi-line human-readable rendering.
+    [[nodiscard]] std::string to_string() const;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] Dataspace& space() { return space_; }
+  [[nodiscard]] Engine& engine() { return *engine_; }
+  [[nodiscard]] WaitSet& waits() { return waits_; }
+  [[nodiscard]] Scheduler& scheduler() { return *scheduler_; }
+  [[nodiscard]] ConsensusManager& consensus() { return *consensus_; }
+  [[nodiscard]] TraceRecorder& trace() { return trace_; }
+  [[nodiscard]] const RuntimeOptions& options() const { return options_; }
+
+ private:
+  RuntimeOptions options_;
+  FunctionRegistry functions_;
+  Dataspace space_;
+  WaitSet waits_;
+  TraceRecorder trace_;
+  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::unique_ptr<ConsensusManager> consensus_;
+};
+
+}  // namespace sdl

@@ -1,0 +1,758 @@
+#include "process/scheduler.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "consensus/consensus.hpp"
+
+namespace sdl {
+
+namespace {
+
+const char* park_reason_name(ParkReason r) {
+  switch (r) {
+    case ParkReason::None: return "none";
+    case ParkReason::DelayedTxn: return "delayed-transaction";
+    case ParkReason::Selection: return "selection";
+    case ParkReason::Consensus: return "consensus";
+    case ParkReason::Replication: return "replication";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Scheduler::Scheduler(Engine& engine, SchedulerOptions opts)
+    : engine_(engine), options_(opts) {
+  if (options_.workers == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    options_.workers = hw >= 2 ? hw : 2;
+  }
+  if (options_.quantum == 0) options_.quantum = 1;
+  if (options_.replication_width == 0) {
+    options_.replication_width = options_.workers;
+  }
+}
+
+Scheduler::~Scheduler() {
+  {
+    std::scoped_lock lock(queue_mutex_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  workers_.clear();
+}
+
+const ProcessDef& Scheduler::define(ProcessDef def) {
+  if (!def.finalized()) def.finalize();
+  auto owned = std::make_unique<ProcessDef>(std::move(def));
+  // Copy the key: emplace may consume `owned` even when insertion fails
+  // (the node can be built before the duplicate is discovered).
+  const std::string name = owned->name;
+  std::scoped_lock lock(defs_mutex_);
+  auto [it, inserted] = defs_.emplace(name, std::move(owned));
+  if (!inserted) {
+    throw std::invalid_argument("Scheduler: duplicate process definition '" +
+                                name + "'");
+  }
+  return *it->second;
+}
+
+const ProcessDef* Scheduler::find_def(const std::string& name) const {
+  std::scoped_lock lock(defs_mutex_);
+  auto it = defs_.find(name);
+  return it == defs_.end() ? nullptr : it->second.get();
+}
+
+ProcessId Scheduler::spawn(const std::string& def_name, std::vector<Value> args) {
+  const ProcessDef* def = find_def(def_name);
+  if (def == nullptr) {
+    throw std::invalid_argument("Scheduler: unknown process type '" + def_name + "'");
+  }
+  ProcessId pid;
+  {
+    std::scoped_lock lock(society_mutex_);
+    pid = next_pid_++;
+    society_.emplace(pid, std::make_unique<Process>(pid, *def, std::move(args)));
+  }
+  spawned_.fetch_add(1, std::memory_order_relaxed);
+  if (trace_ != nullptr && trace_->enabled()) {
+    trace_->record(TraceKind::Spawn, pid, def_name);
+  }
+  enqueue_new(pid);
+  return pid;
+}
+
+ProcessId Scheduler::spawn_replicant(const Process& parent,
+                                     ReplicationGroup* group) {
+  ProcessId pid;
+  {
+    std::scoped_lock lock(society_mutex_);
+    pid = next_pid_++;
+    society_.emplace(pid, std::make_unique<Process>(pid, parent, group));
+  }
+  spawned_.fetch_add(1, std::memory_order_relaxed);
+  return pid;
+}
+
+void Scheduler::with_live(
+    const std::function<void(const std::vector<Process*>&)>& fn) {
+  std::scoped_lock lock(society_mutex_);
+  std::vector<Process*> live;
+  live.reserve(society_.size());
+  for (auto& [pid, p] : society_) live.push_back(p.get());
+  fn(live);
+}
+
+std::size_t Scheduler::live_count() const {
+  std::scoped_lock lock(society_mutex_);
+  return society_.size();
+}
+
+void Scheduler::enqueue_new(ProcessId pid) {
+  {
+    std::scoped_lock lock(queue_mutex_);
+    ready_.push_back(pid);
+    ++inflight_;
+  }
+  queue_cv_.notify_one();
+}
+
+void Scheduler::enqueue_ready(ProcessId pid) { enqueue_new(pid); }
+
+void Scheduler::requeue(ProcessId pid) {
+  {
+    std::scoped_lock lock(queue_mutex_);
+    ready_.push_back(pid);  // still counted in inflight_
+  }
+  queue_cv_.notify_one();
+}
+
+void Scheduler::wake(ProcessId pid) {
+  std::scoped_lock society_lock(society_mutex_);
+  auto it = society_.find(pid);
+  if (it == society_.end()) return;
+  Process& p = *it->second;
+  bool enqueue = false;
+  {
+    std::scoped_lock state_lock(p.state_mutex);
+    switch (p.state) {
+      case RunState::Parked:
+        p.state = RunState::Ready;
+        p.park_reason = ParkReason::None;
+        enqueue = true;
+        break;
+      case RunState::Running:
+      case RunState::Claimed:
+        p.pending_wake = true;
+        break;
+      case RunState::Ready:
+      case RunState::Done:
+        break;
+    }
+  }
+  if (enqueue) {
+    if (trace_ != nullptr && trace_->enabled()) {
+      trace_->record(TraceKind::Wake, pid, p.def.name);
+    }
+    enqueue_new(pid);
+  }
+}
+
+Process* Scheduler::begin_running(ProcessId pid) {
+  std::scoped_lock society_lock(society_mutex_);
+  auto it = society_.find(pid);
+  if (it == society_.end()) return nullptr;
+  Process& p = *it->second;
+  {
+    std::scoped_lock state_lock(p.state_mutex);
+    assert(p.state == RunState::Ready);
+    p.state = RunState::Running;
+    p.pending_wake = false;
+    p.park_reason = ParkReason::None;
+    if (p.counted_waiter) {
+      consensus_waiters_.fetch_sub(1, std::memory_order_relaxed);
+      p.counted_waiter = false;
+    }
+    p.offers.clear();
+  }
+  if (p.counted_parked && p.group != nullptr) {
+    p.group->parked.fetch_sub(1, std::memory_order_acq_rel);
+    p.counted_parked = false;
+  }
+  return &p;
+}
+
+bool Scheduler::finalize_park(Process& p, ParkReason reason) {
+  std::scoped_lock state_lock(p.state_mutex);
+  if (p.pending_wake) {
+    p.pending_wake = false;
+    p.state = RunState::Ready;
+    return false;  // caller requeues
+  }
+  p.state = RunState::Parked;
+  p.park_reason = reason;
+  if (!p.offers.empty()) {
+    consensus_waiters_.fetch_add(1, std::memory_order_relaxed);
+    p.counted_waiter = true;
+  }
+  return true;
+}
+
+void Scheduler::complete(Process& p) {
+  drop_subscription(p);
+  if (trace_ != nullptr && trace_->enabled()) {
+    trace_->record(TraceKind::Terminate, p.pid, p.def.name);
+  }
+  {
+    std::scoped_lock state_lock(p.state_mutex);
+    p.state = RunState::Done;
+    if (p.counted_waiter) {
+      consensus_waiters_.fetch_sub(1, std::memory_order_relaxed);
+      p.counted_waiter = false;
+    }
+  }
+  ReplicationGroup* group = p.group;
+  const ProcessId pid = p.pid;
+  if (p.counted_parked && group != nullptr) {
+    group->parked.fetch_sub(1, std::memory_order_acq_rel);
+    p.counted_parked = false;
+  }
+  ProcessId wake_parent = 0;
+  if (group != nullptr &&
+      group->active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    wake_parent = group->parent;
+  }
+  {
+    std::scoped_lock society_lock(society_mutex_);
+    society_.erase(pid);
+  }
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  if (wake_parent != 0) wake(wake_parent);
+  notify_consensus();  // membership changed
+}
+
+void Scheduler::notify_consensus() {
+  if (consensus_ != nullptr &&
+      consensus_waiters_.load(std::memory_order_relaxed) > 0) {
+    consensus_->notify();
+  }
+}
+
+void Scheduler::work_finished() {
+  bool idle;
+  {
+    std::scoped_lock lock(queue_mutex_);
+    --inflight_;
+    idle = inflight_ == 0;
+  }
+  if (idle) {
+    // A parked consensus set may be fireable now that nothing is running.
+    notify_consensus();
+    std::scoped_lock lock(queue_mutex_);
+    if (inflight_ == 0) idle_cv_.notify_all();
+  }
+}
+
+RunReport Scheduler::run() {
+  const std::uint64_t completed_before = completed_.load(std::memory_order_relaxed);
+  {
+    std::scoped_lock lock(queue_mutex_);
+    stop_ = false;
+    running_ = true;
+  }
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  {
+    std::unique_lock lock(queue_mutex_);
+    idle_cv_.wait(lock, [this] { return inflight_ == 0; });
+    stop_ = true;
+    running_ = false;
+  }
+  queue_cv_.notify_all();
+  workers_.clear();  // joins
+
+  RunReport report;
+  report.completed = static_cast<std::size_t>(
+      completed_.load(std::memory_order_relaxed) - completed_before);
+  {
+    std::scoped_lock lock(society_mutex_);
+    for (const auto& [pid, p] : society_) {
+      std::scoped_lock state_lock(p->state_mutex);
+      if (p->state == RunState::Parked) {
+        ++report.still_parked;
+        std::string entry =
+            p->label() + " (" + park_reason_name(p->park_reason) + ")";
+        // What is it stuck on? A parked process's top frame names the
+        // statement whose guard(s) cannot currently commit.
+        if (!p->frames.empty()) {
+          const Frame& f = p->frames.back();
+          switch (f.type) {
+            case Frame::Type::Txn:
+              entry += " waiting on: " + f.stmt->txn.to_string();
+              break;
+            case Frame::Type::Select:
+            case Frame::Type::Repeat:
+            case Frame::Type::Sweep:
+              for (const Branch& b : f.stmt->branches) {
+                if (b.guard.type != TxnType::Immediate ||
+                    f.type == Frame::Type::Sweep) {
+                  entry += "\n    guard: " + b.guard.to_string();
+                }
+              }
+              break;
+            default:
+              break;
+          }
+        }
+        report.parked.push_back(std::move(entry));
+      }
+    }
+  }
+  {
+    std::scoped_lock lock(errors_mutex_);
+    report.errors = errors_;
+    errors_.clear();
+  }
+  return report;
+}
+
+void Scheduler::worker_loop() {
+  for (;;) {
+    ProcessId pid;
+    {
+      std::unique_lock lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stop_ || !ready_.empty(); });
+      if (ready_.empty()) return;  // stop requested and no work
+      pid = ready_.front();
+      ready_.pop_front();
+    }
+
+    Process* p = begin_running(pid);
+    if (p == nullptr) {
+      work_finished();
+      continue;
+    }
+
+    StepOutcome outcome;
+    try {
+      outcome = run_process(*p);
+    } catch (const std::exception& e) {
+      {
+        std::scoped_lock lock(errors_mutex_);
+        errors_.push_back(p->label() + ": " + e.what());
+      }
+      p->frames.clear();
+      outcome = StepOutcome::Done;
+    }
+
+    switch (outcome) {
+      case StepOutcome::Continue:  // run_process never returns Continue
+      case StepOutcome::Yield:
+        {
+          std::scoped_lock state_lock(p->state_mutex);
+          p->state = RunState::Ready;
+        }
+        requeue(pid);
+        break;
+      case StepOutcome::Parked:
+        // park_reason was staged by the interpreter in p->park_reason?
+        // No: the interpreter passes it via pending_park_reason_. See
+        // run_process — it stores the reason in p->park_reason before
+        // returning; finalize_park re-checks pending wakes.
+        if (finalize_park(*p, p->park_reason)) {
+          if (trace_ != nullptr && trace_->enabled()) {
+            trace_->record(TraceKind::Park, pid, p->def.name);
+          }
+          notify_consensus();
+          work_finished();
+        } else {
+          requeue(pid);
+        }
+        break;
+      case StepOutcome::Done:
+        complete(*p);
+        work_finished();
+        break;
+    }
+  }
+}
+
+// ------------------------------------------------------------ interpreter
+
+Scheduler::StepOutcome Scheduler::run_process(Process& p) {
+  for (std::size_t steps = 0; steps < options_.quantum; ++steps) {
+    if (p.frames.empty()) return StepOutcome::Done;
+    if (p.group != nullptr && (p.group->done.load(std::memory_order_acquire) ||
+                               p.group->abort.load(std::memory_order_acquire))) {
+      p.frames.clear();
+      return StepOutcome::Done;
+    }
+
+    Frame& f = p.frames.back();
+    StepOutcome out = StepOutcome::Continue;
+    switch (f.type) {
+      case Frame::Type::Seq: {
+        if (f.pc >= f.stmt->children.size()) {
+          p.frames.pop_back();
+        } else {
+          const Statement* next = f.stmt->children[f.pc].get();
+          ++f.pc;
+          push_statement(p, next);
+        }
+        break;
+      }
+      case Frame::Type::Txn:
+        out = do_transaction(p, f.stmt->txn);
+        break;
+      case Frame::Type::Select:
+        out = do_selection(p, f);
+        break;
+      case Frame::Type::Repeat:
+        if (f.pc == 1) {
+          f.pc = 0;  // branch body finished; reselect
+        } else {
+          out = do_selection(p, f);
+        }
+        break;
+      case Frame::Type::BranchBody:
+        // BranchBody frames are plain sequence frames in practice; this
+        // type exists for diagnostics only.
+        p.frames.pop_back();
+        break;
+      case Frame::Type::Replicate:
+        out = do_replicate_parent(p, f);
+        break;
+      case Frame::Type::Sweep:
+        out = do_sweep(p, f);
+        break;
+    }
+    if (out != StepOutcome::Continue) return out;
+  }
+  return StepOutcome::Yield;
+}
+
+TxnResult Scheduler::execute_engine(Process& p, const Transaction& txn) {
+  TxnResult r = engine_.execute(txn, p.env, p.pid, p.view_ptr());
+  if (r.success) {
+    ++p.txns_committed;
+    if (trace_ != nullptr && trace_->enabled()) {
+      trace_->record(TraceKind::Commit, p.pid, txn.to_string());
+    }
+  }
+  return r;
+}
+
+void Scheduler::ensure_subscription(Process& p, WaitSet::Interest interest) {
+  if (p.ticket != WaitSet::kInvalidTicket) return;
+  const ProcessId pid = p.pid;
+  p.ticket = engine_.waits().subscribe(std::move(interest),
+                                       [this, pid] { wake(pid); });
+}
+
+void Scheduler::drop_subscription(Process& p) {
+  if (p.ticket == WaitSet::kInvalidTicket) return;
+  engine_.waits().unsubscribe(p.ticket);
+  p.ticket = WaitSet::kInvalidTicket;
+}
+
+ControlAction Scheduler::apply_actions(Process& p, const Transaction& txn,
+                                       const TxnResult& result) {
+  const bool exists = txn.query.quantifier == Quantifier::Exists;
+  for (const QueryMatch& m : result.matches) {
+    const Env& base = exists ? p.env : m.binding;
+    for (const LetAction& let : txn.lets) {
+      p.env[static_cast<std::size_t>(let.slot)] =
+          let.value->eval(base, engine_.functions());
+    }
+    for (const SpawnAction& s : txn.spawns) {
+      std::vector<Value> args;
+      args.reserve(s.args.size());
+      for (const ExprPtr& a : s.args) args.push_back(a->eval(base, engine_.functions()));
+      spawn(s.process_type, std::move(args));
+    }
+  }
+  return txn.control;
+}
+
+Scheduler::StepOutcome Scheduler::handle_exit(Process& p) {
+  while (!p.frames.empty()) {
+    if (p.frames.back().type == Frame::Type::Sweep) {
+      // `exit` inside a replicated sequence terminates the replication
+      // construct (the analogue of "terminates ... the repetition", §2.3).
+      ReplicationGroup* g = p.group;
+      g->done.store(true, std::memory_order_release);
+      wake_group(*g, p.pid);
+      p.frames.clear();
+      return StepOutcome::Done;
+    }
+    const Frame::Type t = p.frames.back().type;
+    p.frames.pop_back();
+    if (t == Frame::Type::Repeat) return StepOutcome::Continue;
+  }
+  return StepOutcome::Done;
+}
+
+Scheduler::StepOutcome Scheduler::handle_abort(Process& p) {
+  if (p.group != nullptr) {
+    p.group->abort.store(true, std::memory_order_release);
+    p.group->done.store(true, std::memory_order_release);
+    wake_group(*p.group, p.pid);
+  }
+  p.frames.clear();
+  return StepOutcome::Done;
+}
+
+Scheduler::StepOutcome Scheduler::do_transaction(Process& p,
+                                                 const Transaction& txn) {
+  switch (txn.type) {
+    case TxnType::Immediate: {
+      const TxnResult r = execute_engine(p, txn);
+      p.frames.pop_back();
+      if (r.success) {
+        const ControlAction c = apply_actions(p, txn, r);
+        if (c == ControlAction::Exit) return handle_exit(p);
+        if (c == ControlAction::Abort) return handle_abort(p);
+      }
+      // Failure of a standalone immediate transaction acts as skip.
+      return StepOutcome::Continue;
+    }
+    case TxnType::Delayed: {
+      ensure_subscription(p, engine_.interest_of(txn, p.env));
+      const TxnResult r = execute_engine(p, txn);
+      if (!r.success) {
+        p.park_reason = ParkReason::DelayedTxn;
+        return StepOutcome::Parked;
+      }
+      drop_subscription(p);
+      p.frames.pop_back();
+      const ControlAction c = apply_actions(p, txn, r);
+      if (c == ControlAction::Exit) return handle_exit(p);
+      if (c == ControlAction::Abort) return handle_abort(p);
+      return StepOutcome::Continue;
+    }
+    case TxnType::Consensus: {
+      if (p.consensus_result.has_value()) {
+        const ConsensusResult res = std::move(*p.consensus_result);
+        p.consensus_result.reset();
+        drop_subscription(p);
+        p.frames.pop_back();
+        const ControlAction c = apply_actions(p, txn, res.result);
+        if (c == ControlAction::Exit) return handle_exit(p);
+        if (c == ControlAction::Abort) return handle_abort(p);
+        return StepOutcome::Continue;
+      }
+      ensure_subscription(p, engine_.interest_of(txn, p.env));
+      p.offers = {ConsensusOffer{&txn, -1}};
+      p.park_reason = ParkReason::Consensus;
+      return StepOutcome::Parked;
+    }
+  }
+  return StepOutcome::Continue;
+}
+
+Scheduler::StepOutcome Scheduler::do_selection(Process& p, Frame& f) {
+  const std::vector<Branch>& branches = f.stmt->branches;
+  const bool is_repeat = f.type == Frame::Type::Repeat;
+
+  // Commit a chosen branch: apply guard actions, then run its body.
+  auto choose = [&](std::size_t idx, const TxnResult& r) -> StepOutcome {
+    drop_subscription(p);
+    p.offers.clear();
+    const Branch& br = branches[idx];
+    const ControlAction c = apply_actions(p, br.guard, r);
+    if (c == ControlAction::Exit) return handle_exit(p);
+    if (c == ControlAction::Abort) return handle_abort(p);
+    if (is_repeat) {
+      f.pc = 1;  // reselect when the body finishes
+      if (br.body) {
+        push_statement(p, br.body.get());
+      } else {
+        f.pc = 0;  // guard-only branch: reselect immediately
+      }
+    } else {
+      p.frames.pop_back();
+      if (br.body) push_statement(p, br.body.get());
+    }
+    return StepOutcome::Continue;
+  };
+
+  // 1. A consensus fired for one of our offers while parked here.
+  if (p.consensus_result.has_value()) {
+    const ConsensusResult res = std::move(*p.consensus_result);
+    p.consensus_result.reset();
+    return choose(static_cast<std::size_t>(res.branch), res.result);
+  }
+
+  // 2. Subscribe before attempting if any guard can block — the wakeup
+  //    discipline requires subscription before evaluation.
+  bool has_blocking = false;
+  for (const Branch& b : branches) {
+    if (b.guard.type != TxnType::Immediate) {
+      has_blocking = true;
+      break;
+    }
+  }
+  if (has_blocking && p.ticket == WaitSet::kInvalidTicket) {
+    WaitSet::Interest interest;
+    for (const Branch& b : branches) {
+      WaitSet::Interest one = engine_.interest_of(b.guard, p.env);
+      interest.keys.insert(interest.keys.end(), one.keys.begin(), one.keys.end());
+      interest.arities.insert(interest.arities.end(), one.arities.begin(),
+                              one.arities.end());
+    }
+    ensure_subscription(p, std::move(interest));
+  }
+
+  // 3. Try every non-consensus guard once, in order.
+  for (std::size_t i = 0; i < branches.size(); ++i) {
+    if (branches[i].guard.type == TxnType::Consensus) continue;
+    const TxnResult r = execute_engine(p, branches[i].guard);
+    if (r.success) return choose(i, r);
+  }
+
+  // 4. Nothing committed. Fail (skip / end repetition) or park.
+  if (!has_blocking) {
+    drop_subscription(p);
+    p.frames.pop_back();  // Select: skip. Repeat: loop terminates.
+    return StepOutcome::Continue;
+  }
+  p.offers.clear();
+  for (std::size_t i = 0; i < branches.size(); ++i) {
+    if (branches[i].guard.type == TxnType::Consensus) {
+      p.offers.push_back(ConsensusOffer{&branches[i].guard, static_cast<int>(i)});
+    }
+  }
+  p.park_reason =
+      p.offers.empty() ? ParkReason::Selection : ParkReason::Consensus;
+  return StepOutcome::Parked;
+}
+
+Scheduler::StepOutcome Scheduler::do_replicate_parent(Process& p, Frame& f) {
+  if (f.pc == 0) {
+    if (f.stmt->branches.empty()) {
+      p.frames.pop_back();
+      return StepOutcome::Continue;
+    }
+    auto group = std::make_shared<ReplicationGroup>();
+    group->stmt = f.stmt;
+    group->parent = p.pid;
+    group->width = static_cast<int>(options_.replication_width);
+    group->active.store(group->width, std::memory_order_relaxed);
+    p.owned_group = group;
+    f.pc = 1;
+    std::vector<ProcessId> members;
+    members.reserve(static_cast<std::size_t>(group->width));
+    for (int i = 0; i < group->width; ++i) {
+      members.push_back(spawn_replicant(p, group.get()));
+    }
+    group->members = members;  // fixed before any replicant runs? see below
+    // Replicants were inserted into the society but not yet queued; queue
+    // them only after `members` is final so wake_group sees all pids.
+    for (ProcessId pid : members) enqueue_new(pid);
+    p.park_reason = ParkReason::Replication;
+    return StepOutcome::Parked;
+  }
+  // Resumed: the group must be done (wakes only come from the last
+  // replicant); tolerate spurious wakes by re-parking.
+  auto group = p.owned_group;
+  if (!group || !group->done.load(std::memory_order_acquire)) {
+    p.park_reason = ParkReason::Replication;
+    return StepOutcome::Parked;
+  }
+  const bool aborted = group->abort.load(std::memory_order_acquire);
+  p.owned_group.reset();
+  p.frames.pop_back();
+  if (aborted) return handle_abort(p);
+  return StepOutcome::Continue;
+}
+
+int Scheduler::try_guards(Process& p, const std::vector<Branch>& branches,
+                          TxnResult& result) {
+  for (std::size_t i = 0; i < branches.size(); ++i) {
+    // Inside replication every guard is attempted eagerly; the construct
+    // itself provides the retry-until-enabled behavior, so the '=>' tag
+    // adds nothing and consensus guards are not meaningful here (§2.3's
+    // examples use '->' guards).
+    result = execute_engine(p, branches[i].guard);
+    if (result.success) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Scheduler::StepOutcome Scheduler::do_sweep(Process& p, Frame& f) {
+  ReplicationGroup* group = p.group;
+  const std::vector<Branch>& branches = f.stmt->branches;
+
+  {
+    WaitSet::Interest interest;
+    for (const Branch& b : branches) {
+      WaitSet::Interest one = engine_.interest_of(b.guard, p.env);
+      interest.keys.insert(interest.keys.end(), one.keys.begin(), one.keys.end());
+      interest.arities.insert(interest.arities.end(), one.arities.begin(),
+                              one.arities.end());
+    }
+    ensure_subscription(p, std::move(interest));
+  }
+
+  TxnResult r;
+  const int idx = try_guards(p, branches, r);
+  if (idx >= 0) {
+    const Branch& br = branches[static_cast<std::size_t>(idx)];
+    const ControlAction c = apply_actions(p, br.guard, r);
+    if (c == ControlAction::Exit) return handle_exit(p);
+    if (c == ControlAction::Abort) return handle_abort(p);
+    if (br.body) push_statement(p, br.body.get());
+    return StepOutcome::Continue;
+  }
+
+  // Every guard failed. Count ourselves parked; the last parker verifies
+  // global disablement under total exclusion before declaring the
+  // construct finished.
+  p.counted_parked = true;
+  const int parked_now = group->parked.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (parked_now == group->width) {
+    bool enabled = false;
+    engine_.exclusive([&]() -> std::vector<IndexKey> {
+      for (const Branch& b : branches) {
+        QueryOutcome probe;
+        if (p.view_ptr() != nullptr && !p.view_ptr()->imports_everything()) {
+          const WindowSource window(engine_.space(), *p.view_ptr(), p.env,
+                                    engine_.functions());
+          probe = b.guard.query.evaluate(window, p.env, engine_.functions());
+        } else {
+          const DataspaceSource source(engine_.space());
+          probe = b.guard.query.evaluate(source, p.env, engine_.functions());
+        }
+        if (probe.success) {
+          enabled = true;
+          break;
+        }
+      }
+      return {};
+    });
+    if (enabled) {
+      group->parked.fetch_sub(1, std::memory_order_acq_rel);
+      p.counted_parked = false;
+      return StepOutcome::Continue;  // retry the sweep with effects
+    }
+    group->done.store(true, std::memory_order_release);
+    group->parked.fetch_sub(1, std::memory_order_acq_rel);
+    p.counted_parked = false;
+    wake_group(*group, p.pid);
+    p.frames.clear();
+    return StepOutcome::Done;
+  }
+  p.park_reason = ParkReason::Replication;
+  return StepOutcome::Parked;
+}
+
+void Scheduler::wake_group(ReplicationGroup& group, ProcessId except) {
+  for (ProcessId pid : group.members) {
+    if (pid != except) wake(pid);
+  }
+}
+
+}  // namespace sdl

@@ -1,0 +1,171 @@
+// The process-society scheduler: multiplexes logical SDL processes onto a
+// fixed pool of worker threads and interprets their statement trees.
+//
+// Core mechanics:
+//  * Each process is driven until it blocks, terminates, or exhausts its
+//    step quantum (fairness).
+//  * Delayed transactions subscribe to their read set before evaluating
+//    (no lost wakeups), then park; commits wake exactly the interested
+//    parked processes (WaitSet policy permitting).
+//  * Consensus transactions park with registered offers; the
+//    ConsensusManager claims, evaluates and commits entire consensus sets
+//    (src/consensus).
+//  * Replication spawns `replication_width` replicant tasks that sweep the
+//    guards concurrently; the last replicant to fail every guard verifies
+//    termination under total exclusion.
+//
+// Lock hierarchy (outer to inner): engine locks > society_mutex_ >
+// Process::state_mutex > queue_mutex_. Wake callbacks from WaitSet run
+// after the engine releases its locks.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "process/process.hpp"
+#include "trace/trace.hpp"
+
+namespace sdl {
+
+class ConsensusManager;
+
+struct SchedulerOptions {
+  /// Worker threads. 0 = hardware_concurrency (min 2).
+  std::size_t workers = 0;
+  /// Transactions a process may run before yielding the worker.
+  std::size_t quantum = 32;
+  /// Replicant tasks per replication construct. 0 = worker count.
+  std::size_t replication_width = 0;
+};
+
+/// What run() reports when the society goes quiescent.
+struct RunReport {
+  std::size_t completed = 0;       // processes terminated during this run
+  std::size_t still_parked = 0;    // processes left blocked (deadlock?)
+  std::vector<std::string> parked; // their labels + park reasons
+  std::vector<std::string> errors; // processes killed by exceptions
+  [[nodiscard]] bool deadlocked() const { return still_parked > 0; }
+  [[nodiscard]] bool clean() const { return still_parked == 0 && errors.empty(); }
+};
+
+class Scheduler {
+ public:
+  Scheduler(Engine& engine, SchedulerOptions opts);
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  void set_consensus_manager(ConsensusManager* mgr) { consensus_ = mgr; }
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
+  /// Registers a process definition (takes ownership; finalizes if the
+  /// caller has not).
+  const ProcessDef& define(ProcessDef def);
+  [[nodiscard]] const ProcessDef* find_def(const std::string& name) const;
+
+  /// Creates a process instance in Ready state. Thread-safe; may be called
+  /// from action lists (dynamic creation, §2.4) or the host program.
+  ProcessId spawn(const std::string& def_name, std::vector<Value> args);
+
+  /// Runs until the society is quiescent: every process terminated or
+  /// irrecoverably parked. Starts workers on entry, stops them on exit.
+  RunReport run();
+
+  /// Wake a parked process (used by WaitSet subscriptions and the
+  /// consensus manager; harmless for non-parked pids).
+  void wake(ProcessId pid);
+
+  /// Executes `fn` with the society locked; `live` spans every process
+  /// not yet erased. Used by the consensus manager inside the engine's
+  /// exclusive section.
+  void with_live(const std::function<void(const std::vector<Process*>&)>& fn);
+
+  /// Queue a process already marked Ready (consensus manager resume path).
+  void enqueue_ready(ProcessId pid);
+
+  [[nodiscard]] Engine& engine() { return engine_; }
+  [[nodiscard]] std::size_t worker_count() const { return options_.workers; }
+  [[nodiscard]] std::size_t live_count() const;
+  [[nodiscard]] std::uint64_t total_spawned() const {
+    return spawned_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total_completed() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+  /// Parked-with-consensus-offers count (the manager's trigger gate).
+  [[nodiscard]] int consensus_waiters() const {
+    return consensus_waiters_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  enum class StepOutcome { Continue, Yield, Parked, Done };
+
+  // --- interpretation (worker-thread context, process owned) ---
+  StepOutcome run_process(Process& p);
+  StepOutcome do_transaction(Process& p, const Transaction& txn);
+  StepOutcome do_selection(Process& p, Frame& f);
+  StepOutcome do_replicate_parent(Process& p, Frame& f);
+  StepOutcome do_sweep(Process& p, Frame& f);
+  /// Applies lets/spawns; returns the control action.
+  ControlAction apply_actions(Process& p, const Transaction& txn,
+                              const TxnResult& result);
+  /// Unwinds frames for `exit`; returns Done if the stack emptied.
+  StepOutcome handle_exit(Process& p);
+  StepOutcome handle_abort(Process& p);
+  void ensure_subscription(Process& p, WaitSet::Interest interest);
+  void drop_subscription(Process& p);
+  TxnResult execute_engine(Process& p, const Transaction& txn);
+  /// Guard sweep shared by Sweep frames: attempts every non-consensus
+  /// guard once; returns the branch index or -1.
+  int try_guards(Process& p, const std::vector<Branch>& branches,
+                 TxnResult& result);
+
+  // --- scheduling plumbing ---
+  void worker_loop();
+  Process* begin_running(ProcessId pid);
+  /// Returns false when a pending wake converted the park into Ready (the
+  /// caller then requeues instead).
+  bool finalize_park(Process& p, ParkReason reason);
+  void complete(Process& p);
+  void requeue(ProcessId pid);
+  void enqueue_new(ProcessId pid);
+  void work_finished();  // decrement inflight, maybe declare quiescence
+  void notify_consensus();
+  void wake_group(ReplicationGroup& group, ProcessId except);
+  ProcessId spawn_replicant(const Process& parent, ReplicationGroup* group);
+
+  Engine& engine_;
+  SchedulerOptions options_;
+  ConsensusManager* consensus_ = nullptr;
+  TraceRecorder* trace_ = nullptr;
+
+  mutable std::mutex defs_mutex_;  // guards defs_
+  std::unordered_map<std::string, std::unique_ptr<ProcessDef>> defs_;
+
+  mutable std::mutex society_mutex_;  // guards society_ and next_pid_
+  std::unordered_map<ProcessId, std::unique_ptr<Process>> society_;
+  ProcessId next_pid_ = 1;
+
+  std::mutex queue_mutex_;  // guards ready_, inflight_, stop_, running_
+  std::condition_variable queue_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<ProcessId> ready_;
+  std::size_t inflight_ = 0;  // queued + being handled by a worker
+  bool stop_ = false;
+  bool running_ = false;  // run() in progress
+
+  std::vector<std::jthread> workers_;
+  std::mutex errors_mutex_;  // guards errors_
+  std::vector<std::string> errors_;
+  std::atomic<std::uint64_t> spawned_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<int> consensus_waiters_{0};
+};
+
+}  // namespace sdl

@@ -1,0 +1,100 @@
+#include "process/statement.hpp"
+
+namespace sdl {
+
+void Statement::resolve(SymbolTable& symtab) {
+  switch (kind) {
+    case Kind::Txn:
+      txn.resolve(symtab);
+      break;
+    case Kind::Sequence:
+      for (const StmtPtr& c : children) c->resolve(symtab);
+      break;
+    case Kind::Selection:
+    case Kind::Repetition:
+    case Kind::Replication:
+      for (Branch& b : branches) {
+        b.guard.resolve(symtab);
+        if (b.body) b.body->resolve(symtab);
+      }
+      break;
+  }
+}
+
+// Grammar-exact rendering: the output of a Sequence joins statements with
+// ';' exactly as the parser requires, so printed statements re-parse.
+std::string Statement::to_string(int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  switch (kind) {
+    case Kind::Txn:
+      return pad + txn.to_string();
+    case Kind::Sequence: {
+      std::string out;
+      for (std::size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += ";\n";
+        out += children[i]->to_string(indent);
+      }
+      return out;
+    }
+    case Kind::Selection:
+    case Kind::Repetition:
+    case Kind::Replication: {
+      const char* open = kind == Kind::Selection    ? "{"
+                         : kind == Kind::Repetition ? "*{"
+                                                    : "||{";
+      std::string out = pad + open + "\n";
+      for (std::size_t i = 0; i < branches.size(); ++i) {
+        if (i > 0) out += "\n" + pad + "|\n";
+        out += pad + "  " + branches[i].guard.to_string();
+        if (branches[i].body) {
+          out += ";\n" + branches[i].body->to_string(indent + 1);
+        }
+      }
+      out += "\n" + pad + "}";
+      return out;
+    }
+  }
+  return "";
+}
+
+StmtPtr stmt(Transaction txn) {
+  auto s = std::make_shared<Statement>();
+  s->kind = Statement::Kind::Txn;
+  s->txn = std::move(txn);
+  return s;
+}
+
+StmtPtr seq(std::vector<StmtPtr> children) {
+  auto s = std::make_shared<Statement>();
+  s->kind = Statement::Kind::Sequence;
+  s->children = std::move(children);
+  return s;
+}
+
+namespace {
+StmtPtr branching(Statement::Kind kind, std::vector<Branch> branches) {
+  auto s = std::make_shared<Statement>();
+  s->kind = kind;
+  s->branches = std::move(branches);
+  return s;
+}
+}  // namespace
+
+StmtPtr select(std::vector<Branch> branches) {
+  return branching(Statement::Kind::Selection, std::move(branches));
+}
+StmtPtr repeat(std::vector<Branch> branches) {
+  return branching(Statement::Kind::Repetition, std::move(branches));
+}
+StmtPtr replicate(std::vector<Branch> branches) {
+  return branching(Statement::Kind::Replication, std::move(branches));
+}
+
+Branch branch(Transaction guard, std::vector<StmtPtr> rest) {
+  Branch b;
+  b.guard = std::move(guard);
+  if (!rest.empty()) b.body = seq(std::move(rest));
+  return b;
+}
+
+}  // namespace sdl

@@ -1,0 +1,63 @@
+// Flow-of-control constructs (§2.3): sequence, selection, repetition, and
+// replication, over transactions.
+//
+//  * sequence    — statements execute one after another
+//  * selection   — guarded sequences; at most one guard commits; fails
+//                  (acts as skip) when no guard can succeed and none blocks
+//  * repetition  — selection restarted after each completed branch; ends
+//                  when the selection fails or a transaction issues `exit`
+//  * replication — guarded sequences executed by an unbounded (in practice
+//                  scheduler-bounded) number of concurrent copies; ends
+//                  when no guard is enabled and all copies have finished
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "txn/transaction.hpp"
+
+namespace sdl {
+
+class Statement;
+/// Statement trees are immutable after resolve(); shared between all
+/// instances of a process definition.
+using StmtPtr = std::shared_ptr<Statement>;
+
+/// One guarded sequence: a guarding transaction and the remainder of the
+/// sequence (may be null for a guard-only branch, like Sum3's combining
+/// transaction).
+struct Branch {
+  Transaction guard;
+  StmtPtr body;
+};
+
+class Statement {
+ public:
+  enum class Kind { Txn, Sequence, Selection, Repetition, Replication };
+
+  Kind kind = Kind::Sequence;
+  Transaction txn;               // Kind::Txn
+  std::vector<StmtPtr> children; // Kind::Sequence
+  std::vector<Branch> branches;  // Selection / Repetition / Replication
+
+  /// Resolves every transaction in the tree. Call exactly once.
+  void resolve(SymbolTable& symtab);
+
+  [[nodiscard]] std::string to_string(int indent = 0) const;
+};
+
+/// A single transaction statement.
+StmtPtr stmt(Transaction txn);
+/// Statements in order.
+StmtPtr seq(std::vector<StmtPtr> children);
+/// One-shot guarded selection: { g1 -> s1 | g2 -> s2 | ... }.
+StmtPtr select(std::vector<Branch> branches);
+/// Repetition: *{ ... } restarted until no guard fires or exit.
+StmtPtr repeat(std::vector<Branch> branches);
+/// Replication: ||{ ... } — concurrent copies (§2.3's '≈').
+StmtPtr replicate(std::vector<Branch> branches);
+
+/// Convenience: a branch from a guard transaction and trailing statements.
+Branch branch(Transaction guard, std::vector<StmtPtr> rest = {});
+
+}  // namespace sdl

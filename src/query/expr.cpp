@@ -1,0 +1,237 @@
+#include "query/expr.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sdl {
+
+void FunctionRegistry::register_function(const std::string& name, Fn fn) {
+  fns_[name] = std::move(fn);
+}
+
+const FunctionRegistry::Fn* FunctionRegistry::lookup(const std::string& name) const {
+  auto it = fns_.find(name);
+  return it == fns_.end() ? nullptr : &it->second;
+}
+
+int SymbolTable::intern(const std::string& name) {
+  if (auto it = index_.find(name); it != index_.end()) return it->second;
+  const int slot = static_cast<int>(names_.size());
+  names_.push_back(name);
+  index_.emplace(name, slot);
+  return slot;
+}
+
+std::optional<int> SymbolTable::lookup(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Expr::resolve(SymbolTable& symtab) {
+  if (op_ == Op::Var) {
+    slot_ = symtab.intern(name_);
+  }
+  for (const ExprPtr& c : children_) c->resolve(symtab);
+}
+
+namespace {
+
+Value arith(Expr::Op op, const Value& a, const Value& b) {
+  const bool both_int = a.is_int() && b.is_int();
+  switch (op) {
+    case Expr::Op::Add:
+      if (both_int) return a.as_int() + b.as_int();
+      return a.as_number() + b.as_number();
+    case Expr::Op::Sub:
+      if (both_int) return a.as_int() - b.as_int();
+      return a.as_number() - b.as_number();
+    case Expr::Op::Mul:
+      if (both_int) return a.as_int() * b.as_int();
+      return a.as_number() * b.as_number();
+    case Expr::Op::Div:
+      if (both_int) {
+        if (b.as_int() == 0) throw std::invalid_argument("sdl: division by zero");
+        return a.as_int() / b.as_int();
+      }
+      return a.as_number() / b.as_number();
+    case Expr::Op::Mod: {
+      if (!both_int) throw std::invalid_argument("sdl: mod requires integers");
+      if (b.as_int() == 0) throw std::invalid_argument("sdl: mod by zero");
+      return a.as_int() % b.as_int();
+    }
+    case Expr::Op::Pow: {
+      if (both_int && b.as_int() >= 0) {
+        std::int64_t r = 1;
+        std::int64_t base = a.as_int();
+        for (std::int64_t i = 0; i < b.as_int(); ++i) r *= base;
+        return r;
+      }
+      return std::pow(a.as_number(), b.as_number());
+    }
+    default:
+      throw std::logic_error("sdl: arith on non-arithmetic op");
+  }
+}
+
+bool compare(Expr::Op op, const Value& a, const Value& b) {
+  // Equality is structural except Int/Double, which compare numerically so
+  // that "a = 3" matches a field asserted as 3.0 and vice versa.
+  if (op == Expr::Op::Eq || op == Expr::Op::Ne) {
+    bool equal;
+    if (a.is_number() && b.is_number()) {
+      equal = a.as_number() == b.as_number();
+    } else {
+      equal = a == b;
+    }
+    return op == Expr::Op::Eq ? equal : !equal;
+  }
+  const int c = Value::numeric_compare(a, b);
+  switch (op) {
+    case Expr::Op::Lt: return c < 0;
+    case Expr::Op::Le: return c <= 0;
+    case Expr::Op::Gt: return c > 0;
+    case Expr::Op::Ge: return c >= 0;
+    default:
+      throw std::logic_error("sdl: compare on non-comparison op");
+  }
+}
+
+}  // namespace
+
+Value Expr::eval(const Env& env, const FunctionRegistry* fns) const {
+  switch (op_) {
+    case Op::Const:
+      return value_;
+    case Op::Var: {
+      if (slot_ < 0 || slot_ >= static_cast<int>(env.size())) {
+        throw std::invalid_argument("sdl: unresolved variable '" + name_ + "'");
+      }
+      const Value& v = env[static_cast<std::size_t>(slot_)];
+      if (v.is_nil()) {
+        throw std::invalid_argument("sdl: read of unbound variable '" + name_ + "'");
+      }
+      return v;
+    }
+    case Op::Neg: {
+      const Value v = children_[0]->eval(env, fns);
+      if (v.is_int()) return -v.as_int();
+      return -v.as_number();
+    }
+    case Op::Not:
+      return !children_[0]->eval(env, fns).truthy();
+    case Op::And:
+      if (!children_[0]->eval(env, fns).truthy()) return false;
+      return children_[1]->eval(env, fns).truthy();
+    case Op::Or:
+      if (children_[0]->eval(env, fns).truthy()) return true;
+      return children_[1]->eval(env, fns).truthy();
+    case Op::Add: case Op::Sub: case Op::Mul: case Op::Div:
+    case Op::Mod: case Op::Pow:
+      return arith(op_, children_[0]->eval(env, fns), children_[1]->eval(env, fns));
+    case Op::Eq: case Op::Ne: case Op::Lt: case Op::Le:
+    case Op::Gt: case Op::Ge:
+      return compare(op_, children_[0]->eval(env, fns), children_[1]->eval(env, fns));
+    case Op::Call: {
+      if (fns == nullptr) {
+        throw std::invalid_argument("sdl: no function registry for call to '" +
+                                    name_ + "'");
+      }
+      const FunctionRegistry::Fn* fn = fns->lookup(name_);
+      if (fn == nullptr) {
+        throw std::invalid_argument("sdl: unknown function '" + name_ + "'");
+      }
+      std::vector<Value> args;
+      args.reserve(children_.size());
+      for (const ExprPtr& c : children_) args.push_back(c->eval(env, fns));
+      return (*fn)(args);
+    }
+  }
+  throw std::logic_error("sdl: bad expression op");
+}
+
+std::optional<Value> Expr::try_eval(const Env& env,
+                                    const FunctionRegistry* fns) const {
+  try {
+    return eval(env, fns);
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  }
+}
+
+std::string Expr::to_string() const {
+  auto bin = [&](const char* sym) {
+    return "(" + children_[0]->to_string() + " " + sym + " " +
+           children_[1]->to_string() + ")";
+  };
+  switch (op_) {
+    case Op::Const: return value_.to_string();
+    case Op::Var: return name_;
+    case Op::Neg: return "(-" + children_[0]->to_string() + ")";
+    case Op::Not: return "(not " + children_[0]->to_string() + ")";
+    case Op::Add: return bin("+");
+    case Op::Sub: return bin("-");
+    case Op::Mul: return bin("*");
+    case Op::Div: return bin("/");
+    case Op::Mod: return bin("%");
+    case Op::Pow: return bin("**");
+    case Op::Eq: return bin("=");
+    case Op::Ne: return bin("!=");
+    case Op::Lt: return bin("<");
+    case Op::Le: return bin("<=");
+    case Op::Gt: return bin(">");
+    case Op::Ge: return bin(">=");
+    case Op::And: return bin("and");
+    case Op::Or: return bin("or");
+    case Op::Call: {
+      std::string out = name_ + "(";
+      for (std::size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children_[i]->to_string();
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+ExprPtr lit(Value v) { return std::make_shared<Expr>(Expr::Op::Const, std::move(v)); }
+ExprPtr evar(const std::string& name) {
+  return std::make_shared<Expr>(Expr::Op::Var, name);
+}
+ExprPtr neg(ExprPtr e) {
+  return std::make_shared<Expr>(Expr::Op::Neg, std::vector<ExprPtr>{std::move(e)});
+}
+ExprPtr lnot(ExprPtr e) {
+  return std::make_shared<Expr>(Expr::Op::Not, std::vector<ExprPtr>{std::move(e)});
+}
+
+namespace {
+ExprPtr binary(Expr::Op op, ExprPtr a, ExprPtr b) {
+  return std::make_shared<Expr>(op, std::vector<ExprPtr>{std::move(a), std::move(b)});
+}
+}  // namespace
+
+ExprPtr add(ExprPtr a, ExprPtr b) { return binary(Expr::Op::Add, std::move(a), std::move(b)); }
+ExprPtr sub(ExprPtr a, ExprPtr b) { return binary(Expr::Op::Sub, std::move(a), std::move(b)); }
+ExprPtr mul(ExprPtr a, ExprPtr b) { return binary(Expr::Op::Mul, std::move(a), std::move(b)); }
+ExprPtr div_(ExprPtr a, ExprPtr b) { return binary(Expr::Op::Div, std::move(a), std::move(b)); }
+ExprPtr mod(ExprPtr a, ExprPtr b) { return binary(Expr::Op::Mod, std::move(a), std::move(b)); }
+ExprPtr pow_(ExprPtr a, ExprPtr b) { return binary(Expr::Op::Pow, std::move(a), std::move(b)); }
+ExprPtr eq(ExprPtr a, ExprPtr b) { return binary(Expr::Op::Eq, std::move(a), std::move(b)); }
+ExprPtr ne(ExprPtr a, ExprPtr b) { return binary(Expr::Op::Ne, std::move(a), std::move(b)); }
+ExprPtr lt(ExprPtr a, ExprPtr b) { return binary(Expr::Op::Lt, std::move(a), std::move(b)); }
+ExprPtr le(ExprPtr a, ExprPtr b) { return binary(Expr::Op::Le, std::move(a), std::move(b)); }
+ExprPtr gt(ExprPtr a, ExprPtr b) { return binary(Expr::Op::Gt, std::move(a), std::move(b)); }
+ExprPtr ge(ExprPtr a, ExprPtr b) { return binary(Expr::Op::Ge, std::move(a), std::move(b)); }
+ExprPtr land(ExprPtr a, ExprPtr b) { return binary(Expr::Op::And, std::move(a), std::move(b)); }
+ExprPtr lor(ExprPtr a, ExprPtr b) { return binary(Expr::Op::Or, std::move(a), std::move(b)); }
+ExprPtr call_fn(const std::string& name, std::vector<ExprPtr> args) {
+  return std::make_shared<Expr>(Expr::Op::Call, name, std::move(args));
+}
+
+void resolve_expr(const ExprPtr& e, SymbolTable& symtab) {
+  if (e) e->resolve(symtab);
+}
+
+}  // namespace sdl

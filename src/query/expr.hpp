@@ -1,0 +1,144 @@
+// Guard and field expressions (§2.2 test_query, and computed tuple fields
+// such as the "(k, a+b, j+1)" assertions of the array-summation examples).
+//
+// Expressions are immutable trees referencing variables by name; before a
+// transaction is issued the tree is *resolved* against a SymbolTable that
+// maps names to environment slots (see resolve()). Evaluation then reads a
+// flat slot vector — no name lookups on the hot path.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/value.hpp"
+
+namespace sdl {
+
+/// A flat binding environment: one Value per declared variable/parameter.
+/// Nil marks "unbound" — Nil is not a denotable SDL value, so the encoding
+/// is unambiguous.
+using Env = std::vector<Value>;
+
+/// Host functions callable from guards and field expressions, e.g. the
+/// paper's neighbor(p1, p2) predicate and threshold function T(v) (§3.3).
+class FunctionRegistry {
+ public:
+  using Fn = std::function<Value(std::span<const Value>)>;
+
+  /// Registers (or replaces) `name`.
+  void register_function(const std::string& name, Fn fn);
+
+  /// Returns nullptr if unknown.
+  [[nodiscard]] const Fn* lookup(const std::string& name) const;
+
+ private:
+  std::unordered_map<std::string, Fn> fns_;
+};
+
+/// Name→slot mapping, built up while assembling a process definition or a
+/// standalone transaction.
+class SymbolTable {
+ public:
+  /// Returns the slot for `name`, allocating a fresh one if new.
+  int intern(const std::string& name);
+
+  /// Returns the slot for `name` or nullopt.
+  [[nodiscard]] std::optional<int> lookup(const std::string& name) const;
+
+  [[nodiscard]] int size() const { return static_cast<int>(names_.size()); }
+  [[nodiscard]] const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::unordered_map<std::string, int> index_;
+  std::vector<std::string> names_;
+};
+
+class Expr;
+/// Expression trees are logically immutable after resolve(); the pointee is
+/// non-const only so that the one-shot resolve() pass can fill var slots.
+using ExprPtr = std::shared_ptr<Expr>;
+
+/// One expression node. Construct via the factory functions below (lit,
+/// evar, add, lt, call_fn, ...), then resolve() once against the owning
+/// symbol table.
+class Expr {
+ public:
+  enum class Op {
+    Const,  // value_
+    Var,    // name_/slot_
+    Neg, Not,                          // one child
+    Add, Sub, Mul, Div, Mod, Pow,      // two children, numeric
+    Eq, Ne, Lt, Le, Gt, Ge,            // two children, comparison
+    And, Or,                           // two children, boolean (short-circuit)
+    Call,                              // name_, children are arguments
+  };
+
+  Expr(Op op, Value v) : op_(op), value_(std::move(v)) {}
+  Expr(Op op, std::string name, std::vector<ExprPtr> children = {})
+      : op_(op), name_(std::move(name)), children_(std::move(children)) {}
+  Expr(Op op, std::vector<ExprPtr> children)
+      : op_(op), children_(std::move(children)) {}
+
+  [[nodiscard]] Op op() const { return op_; }
+  [[nodiscard]] const Value& constant() const { return value_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] int slot() const { return slot_; }
+  [[nodiscard]] const std::vector<ExprPtr>& children() const { return children_; }
+
+  /// Fills every Var node's slot from `symtab` (allocating new slots for
+  /// unseen names). Must be called exactly once, before any eval, while
+  /// the tree is still privately owned.
+  void resolve(SymbolTable& symtab);
+
+  /// Evaluates against `env`. Throws std::invalid_argument on type errors,
+  /// unknown functions, or reads of unbound (Nil) variables.
+  [[nodiscard]] Value eval(const Env& env, const FunctionRegistry* fns) const;
+
+  /// Like eval but returns nullopt instead of throwing when a variable is
+  /// unbound — used for conservative index-key precomputation.
+  [[nodiscard]] std::optional<Value> try_eval(const Env& env,
+                                              const FunctionRegistry* fns) const;
+
+  /// Human-readable rendering for diagnostics.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  Op op_;
+  Value value_;                 // Const
+  std::string name_;            // Var / Call
+  int slot_ = -1;               // Var, filled by resolve()
+  std::vector<ExprPtr> children_;
+};
+
+// ---- Factory helpers (the C++ embedding of SDL expression syntax) ----
+
+ExprPtr lit(Value v);
+/// A named variable reference (quantified variable, parameter, or `let`).
+ExprPtr evar(const std::string& name);
+ExprPtr neg(ExprPtr e);
+ExprPtr lnot(ExprPtr e);
+ExprPtr add(ExprPtr a, ExprPtr b);
+ExprPtr sub(ExprPtr a, ExprPtr b);
+ExprPtr mul(ExprPtr a, ExprPtr b);
+ExprPtr div_(ExprPtr a, ExprPtr b);
+ExprPtr mod(ExprPtr a, ExprPtr b);
+ExprPtr pow_(ExprPtr a, ExprPtr b);
+ExprPtr eq(ExprPtr a, ExprPtr b);
+ExprPtr ne(ExprPtr a, ExprPtr b);
+ExprPtr lt(ExprPtr a, ExprPtr b);
+ExprPtr le(ExprPtr a, ExprPtr b);
+ExprPtr gt(ExprPtr a, ExprPtr b);
+ExprPtr ge(ExprPtr a, ExprPtr b);
+ExprPtr land(ExprPtr a, ExprPtr b);
+ExprPtr lor(ExprPtr a, ExprPtr b);
+ExprPtr call_fn(const std::string& name, std::vector<ExprPtr> args);
+
+/// Resolves `e` (no-op when null).
+void resolve_expr(const ExprPtr& e, SymbolTable& symtab);
+
+}  // namespace sdl

@@ -1,0 +1,148 @@
+// Conjunctive queries (§2.2): the binding_query (a join over positive
+// tuple patterns), the test_query (a guard expression), negated subqueries
+// ('~' composition), and the existential/universal quantifier.
+//
+// Evaluation is against a TupleSource — either the raw dataspace or a
+// process's view window (src/view) — always under the issuing engine's
+// locks, so sources may hand out stable references.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "query/pattern.hpp"
+
+namespace sdl {
+
+/// Where candidate tuples come from. Implementations: DataspaceSource
+/// (below) and WindowSource (src/view/view.hpp).
+class TupleSource {
+ public:
+  virtual ~TupleSource() = default;
+
+  /// Visit records in the bucket `key`; stop early if fn returns false.
+  virtual void scan_key(const IndexKey& key, const Dataspace::RecordFn& fn) const = 0;
+
+  /// Visit records of the given arity across all buckets.
+  virtual void scan_arity(std::uint32_t arity, const Dataspace::RecordFn& fn) const = 0;
+
+  /// Visit records in bucket `key` whose second field equals `second`.
+  /// Default: filtered scan_key; sources backed by the dataspace override
+  /// with the secondary-index probe.
+  virtual void scan_key_second(const IndexKey& key, const Value& second,
+                               const Dataspace::RecordFn& fn) const {
+    scan_key(key, [&](const Record& r) {
+      if (r.tuple.arity() < 2 || r.tuple[1] != second) return true;
+      return fn(r);
+    });
+  }
+};
+
+/// The whole dataspace, unabstracted (a process with no view).
+class DataspaceSource final : public TupleSource {
+ public:
+  explicit DataspaceSource(const Dataspace& space) : space_(space) {}
+  void scan_key(const IndexKey& key, const Dataspace::RecordFn& fn) const override {
+    space_.scan_key(key, fn);
+  }
+  void scan_arity(std::uint32_t arity, const Dataspace::RecordFn& fn) const override {
+    space_.scan_arity(arity, fn);
+  }
+  void scan_key_second(const IndexKey& key, const Value& second,
+                       const Dataspace::RecordFn& fn) const override {
+    space_.scan_key_second(key, second, fn);
+  }
+
+ private:
+  const Dataspace& space_;
+};
+
+/// A negated subquery: succeeds when NO binding of `patterns` satisfying
+/// `guard` exists. Variables appearing only here are locally existential.
+struct NegatedGroup {
+  std::vector<TuplePattern> patterns;
+  ExprPtr guard;  // may be null (= true)
+};
+
+enum class Quantifier { Exists, ForAll };
+
+/// One satisfying assignment of a query: the environment at match time
+/// (parameters, lets, and quantified variables all bound) plus the tuple
+/// instances tagged for retraction.
+struct QueryMatch {
+  Env binding;
+  std::vector<std::pair<IndexKey, TupleId>> retract;
+};
+
+/// Result of evaluating a query. For Exists: success implies exactly one
+/// match. For ForAll: success with zero or more matches (zero = vacuous);
+/// effects are applied per match (§3.3 Label retracts *all* thresholds).
+struct QueryOutcome {
+  bool success = false;
+  std::vector<QueryMatch> matches;
+};
+
+/// A complete SDL query. Build, then resolve() once against the owning
+/// symbol table, then evaluate any number of times.
+class Query {
+ public:
+  Quantifier quantifier = Quantifier::Exists;
+  /// Names declared by the quantifier list (transaction-local variables,
+  /// the paper's Greek letters). Their slots are cleared before every
+  /// evaluation; all other referenced names are process-persistent.
+  std::vector<std::string> local_vars;
+  std::vector<TuplePattern> patterns;
+  ExprPtr guard;  // may be null (= true)
+  std::vector<NegatedGroup> negations;
+  /// Join planning: when true (default) the evaluator greedily picks, at
+  /// each join depth, an unmatched pattern that is *ready* (every
+  /// embedded expression evaluable under current bindings) with the
+  /// narrowest index probe (exact bucket before arity-wide). This is
+  /// purely an execution-order choice — conjunction is symmetric — but it
+  /// turns e.g. "[*-head], [pinned-head]" from a full scan into a probe,
+  /// and makes patterns with computed fields order-independent for the
+  /// programmer. Disable for the E13 ablation or to get strict
+  /// textual-order evaluation.
+  bool use_planner = true;
+
+  /// Interns names and resolves expressions. Call exactly once.
+  void resolve(SymbolTable& symtab);
+
+  /// Evaluates against `source` with the process environment `env`.
+  /// `env` is used as working storage: local slots are cleared on entry;
+  /// on Exists-success, env retains the successful binding (so subsequent
+  /// action expressions can read the quantified variables). On failure and
+  /// for ForAll, env's local slots are left cleared.
+  [[nodiscard]] QueryOutcome evaluate(const TupleSource& source, Env& env,
+                                      const FunctionRegistry* fns) const;
+
+  /// Conservative set of index constraints this query may read, used for
+  /// shard locking and delayed-transaction subscriptions. Computed with
+  /// only process-persistent bindings available.
+  [[nodiscard]] std::vector<KeySpec> read_set(const Env& env,
+                                              const FunctionRegistry* fns) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// True when the query has no patterns and no negations (a pure guard,
+  /// like Sum1's "k mod 2^(j+1) = 0" consensus conditions).
+  [[nodiscard]] bool pure_guard() const {
+    return patterns.empty() && negations.empty();
+  }
+
+  /// Resets this query's quantified-variable slots in `env` to unbound.
+  /// Engines call this before computing read_set so that stale bindings
+  /// from a previous evaluation cannot narrow the lock/subscription set.
+  void clear_locals(Env& env) const;
+
+ private:
+  std::vector<int> local_slots_;  // filled by resolve()
+
+  bool negation_holds(const NegatedGroup& g, const TupleSource& source, Env& env,
+                      const FunctionRegistry* fns) const;
+};
+
+}  // namespace sdl

@@ -1,0 +1,166 @@
+#include "space/dataspace.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sdl {
+
+namespace {
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+}  // namespace
+
+Dataspace::Dataspace(std::size_t shard_count) {
+  if (!is_power_of_two(shard_count)) {
+    throw std::invalid_argument("Dataspace: shard_count must be a power of two");
+  }
+  shards_ = std::make_unique<Shard[]>(shard_count);
+  shard_count_ = shard_count;
+  shard_mask_ = shard_count - 1;
+}
+
+TupleId Dataspace::insert(Tuple t, ProcessId owner) {
+  const IndexKey key = IndexKey::of(t);
+  const std::size_t si = shard_of(key);
+  Shard& shard = shards_[si];
+  // Per-shard sequences interleaved by shard index stay globally unique.
+  const std::uint64_t local =
+      shard.next_sequence.load(std::memory_order_relaxed);
+  shard.next_sequence.store(local + 1, std::memory_order_relaxed);
+  const TupleId id(owner, local * shard_count_ + si);
+
+  Bucket& bucket = shard.buckets[key];
+  if (t.arity() >= 2) bucket.by_second[t[1].hash()].push_back(id);
+  bucket.position.emplace(id, bucket.records.size());
+  bucket.records.push_back(Record{id, std::move(t)});
+  Shard::bump(shard.live);
+  Shard::bump(shard.asserts);
+  return id;
+}
+
+bool Dataspace::erase(const IndexKey& key, TupleId id) {
+  Shard& shard = shards_[shard_of(key)];
+  auto it = shard.buckets.find(key);
+  if (it == shard.buckets.end()) return false;
+  Bucket& bucket = it->second;
+  auto pit = bucket.position.find(id);
+  if (pit == bucket.position.end()) return false;
+  const std::size_t i = pit->second;
+  auto& recs = bucket.records;
+
+  if (recs[i].tuple.arity() >= 2) {
+    auto sit = bucket.by_second.find(recs[i].tuple[1].hash());
+    if (sit != bucket.by_second.end()) {
+      auto& ids = sit->second;
+      ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
+      if (ids.empty()) bucket.by_second.erase(sit);
+    }
+  }
+  bucket.position.erase(pit);
+  if (i != recs.size() - 1) {
+    recs[i] = std::move(recs.back());
+    bucket.position[recs[i].id] = i;
+  }
+  recs.pop_back();
+  if (recs.empty()) shard.buckets.erase(it);
+  Shard::drop(shard.live);
+  Shard::bump(shard.retracts);
+  return true;
+}
+
+void Dataspace::scan_key(const IndexKey& key, const RecordFn& fn) const {
+  const Shard& shard = shards_[shard_of(key)];
+  auto it = shard.buckets.find(key);
+  if (it == shard.buckets.end()) return;
+  Shard& counters = const_cast<Shard&>(shard);
+  for (const Record& r : it->second.records) {
+    Shard::bump(counters.scanned);
+    if (!fn(r)) return;
+  }
+}
+
+void Dataspace::scan_key_second(const IndexKey& key, const Value& second,
+                                const RecordFn& fn) const {
+  const Shard& shard = shards_[shard_of(key)];
+  auto it = shard.buckets.find(key);
+  if (it == shard.buckets.end()) return;
+  const Bucket& bucket = it->second;
+  auto sit = bucket.by_second.find(second.hash());
+  if (sit == bucket.by_second.end()) return;
+  Shard& counters = const_cast<Shard&>(shard);
+  for (const TupleId id : sit->second) {
+    Shard::bump(counters.scanned);
+    const Record& r = bucket.records[bucket.position.at(id)];
+    // Hash collisions: verify the actual field.
+    if (r.tuple[1] != second) continue;
+    if (!fn(r)) return;
+  }
+}
+
+void Dataspace::scan_arity(std::uint32_t arity, const RecordFn& fn) const {
+  for (std::size_t si = 0; si < shard_count_; ++si) {
+    const Shard& shard = shards_[si];
+    Shard& counters = const_cast<Shard&>(shard);
+    for (const auto& [key, bucket] : shard.buckets) {
+      if (key.arity != arity) continue;
+      for (const Record& r : bucket.records) {
+        Shard::bump(counters.scanned);
+        if (!fn(r)) return;
+      }
+    }
+  }
+}
+
+void Dataspace::scan_all(const RecordFn& fn) const {
+  for (std::size_t si = 0; si < shard_count_; ++si) {
+    const Shard& shard = shards_[si];
+    for (const auto& [key, bucket] : shard.buckets) {
+      for (const Record& r : bucket.records) {
+        if (!fn(r)) return;
+      }
+    }
+  }
+}
+
+std::size_t Dataspace::size() const {
+  std::uint64_t n = 0;
+  for (std::size_t si = 0; si < shard_count_; ++si) {
+    n += shards_[si].live.load(std::memory_order_relaxed);
+  }
+  return static_cast<std::size_t>(n);
+}
+
+SpaceStats Dataspace::stats() const {
+  SpaceStats s;
+  for (std::size_t si = 0; si < shard_count_; ++si) {
+    const Shard& shard = shards_[si];
+    s.asserts += shard.asserts.load(std::memory_order_relaxed);
+    s.retracts += shard.retracts.load(std::memory_order_relaxed);
+    s.records_scanned += shard.scanned.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+std::size_t Dataspace::count(const Tuple& t) const {
+  std::size_t n = 0;
+  scan_key(IndexKey::of(t), [&](const Record& r) {
+    if (r.tuple == t) ++n;
+    return true;
+  });
+  return n;
+}
+
+std::vector<Record> Dataspace::snapshot() const {
+  std::vector<Record> out;
+  out.reserve(size());
+  scan_all([&](const Record& r) {
+    out.push_back(r);
+    return true;
+  });
+  std::sort(out.begin(), out.end(), [](const Record& a, const Record& b) {
+    if (a.tuple != b.tuple) return a.tuple < b.tuple;
+    return a.id < b.id;
+  });
+  return out;
+}
+
+}  // namespace sdl

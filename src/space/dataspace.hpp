@@ -1,0 +1,173 @@
+// The dataspace D (§2.1): "a finite but large multiset of tuples".
+//
+// Storage is content-addressed: tuples are bucketed by an IndexKey derived
+// from (arity, first-field value). A pattern whose first term is a constant
+// probes exactly one bucket; a pattern whose first term is a variable or
+// wildcard scans all buckets of its arity. This mirrors the standard
+// tuple-space implementation trick and is what experiment E5 measures.
+//
+// Dataspace is deliberately NOT self-synchronizing: the transaction engines
+// in src/txn own the locks (GlobalLockEngine one mutex, ShardedEngine one
+// mutex per shard) so that locking policy is an interchangeable,
+// benchmarkable decision (experiment E6). Buckets are distributed over
+// `shard_count` shards by IndexKey hash; an engine holding a shard's lock
+// may touch exactly that shard's buckets.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/tuple.hpp"
+
+namespace sdl {
+
+/// Bucket address of a tuple: its arity and the hash of its first field.
+/// Arity-0 tuples all share head_hash 0.
+struct IndexKey {
+  std::uint32_t arity = 0;
+  std::uint64_t head_hash = 0;
+
+  friend bool operator==(const IndexKey& a, const IndexKey& b) {
+    return a.arity == b.arity && a.head_hash == b.head_hash;
+  }
+
+  [[nodiscard]] std::size_t hash() const {
+    return head_hash * 0x9e3779b97f4a7c15ull + arity;
+  }
+
+  /// The bucket a tuple lives in.
+  static IndexKey of(const Tuple& t) {
+    IndexKey k;
+    k.arity = static_cast<std::uint32_t>(t.arity());
+    k.head_hash = t.arity() == 0 ? 0 : t[0].hash();
+    return k;
+  }
+
+  /// The bucket tuples with this (arity, first field) live in.
+  static IndexKey of_head(std::size_t arity, const Value& head) {
+    IndexKey k;
+    k.arity = static_cast<std::uint32_t>(arity);
+    k.head_hash = arity == 0 ? 0 : head.hash();
+    return k;
+  }
+};
+
+struct IndexKeyHash {
+  std::size_t operator()(const IndexKey& k) const noexcept { return k.hash(); }
+};
+
+/// One tuple instance resident in the dataspace.
+struct Record {
+  TupleId id;
+  Tuple tuple;
+};
+
+/// Snapshot of the dataspace's instrumentation counters, aggregated over
+/// shards. Counters are maintained per shard (single writer under that
+/// shard's engine lock) so that hot-path scans and inserts never touch a
+/// shared cache line — a measured scaling ceiling otherwise (E6).
+struct SpaceStats {
+  std::uint64_t asserts = 0;
+  std::uint64_t retracts = 0;
+  std::uint64_t records_scanned = 0;
+};
+
+/// The tuple store. See file comment for the synchronization contract.
+class Dataspace {
+ public:
+  /// `shard_count` fixes the number of independently lockable shards for
+  /// the life of the store. Must be a power of two.
+  explicit Dataspace(std::size_t shard_count = 64);
+
+  Dataspace(const Dataspace&) = delete;
+  Dataspace& operator=(const Dataspace&) = delete;
+
+  [[nodiscard]] std::size_t shard_count() const { return shard_count_; }
+  [[nodiscard]] std::size_t shard_of(const IndexKey& key) const {
+    return key.hash() & shard_mask_;
+  }
+
+  /// Inserts a tuple instance owned by `owner`; returns its fresh id.
+  /// Caller must hold the lock for shard_of(IndexKey::of(t)).
+  TupleId insert(Tuple t, ProcessId owner);
+
+  /// Removes the instance `id` from the bucket `key` (which the caller
+  /// derives from the matched tuple). Returns false if not present.
+  /// Caller must hold the lock for shard_of(key).
+  bool erase(const IndexKey& key, TupleId id);
+
+  using RecordFn = std::function<bool(const Record&)>;  // return false to stop
+
+  /// Visits every record in bucket `key`. Caller holds that shard's lock.
+  void scan_key(const IndexKey& key, const RecordFn& fn) const;
+
+  /// Visits only the records in bucket `key` whose SECOND field equals
+  /// `second` — a probe on the per-bucket secondary index. This is what
+  /// makes a join pattern like [label, p, l] with `p` already bound a
+  /// lookup instead of a bucket scan (the §3.3 worker-model join drops
+  /// from O(N³) to O(N²) on it). Caller holds that shard's lock.
+  void scan_key_second(const IndexKey& key, const Value& second,
+                       const RecordFn& fn) const;
+
+  /// Visits every record whose tuple has `arity` (crosses all shards —
+  /// caller must hold every shard lock).
+  void scan_arity(std::uint32_t arity, const RecordFn& fn) const;
+
+  /// Visits every record (caller must hold every shard lock).
+  void scan_all(const RecordFn& fn) const;
+
+  /// Number of resident tuple instances (approximate under concurrency:
+  /// exact when the caller holds all shard locks).
+  [[nodiscard]] std::size_t size() const;
+
+  /// Count of instances structurally equal to `t` (caller holds the
+  /// relevant shard lock).
+  [[nodiscard]] std::size_t count(const Tuple& t) const;
+
+  /// Snapshot of all resident records, sorted by tuple then id — for tests
+  /// and trace dumps (caller must hold every shard lock or be otherwise
+  /// quiescent).
+  [[nodiscard]] std::vector<Record> snapshot() const;
+
+  /// Aggregated counters (approximate under concurrency).
+  [[nodiscard]] SpaceStats stats() const;
+
+ private:
+  struct Bucket {
+    std::vector<Record> records;
+    /// TupleId -> position in `records` (maintained across swap-removes).
+    std::unordered_map<TupleId, std::size_t> position;
+    /// hash(second field) -> ids; empty for arity < 2 buckets.
+    std::unordered_map<std::uint64_t, std::vector<TupleId>> by_second;
+  };
+  /// Per-shard state. All mutation (including the counters, which have a
+  /// single writer at a time) happens under the owning engine's lock for
+  /// this shard; the counters are atomics only so that unlocked aggregate
+  /// reads (size()/stats()) are well-defined — writes are load+store, not
+  /// RMW, because the shard lock already excludes concurrent writers.
+  struct Shard {
+    std::unordered_map<IndexKey, Bucket, IndexKeyHash> buckets;
+    alignas(64) std::atomic<std::uint64_t> next_sequence{1};
+    std::atomic<std::uint64_t> live{0};
+    std::atomic<std::uint64_t> asserts{0};
+    std::atomic<std::uint64_t> retracts{0};
+    std::atomic<std::uint64_t> scanned{0};
+
+    static void bump(std::atomic<std::uint64_t>& c, std::uint64_t by = 1) {
+      c.store(c.load(std::memory_order_relaxed) + by, std::memory_order_relaxed);
+    }
+    static void drop(std::atomic<std::uint64_t>& c) {
+      c.store(c.load(std::memory_order_relaxed) - 1, std::memory_order_relaxed);
+    }
+  };
+
+  std::unique_ptr<Shard[]> shards_;  // Shard is immovable (atomics)
+  std::size_t shard_count_;
+  std::size_t shard_mask_;
+};
+
+}  // namespace sdl

@@ -1,0 +1,65 @@
+// Timeline visualization (S10, §4): "there is no other way for humans to
+// assimilate voluminous information about the continuously changing
+// program state" — the paper motivates SDL partly by programmer-defined
+// visualization. This module turns a trace into per-process timelines and
+// renders them as an ASCII chart (one row per process, event-time on the
+// x-axis), the text-mode stand-in for the graphical environment the paper
+// envisions.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace sdl {
+
+/// Aggregated per-process view of a trace.
+struct ProcessTimeline {
+  ProcessId pid = 0;
+  std::string name;
+  std::uint64_t spawned_at = 0;      // event sequence of the Spawn event
+  bool terminated = false;
+  std::uint64_t terminated_at = 0;   // valid when terminated
+  std::uint64_t commits = 0;
+  std::uint64_t parks = 0;
+  std::uint64_t wakes = 0;
+  /// (sequence, kind) of every event attributed to this process, in order.
+  std::vector<std::pair<std::uint64_t, TraceKind>> events;
+};
+
+struct TimelineSummary {
+  std::vector<ProcessTimeline> processes;  // in spawn (first-seen) order
+  std::uint64_t first_sequence = 0;
+  std::uint64_t last_sequence = 0;
+  std::uint64_t total_events = 0;
+  std::uint64_t consensus_fires = 0;
+  std::uint64_t seeds = 0;
+};
+
+/// Builds a summary from trace events (as returned by
+/// TraceRecorder::events(): oldest first). Processes first seen through a
+/// non-Spawn event (e.g. the ring overwrote their spawn) are included
+/// with spawned_at = their first event.
+TimelineSummary summarize(const std::vector<TraceEvent>& events);
+
+/// Renders one row per process:
+///
+///   Sort#3       |--C-C--P.w-C---T |  commits=3 parks=1
+///
+/// '-' alive, 'C' commit, 'P' park, 'w' wake, '@' consensus, 'T'
+/// terminate; the x-axis is event-sequence time compressed to `width`
+/// columns (the densest event in a column wins).
+void render_ascii(const TimelineSummary& summary, std::ostream& os,
+                  int width = 64);
+
+/// Renders a self-contained HTML page with an SVG timeline: one lane per
+/// process (lifespan bar + event ticks, hover titles with event details),
+/// plus the run's headline counters. This is the paper's §4 "programmer-
+/// defined visualization" in its minimal, dependency-free form — open the
+/// file in any browser.
+void render_html(const TimelineSummary& summary, std::ostream& os);
+
+}  // namespace sdl

@@ -1,0 +1,98 @@
+#include "trace/trace.hpp"
+
+#include <ostream>
+
+namespace sdl {
+
+const char* to_string(TraceKind k) {
+  switch (k) {
+    case TraceKind::Spawn: return "spawn";
+    case TraceKind::Commit: return "commit";
+    case TraceKind::Park: return "park";
+    case TraceKind::Wake: return "wake";
+    case TraceKind::Consensus: return "consensus";
+    case TraceKind::Terminate: return "terminate";
+    case TraceKind::SeedTuple: return "seed";
+  }
+  return "?";
+}
+
+TraceRecorder::TraceRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void TraceRecorder::record(TraceKind kind, ProcessId pid, std::string detail) {
+  if (!enabled_) return;
+  std::scoped_lock lock(mutex_);
+  TraceEvent ev{next_, kind, pid, std::move(detail)};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(ev));
+  } else {
+    ring_[static_cast<std::size_t>(next_ % capacity_)] = std::move(ev);
+  }
+  ++next_;
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::scoped_lock lock(mutex_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    const std::size_t start = static_cast<std::size_t>(next_ % capacity_);
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      out.push_back(ring_[(start + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+std::uint64_t TraceRecorder::total_recorded() const {
+  std::scoped_lock lock(mutex_);
+  return next_;
+}
+
+void TraceRecorder::clear() {
+  std::scoped_lock lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+}
+
+void TraceRecorder::dump_text(std::ostream& os) const {
+  for (const TraceEvent& ev : events()) {
+    os << "#" << ev.sequence << " " << to_string(ev.kind) << " pid=" << ev.pid
+       << " " << ev.detail << "\n";
+  }
+}
+
+namespace {
+void json_escape(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default: os << c;
+    }
+  }
+}
+}  // namespace
+
+void TraceRecorder::dump_json(std::ostream& os) const {
+  os << "[";
+  bool first = true;
+  for (const TraceEvent& ev : events()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n  {\"seq\": " << ev.sequence << ", \"kind\": \"" << to_string(ev.kind)
+       << "\", \"pid\": " << ev.pid << ", \"detail\": \"";
+    json_escape(os, ev.detail);
+    os << "\"}";
+  }
+  os << "\n]\n";
+}
+
+}  // namespace sdl

@@ -1,0 +1,73 @@
+// Execution tracing (S10). The paper motivates SDL partly by program
+// visualization and debugging: tuple identifiers exist so that "the owner
+// may be determined" during "debugging and testing" (§2), and §4 calls for
+// environments that let humans "assimilate voluminous information about
+// the continuously changing program state".
+//
+// TraceRecorder is a bounded, thread-safe event log the runtime writes
+// into when tracing is enabled. Dumpers render it as text or JSON — the
+// JSON form is the feed a visualization front-end would consume.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/tuple.hpp"
+
+namespace sdl {
+
+enum class TraceKind {
+  Spawn,        // process created
+  Commit,       // transaction committed
+  Park,         // process blocked
+  Wake,         // process unblocked
+  Consensus,    // a consensus set fired
+  Terminate,    // process finished
+  SeedTuple,    // environment asserted a tuple
+};
+
+const char* to_string(TraceKind k);
+
+struct TraceEvent {
+  std::uint64_t sequence = 0;  // global order of recording
+  TraceKind kind = TraceKind::Commit;
+  ProcessId pid = 0;
+  std::string detail;          // e.g. the transaction or tuple rendered
+};
+
+/// Bounded ring of trace events. When full, the oldest events are
+/// overwritten — tracing must never make a long run unbounded in memory.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t capacity = 65536);
+
+  void record(TraceKind kind, ProcessId pid, std::string detail);
+
+  /// True once record() may be skipped entirely (cheap fast-path check).
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  /// Events in recording order (oldest first).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  [[nodiscard]] std::uint64_t total_recorded() const;
+
+  void clear();
+
+  /// One line per event: "#42 commit pid=3 <detail>".
+  void dump_text(std::ostream& os) const;
+  /// JSON array of {seq, kind, pid, detail} objects.
+  void dump_json(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mutex_;  // guards ring_ and next_
+  std::vector<TraceEvent> ring_;
+  std::size_t capacity_;
+  std::uint64_t next_ = 0;
+  bool enabled_ = true;
+};
+
+}  // namespace sdl

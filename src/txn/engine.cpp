@@ -1,0 +1,217 @@
+#include "txn/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace sdl {
+
+WaitSet::Interest Engine::interest_of(const Transaction& txn, Env& env) const {
+  txn.query.clear_locals(env);
+  WaitSet::Interest interest;
+  for (const KeySpec& spec : txn.query.read_set(env, fns_)) {
+    if (spec.kind == KeySpec::Kind::Exact) {
+      interest.keys.push_back(spec.key);
+    } else {
+      interest.arities.push_back(spec.arity);
+    }
+  }
+  return interest;
+}
+
+std::vector<IndexKey> Engine::apply_effects(const Transaction& txn,
+                                            const QueryOutcome& outcome,
+                                            ProcessId owner, const View* view,
+                                            std::vector<TupleId>& asserted) {
+  // Atomicity: materialize every assertion FIRST. A throwing field
+  // expression (division by zero, a host function failing) must abort the
+  // transaction with the dataspace untouched — "transactions ... either
+  // succeed or have no effect on the dataspace" (§2.2).
+  std::vector<Tuple> to_insert;
+  for (const QueryMatch& m : outcome.matches) {
+    for (const AssertTemplate& a : txn.asserts) {
+      std::vector<Value> fields;
+      fields.reserve(a.fields.size());
+      for (const ExprPtr& f : a.fields) fields.push_back(f->eval(m.binding, fns_));
+      Tuple t(std::move(fields));
+      // Export filter: D' keeps only Export(p) ∩ Wa.
+      if (view != nullptr && !view->exports_everything()) {
+        Env scratch = m.binding;
+        if (!view->exports_tuple(t, scratch, fns_)) continue;  // dropped
+      }
+      to_insert.push_back(std::move(t));
+    }
+  }
+
+  std::vector<IndexKey> touched;
+
+  // Retractions before additions (§2.2, and the consensus composite rule
+  // in §2.2's Consensus Transactions). Dedupe across ForAll matches: one
+  // instance may appear in several assignments but leaves D once.
+  std::unordered_set<TupleId> retracted;
+  for (const QueryMatch& m : outcome.matches) {
+    for (const auto& [key, id] : m.retract) {
+      if (!retracted.insert(id).second) continue;
+      if (!space_.erase(key, id)) {
+        // Evaluation and application happen under the same locks; a miss
+        // here is an engine bug, not a data race.
+        throw std::logic_error("sdl::Engine: retraction target vanished");
+      }
+      touched.push_back(key);
+    }
+  }
+
+  for (Tuple& t : to_insert) {
+    const IndexKey key = IndexKey::of(t);
+    asserted.push_back(space_.insert(std::move(t), owner));
+    touched.push_back(key);
+  }
+  return touched;
+}
+
+TxnResult execute_blocking(Engine& engine, const Transaction& txn, Env& env,
+                           ProcessId owner, const View* view) {
+  // Fast path: no subscription needed if the first attempt commits.
+  TxnResult result = engine.execute(txn, env, owner, view);
+  if (result.success || txn.type == TxnType::Immediate) return result;
+
+  BlockingWaiter waiter;
+  const WaitSet::Ticket ticket =
+      engine.waits().subscribe(engine.interest_of(txn, env), waiter.wake_fn());
+  // Re-check after subscribing: a commit may have landed in between.
+  for (;;) {
+    result = engine.execute(txn, env, owner, view);
+    if (result.success) break;
+    waiter.wait();
+  }
+  engine.waits().unsubscribe(ticket);
+  return result;
+}
+
+// ---------------------------------------------------------------- global
+
+TxnResult GlobalLockEngine::execute(const Transaction& txn, Env& env,
+                                    ProcessId owner, const View* view) {
+  stats_.attempts.add();
+  TxnResult result;
+  std::vector<IndexKey> touched;
+  {
+    std::scoped_lock lock(mutex_);
+    result.version = waits_.version();
+    QueryOutcome outcome;
+    if (view != nullptr && !view->imports_everything()) {
+      const WindowSource window(space_, *view, env, fns_);
+      outcome = txn.query.evaluate(window, env, fns_);
+    } else {
+      const DataspaceSource source(space_);
+      outcome = txn.query.evaluate(source, env, fns_);
+    }
+    if (outcome.success) {
+      touched = apply_effects(txn, outcome, owner, view, result.asserted);
+      result.success = true;
+      result.matches = std::move(outcome.matches);
+    }
+  }
+  if (result.success) {
+    stats_.commits.add();
+    if (!touched.empty()) waits_.publish(touched);
+  } else {
+    stats_.failures.add();
+  }
+  return result;
+}
+
+void GlobalLockEngine::exclusive(const std::function<std::vector<IndexKey>()>& fn) {
+  std::vector<IndexKey> touched;
+  {
+    std::scoped_lock lock(mutex_);
+    touched = fn();
+  }
+  if (!touched.empty()) waits_.publish(touched);
+}
+
+// --------------------------------------------------------------- sharded
+
+ShardedEngine::ShardedEngine(Dataspace& space, WaitSet& waits,
+                             const FunctionRegistry* fns)
+    : Engine(space, waits, fns),
+      locks_(std::make_unique<std::mutex[]>(space.shard_count())),
+      lock_count_(space.shard_count()) {}
+
+ShardedEngine::LockPlan ShardedEngine::plan_locks(const Transaction& txn,
+                                                  Env& env) const {
+  LockPlan plan;
+  txn.query.clear_locals(env);
+  for (const KeySpec& spec : txn.query.read_set(env, fns_)) {
+    if (spec.kind == KeySpec::Kind::Arity) {
+      plan.all = true;
+      return plan;
+    }
+    plan.shards.push_back(space_.shard_of(spec.key));
+  }
+  const Transaction::WriteSet ws = txn.write_set(env, fns_);
+  if (ws.unknown) {
+    plan.all = true;
+    return plan;
+  }
+  for (const IndexKey& k : ws.exact) plan.shards.push_back(space_.shard_of(k));
+  std::sort(plan.shards.begin(), plan.shards.end());
+  plan.shards.erase(std::unique(plan.shards.begin(), plan.shards.end()),
+                    plan.shards.end());
+  return plan;
+}
+
+TxnResult ShardedEngine::execute(const Transaction& txn, Env& env,
+                                 ProcessId owner, const View* view) {
+  stats_.attempts.add();
+  const LockPlan plan = plan_locks(txn, env);
+
+  // Acquire in ascending shard order — canonical order makes 2PL
+  // deadlock-free (CP.21's ordered-acquisition idea, spelled out because
+  // the lock set is dynamic).
+  std::vector<std::unique_lock<std::mutex>> held;
+  if (plan.all) {
+    held.reserve(lock_count_);
+    for (std::size_t i = 0; i < lock_count_; ++i) held.emplace_back(locks_[i]);
+  } else {
+    held.reserve(plan.shards.size());
+    for (std::size_t i : plan.shards) held.emplace_back(locks_[i]);
+  }
+
+  TxnResult result;
+  result.version = waits_.version();
+  QueryOutcome outcome;
+  if (view != nullptr && !view->imports_everything()) {
+    const WindowSource window(space_, *view, env, fns_);
+    outcome = txn.query.evaluate(window, env, fns_);
+  } else {
+    const DataspaceSource source(space_);
+    outcome = txn.query.evaluate(source, env, fns_);
+  }
+  std::vector<IndexKey> touched;
+  if (outcome.success) {
+    touched = apply_effects(txn, outcome, owner, view, result.asserted);
+    result.success = true;
+    result.matches = std::move(outcome.matches);
+  }
+  held.clear();  // release before publishing (CP.22)
+
+  if (result.success) {
+    stats_.commits.add();
+    if (!touched.empty()) waits_.publish(touched);
+  } else {
+    stats_.failures.add();
+  }
+  return result;
+}
+
+void ShardedEngine::exclusive(const std::function<std::vector<IndexKey>()>& fn) {
+  std::vector<std::unique_lock<std::mutex>> held;
+  held.reserve(lock_count_);
+  for (std::size_t i = 0; i < lock_count_; ++i) held.emplace_back(locks_[i]);
+  std::vector<IndexKey> touched = fn();
+  held.clear();
+  if (!touched.empty()) waits_.publish(touched);
+}
+
+}  // namespace sdl

@@ -1,0 +1,138 @@
+// Transaction engines: the atomicity layer.
+//
+// Engine is the locking policy; the Dataspace is the data. Two
+// implementations exist (experiment E6 compares them):
+//   * GlobalLockEngine — one exclusive mutex, the semantic reference;
+//   * ShardedEngine    — strict two-phase locking over the dataspace's
+//     shards, acquired in canonical order (deadlock-free, serializable).
+//
+// Engines apply a transaction's dataspace effects (retract, then assert,
+// §2.2) atomically and publish the touched index keys to the WaitSet.
+// Process-local actions (lets, spawns, control) are applied by the caller
+// (scheduler or host program) from the returned matches — they do not
+// touch the dataspace, so post-commit application preserves atomicity.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+
+#include "core/striped_counter.hpp"
+#include "txn/transaction.hpp"
+#include "txn/waitset.hpp"
+#include "view/view.hpp"
+
+namespace sdl {
+
+/// Outcome of one execution attempt.
+struct TxnResult {
+  bool success = false;
+  /// WaitSet version sampled during the attempt (diagnostics).
+  std::uint64_t version = 0;
+  /// Query matches (Exists: one; ForAll: zero or more). Bindings are
+  /// needed by callers to run action lists.
+  std::vector<QueryMatch> matches;
+  /// Ids of tuples asserted by this commit (export-filtered).
+  std::vector<TupleId> asserted;
+};
+
+/// Cumulative engine counters (striped; statistics only — otherwise the
+/// per-transaction increments serialize all cores on one cache line and
+/// become the E6 scaling ceiling).
+struct EngineStats {
+  StripedCounter attempts;
+  StripedCounter commits;
+  StripedCounter failures;
+};
+
+class Engine {
+ public:
+  Engine(Dataspace& space, WaitSet& waits, const FunctionRegistry* fns)
+      : space_(space), waits_(waits), fns_(fns) {}
+  virtual ~Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// One atomic attempt: evaluate the query (through `view`'s window if
+  /// non-null), and on success apply retractions then assertions. `env`
+  /// is the issuing process's environment; on Exists-success it retains
+  /// the winning binding. Publishes touched keys on commit.
+  virtual TxnResult execute(const Transaction& txn, Env& env, ProcessId owner,
+                            const View* view = nullptr) = 0;
+
+  /// Runs `fn` under total mutual exclusion (every shard locked). `fn`
+  /// may read and mutate space() directly and returns the touched keys,
+  /// which are published after the locks are released. Used by the
+  /// consensus manager's composite commit.
+  virtual void exclusive(const std::function<std::vector<IndexKey>()>& fn) = 0;
+
+  [[nodiscard]] Dataspace& space() { return space_; }
+  [[nodiscard]] WaitSet& waits() { return waits_; }
+  [[nodiscard]] const FunctionRegistry* functions() const { return fns_; }
+  [[nodiscard]] EngineStats& stats() { return stats_; }
+
+  /// Builds the WaitSet interest for a transaction's read set (call with
+  /// locals cleared — done internally).
+  [[nodiscard]] WaitSet::Interest interest_of(const Transaction& txn, Env& env) const;
+
+ protected:
+  /// Shared commit path: applies `outcome`'s retractions (deduped across
+  /// matches) then the assertion templates per match, export-filtered by
+  /// `view`. Must be called with sufficient locks held. Returns touched
+  /// keys; appends created ids to `asserted`.
+  std::vector<IndexKey> apply_effects(const Transaction& txn,
+                                      const QueryOutcome& outcome, ProcessId owner,
+                                      const View* view,
+                                      std::vector<TupleId>& asserted);
+
+  Dataspace& space_;
+  WaitSet& waits_;
+  const FunctionRegistry* fns_;
+  EngineStats stats_;
+};
+
+/// Blocks the calling OS thread until `txn` commits — the delayed ('=>')
+/// semantics for host-program callers that are not scheduler processes.
+/// (Scheduler processes park instead; see src/process/scheduler.hpp.)
+TxnResult execute_blocking(Engine& engine, const Transaction& txn, Env& env,
+                           ProcessId owner, const View* view = nullptr);
+
+/// GlobalLockEngine: one mutex serializes every transaction. Trivially
+/// serializable; the correctness baseline for E6.
+class GlobalLockEngine final : public Engine {
+ public:
+  using Engine::Engine;
+
+  TxnResult execute(const Transaction& txn, Env& env, ProcessId owner,
+                    const View* view = nullptr) override;
+  void exclusive(const std::function<std::vector<IndexKey>()>& fn) override;
+
+ private:
+  std::mutex mutex_;  // guards space_ entirely
+};
+
+/// ShardedEngine: strict 2PL over the dataspace's shards. A transaction
+/// locks, in ascending order, every shard its read and write sets may
+/// touch (arity-wide reads and unresolvable assertion heads widen to all
+/// shards); locks are held through commit.
+class ShardedEngine final : public Engine {
+ public:
+  ShardedEngine(Dataspace& space, WaitSet& waits, const FunctionRegistry* fns);
+
+  TxnResult execute(const Transaction& txn, Env& env, ProcessId owner,
+                    const View* view = nullptr) override;
+  void exclusive(const std::function<std::vector<IndexKey>()>& fn) override;
+
+ private:
+  /// Sorted, deduped shard indices to lock; empty optional = all shards.
+  struct LockPlan {
+    std::vector<std::size_t> shards;
+    bool all = false;
+  };
+  LockPlan plan_locks(const Transaction& txn, Env& env) const;
+
+  std::unique_ptr<std::mutex[]> locks_;  // one per dataspace shard
+  std::size_t lock_count_;
+};
+
+}  // namespace sdl

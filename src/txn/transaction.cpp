@@ -1,0 +1,87 @@
+#include "txn/transaction.hpp"
+
+namespace sdl {
+
+void Transaction::resolve(SymbolTable& symtab) {
+  query.resolve(symtab);
+  for (AssertTemplate& a : asserts) {
+    for (ExprPtr& f : a.fields) f->resolve(symtab);
+  }
+  for (LetAction& l : lets) {
+    l.slot = symtab.intern(l.name);
+    l.value->resolve(symtab);
+  }
+  for (SpawnAction& s : spawns) {
+    for (ExprPtr& a : s.args) a->resolve(symtab);
+  }
+}
+
+Transaction::WriteSet Transaction::write_set(const Env& env,
+                                             const FunctionRegistry* fns) const {
+  WriteSet ws;
+  for (const AssertTemplate& a : asserts) {
+    if (a.fields.empty()) {
+      ws.exact.push_back(IndexKey{0, 0});
+      continue;
+    }
+    const std::optional<Value> head = a.fields.front()->try_eval(env, fns);
+    if (head.has_value()) {
+      ws.exact.push_back(IndexKey::of_head(a.fields.size(), *head));
+    } else {
+      ws.unknown = true;
+    }
+  }
+  return ws;
+}
+
+// Renders in the concrete SDL grammar (see lang/parser.hpp) so that the
+// output re-parses to an equivalent transaction — this is what the
+// pretty-printer, deadlock reports and traces all show.
+std::string Transaction::to_string() const {
+  std::string out = query.to_string();
+  if (!out.empty()) out += " ";
+  switch (type) {
+    case TxnType::Immediate: out += "->"; break;
+    case TxnType::Delayed: out += "=>"; break;
+    case TxnType::Consensus: out += "^"; break;
+  }
+  bool first = true;
+  auto sep = [&] {
+    out += first ? " " : ", ";
+    first = false;
+  };
+  for (const AssertTemplate& a : asserts) {
+    sep();
+    out += "[";
+    for (std::size_t i = 0; i < a.fields.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += a.fields[i]->to_string();
+    }
+    out += "]";
+  }
+  for (const LetAction& l : lets) {
+    sep();
+    out += "let " + l.name + " = " + l.value->to_string();
+  }
+  for (const SpawnAction& s : spawns) {
+    sep();
+    out += "spawn " + s.process_type + "(";
+    for (std::size_t i = 0; i < s.args.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += s.args[i]->to_string();
+    }
+    out += ")";
+  }
+  if (control == ControlAction::Exit) {
+    sep();
+    out += "exit";
+  }
+  if (control == ControlAction::Abort) {
+    sep();
+    out += "abort";
+  }
+  if (first) out += " skip";
+  return out;
+}
+
+}  // namespace sdl

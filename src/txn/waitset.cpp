@@ -1,0 +1,100 @@
+#include "txn/waitset.hpp"
+
+#include <algorithm>
+
+namespace sdl {
+namespace {
+
+void remove_ticket(std::vector<WaitSet::Ticket>& v, WaitSet::Ticket t) {
+  v.erase(std::remove(v.begin(), v.end(), t), v.end());
+}
+
+}  // namespace
+
+WaitSet::Ticket WaitSet::subscribe(Interest interest, std::function<void()> wake) {
+  std::scoped_lock lock(mutex_);
+  live_subscribers_.fetch_add(1, std::memory_order_release);
+  const Ticket ticket = next_ticket_++;
+  if (interest.everything) {
+    all_.push_back(ticket);
+  } else {
+    for (const IndexKey& k : interest.keys) by_key_[k].push_back(ticket);
+    for (std::uint32_t a : interest.arities) by_arity_[a].push_back(ticket);
+  }
+  entries_.emplace(ticket, Entry{std::move(interest), std::move(wake)});
+  return ticket;
+}
+
+void WaitSet::unsubscribe(Ticket ticket) {
+  if (ticket == kInvalidTicket) return;
+  std::scoped_lock lock(mutex_);
+  auto it = entries_.find(ticket);
+  if (it == entries_.end()) return;
+  const Interest& interest = it->second.interest;
+  if (interest.everything) {
+    remove_ticket(all_, ticket);
+  } else {
+    for (const IndexKey& k : interest.keys) {
+      auto kit = by_key_.find(k);
+      if (kit != by_key_.end()) {
+        remove_ticket(kit->second, ticket);
+        if (kit->second.empty()) by_key_.erase(kit);
+      }
+    }
+    for (std::uint32_t a : interest.arities) {
+      auto ait = by_arity_.find(a);
+      if (ait != by_arity_.end()) {
+        remove_ticket(ait->second, ticket);
+        if (ait->second.empty()) by_arity_.erase(ait);
+      }
+    }
+  }
+  entries_.erase(it);
+  live_subscribers_.fetch_sub(1, std::memory_order_release);
+}
+
+void WaitSet::publish(const std::vector<IndexKey>& touched) {
+  version_.fetch_add(1, std::memory_order_acq_rel);
+
+  // Fast path: no subscribers, nothing to wake. (A subscriber appearing
+  // concurrently is safe: the subscribe-then-evaluate discipline means it
+  // re-checks the dataspace after subscribing, so this commit cannot be
+  // lost — it either sees the commit's effects or a later publish.)
+  if (live_subscribers_.load(std::memory_order_acquire) == 0) return;
+
+  // Collect the wake callbacks under the lock, invoke them after (CP.22).
+  std::vector<std::function<void()>> to_wake;
+  {
+    std::scoped_lock lock(mutex_);
+    if (policy_ == WakePolicy::WakeAll) {
+      to_wake.reserve(entries_.size());
+      for (const auto& [ticket, entry] : entries_) to_wake.push_back(entry.wake);
+    } else {
+      std::vector<Ticket> tickets(all_.begin(), all_.end());
+      for (const IndexKey& k : touched) {
+        if (auto it = by_key_.find(k); it != by_key_.end()) {
+          tickets.insert(tickets.end(), it->second.begin(), it->second.end());
+        }
+        if (auto it = by_arity_.find(k.arity); it != by_arity_.end()) {
+          tickets.insert(tickets.end(), it->second.begin(), it->second.end());
+        }
+      }
+      std::sort(tickets.begin(), tickets.end());
+      tickets.erase(std::unique(tickets.begin(), tickets.end()), tickets.end());
+      to_wake.reserve(tickets.size());
+      for (Ticket t : tickets) {
+        auto it = entries_.find(t);
+        if (it != entries_.end()) to_wake.push_back(it->second.wake);
+      }
+    }
+  }
+  wakes_.fetch_add(to_wake.size(), std::memory_order_relaxed);
+  for (const auto& wake : to_wake) wake();
+}
+
+std::size_t WaitSet::subscriber_count() const {
+  std::scoped_lock lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace sdl

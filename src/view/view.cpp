@@ -1,0 +1,204 @@
+#include "view/view.hpp"
+
+namespace sdl {
+namespace {
+
+/// Does `entry` admit `t`? Bindings made during the test are undone.
+/// Hot path (every record of every window scan, and the consensus
+/// manager's overlap sweeps): the undo log is a reused thread_local to
+/// avoid per-record allocation. Not re-entrant — guards are expression
+/// evaluations and cannot call back into view membership.
+bool entry_admits(const ViewEntry& entry, const Tuple& t, Env& env,
+                  const FunctionRegistry* fns) {
+  static thread_local std::vector<int> undo;
+  undo.clear();
+  if (!entry.pattern.match(t, env, fns, undo)) return false;
+  bool ok = true;
+  if (entry.guard) {
+    try {
+      ok = entry.guard->eval(env, fns).truthy();
+    } catch (const std::invalid_argument&) {
+      ok = false;
+    }
+  }
+  for (int slot : undo) env[static_cast<std::size_t>(slot)] = Value();
+  return ok;
+}
+
+bool any_entry_admits(const std::vector<ViewEntry>& entries, const Tuple& t,
+                      Env& env, const FunctionRegistry* fns) {
+  for (const ViewEntry& e : entries) {
+    if (entry_admits(e, t, env, fns)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void ViewSpec::resolve(SymbolTable& symtab) {
+  for (ViewEntry& e : imports) {
+    e.pattern.resolve(symtab);
+    resolve_expr(e.guard, symtab);
+  }
+  for (ViewEntry& e : exports) {
+    e.pattern.resolve(symtab);
+    resolve_expr(e.guard, symtab);
+  }
+}
+
+bool View::imports_tuple(const Tuple& t, Env& env,
+                         const FunctionRegistry* fns) const {
+  if (spec_->import_all) return true;
+  return any_entry_admits(spec_->imports, t, env, fns);
+}
+
+bool View::exports_tuple(const Tuple& t, Env& env,
+                         const FunctionRegistry* fns) const {
+  if (spec_->export_all) return true;
+  return any_entry_admits(spec_->exports, t, env, fns);
+}
+
+void View::collect_import_ids(const Dataspace& space, Env& env,
+                              const FunctionRegistry* fns,
+                              std::unordered_set<TupleId>& out) const {
+  if (spec_->import_all) {
+    space.scan_all([&](const Record& r) {
+      out.insert(r.id);
+      return true;
+    });
+    return;
+  }
+  for (const ViewEntry& entry : spec_->imports) {
+    const KeySpec spec = entry.pattern.key_spec(env, fns);
+    auto visit = [&](const Record& r) {
+      if (entry_admits(entry, r.tuple, env, fns)) out.insert(r.id);
+      return true;
+    };
+    if (spec.kind == KeySpec::Kind::Exact) {
+      space.scan_key(spec.key, visit);
+    } else {
+      space.scan_arity(spec.arity, visit);
+    }
+  }
+}
+
+void View::collect_import_records(
+    const Dataspace& space, Env& env, const FunctionRegistry* fns,
+    std::vector<std::pair<TupleId, IndexKey>>& out) const {
+  std::unordered_set<TupleId> seen;
+  if (spec_->import_all) {
+    space.scan_all([&](const Record& r) {
+      if (seen.insert(r.id).second) out.emplace_back(r.id, IndexKey::of(r.tuple));
+      return true;
+    });
+    return;
+  }
+  for (const ViewEntry& entry : spec_->imports) {
+    const KeySpec spec = entry.pattern.key_spec(env, fns);
+    auto visit = [&](const Record& r) {
+      if (entry_admits(entry, r.tuple, env, fns) && seen.insert(r.id).second) {
+        out.emplace_back(r.id, IndexKey::of(r.tuple));
+      }
+      return true;
+    };
+    if (spec.kind == KeySpec::Kind::Exact) {
+      space.scan_key(spec.key, visit);
+    } else {
+      space.scan_arity(spec.arity, visit);
+    }
+  }
+}
+
+// WindowSource precomputes each import entry's key spec once per
+// transaction (the environment's persistent bindings cannot change during
+// evaluation), so membership tests only consult the entries that could
+// match a record's bucket: exact-pinned entries of that bucket plus the
+// unpinned (arity-wide) entries. This keeps window scans linear in the
+// window size rather than |window| x |entries|.
+WindowSource::WindowSource(const Dataspace& space, const View& view, Env& env,
+                           const FunctionRegistry* fns)
+    : space_(space), view_(view), env_(env), fns_(fns) {
+  if (view_.imports_everything()) return;
+  const auto& imports = view_.spec().imports;
+  pinned_.reserve(imports.size());
+  for (const ViewEntry& entry : imports) {
+    const KeySpec spec = entry.pattern.key_spec(env_, fns_);
+    if (spec.kind == KeySpec::Kind::Exact) {
+      pinned_by_key_[spec.key].push_back(&entry);
+      pinned_.push_back(PinnedEntry{&entry, spec.key});
+    } else {
+      unpinned_.push_back(&entry);
+    }
+  }
+}
+
+bool WindowSource::admitted(const Record& r) const {
+  const IndexKey key = IndexKey::of(r.tuple);
+  if (auto it = pinned_by_key_.find(key); it != pinned_by_key_.end()) {
+    for (const ViewEntry* entry : it->second) {
+      if (entry_admits(*entry, r.tuple, env_, fns_)) return true;
+    }
+  }
+  for (const ViewEntry* entry : unpinned_) {
+    if (entry_admits(*entry, r.tuple, env_, fns_)) return true;
+  }
+  return false;
+}
+
+void WindowSource::scan_key(const IndexKey& key,
+                            const Dataspace::RecordFn& fn) const {
+  if (view_.imports_everything()) {
+    space_.scan_key(key, fn);
+    return;
+  }
+  space_.scan_key(key, [&](const Record& r) {
+    if (!admitted(r)) return true;
+    return fn(r);
+  });
+}
+
+void WindowSource::scan_key_second(const IndexKey& key, const Value& second,
+                                   const Dataspace::RecordFn& fn) const {
+  if (view_.imports_everything()) {
+    space_.scan_key_second(key, second, fn);
+    return;
+  }
+  space_.scan_key_second(key, second, [&](const Record& r) {
+    if (!admitted(r)) return true;
+    return fn(r);
+  });
+}
+
+void WindowSource::scan_arity(std::uint32_t arity,
+                              const Dataspace::RecordFn& fn) const {
+  if (view_.imports_everything()) {
+    space_.scan_arity(arity, fn);
+    return;
+  }
+  // If any entry of this arity is unpinned, the whole arity must be
+  // scanned (filtered). Otherwise only the pinned buckets are visited —
+  // this is the view-narrows-scans optimization experiment E7 measures.
+  for (const ViewEntry* entry : unpinned_) {
+    if (entry->pattern.arity() == arity) {
+      space_.scan_arity(arity, [&](const Record& r) {
+        if (!admitted(r)) return true;
+        return fn(r);
+      });
+      return;
+    }
+  }
+  bool keep_going = true;
+  std::unordered_set<std::uint64_t> visited_buckets;
+  for (const PinnedEntry& pe : pinned_) {
+    if (!keep_going) break;
+    if (pe.key.arity != arity) continue;
+    if (!visited_buckets.insert(pe.key.hash()).second) continue;
+    space_.scan_key(pe.key, [&](const Record& r) {
+      if (!admitted(r)) return true;
+      keep_going = fn(r);
+      return keep_going;
+    });
+  }
+}
+
+}  // namespace sdl

@@ -1,0 +1,88 @@
+#include "core/atom.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace sdl {
+namespace {
+
+TEST(AtomTest, InternIsIdempotent) {
+  const Atom a = Atom::intern("year");
+  const Atom b = Atom::intern("year");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.id(), b.id());
+}
+
+TEST(AtomTest, DistinctSpellingsDistinctIds) {
+  const Atom a = Atom::intern("alpha-atom-test");
+  const Atom b = Atom::intern("beta-atom-test");
+  EXPECT_NE(a, b);
+  EXPECT_NE(a.id(), b.id());
+}
+
+TEST(AtomTest, TextRoundTrips) {
+  const Atom a = Atom::intern("label");
+  EXPECT_EQ(a.text(), "label");
+}
+
+TEST(AtomTest, DefaultIsEmptyAtom) {
+  const Atom a;
+  EXPECT_EQ(a.text(), "");
+  EXPECT_EQ(a, Atom::intern(""));
+}
+
+TEST(AtomTest, EmptyAndWhitespaceAreDistinct) {
+  EXPECT_NE(Atom::intern(""), Atom::intern(" "));
+}
+
+TEST(AtomTest, OrderIsByInternId) {
+  const Atom first = Atom::intern("zz-ordering-first");
+  const Atom second = Atom::intern("aa-ordering-second");
+  EXPECT_LT(first, second);  // intern order, not lexicographic
+}
+
+TEST(AtomTest, ConcurrentInternSameSpellingYieldsOneAtom) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::vector<Atom>> results(kThreads);
+  {
+    std::vector<std::jthread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&results, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          results[static_cast<std::size_t>(t)].push_back(
+              Atom::intern("concurrent-" + std::to_string(i)));
+        }
+      });
+    }
+  }
+  for (int i = 0; i < kPerThread; ++i) {
+    std::set<std::uint32_t> ids;
+    for (int t = 0; t < kThreads; ++t) {
+      ids.insert(results[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)].id());
+    }
+    EXPECT_EQ(ids.size(), 1u) << "spelling " << i << " interned to multiple ids";
+  }
+}
+
+TEST(AtomTest, TextViewSurvivesFurtherInterning) {
+  const Atom a = Atom::intern("stable-view-test");
+  const std::string_view before = a.text();
+  for (int i = 0; i < 5000; ++i) {
+    Atom::intern("churn-" + std::to_string(i));
+  }
+  EXPECT_EQ(a.text(), before);
+  EXPECT_EQ(a.text(), "stable-view-test");
+}
+
+TEST(AtomTest, HashIsId) {
+  const Atom a = Atom::intern("hash-test");
+  EXPECT_EQ(std::hash<Atom>{}(a), a.id());
+}
+
+}  // namespace
+}  // namespace sdl

@@ -1,0 +1,80 @@
+#include "core/tuple.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sdl {
+namespace {
+
+TEST(TupleIdTest, PacksOwnerAndSequence) {
+  const TupleId id(7, 123456);
+  EXPECT_EQ(id.owner(), 7u);
+  EXPECT_EQ(id.sequence(), 123456u);
+  EXPECT_TRUE(id.valid());
+}
+
+TEST(TupleIdTest, DefaultIsInvalid) {
+  EXPECT_FALSE(TupleId().valid());
+}
+
+TEST(TupleIdTest, ToStringShowsOwnerDotSequence) {
+  EXPECT_EQ(TupleId(3, 17).to_string(), "#3.17");
+}
+
+TEST(TupleIdTest, LargeSequencePreserved) {
+  const std::uint64_t seq = (1ull << 40) - 1;
+  const TupleId id(0xFFFFFF, seq);
+  EXPECT_EQ(id.owner(), 0xFFFFFFu);
+  EXPECT_EQ(id.sequence(), seq);
+}
+
+TEST(TupleTest, TupFactoryInternsBareStringsAsAtoms) {
+  const Tuple t = tup("year", 87);
+  ASSERT_EQ(t.arity(), 2u);
+  EXPECT_TRUE(t[0].is_atom());
+  EXPECT_EQ(t[0].as_atom().text(), "year");
+  EXPECT_EQ(t[1].as_int(), 87);
+}
+
+TEST(TupleTest, StringValuesStayStrings) {
+  const Tuple t = tup("name", std::string("smith"));
+  EXPECT_TRUE(t[1].is_string());
+}
+
+TEST(TupleTest, StructuralEquality) {
+  EXPECT_EQ(tup("year", 87), tup("year", 87));
+  EXPECT_NE(tup("year", 87), tup("year", 88));
+  EXPECT_NE(tup("year", 87), tup("year", 87, 1));
+}
+
+TEST(TupleTest, LexicographicOrder) {
+  EXPECT_LT(tup(1, 2), tup(1, 3));
+  EXPECT_LT(tup(1), tup(1, 0));  // prefix before extension
+}
+
+TEST(TupleTest, HashMatchesForEqualTuples) {
+  EXPECT_EQ(tup("k", 1, 2).hash(), tup("k", 1, 2).hash());
+  EXPECT_NE(tup("k", 1, 2).hash(), tup("k", 2, 1).hash());
+}
+
+TEST(TupleTest, ToStringIsSdlLiteral) {
+  EXPECT_EQ(tup("year", 87).to_string(), "[year, 87]");
+  EXPECT_EQ(Tuple{}.to_string(), "[]");
+}
+
+TEST(TupleTest, EmptyTuple) {
+  const Tuple t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.arity(), 0u);
+}
+
+TEST(TupleTest, MixedFieldKinds) {
+  const Tuple t = tup("node", 1, std::string("color"), Value::atom("red"), 2.5, true);
+  EXPECT_EQ(t.arity(), 6u);
+  EXPECT_TRUE(t[2].is_string());
+  EXPECT_TRUE(t[3].is_atom());
+  EXPECT_TRUE(t[4].is_double());
+  EXPECT_TRUE(t[5].is_bool());
+}
+
+}  // namespace
+}  // namespace sdl

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "lang/compile.hpp"
+
+namespace sdl::lang {
+namespace {
+
+TEST(CheckpointTest, RoundTripsMixedTuples) {
+  RuntimeOptions o;
+  o.scheduler.workers = 2;
+  Runtime rt(o);
+  rt.seed(tup("year", 87));
+  rt.seed(tup("year", 87));  // duplicate instance: multiset semantics
+  rt.seed(tup("flag", true));
+  rt.seed(tup("name", std::string("o'brien \"q\"")));
+  rt.seed(tup("pi", 3.5));
+  rt.seed(tup(4, -12, Value::atom("nil")));
+  rt.seed(Tuple{});  // empty tuple
+
+  const std::string src = checkpoint_dataspace(rt.space());
+  Runtime rt2(o);
+  load_source(rt2, src);
+
+  EXPECT_EQ(rt2.space().size(), rt.space().size());
+  const auto a = rt.space().snapshot();
+  const auto b = rt2.space().snapshot();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].tuple, b[i].tuple) << "tuple " << i;
+  }
+}
+
+TEST(CheckpointTest, EmptyDataspace) {
+  RuntimeOptions o;
+  o.scheduler.workers = 2;
+  Runtime rt(o);
+  const std::string src = checkpoint_dataspace(rt.space());
+  Runtime rt2(o);
+  load_source(rt2, src);
+  EXPECT_EQ(rt2.space().size(), 0u);
+}
+
+TEST(CheckpointTest, ResumeComputationFromCheckpoint) {
+  // Run Sum3 halfway conceptually: checkpoint mid-state, reload, finish.
+  RuntimeOptions o;
+  o.scheduler.workers = 4;
+  o.scheduler.replication_width = 2;
+  Runtime rt(o);
+  for (int k = 1; k <= 8; ++k) rt.seed(tup(k, k));
+  const std::string src = checkpoint_dataspace(rt.space());
+
+  Runtime rt2(o);
+  load_source(rt2, src);
+  ProcessDef def;
+  def.name = "Sum3";
+  def.body = seq({replicate({branch(TxnBuilder()
+                                        .exists({"v", "a", "u", "b"})
+                                        .match(pat({V("v"), V("a")}), true)
+                                        .match(pat({V("u"), V("b")}), true)
+                                        .where(ne(evar("v"), evar("u")))
+                                        .assert_tuple({evar("u"),
+                                                       add(evar("a"), evar("b"))})
+                                        .build())})});
+  rt2.define(std::move(def));
+  rt2.spawn("Sum3");
+  ASSERT_TRUE(rt2.run().clean());
+  ASSERT_EQ(rt2.space().size(), 1u);
+  EXPECT_EQ(rt2.space().snapshot()[0].tuple[1], Value(36));
+}
+
+}  // namespace
+}  // namespace sdl::lang

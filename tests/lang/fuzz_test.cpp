@@ -1,0 +1,98 @@
+// Robustness: the parser must never crash — any input either parses or
+// raises ParseError. Inputs are random token soups and random mutations
+// of valid programs.
+#include <gtest/gtest.h>
+
+#include "lang/parser.hpp"
+
+namespace sdl::lang {
+namespace {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed * 0x9e3779b97f4a7c15ull + 1) {}
+  std::uint64_t next() {
+    state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+    return state_ >> 11;
+  }
+  std::size_t below(std::size_t m) { return next() % m; }
+
+ private:
+  std::uint64_t state_;
+};
+
+const char* kFragments[] = {
+    "process", "import",  "export", "behavior", "end",  "exists", "forall",
+    "when",    "where",   "let",    "spawn",    "exit", "abort",  "skip",
+    "init",    "true",    "false",  "and",      "or",   "not",    "[",
+    "]",       "(",       ")",      "{",        "}",    ",",      ";",
+    ":",       "|",       "||",     "!",        "*",    "**",     "->",
+    "=>",      "^",       "+",      "-",        "/",    "%",      "=",
+    "!=",      "<",       "<=",     ">",        ">=",   "x",      "P",
+    "42",      "3.5",     "\"s\"",  "year",     "a",
+};
+
+/// Parse must terminate with success or ParseError — nothing else.
+void must_not_crash(const std::string& src) {
+  try {
+    const Program p = parse_program(src);
+    (void)p;
+  } catch (const ParseError&) {
+    // fine
+  }
+}
+
+class FuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzTest, RandomTokenSoup) {
+  Rng rng(GetParam() * 1337);
+  for (int round = 0; round < 50; ++round) {
+    std::string src;
+    const std::size_t len = 1 + rng.below(60);
+    for (std::size_t i = 0; i < len; ++i) {
+      src += kFragments[rng.below(std::size(kFragments))];
+      src += ' ';
+    }
+    must_not_crash(src);
+  }
+}
+
+TEST_P(FuzzTest, MutatedValidProgram) {
+  const std::string valid = R"(
+    process Sort(id1, id2)
+    import [id1, *, *, *], [id2, *, *, *]
+    behavior
+      *{ exists p1, p2 : [id1, p1, *, *]!, [id2, p2, *, *] when p1 > p2
+           -> [id1, p2, 0, 0]
+       | when 1 = 1 ^ exit
+       }
+    end
+    init { [1, 2, a, 2] }
+    spawn Sort(1, 2)
+  )";
+  Rng rng(GetParam() * 7919);
+  for (int round = 0; round < 50; ++round) {
+    std::string mutated = valid;
+    const int edits = 1 + static_cast<int>(rng.below(4));
+    for (int e = 0; e < edits; ++e) {
+      const std::size_t pos = rng.below(mutated.size());
+      switch (rng.below(3)) {
+        case 0:  // delete a char
+          mutated.erase(pos, 1);
+          break;
+        case 1:  // duplicate a char
+          mutated.insert(pos, 1, mutated[pos]);
+          break;
+        default:  // replace with a random printable char
+          mutated[pos] = static_cast<char>(' ' + rng.below(95));
+          break;
+      }
+    }
+    must_not_crash(mutated);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace sdl::lang

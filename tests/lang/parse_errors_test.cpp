@@ -1,0 +1,87 @@
+// Error-path battery: every production's failure mode must raise a
+// ParseError with a position, never crash or silently mis-parse.
+#include <gtest/gtest.h>
+
+#include "lang/parser.hpp"
+
+namespace sdl::lang {
+namespace {
+
+void expect_error(const std::string& src, const char* what) {
+  EXPECT_THROW(parse_program(src), ParseError) << what << "\nsource: " << src;
+}
+
+TEST(ParseErrorsTest, TopLevel) {
+  expect_error("blah", "stray identifier at top level");
+  expect_error("process", "missing process name");
+  expect_error("process P behavior -> skip", "missing 'end'");
+  expect_error("process P(", "unterminated parameter list");
+  expect_error("process P(1)", "non-identifier parameter");
+}
+
+TEST(ParseErrorsTest, Transactions) {
+  expect_error("process P behavior [a] end", "missing tag");
+  expect_error("process P behavior exists : [a]! -> skip end",
+               "empty quantifier list");
+  expect_error("process P behavior exists a [x] -> skip end",
+               "missing ':' after quantifier vars");
+  expect_error("process P behavior [a,) -> skip end", "bad pattern term");
+  expect_error("process P behavior [a]!, -> skip end",
+               "dangling comma after conjunct");
+  expect_error("process P behavior when -> skip end", "empty guard");
+}
+
+TEST(ParseErrorsTest, Actions) {
+  expect_error("process P behavior -> let = 1 end", "missing let target");
+  expect_error("process P behavior -> let x 1 end", "missing '='");
+  expect_error("process P behavior -> spawn end", "missing spawn type");
+  expect_error("process P behavior -> spawn Q end", "missing spawn parens");
+  expect_error("process P behavior -> [a], end", "dangling action comma");
+}
+
+TEST(ParseErrorsTest, Constructs) {
+  expect_error("process P behavior { [a]! -> skip end", "unterminated selection");
+  expect_error("process P behavior *{ } end", "empty repetition");
+  expect_error("process P behavior { [a]! -> skip | } end", "empty branch");
+}
+
+TEST(ParseErrorsTest, Views) {
+  expect_error("process P import behavior -> skip end", "empty import");
+  expect_error("process P import [a where behavior -> skip end",
+               "unterminated entry");
+}
+
+TEST(ParseErrorsTest, InitAndSpawn) {
+  expect_error("init { [a] ", "unterminated init block");
+  expect_error("init { [f(1)] }", "non-constant init tuple");
+  expect_error("spawn", "missing spawn name");
+  expect_error("spawn P(x y)", "malformed spawn args");
+}
+
+TEST(ParseErrorsTest, Expressions) {
+  expect_error("init { [1 +] }", "dangling operator");
+  expect_error("init { [(1 + 2] }", "unbalanced parens");
+  expect_error("init { [**2] }", "prefix power");
+}
+
+TEST(ParseErrorsTest, PositionsAreUseful) {
+  try {
+    parse_program("process P\nbehavior\n  [a] end");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3) << e.what();
+  }
+}
+
+TEST(ParseErrorsTest, ValidNearMissesStillParse) {
+  // Sanity: the happy-path cousins of the errors above are accepted.
+  EXPECT_NO_THROW(parse_program("process P behavior -> skip end"));
+  EXPECT_NO_THROW(parse_program("process P behavior [a]! -> skip end"));
+  EXPECT_NO_THROW(parse_program("process P behavior *{ [a]! -> skip } end"));
+  EXPECT_NO_THROW(parse_program("process P import [a] behavior -> skip end"));
+  EXPECT_NO_THROW(parse_program("init { }"));
+  EXPECT_NO_THROW(parse_program("spawn P()"));
+}
+
+}  // namespace
+}  // namespace sdl::lang

@@ -1,0 +1,269 @@
+#include "lang/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sdl::lang {
+namespace {
+
+TEST(ParserTest, EmptyProgram) {
+  const Program p = parse_program("");
+  EXPECT_TRUE(p.defs.empty());
+  EXPECT_TRUE(p.seeds.empty());
+}
+
+TEST(ParserTest, InitSeedsConstantTuples) {
+  const Program p = parse_program("init { [year, 87]; [k, 2 + 3]; [pi, 3.5] }");
+  ASSERT_EQ(p.seeds.size(), 3u);
+  EXPECT_EQ(p.seeds[0], tup("year", 87));
+  EXPECT_EQ(p.seeds[1], tup("k", 5));
+  EXPECT_EQ(p.seeds[2], tup("pi", 3.5));
+}
+
+TEST(ParserTest, TopLevelSpawn) {
+  const Program p = parse_program("spawn Statistics(87, hello);");
+  ASSERT_EQ(p.spawns.size(), 1u);
+  EXPECT_EQ(p.spawns[0].first, "Statistics");
+  ASSERT_EQ(p.spawns[0].second.size(), 2u);
+  EXPECT_EQ(p.spawns[0].second[0], Value(87));
+  EXPECT_EQ(p.spawns[0].second[1], Value::atom("hello"));
+}
+
+TEST(ParserTest, ProcessHeaderAndParams) {
+  const Program p = parse_program(R"(
+    process Sum1(k, j)
+    behavior
+      -> [done, k, j]
+    end
+  )");
+  ASSERT_EQ(p.defs.size(), 1u);
+  EXPECT_EQ(p.defs[0].name, "Sum1");
+  EXPECT_EQ(p.defs[0].params, (std::vector<std::string>{"k", "j"}));
+}
+
+TEST(ParserTest, PaperImmediateTransaction) {
+  // ∃α : <year,α>! : α>87 → let N=α, (found, α)
+  const Program p = parse_program(R"(
+    process Finder
+    behavior
+      exists a : [year, a]! when a > 87 -> let N = a, [found, a]
+    end
+  )");
+  const Statement& body = *p.defs[0].body;
+  ASSERT_EQ(body.children.size(), 1u);
+  const Transaction& t = body.children[0]->txn;
+  EXPECT_EQ(t.type, TxnType::Immediate);
+  EXPECT_EQ(t.query.quantifier, Quantifier::Exists);
+  EXPECT_EQ(t.query.local_vars, (std::vector<std::string>{"a"}));
+  ASSERT_EQ(t.query.patterns.size(), 1u);
+  EXPECT_TRUE(t.query.patterns[0].retract_tagged());
+  ASSERT_NE(t.query.guard, nullptr);
+  ASSERT_EQ(t.lets.size(), 1u);
+  EXPECT_EQ(t.lets[0].name, "N");
+  ASSERT_EQ(t.asserts.size(), 1u);
+}
+
+TEST(ParserTest, UndeclaredIdentifiersAreAtoms) {
+  const Program p = parse_program(R"(
+    process P
+    behavior
+      exists v : [year, v] -> [found, v]
+    end
+  )");
+  const Transaction& t = p.defs[0].body->children[0]->txn;
+  const Term& head = t.query.patterns[0].terms()[0];
+  ASSERT_EQ(head.kind, Term::Kind::Expr);
+  EXPECT_EQ(head.expr->constant(), Value::atom("year"));
+  const Term& v = t.query.patterns[0].terms()[1];
+  EXPECT_EQ(v.kind, Term::Kind::Var);
+  EXPECT_EQ(v.name, "v");
+}
+
+TEST(ParserTest, ParamsAreVariablesInPatterns) {
+  const Program p = parse_program(R"(
+    process P(k)
+    behavior
+      exists a : [k, a]! -> [k, a + 1]
+    end
+  )");
+  const Transaction& t = p.defs[0].body->children[0]->txn;
+  EXPECT_EQ(t.query.patterns[0].terms()[0].kind, Term::Kind::Var);
+  EXPECT_EQ(t.query.patterns[0].terms()[0].name, "k");
+}
+
+TEST(ParserTest, WildcardTerm) {
+  const Program p = parse_program(R"(
+    process P
+    behavior
+      [year, *] -> exit
+    end
+  )");
+  const Transaction& t = p.defs[0].body->children[0]->txn;
+  EXPECT_EQ(t.query.patterns[0].terms()[1].kind, Term::Kind::Wildcard);
+}
+
+TEST(ParserTest, ArithmeticPatternTerm) {
+  // Sum2's join: [k - 2**(j-1), a, j]
+  const Program p = parse_program(R"(
+    process Sum2(k, j)
+    behavior
+      exists a, b : [k - 2**(j-1), a, j]!, [k, b, j]! => [k, a + b, j + 1]
+    end
+  )");
+  const Transaction& t = p.defs[0].body->children[0]->txn;
+  EXPECT_EQ(t.type, TxnType::Delayed);
+  ASSERT_EQ(t.query.patterns.size(), 2u);
+  EXPECT_EQ(t.query.patterns[0].terms()[0].kind, Term::Kind::Expr);
+}
+
+TEST(ParserTest, NegationConjunct) {
+  const Program p = parse_program(R"(
+    process P
+    behavior
+      not ([index, *]) -> exit
+    end
+  )");
+  const Transaction& t = p.defs[0].body->children[0]->txn;
+  ASSERT_EQ(t.query.negations.size(), 1u);
+  EXPECT_EQ(t.query.negations[0].patterns.size(), 1u);
+}
+
+TEST(ParserTest, NegationWithInnerGuard) {
+  const Program p = parse_program(R"(
+    process P
+    behavior
+      exists m : [max, m], not ([val, v] when v > m) -> [ok]
+    end
+  )");
+  // NOTE: v is undeclared here, so it parses as an atom inside the inner
+  // guard comparison... unless declared. Declare it:
+  const Transaction& t = p.defs[0].body->children[0]->txn;
+  ASSERT_EQ(t.query.negations.size(), 1u);
+  ASSERT_NE(t.query.negations[0].guard, nullptr);
+}
+
+TEST(ParserTest, SelectionRepetitionReplication) {
+  const Program p = parse_program(R"(
+    process P
+    behavior
+      { [a]! -> [x] | [b]! -> [y] };
+      *{ [c]! -> [z] };
+      ||{ [d]! -> [w] }
+    end
+  )");
+  const Statement& body = *p.defs[0].body;
+  ASSERT_EQ(body.children.size(), 3u);
+  EXPECT_EQ(body.children[0]->kind, Statement::Kind::Selection);
+  EXPECT_EQ(body.children[0]->branches.size(), 2u);
+  EXPECT_EQ(body.children[1]->kind, Statement::Kind::Repetition);
+  EXPECT_EQ(body.children[2]->kind, Statement::Kind::Replication);
+}
+
+TEST(ParserTest, BranchBodies) {
+  const Program p = parse_program(R"(
+    process P
+    behavior
+      *{ [go]! -> let X = 1; [step, 1] -> [step, 2]; [more] -> skip
+       | not ([go]) -> exit }
+    end
+  )");
+  const Statement& rep = *p.defs[0].body->children[0];
+  ASSERT_EQ(rep.branches.size(), 2u);
+  ASSERT_NE(rep.branches[0].body, nullptr);
+  EXPECT_EQ(rep.branches[0].body->children.size(), 2u);
+  EXPECT_EQ(rep.branches[1].body, nullptr);
+  EXPECT_EQ(rep.branches[1].guard.control, ControlAction::Exit);
+}
+
+TEST(ParserTest, ImportExportEntries) {
+  const Program p = parse_program(R"(
+    process Sort(id1, id2)
+    import [id1, *, *, *], [id2, *, *, *]
+    export [id1, *, *, *], [id2, *, *, *]
+    behavior
+      -> skip
+    end
+  )");
+  const ProcessDef& def = p.defs[0];
+  EXPECT_EQ(def.view.imports.size(), 2u);
+  EXPECT_EQ(def.view.exports.size(), 2u);
+  EXPECT_FALSE(def.view.import_all);
+  EXPECT_EQ(def.view.imports[0].pattern.terms()[0].kind, Term::Kind::Var);
+}
+
+TEST(ParserTest, ImportEntryWithDeclaredVarsAndGuard) {
+  // The Label view: p, l : [label, p, l] where neighbor(p, r)   (§3.3)
+  const Program p = parse_program(R"(
+    process Label(r, t)
+    import p, l : [label, p, l] where neighbor(p, r)
+    behavior
+      -> skip
+    end
+  )");
+  const ViewEntry& entry = p.defs[0].view.imports[0];
+  EXPECT_EQ(entry.pattern.terms()[1].kind, Term::Kind::Var);
+  ASSERT_NE(entry.guard, nullptr);
+  EXPECT_EQ(entry.guard->op(), Expr::Op::Call);
+}
+
+TEST(ParserTest, ConsensusTag) {
+  const Program p = parse_program(R"(
+    process P(k, j)
+    behavior
+      when k % 2**(j+1) = 0 ^ spawn P(k, j + 1)
+    end
+  )");
+  const Transaction& t = p.defs[0].body->children[0]->txn;
+  EXPECT_EQ(t.type, TxnType::Consensus);
+  ASSERT_EQ(t.spawns.size(), 1u);
+  EXPECT_EQ(t.spawns[0].process_type, "P");
+}
+
+TEST(ParserTest, ForAllQuantifier) {
+  const Program p = parse_program(R"(
+    process P
+    behavior
+      forall q : [threshold, q, *]! => skip
+    end
+  )");
+  const Transaction& t = p.defs[0].body->children[0]->txn;
+  EXPECT_EQ(t.query.quantifier, Quantifier::ForAll);
+  EXPECT_TRUE(t.query.patterns[0].retract_tagged());
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  const Program p = parse_program("init { [x, 2 + 3 * 4, (2 + 3) * 4, 2 ** 3 ** 2] }");
+  EXPECT_EQ(p.seeds[0], tup("x", 14, 20, 512));
+}
+
+TEST(ParserTest, ErrorsCarryPositions) {
+  try {
+    parse_program("process P behavior [a -> skip end");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_GT(e.line(), 0);
+    EXPECT_NE(std::string(e.what()).find("line"), std::string::npos);
+  }
+}
+
+TEST(ParserTest, MissingTagIsError) {
+  EXPECT_THROW(parse_program("process P behavior [a]! end"), ParseError);
+}
+
+TEST(ParserTest, NonConstantInitIsError) {
+  // Host-function calls cannot be evaluated at parse time.
+  EXPECT_THROW(parse_program("init { [x, T(5)] }"), ParseError);
+}
+
+TEST(ParserTest, ScopeDoesNotLeakAcrossProcesses) {
+  // 'k' is a param of P only; in Q's pattern it must be an atom.
+  const Program p = parse_program(R"(
+    process P(k) behavior -> [out, k] end
+    process Q behavior [k, 1] -> skip end
+  )");
+  const Term& head = p.defs[1].body->children[0]->txn.query.patterns[0].terms()[0];
+  ASSERT_EQ(head.kind, Term::Kind::Expr);
+  EXPECT_EQ(head.expr->constant(), Value::atom("k"));
+}
+
+}  // namespace
+}  // namespace sdl::lang

@@ -1,0 +1,137 @@
+// Pretty-printer round trips: parse → print → parse must be a fixpoint,
+// and printed programs must behave identically to their originals.
+#include "lang/printer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lang/compile.hpp"
+
+namespace sdl::lang {
+namespace {
+
+/// print(parse(src)) re-parses, and printing again is a fixpoint.
+void expect_roundtrip(const std::string& src) {
+  const Program p1 = parse_program(src);
+  const std::string printed1 = print_program(p1);
+  Program p2;
+  ASSERT_NO_THROW(p2 = parse_program(printed1)) << "printed source:\n" << printed1;
+  const std::string printed2 = print_program(p2);
+  EXPECT_EQ(printed1, printed2) << "printer not a fixpoint";
+}
+
+TEST(PrinterTest, SimpleProcess) {
+  expect_roundtrip(R"(
+    process Hello
+    behavior
+      -> [greeting, 42]
+    end
+    spawn Hello()
+  )");
+}
+
+TEST(PrinterTest, QuantifiersGuardsRetractsActions) {
+  expect_roundtrip(R"(
+    process Finder(bound)
+    behavior
+      exists a : [year, a]! when a > bound -> let N = a, [found, a], spawn Finder(a)
+    end
+  )");
+}
+
+TEST(PrinterTest, NegationsAndForall) {
+  expect_roundtrip(R"(
+    process P
+    behavior
+      forall q : [threshold, q, *]!, not ([label, l] when l > q) => skip;
+      not ([work, *]) -> exit
+    end
+  )");
+}
+
+TEST(PrinterTest, AllConstructs) {
+  expect_roundtrip(R"(
+    process P(k)
+    behavior
+      { [a]! -> [x] | [b]! -> [y]; [c, k] -> skip };
+      *{ exists n : [n1, n]! when n > 0 -> [n1, n - 1] };
+      ||{ exists v, a, u, b : [v, a]!, [u, b]! when v != u -> [u, a + b] };
+      when k % 2 = 0 ^ exit
+    end
+  )");
+}
+
+TEST(PrinterTest, ViewsWithEntryVarsAndGuards) {
+  expect_roundtrip(R"(
+    process Label(r, t)
+    import [id1, *, *], p, l : [label, p, l] where neighbor(p, r)
+    export [label, r, *]
+    behavior
+      -> skip
+    end
+  )");
+}
+
+TEST(PrinterTest, InitAndSpawns) {
+  expect_roundtrip(R"(
+    init { [year, 87]; [pi, 3.5]; [s, "hello"]; [flag, true] }
+    spawn A(1, two, 3.5)
+  )");
+}
+
+TEST(PrinterTest, ExpressionsKeepMeaning) {
+  // Precedence must survive printing: evaluate seeds both ways.
+  const std::string src = "init { [x, 2 + 3 * 4, (2 + 3) * 4, 2 ** 3 ** 2, -(4 - 7)] }";
+  const Program p1 = parse_program(src);
+  const Program p2 = parse_program(print_program(p1));
+  ASSERT_EQ(p1.seeds.size(), 1u);
+  ASSERT_EQ(p2.seeds.size(), 1u);
+  EXPECT_EQ(p1.seeds[0], p2.seeds[0]);
+}
+
+TEST(PrinterTest, PaperScriptsRoundTripBehaviorally) {
+  // The shipped Sum3 script and its printed form must compute the same
+  // final dataspace.
+  const std::string src = R"(
+    process Sum3
+    behavior
+      ||{ exists v, a, u, b : [v, a]!, [u, b]! when v != u -> [u, a + b] }
+    end
+    init { [1, 10]; [2, 20]; [3, 30] }
+    spawn Sum3()
+  )";
+  RuntimeOptions o;
+  o.scheduler.workers = 4;
+  o.scheduler.replication_width = 2;
+
+  Runtime rt1(o);
+  load_source(rt1, src);
+  ASSERT_TRUE(rt1.run().clean());
+
+  Runtime rt2(o);
+  load_source(rt2, print_program(parse_program(src)));
+  ASSERT_TRUE(rt2.run().clean());
+
+  ASSERT_EQ(rt1.space().size(), 1u);
+  ASSERT_EQ(rt2.space().size(), 1u);
+  EXPECT_EQ(rt1.space().snapshot()[0].tuple[1], rt2.space().snapshot()[0].tuple[1]);
+}
+
+TEST(PrinterTest, SortScriptRoundTrips) {
+  expect_roundtrip(R"(
+    process Sort(id1, id2)
+    import [id1, *, *, *], [id2, *, *, *]
+    export [id1, *, *, *], [id2, *, *, *]
+    behavior
+      *{ exists p1, v1, n1, p2, v2, n2 :
+           [id1, p1, v1, n1]!, [id2, p2, v2, n2]! when p1 > p2
+           -> [id1, p2, v2, n1], [id2, p1, v1, n2]
+       | exists p1, p2 : [id1, p1, *, *], [id2, p2, *, *] when p1 <= p2
+           ^ exit
+       }
+    end
+    spawn Sort(1, 2)
+  )");
+}
+
+}  // namespace
+}  // namespace sdl::lang

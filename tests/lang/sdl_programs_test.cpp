@@ -1,0 +1,248 @@
+// End-to-end tests: the paper's programs written in SDL source, parsed,
+// loaded and run to completion.
+#include "lang/compile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <unordered_map>
+
+namespace sdl::lang {
+namespace {
+
+RuntimeOptions small_opts() {
+  RuntimeOptions o;
+  o.scheduler.workers = 4;
+  o.scheduler.replication_width = 4;
+  return o;
+}
+
+TEST(SdlProgramTest, HelloDataspace) {
+  Runtime rt(small_opts());
+  load_source(rt, R"(
+    process Hello
+    behavior
+      -> [greeting, 42]
+    end
+    spawn Hello()
+  )");
+  const RunReport report = rt.run();
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(rt.space().count(tup("greeting", 42)), 1u);
+}
+
+TEST(SdlProgramTest, PaperSection2Example) {
+  // The §2.2 delayed transaction: wait for a year beyond 87.
+  Runtime rt(small_opts());
+  load_source(rt, R"(
+    process Watcher
+    behavior
+      exists a : [year, a] when a > 87 => [new_year]
+    end
+    process Ticker
+    behavior
+      [year, 87]! -> [year, 88]
+    end
+    init { [year, 87] }
+    spawn Watcher()
+    spawn Ticker()
+  )");
+  const RunReport report = rt.run();
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(rt.space().count(tup("new_year")), 1u);
+  EXPECT_EQ(rt.space().count(tup("year", 88)), 1u);
+}
+
+TEST(SdlProgramTest, Sum3Replication) {
+  // §3.1 Sum3: the whole program is one replication.
+  Runtime rt(small_opts());
+  load_source(rt, R"(
+    process Sum3
+    behavior
+      ||{ exists v, a, u, b : [v, a]!, [u, b]! when v != u -> [u, a + b] }
+    end
+    init { [1, 10]; [2, 20]; [3, 30]; [4, 40] }
+    spawn Sum3()
+  )");
+  const RunReport report = rt.run();
+  EXPECT_TRUE(report.clean());
+  ASSERT_EQ(rt.space().size(), 1u);
+  EXPECT_EQ(rt.space().snapshot()[0].tuple[1], Value(100));
+}
+
+TEST(SdlProgramTest, Sum2AsynchronousPhases) {
+  // §3.1 Sum2: phase-tagged pairwise sums via delayed transactions.
+  // D = { <k, A(k), 1> }, Sum2(k,j) for k mod 2^j == 0.
+  Runtime rt(small_opts());
+  std::string src = R"(
+    process Sum2(k, j)
+    behavior
+      exists a, b : [k - 2**(j-1), a, j]!, [k, b, j]! => [k, a + b, j + 1]
+    end
+    init { [1, 11, 1]; [2, 22, 1]; [3, 33, 1]; [4, 44, 1];
+           [5, 55, 1]; [6, 66, 1]; [7, 77, 1]; [8, 88, 1] }
+  )";
+  load_source(rt, src);
+  for (int j = 1; j <= 3; ++j) {
+    for (int k = 1; k <= 8; ++k) {
+      if (k % (1 << j) == 0) {
+        rt.spawn("Sum2", {Value(k), Value(j)});
+      }
+    }
+  }
+  const RunReport report = rt.run();
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(rt.space().count(tup(8, 11 + 22 + 33 + 44 + 55 + 66 + 77 + 88, 4)), 1u);
+}
+
+TEST(SdlProgramTest, PropertyListFind) {
+  // §3.2 Find(P): content addressing, plus the not-found alternative.
+  Runtime rt(small_opts());
+  load_source(rt, R"(
+    process Find(P)
+    behavior
+      { exists v : [*, P, v, *] -> [P, v]
+      | not ([*, P, *, *]) -> [P, not_found]
+      }
+    end
+    init {
+      [1, color, red, 2];
+      [2, size, 42, 3];
+      [3, weight, 7, nil]
+    }
+    spawn Find(size)
+    spawn Find(flavor)
+  )");
+  const RunReport report = rt.run();
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(rt.space().count(tup("size", 42)), 1u);
+  EXPECT_EQ(rt.space().count(tup("flavor", Value::atom("not_found"))), 1u);
+}
+
+TEST(SdlProgramTest, PropertyListRecursiveSearch) {
+  // §3.2 Search(id, P): recursion via dynamic process creation.
+  Runtime rt(small_opts());
+  load_source(rt, R"(
+    process Search(id, P)
+    behavior
+      { exists v : [id, P, v, *] -> [P, v]
+      | exists pi : [id, pi, *, nil] when pi != P -> [P, not_found]
+      | exists rho, i : [id, rho, *, i] when rho != P and i != nil -> spawn Search(i, P)
+      }
+    end
+    init {
+      [1, color, red, 2];
+      [2, size, 42, 3];
+      [3, weight, 7, nil]
+    }
+    spawn Search(1, weight)
+  )");
+  const RunReport report = rt.run();
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(rt.space().count(tup("weight", 7)), 1u);
+}
+
+TEST(SdlProgramTest, SortWithConsensusAndViews) {
+  // §3.2 Sort: adjacent-pair processes with two-node views; consensus
+  // detects global sortedness. Sort keys are the property names' values
+  // (we sort by integer payload for checkability).
+  Runtime rt(small_opts());
+  load_source(rt, R"(
+    process Sort(id1, id2)
+    import [id1, *, *, *], [id2, *, *, *]
+    export [id1, *, *, *], [id2, *, *, *]
+    behavior
+      *{ exists p1, v1, n1, p2, v2, n2 :
+           [id1, p1, v1, n1]!, [id2, p2, v2, n2]! when p1 > p2
+           -> [id1, p2, v2, n1], [id2, p1, v1, n2]
+       | exists p1, p2 : [id1, p1, *, *], [id2, p2, *, *] when p1 <= p2
+           ^ exit
+       }
+    end
+    init {
+      [1, 50, fifty, 2];
+      [2, 40, forty, 3];
+      [3, 30, thirty, 4];
+      [4, 20, twenty, 5];
+      [5, 10, ten, nil]
+    }
+    spawn Sort(1, 2)
+    spawn Sort(2, 3)
+    spawn Sort(3, 4)
+    spawn Sort(4, 5)
+  )");
+  const RunReport report = rt.run();
+  EXPECT_TRUE(report.clean()) << (report.parked.empty() ? "" : report.parked[0]);
+  const int want[5] = {10, 20, 30, 40, 50};
+  for (int i = 1; i <= 5; ++i) {
+    bool found = false;
+    rt.space().scan_key(IndexKey::of_head(4, Value(i)), [&](const Record& r) {
+      EXPECT_EQ(r.tuple[1], Value(want[i - 1])) << "node " << i;
+      found = true;
+      return true;
+    });
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(SdlProgramTest, WorkerModelThresholdAndLabel) {
+  // §3.3 Threshold_and_label, worker model: one process, one replication,
+  // on a tiny 2x2 image with two intensity classes. neighbor() and T()
+  // are host functions; pixels are encoded p = y*W + x.
+  RuntimeOptions o = small_opts();
+  Runtime rt(o);
+  constexpr int W = 4;
+  rt.functions().register_function("neighbor", [](std::span<const Value> a) -> Value {
+    const std::int64_t p = a[0].as_int();
+    const std::int64_t q = a[1].as_int();
+    const std::int64_t px = p % W, py = p / W, qx = q % W, qy = q / W;
+    return (std::abs(px - qx) + std::abs(py - qy)) == 1;
+  });
+  rt.functions().register_function("T", [](std::span<const Value> a) -> Value {
+    return a[0].as_int() >= 128 ? 1 : 0;
+  });
+  load_source(rt, R"(
+    process ThresholdAndLabel
+    behavior
+      ||{ exists p, v : [image, p, v]! -> [threshold, p, T(v)], [label, p, p]
+        | exists p1, p2, t, l1, l2 :
+            [threshold, p1, t], [threshold, p2, t],
+            [label, p1, l1]!, [label, p2, l2]!
+            when neighbor(p1, p2) and l1 < l2
+            -> [label, p1, l2], [label, p2, l2]
+        }
+    end
+  )");
+  // Image: left 2 columns dark (0..), right 2 columns bright (>=128).
+  for (int y = 0; y < W; ++y) {
+    for (int x = 0; x < W; ++x) {
+      rt.seed(tup("image", y * W + x, x < 2 ? 10 : 200));
+    }
+  }
+  rt.spawn("ThresholdAndLabel");
+  const RunReport report = rt.run();
+  EXPECT_TRUE(report.clean()) << (report.errors.empty() ? "" : report.errors[0]);
+  // Two regions: all dark pixels share one label, all bright another.
+  std::unordered_map<std::int64_t, std::int64_t> label_of;
+  rt.space().scan_arity(3, [&](const Record& r) {
+    if (r.tuple[0] == Value::atom("label")) {
+      label_of[r.tuple[1].as_int()] = r.tuple[2].as_int();
+    }
+    return true;
+  });
+  ASSERT_EQ(label_of.size(), static_cast<std::size_t>(W * W));
+  for (int y = 0; y < W; ++y) {
+    for (int x = 0; x < W; ++x) {
+      const std::int64_t p = y * W + x;
+      EXPECT_EQ(label_of[p], label_of[x < 2 ? 0 : 3])
+          << "pixel " << p << " mislabeled";
+    }
+  }
+}
+
+TEST(SdlProgramTest, ParseFileRoundTrip) {
+  EXPECT_THROW(parse_file("/nonexistent/path.sdl"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sdl::lang

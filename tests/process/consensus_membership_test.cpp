@@ -1,0 +1,159 @@
+// Consensus-set membership edge cases: the paper's fire condition is
+// "whenever ALL processes in the consensus set are ready" — overlapping
+// processes that are NOT at a consensus offer must block the fire.
+#include <gtest/gtest.h>
+
+#include "process/runtime.hpp"
+
+namespace sdl {
+namespace {
+
+RuntimeOptions small_opts() {
+  RuntimeOptions o;
+  o.scheduler.workers = 4;
+  return o;
+}
+
+TEST(ConsensusMembershipTest, DelayedParkedOverlapBlocksFire) {
+  // Two consensus members + one delayed-parked process, all importing the
+  // same tuple: the delayed process is in the consensus set but never
+  // ready, so the set must not fire — the run deadlocks with all three.
+  Runtime rt(small_opts());
+  rt.seed(tup("shared", 0));
+  ProcessDef member;
+  member.name = "Member";
+  member.view.import(pat({A("shared"), W()}));
+  member.body = seq({stmt(TxnBuilder(TxnType::Consensus)
+                              .match(pat({A("shared"), W()}))
+                              .build())});
+  rt.define(std::move(member));
+  ProcessDef blocker;
+  blocker.name = "Blocker";
+  blocker.view.import(pat({A("shared"), W()}));
+  blocker.body = seq({stmt(TxnBuilder(TxnType::Delayed)
+                               .match(pat({A("shared"), C(99)}))
+                               .build())});
+  rt.define(std::move(blocker));
+  rt.spawn("Member");
+  rt.spawn("Member");
+  rt.spawn("Blocker");
+  const RunReport report = rt.run();
+  EXPECT_EQ(report.still_parked, 3u);
+  EXPECT_EQ(rt.consensus().fires(), 0u);
+}
+
+TEST(ConsensusMembershipTest, FireProceedsOnceBlockerSatisfied) {
+  // Same setup, but the blocker's delayed transaction becomes satisfiable
+  // between runs; once it completes, the consensus set is all-ready.
+  Runtime rt(small_opts());
+  rt.seed(tup("shared", 0));
+  ProcessDef member;
+  member.name = "Member";
+  member.view.import(pat({A("shared"), W()}));
+  member.view.export_(pat({A("fired"), W()}));
+  member.body = seq({stmt(TxnBuilder(TxnType::Consensus)
+                              .match(pat({A("shared"), W()}))
+                              .assert_tuple({lit(Value::atom("fired")), lit(1)})
+                              .build())});
+  rt.define(std::move(member));
+  ProcessDef blocker;
+  blocker.name = "Blocker";
+  blocker.view.import(pat({A("shared"), W()}));
+  blocker.body = seq({stmt(TxnBuilder(TxnType::Delayed)
+                               .match(pat({A("shared"), C(99)}), true)
+                               .build())});
+  rt.define(std::move(blocker));
+  rt.spawn("Member");
+  rt.spawn("Member");
+  rt.spawn("Blocker");
+  ASSERT_TRUE(rt.run().deadlocked());
+  ASSERT_EQ(rt.consensus().fires(), 0u);
+
+  rt.seed(tup("shared", 99));  // satisfies the blocker, which terminates
+  const RunReport second = rt.run();
+  EXPECT_TRUE(second.clean()) << (second.parked.empty() ? "" : second.parked[0]);
+  EXPECT_EQ(rt.consensus().fires(), 1u);
+  EXPECT_EQ(rt.space().count(tup("fired", 1)), 2u);
+}
+
+TEST(ConsensusMembershipTest, EmptyImportIsSingleton) {
+  // A process whose import matches nothing in D overlaps nobody: its
+  // consensus fires alone even while unrelated processes stay parked.
+  Runtime rt(small_opts());
+  rt.seed(tup("other", 1));
+  ProcessDef solo;
+  solo.name = "Solo";
+  solo.view.import(pat({A("mine"), W()}));
+  solo.view.export_(pat({A("solo-done")}));
+  solo.body = seq({stmt(TxnBuilder(TxnType::Consensus)
+                            .none({pat({A("mine"), W()})})
+                            .assert_tuple({lit(Value::atom("solo-done"))})
+                            .build())});
+  rt.define(std::move(solo));
+  ProcessDef stuck;
+  stuck.name = "Stuck";
+  stuck.view.import(pat({A("other"), W()}));
+  stuck.body = seq({stmt(TxnBuilder(TxnType::Delayed)
+                             .match(pat({A("other"), C(2)}))
+                             .build())});
+  rt.define(std::move(stuck));
+  rt.spawn("Solo");
+  rt.spawn("Stuck");
+  const RunReport report = rt.run();
+  EXPECT_EQ(report.still_parked, 1u) << "only Stuck remains";
+  EXPECT_EQ(rt.space().count(tup("solo-done")), 1u);
+}
+
+TEST(ConsensusMembershipTest, TerminationShrinksTheSet) {
+  // A member that terminates (rather than offering consensus) leaves the
+  // set; the remaining members then fire.
+  Runtime rt(small_opts());
+  rt.seed(tup("shared", 0));
+  ProcessDef member;
+  member.name = "Member";
+  member.view.import(pat({A("shared"), W()}));
+  member.view.export_(pat({A("fired"), W()}));
+  member.body = seq({stmt(TxnBuilder(TxnType::Consensus)
+                              .match(pat({A("shared"), W()}))
+                              .assert_tuple({lit(Value::atom("fired")), lit(1)})
+                              .build())});
+  rt.define(std::move(member));
+  ProcessDef transient;
+  transient.name = "Transient";
+  transient.view.import(pat({A("shared"), W()}));
+  // Reads the shared tuple a few times, then simply finishes.
+  transient.body = seq({
+      stmt(TxnBuilder().match(pat({A("shared"), W()})).build()),
+      stmt(TxnBuilder().match(pat({A("shared"), W()})).build()),
+  });
+  rt.define(std::move(transient));
+  rt.spawn("Member");
+  rt.spawn("Member");
+  rt.spawn("Transient");
+  const RunReport report = rt.run();
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(rt.consensus().fires(), 1u);
+  EXPECT_EQ(rt.space().count(tup("fired", 1)), 2u);
+}
+
+TEST(ConsensusMembershipTest, DeadlockReportNamesConsensusWaiters) {
+  Runtime rt(small_opts());
+  rt.seed(tup("shared", 0));
+  ProcessDef member;
+  member.name = "Lonely";
+  member.view.import(pat({A("shared"), W()}));
+  member.body = seq({stmt(TxnBuilder(TxnType::Consensus)
+                              .match(pat({A("absent")}))
+                              .build())});
+  rt.define(std::move(member));
+  rt.spawn("Lonely");
+  const RunReport report = rt.run();
+  ASSERT_EQ(report.parked.size(), 1u);
+  EXPECT_NE(report.parked[0].find("Lonely"), std::string::npos);
+  EXPECT_NE(report.parked[0].find("waiting on"), std::string::npos);
+  EXPECT_NE(report.parked[0].find("[absent]"), std::string::npos)
+      << "report should show the unsatisfiable query: " << report.parked[0];
+}
+
+}  // namespace
+}  // namespace sdl

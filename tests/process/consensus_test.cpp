@@ -1,0 +1,265 @@
+#include "process/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sdl {
+namespace {
+
+RuntimeOptions small_opts() {
+  RuntimeOptions o;
+  o.scheduler.workers = 4;
+  return o;
+}
+
+TEST(ConsensusTest, SingletonConsensusFires) {
+  // A lone process whose import overlaps nobody forms a singleton
+  // consensus set: its transaction fires as soon as its query holds.
+  Runtime rt(small_opts());
+  rt.seed(tup("mine", 1));
+  ProcessDef def;
+  def.name = "Solo";
+  def.view.import(pat({A("mine"), W()}));
+  def.body = seq({stmt(TxnBuilder(TxnType::Consensus)
+                           .match(pat({A("mine"), W()}), true)
+                           .build())});
+  rt.define(std::move(def));
+  rt.spawn("Solo");
+  const RunReport report = rt.run();
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(rt.space().count(tup("mine", 1)), 0u);
+  EXPECT_GE(rt.consensus().fires(), 1u);
+}
+
+TEST(ConsensusTest, BarrierSynchronizesTwoProcesses) {
+  // Two import-everything processes: consensus = 2-way barrier; the
+  // composite applies both effects atomically.
+  Runtime rt(small_opts());
+  rt.seed(tup("shared", 0));
+  ProcessDef def;
+  def.name = "Member";
+  def.params = {"k"};
+  def.body = seq({stmt(TxnBuilder(TxnType::Consensus)
+                           .match(pat({A("shared"), W()}))
+                           .assert_tuple({lit(Value::atom("arrived")), evar("k")})
+                           .build())});
+  rt.define(std::move(def));
+  rt.spawn("Member", {Value(1)});
+  rt.spawn("Member", {Value(2)});
+  const RunReport report = rt.run();
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(rt.space().count(tup("arrived", 1)), 1u);
+  EXPECT_EQ(rt.space().count(tup("arrived", 2)), 1u);
+  EXPECT_EQ(rt.consensus().fires(), 1u) << "one composite fire for both";
+}
+
+TEST(ConsensusTest, ConsensusWaitsForLaggard) {
+  // Three barrier members; one does extra work first. The consensus must
+  // not fire until the laggard is also ready.
+  Runtime rt(small_opts());
+  rt.seed(tup("shared", 0));
+  for (int i = 0; i < 20; ++i) rt.seed(tup("work", i));
+
+  ProcessDef fast;
+  fast.name = "Fast";
+  fast.body = seq({stmt(TxnBuilder(TxnType::Consensus)
+                            .match(pat({A("shared"), W()}))
+                            .assert_tuple({lit(Value::atom("fired"))})
+                            .build())});
+  rt.define(std::move(fast));
+
+  ProcessDef slow;
+  slow.name = "Slow";
+  slow.body = seq({
+      repeat({branch(TxnBuilder()
+                         .exists({"w"})
+                         .match(pat({A("work"), V("w")}), true)
+                         .build())}),
+      stmt(TxnBuilder(TxnType::Consensus)
+               .match(pat({A("shared"), W()}))
+               .assert_tuple({lit(Value::atom("fired"))})
+               .build()),
+  });
+  rt.define(std::move(slow));
+
+  rt.spawn("Fast");
+  rt.spawn("Fast");
+  rt.spawn("Slow");
+  const RunReport report = rt.run();
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(rt.space().count(tup("fired")), 3u);
+  EXPECT_EQ(rt.space().count(tup("work", 5)), 0u) << "laggard finished first";
+  EXPECT_EQ(rt.consensus().fires(), 1u);
+}
+
+TEST(ConsensusTest, DisjointViewsFormSeparateConsensusSets) {
+  // Two communities with non-overlapping imports fire independently.
+  Runtime rt(small_opts());
+  rt.seed(tup("red", 0));
+  rt.seed(tup("blue", 0));
+  ProcessDef red;
+  red.name = "Red";
+  red.view.import(pat({A("red"), W()}));
+  red.view.export_(pat({A("red-done"), W()}));
+  red.body = seq({stmt(TxnBuilder(TxnType::Consensus)
+                           .match(pat({A("red"), W()}))
+                           .assert_tuple({lit(Value::atom("red-done")), lit(1)})
+                           .build())});
+  rt.define(std::move(red));
+  ProcessDef blue;
+  blue.name = "Blue";
+  blue.view.import(pat({A("blue"), W()}));
+  blue.view.export_(pat({A("blue-done"), W()}));
+  blue.body = seq({stmt(TxnBuilder(TxnType::Consensus)
+                            .match(pat({A("blue"), W()}))
+                            .assert_tuple({lit(Value::atom("blue-done")), lit(1)})
+                            .build())});
+  rt.define(std::move(blue));
+  rt.spawn("Red");
+  rt.spawn("Red");
+  rt.spawn("Blue");
+  rt.spawn("Blue");
+  const RunReport report = rt.run();
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(rt.space().count(tup("red-done", 1)), 2u);
+  EXPECT_EQ(rt.space().count(tup("blue-done", 1)), 2u);
+  EXPECT_EQ(rt.consensus().fires(), 2u) << "two disjoint sets, two fires";
+}
+
+TEST(ConsensusTest, FailingQueryBlocksConsensusForever) {
+  Runtime rt(small_opts());
+  rt.seed(tup("present", 1));
+  ProcessDef def;
+  def.name = "Never";
+  def.view.import(pat({A("present"), W()}));
+  def.body = seq({stmt(TxnBuilder(TxnType::Consensus)
+                           .match(pat({A("absent")}))
+                           .build())});
+  rt.define(std::move(def));
+  rt.spawn("Never");
+  const RunReport report = rt.run();
+  EXPECT_TRUE(report.deadlocked());
+  ASSERT_EQ(report.parked.size(), 1u);
+  EXPECT_NE(report.parked[0].find("consensus"), std::string::npos);
+}
+
+TEST(ConsensusTest, SelectionMixesImmediateAndConsensusGuards) {
+  // The Sort pattern (§3.2): loop { swap-if-unordered | consensus-exit }.
+  // Here: consume work items; when none remain anywhere, all members
+  // reach consensus and exit.
+  Runtime rt(small_opts());
+  for (int i = 0; i < 12; ++i) rt.seed(tup("work", i));
+  rt.seed(tup("done-marker"));
+  ProcessDef def;
+  def.name = "Worker";
+  def.body = seq({
+      repeat({
+          branch(TxnBuilder()
+                     .exists({"w"})
+                     .match(pat({A("work"), V("w")}), true)
+                     .build()),
+          branch(TxnBuilder(TxnType::Consensus)
+                     .match(pat({A("done-marker")}))
+                     .none({pat({A("work"), W()})})
+                     .exit_()
+                     .build()),
+      }),
+      stmt(TxnBuilder().assert_tuple({lit(Value::atom("exited"))}).build()),
+  });
+  rt.define(std::move(def));
+  rt.spawn("Worker");
+  rt.spawn("Worker");
+  rt.spawn("Worker");
+  const RunReport report = rt.run();
+  EXPECT_TRUE(report.clean()) << (report.parked.empty() ? "" : report.parked[0]);
+  EXPECT_EQ(rt.space().count(tup("exited")), 3u);
+  std::size_t work_left = 0;
+  for (const Record& r : rt.space().snapshot()) {
+    if (r.tuple.arity() == 2 && r.tuple[0] == Value::atom("work")) ++work_left;
+  }
+  EXPECT_EQ(work_left, 0u);
+}
+
+TEST(ConsensusTest, PaperSortWithConsensusTermination) {
+  // The paper's §3.2 distributed Sort: one process per adjacent node
+  // pair, views restricted to the two nodes, consensus detects global
+  // sortedness. Nodes: <id, name, value, next>.
+  Runtime rt(small_opts());
+  // 5-node list with shuffled names (values ride along with names).
+  const int n = 5;
+  const char* names[n] = {"echo", "delta", "charlie", "bravo", "alpha"};
+  for (int i = 1; i <= n; ++i) {
+    rt.seed(tup(i, Value::atom(names[i - 1]), i * 10,
+                i == n ? Value::atom("nil") : Value(i + 1)));
+  }
+  ProcessDef def;
+  def.name = "Sort";
+  def.params = {"id1", "id2"};
+  def.view.import(pat({V("id1"), W(), W(), W()}));
+  def.view.import(pat({V("id2"), W(), W(), W()}));
+  def.view.export_(pat({V("id1"), W(), W(), W()}));
+  def.view.export_(pat({V("id2"), W(), W(), W()}));
+  def.body = seq({repeat({
+      // Swap the (name, value) payloads when out of order.
+      branch(TxnBuilder()
+                 .exists({"p1", "v1", "nx1", "p2", "v2", "nx2"})
+                 .match(pat({E(evar("id1")), V("p1"), V("v1"), V("nx1")}), true)
+                 .match(pat({E(evar("id2")), V("p2"), V("v2"), V("nx2")}), true)
+                 .where(gt(evar("p1"), evar("p2")))
+                 .assert_tuple({evar("id1"), evar("p2"), evar("v2"), evar("nx1")})
+                 .assert_tuple({evar("id2"), evar("p1"), evar("v1"), evar("nx2")})
+                 .build()),
+      // Consensus: both nodes ordered -> community-wide exit.
+      branch(TxnBuilder(TxnType::Consensus)
+                 .exists({"p1", "p2"})
+                 .match(pat({E(evar("id1")), V("p1"), W(), W()}))
+                 .match(pat({E(evar("id2")), V("p2"), W(), W()}))
+                 .where(le(evar("p1"), evar("p2")))
+                 .exit_()
+                 .build()),
+  })});
+  rt.define(std::move(def));
+  for (int i = 1; i < n; ++i) rt.spawn("Sort", {Value(i), Value(i + 1)});
+  const RunReport report = rt.run();
+  EXPECT_TRUE(report.clean()) << (report.parked.empty() ? "" : report.parked[0]);
+  // Names must now be sorted along the list.
+  const char* expect[n] = {"alpha", "bravo", "charlie", "delta", "echo"};
+  for (int i = 1; i <= n; ++i) {
+    bool found = false;
+    rt.space().scan_key(IndexKey::of_head(4, Value(i)), [&](const Record& r) {
+      EXPECT_EQ(r.tuple[1], Value::atom(expect[i - 1])) << "node " << i;
+      found = true;
+      return true;
+    });
+    EXPECT_TRUE(found) << "node " << i << " missing";
+  }
+  EXPECT_GE(rt.consensus().fires(), 1u);
+}
+
+TEST(ConsensusTest, CompositeAppliesRetractionsBeforeAssertions) {
+  // Two members both retract their own tuple and assert a replacement
+  // derived from the *pre-state* — the composite rule (§2.2).
+  Runtime rt(small_opts());
+  rt.seed(tup("cell", 1, 10));
+  rt.seed(tup("cell", 2, 20));
+  ProcessDef def;
+  def.name = "Rotate";
+  def.params = {"mine", "theirs"};
+  def.body = seq({stmt(TxnBuilder(TxnType::Consensus)
+                           .exists({"v", "w"})
+                           .match(pat({A("cell"), E(evar("mine")), V("v")}), true)
+                           .match(pat({A("cell"), E(evar("theirs")), V("w")}))
+                           .assert_tuple({lit(Value::atom("cell")), evar("mine"),
+                                          evar("w")})
+                           .build())});
+  rt.define(std::move(def));
+  rt.spawn("Rotate", {Value(1), Value(2)});
+  rt.spawn("Rotate", {Value(2), Value(1)});
+  const RunReport report = rt.run();
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(rt.space().count(tup("cell", 1, 20)), 1u);
+  EXPECT_EQ(rt.space().count(tup("cell", 2, 10)), 1u);
+  EXPECT_EQ(rt.space().size(), 2u);
+}
+
+}  // namespace
+}  // namespace sdl

@@ -1,0 +1,215 @@
+#include "process/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace sdl {
+namespace {
+
+RuntimeOptions small_opts(std::size_t width = 4) {
+  RuntimeOptions o;
+  o.scheduler.workers = 4;
+  o.scheduler.replication_width = width;
+  return o;
+}
+
+/// The paper's Sum3 (§3.1): ≋[ ∃ v,a,u,b : [v,a]!, [u,b]! : v != u ->
+/// (u, a+b) ] — pairwise combining with no imposed phase structure.
+ProcessDef sum3_def() {
+  ProcessDef def;
+  def.name = "Sum3";
+  def.body = seq({replicate({branch(TxnBuilder()
+                                        .exists({"v", "a", "u", "b"})
+                                        .match(pat({V("v"), V("a")}), true)
+                                        .match(pat({V("u"), V("b")}), true)
+                                        .where(ne(evar("v"), evar("u")))
+                                        .assert_tuple({evar("u"),
+                                                       add(evar("a"), evar("b"))})
+                                        .build())})});
+  return def;
+}
+
+TEST(ReplicationTest, Sum3ComputesTheSum) {
+  Runtime rt(small_opts());
+  std::int64_t expected = 0;
+  for (int k = 1; k <= 16; ++k) {
+    rt.seed(tup(k, k * 10));
+    expected += k * 10;
+  }
+  rt.define(sum3_def());
+  rt.spawn("Sum3");
+  const RunReport report = rt.run();
+  EXPECT_TRUE(report.clean()) << (report.errors.empty() ? "" : report.errors[0]);
+  ASSERT_EQ(rt.space().size(), 1u) << "all pairs combined into one tuple";
+  const Record only = rt.space().snapshot()[0];
+  EXPECT_EQ(only.tuple[1], Value(expected));
+}
+
+TEST(ReplicationTest, Sum3SingleTupleTerminatesImmediately) {
+  Runtime rt(small_opts());
+  rt.seed(tup(1, 42));
+  rt.define(sum3_def());
+  rt.spawn("Sum3");
+  const RunReport report = rt.run();
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(rt.space().count(tup(1, 42)), 1u);
+}
+
+TEST(ReplicationTest, EmptyDataspaceTerminates) {
+  Runtime rt(small_opts());
+  rt.define(sum3_def());
+  rt.spawn("Sum3");
+  const RunReport report = rt.run();
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.completed, 1u + 4u);  // parent + replicants
+}
+
+TEST(ReplicationTest, WidthOneStillCorrect) {
+  Runtime rt(small_opts(/*width=*/1));
+  std::int64_t expected = 0;
+  for (int k = 1; k <= 8; ++k) {
+    rt.seed(tup(k, k));
+    expected += k;
+  }
+  rt.define(sum3_def());
+  rt.spawn("Sum3");
+  const RunReport report = rt.run();
+  EXPECT_TRUE(report.clean());
+  ASSERT_EQ(rt.space().size(), 1u);
+  EXPECT_EQ(rt.space().snapshot()[0].tuple[1], Value(expected));
+}
+
+TEST(ReplicationTest, WideReplicationCorrectUnderContention) {
+  RuntimeOptions o;
+  o.scheduler.workers = 8;
+  o.scheduler.replication_width = 8;
+  Runtime rt(o);
+  std::int64_t expected = 0;
+  for (int k = 1; k <= 200; ++k) {
+    rt.seed(tup(k, k));
+    expected += k;
+  }
+  rt.define(sum3_def());
+  rt.spawn("Sum3");
+  const RunReport report = rt.run();
+  EXPECT_TRUE(report.clean());
+  ASSERT_EQ(rt.space().size(), 1u);
+  EXPECT_EQ(rt.space().snapshot()[0].tuple[1], Value(expected));
+}
+
+TEST(ReplicationTest, ContinuesAfterConstruct) {
+  Runtime rt(small_opts());
+  rt.seed(tup(1, 5));
+  rt.seed(tup(2, 6));
+  ProcessDef def = sum3_def();
+  def.body = seq({def.body, stmt(TxnBuilder()
+                                     .assert_tuple({lit(Value::atom("done"))})
+                                     .build())});
+  rt.define(std::move(def));
+  rt.spawn("Sum3");
+  const RunReport report = rt.run();
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(rt.space().count(tup("done")), 1u)
+      << "parent resumes after replication terminates";
+}
+
+TEST(ReplicationTest, MultiBranchReplication) {
+  // Two kinds of work items processed concurrently by one construct.
+  Runtime rt(small_opts());
+  for (int i = 0; i < 10; ++i) rt.seed(tup("red", i));
+  for (int i = 0; i < 10; ++i) rt.seed(tup("blue", i));
+  ProcessDef def;
+  def.name = "Workers";
+  def.body = seq({replicate({
+      branch(TxnBuilder()
+                 .exists({"x"})
+                 .match(pat({A("red"), V("x")}), true)
+                 .assert_tuple({lit(Value::atom("did-red")), evar("x")})
+                 .build()),
+      branch(TxnBuilder()
+                 .exists({"x"})
+                 .match(pat({A("blue"), V("x")}), true)
+                 .assert_tuple({lit(Value::atom("did-blue")), evar("x")})
+                 .build()),
+  })});
+  rt.define(std::move(def));
+  rt.spawn("Workers");
+  const RunReport report = rt.run();
+  EXPECT_TRUE(report.clean());
+  std::size_t red = 0;
+  std::size_t blue = 0;
+  for (const Record& r : rt.space().snapshot()) {
+    if (r.tuple[0] == Value::atom("did-red")) ++red;
+    if (r.tuple[0] == Value::atom("did-blue")) ++blue;
+  }
+  EXPECT_EQ(red, 10u);
+  EXPECT_EQ(blue, 10u);
+}
+
+TEST(ReplicationTest, BranchBodyRunsAfterGuard) {
+  Runtime rt(small_opts());
+  rt.seed(tup("job", 1));
+  rt.seed(tup("job", 2));
+  ProcessDef def;
+  def.name = "BodyWork";
+  def.body = seq({replicate({branch(
+      TxnBuilder()
+          .exists({"j"})
+          .match(pat({A("job"), V("j")}), true)
+          .let_("J", evar("j"))
+          .build(),
+      {stmt(TxnBuilder().assert_tuple({lit(Value::atom("ack")), evar("J")}).build())})})});
+  rt.define(std::move(def));
+  rt.spawn("BodyWork");
+  const RunReport report = rt.run();
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(rt.space().count(tup("ack", 1)), 1u);
+  EXPECT_EQ(rt.space().count(tup("ack", 2)), 1u);
+}
+
+TEST(ReplicationTest, ReplicationSortsPairs) {
+  // The §2.3 exchange-sort replication: swap wrongly-ordered values.
+  Runtime rt(small_opts());
+  const int n = 12;
+  for (int i = 1; i <= n; ++i) rt.seed(tup(i, n + 1 - i));  // reversed
+  ProcessDef def;
+  def.name = "SortRep";
+  def.body = seq({replicate({branch(
+      TxnBuilder()
+          .exists({"i", "j", "v1", "v2"})
+          .match(pat({V("i"), V("v1")}), true)
+          .match(pat({V("j"), V("v2")}), true)
+          .where(land(lt(evar("i"), evar("j")), gt(evar("v1"), evar("v2"))))
+          .assert_tuple({evar("i"), evar("v2")})
+          .assert_tuple({evar("j"), evar("v1")})
+          .build())})});
+  rt.define(std::move(def));
+  rt.spawn("SortRep");
+  const RunReport report = rt.run();
+  EXPECT_TRUE(report.clean());
+  for (int i = 1; i <= n; ++i) {
+    EXPECT_EQ(rt.space().count(tup(i, i)), 1u) << "position " << i;
+  }
+}
+
+TEST(ReplicationTest, AbortInsideReplicantKillsProcess) {
+  Runtime rt(small_opts());
+  rt.seed(tup("bomb", 1));
+  ProcessDef def;
+  def.name = "Bomber";
+  def.body = seq({
+      replicate({branch(
+          TxnBuilder().match(pat({A("bomb"), W()}), true).abort_().build())}),
+      stmt(TxnBuilder().assert_tuple({lit(Value::atom("survived"))}).build()),
+  });
+  rt.define(std::move(def));
+  rt.spawn("Bomber");
+  const RunReport report = rt.run();
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(rt.space().count(tup("survived")), 0u)
+      << "abort terminates the whole process, not just the replicant";
+}
+
+}  // namespace
+}  // namespace sdl

@@ -1,0 +1,167 @@
+// Blocking-selection semantics: immediate guards are retried when the
+// dataspace changes, views gate what can wake a process, and consensus
+// composites honor export filters.
+#include <gtest/gtest.h>
+
+#include "process/runtime.hpp"
+
+namespace sdl {
+namespace {
+
+RuntimeOptions small_opts() {
+  RuntimeOptions o;
+  o.scheduler.workers = 4;
+  return o;
+}
+
+TEST(SelectionRetryTest, ImmediateGuardRetriedAfterCommit) {
+  // The Sort shape without consensus: an immediate guard that is disabled
+  // at first, plus a delayed guard that never fires. Another process later
+  // enables the immediate guard; the parked selection must retry it.
+  Runtime rt(small_opts());
+  ProcessDef waiter;
+  waiter.name = "Waiter";
+  waiter.body = seq({select({
+      branch(TxnBuilder()  // immediate, initially disabled
+                 .match(pat({A("go")}), true)
+                 .assert_tuple({lit(Value::atom("went"))})
+                 .build()),
+      branch(TxnBuilder(TxnType::Delayed)  // never enabled
+                 .match(pat({A("never")}))
+                 .build()),
+  })});
+  rt.define(std::move(waiter));
+  ProcessDef enabler;
+  enabler.name = "Enabler";
+  enabler.body = seq({
+      // Touch unrelated tuples first so spurious wakes are exercised.
+      stmt(TxnBuilder().assert_tuple({lit(Value::atom("noise")), lit(1)}).build()),
+      stmt(TxnBuilder().assert_tuple({lit(Value::atom("go"))}).build()),
+  });
+  rt.define(std::move(enabler));
+  rt.spawn("Waiter");
+  rt.spawn("Enabler");
+  const RunReport report = rt.run();
+  EXPECT_TRUE(report.clean()) << (report.parked.empty() ? "" : report.parked[0]);
+  EXPECT_EQ(rt.space().count(tup("went")), 1u);
+}
+
+TEST(SelectionRetryTest, TwoWaitersOneTokenBothEventuallyServed) {
+  // Weak fairness in the small: repeated token publishes must eventually
+  // serve every parked competitor.
+  Runtime rt(small_opts());
+  ProcessDef eater;
+  eater.name = "Eater";
+  eater.params = {"i"};
+  eater.body = seq({stmt(TxnBuilder(TxnType::Delayed)
+                             .match(pat({A("token")}), true)
+                             .assert_tuple({lit(Value::atom("ate")), evar("i")})
+                             .build())});
+  rt.define(std::move(eater));
+  ProcessDef feeder;
+  feeder.name = "Feeder";
+  feeder.body = seq({
+      stmt(TxnBuilder().assert_tuple({lit(Value::atom("token"))}).build()),
+      stmt(TxnBuilder().assert_tuple({lit(Value::atom("token"))}).build()),
+      stmt(TxnBuilder().assert_tuple({lit(Value::atom("token"))}).build()),
+  });
+  rt.define(std::move(feeder));
+  for (int i = 0; i < 3; ++i) rt.spawn("Eater", {Value(i)});
+  rt.spawn("Feeder");
+  const RunReport report = rt.run();
+  EXPECT_TRUE(report.clean());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(rt.space().count(tup("ate", i)), 1u) << "eater " << i;
+  }
+}
+
+TEST(SelectionRetryTest, DelayedTxnWithViewOnlyWokenIntoItsWindow) {
+  // A delayed transaction behind a view: a tuple OUTSIDE the import
+  // window must not enable it; one inside must.
+  Runtime rt(small_opts());
+  ProcessDef watcher;
+  watcher.name = "Watcher";
+  watcher.view.import(pat({A("year"), V("wy")}), le(evar("wy"), lit(87)));
+  watcher.view.export_(pat({A("seen"), W()}));
+  watcher.body = seq({stmt(TxnBuilder(TxnType::Delayed)
+                               .exists({"a"})
+                               .match(pat({A("year"), V("a")}))
+                               .assert_tuple({lit(Value::atom("seen")), evar("a")})
+                               .build())});
+  rt.define(std::move(watcher));
+  rt.spawn("Watcher");
+  rt.seed(tup("year", 99));  // outside the window
+  const RunReport first = rt.run();
+  EXPECT_TRUE(first.deadlocked()) << "year 99 must not satisfy the window";
+
+  rt.seed(tup("year", 80));  // inside
+  const RunReport second = rt.run();
+  EXPECT_TRUE(second.clean());
+  EXPECT_EQ(rt.space().count(tup("seen", 80)), 1u);
+}
+
+TEST(SelectionRetryTest, ConsensusAssertionsExportFiltered) {
+  // A consensus member whose composite assertion is outside its export
+  // set: the fire succeeds but the foreign tuple is dropped.
+  Runtime rt(small_opts());
+  rt.seed(tup("shared", 0));
+  ProcessDef member;
+  member.name = "Member";
+  member.params = {"i"};
+  member.view.import(pat({A("shared"), W()}));
+  member.view.export_(pat({A("ok"), W()}));
+  member.body = seq({stmt(TxnBuilder(TxnType::Consensus)
+                              .match(pat({A("shared"), W()}))
+                              .assert_tuple({lit(Value::atom("ok")), evar("i")})
+                              .assert_tuple({lit(Value::atom("leak")), evar("i")})
+                              .build())});
+  rt.define(std::move(member));
+  rt.spawn("Member", {Value(1)});
+  rt.spawn("Member", {Value(2)});
+  const RunReport report = rt.run();
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(rt.space().count(tup("ok", 1)), 1u);
+  EXPECT_EQ(rt.space().count(tup("ok", 2)), 1u);
+  EXPECT_EQ(rt.space().count(tup("leak", 1)), 0u);
+  EXPECT_EQ(rt.space().count(tup("leak", 2)), 0u);
+}
+
+TEST(SelectionRetryTest, RepetitionAlternatesGuardsFairly) {
+  // Both guards of a repetition are enabled repeatedly; drain two kinds
+  // of work — the loop must not starve either branch.
+  Runtime rt(small_opts());
+  for (int i = 0; i < 10; ++i) {
+    rt.seed(tup("red", i));
+    rt.seed(tup("blue", i));
+  }
+  ProcessDef drainer;
+  drainer.name = "Drainer";
+  drainer.body = seq({repeat({
+      branch(TxnBuilder()
+                 .exists({"x"})
+                 .match(pat({A("red"), V("x")}), true)
+                 .assert_tuple({lit(Value::atom("out")), lit(Value::atom("r")),
+                                evar("x")})
+                 .build()),
+      branch(TxnBuilder()
+                 .exists({"x"})
+                 .match(pat({A("blue"), V("x")}), true)
+                 .assert_tuple({lit(Value::atom("out")), lit(Value::atom("b")),
+                                evar("x")})
+                 .build()),
+  })});
+  rt.define(std::move(drainer));
+  rt.spawn("Drainer");
+  const RunReport report = rt.run();
+  EXPECT_TRUE(report.clean());
+  std::size_t outs = 0;
+  rt.space().scan_key(IndexKey::of_head(3, Value::atom("out")),
+                      [&](const Record&) {
+                        ++outs;
+                        return true;
+                      });
+  EXPECT_EQ(outs, 20u);
+}
+
+}  // namespace
+}  // namespace sdl

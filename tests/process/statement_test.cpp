@@ -1,0 +1,131 @@
+#include "process/statement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "process/process.hpp"
+
+namespace sdl {
+namespace {
+
+Transaction assert_txn(const char* head, int v) {
+  return TxnBuilder().assert_tuple({lit(Value::atom(head)), lit(v)}).build();
+}
+
+TEST(StatementTest, FactoriesSetKinds) {
+  EXPECT_EQ(stmt(assert_txn("a", 1))->kind, Statement::Kind::Txn);
+  EXPECT_EQ(seq({})->kind, Statement::Kind::Sequence);
+  EXPECT_EQ(select({})->kind, Statement::Kind::Selection);
+  EXPECT_EQ(repeat({})->kind, Statement::Kind::Repetition);
+  EXPECT_EQ(replicate({})->kind, Statement::Kind::Replication);
+}
+
+TEST(StatementTest, BranchWrapsRestInSequence) {
+  Branch b = branch(assert_txn("g", 1), {stmt(assert_txn("a", 1)), stmt(assert_txn("b", 2))});
+  ASSERT_NE(b.body, nullptr);
+  EXPECT_EQ(b.body->kind, Statement::Kind::Sequence);
+  EXPECT_EQ(b.body->children.size(), 2u);
+}
+
+TEST(StatementTest, GuardOnlyBranchHasNoBody) {
+  Branch b = branch(assert_txn("g", 1));
+  EXPECT_EQ(b.body, nullptr);
+}
+
+TEST(StatementTest, ResolveReachesNestedTransactions) {
+  StmtPtr s = seq({
+      stmt(TxnBuilder().exists({"a"}).match(pat({A("x"), V("a")})).build()),
+      repeat({branch(TxnBuilder().exists({"b"}).match(pat({A("y"), V("b")})).build(),
+                     {stmt(TxnBuilder().let_("n", evar("b")).build())})}),
+  });
+  SymbolTable st;
+  s->resolve(st);
+  EXPECT_NE(st.lookup("a"), std::nullopt);
+  EXPECT_NE(st.lookup("b"), std::nullopt);
+  EXPECT_NE(st.lookup("n"), std::nullopt);
+}
+
+TEST(StatementTest, ToStringShowsStructure) {
+  StmtPtr s = repeat({branch(assert_txn("g", 1))});
+  const std::string text = s->to_string();
+  EXPECT_NE(text.find("*{"), std::string::npos);
+  EXPECT_NE(text.find("[g, 1]"), std::string::npos);
+}
+
+TEST(ProcessDefTest, FinalizeInternsParamsFirst) {
+  ProcessDef def;
+  def.name = "P";
+  def.params = {"k", "j"};
+  def.body = seq({});
+  def.finalize();
+  EXPECT_TRUE(def.finalized());
+  EXPECT_EQ(def.param_slot(0), 0);
+  EXPECT_EQ(def.param_slot(1), 1);
+}
+
+TEST(ProcessDefTest, DoubleFinalizeThrows) {
+  ProcessDef def;
+  def.name = "P";
+  def.body = seq({});
+  def.finalize();
+  EXPECT_THROW(def.finalize(), std::logic_error);
+}
+
+TEST(ProcessTest, SpawnBindsParams) {
+  ProcessDef def;
+  def.name = "P";
+  def.params = {"k"};
+  def.body = seq({});
+  def.finalize();
+  Process p(7, def, {Value(42)});
+  EXPECT_EQ(p.env[0], Value(42));
+  EXPECT_EQ(p.label(), "P#7");
+}
+
+TEST(ProcessTest, WrongArityThrows) {
+  ProcessDef def;
+  def.name = "P";
+  def.params = {"k"};
+  def.body = seq({});
+  def.finalize();
+  EXPECT_THROW(Process(1, def, {}), std::invalid_argument);
+}
+
+TEST(ProcessTest, StaticImportsEverythingForDefaultView) {
+  ProcessDef def;
+  def.name = "P";
+  def.body = seq({});
+  def.finalize();
+  Process p(1, def, {});
+  EXPECT_TRUE(p.static_imports.everything);
+}
+
+TEST(ProcessTest, StaticImportsPinnedByParams) {
+  ProcessDef def;
+  def.name = "Sort";
+  def.params = {"id1"};
+  def.view.import(pat({V("id1"), W()}));
+  def.body = seq({});
+  def.finalize();
+  Process p(1, def, {Value(5)});
+  ASSERT_FALSE(p.static_imports.everything);
+  ASSERT_EQ(p.static_imports.keys.size(), 1u);
+  EXPECT_EQ(p.static_imports.keys[0], IndexKey::of(tup(5, 0)));
+  EXPECT_TRUE(p.static_imports.may_cover(IndexKey::of(tup(5, 9))));
+  EXPECT_FALSE(p.static_imports.may_cover(IndexKey::of(tup(6, 9))));
+}
+
+TEST(ProcessTest, StaticImportsArityFallback) {
+  ProcessDef def;
+  def.name = "P";
+  def.view.import(pat({V("free"), W(), W()}));
+  def.body = seq({});
+  def.finalize();
+  Process p(1, def, {});
+  ASSERT_EQ(p.static_imports.arities.size(), 1u);
+  EXPECT_EQ(p.static_imports.arities[0], 3u);
+  EXPECT_TRUE(p.static_imports.may_cover(IndexKey::of(tup("x", 1, 2))));
+  EXPECT_FALSE(p.static_imports.may_cover(IndexKey::of(tup("x", 1))));
+}
+
+}  // namespace
+}  // namespace sdl

@@ -1,0 +1,49 @@
+#include <gtest/gtest.h>
+
+#include "process/runtime.hpp"
+
+namespace sdl {
+namespace {
+
+TEST(StatsTest, CountersReflectActivity) {
+  RuntimeOptions o;
+  o.scheduler.workers = 2;
+  Runtime rt(o);
+  rt.seed(tup("item", 1));
+  rt.seed(tup("item", 2));
+  ProcessDef def;
+  def.name = "Eater";
+  def.body = seq({repeat({branch(TxnBuilder()
+                                     .exists({"v"})
+                                     .match(pat({A("item"), V("v")}), true)
+                                     .assert_tuple({lit(Value::atom("ate")),
+                                                    evar("v")})
+                                     .build())})});
+  rt.define(std::move(def));
+  rt.spawn("Eater");
+  ASSERT_TRUE(rt.run().clean());
+
+  const Runtime::Stats s = rt.stats();
+  EXPECT_EQ(s.tuples_resident, 2u);
+  EXPECT_EQ(s.tuples_asserted, 4u);   // 2 seeds + 2 ate
+  EXPECT_EQ(s.tuples_retracted, 2u);
+  EXPECT_EQ(s.txn_commits, 2u);
+  EXPECT_GE(s.txn_attempts, 3u);      // plus the final failing guard
+  EXPECT_EQ(s.processes_spawned, 1u);
+  EXPECT_EQ(s.processes_completed, 1u);
+  EXPECT_EQ(s.consensus_fires, 0u);
+}
+
+TEST(StatsTest, ToStringMentionsEverySection) {
+  RuntimeOptions o;
+  o.scheduler.workers = 2;
+  Runtime rt(o);
+  const std::string text = rt.stats().to_string();
+  for (const char* token : {"tuples:", "txns:", "wakeups:", "processes:",
+                            "consensus:"}) {
+    EXPECT_NE(text.find(token), std::string::npos) << token;
+  }
+}
+
+}  // namespace
+}  // namespace sdl

@@ -1,0 +1,252 @@
+// Property sweeps over the paper's §3 programs: randomized inputs, all
+// solution variants, checked against sequential references.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "process/runtime.hpp"
+
+namespace sdl {
+namespace {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed * 0x9e3779b97f4a7c15ull + 1) {}
+  std::uint64_t next() {
+    state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+    return state_ >> 11;
+  }
+  std::int64_t below(std::int64_t m) {
+    return static_cast<std::int64_t>(next() % static_cast<std::uint64_t>(m));
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+RuntimeOptions opts() {
+  RuntimeOptions o;
+  o.scheduler.workers = 4;
+  o.scheduler.replication_width = 4;
+  return o;
+}
+
+// ------------------------------------------------ §3.1 the three sums
+
+ProcessDef sum1_def() {
+  ProcessDef def;
+  def.name = "Sum1";
+  def.params = {"k", "j"};
+  def.body = seq({
+      stmt(TxnBuilder(TxnType::Delayed)
+               .exists({"a", "b"})
+               .match(pat({E(sub(evar("k"), pow_(lit(2), sub(evar("j"), lit(1))))),
+                           V("a")}),
+                      true)
+               .match(pat({E(evar("k")), V("b")}), true)
+               .assert_tuple({evar("k"), add(evar("a"), evar("b"))})
+               .build()),
+      select({
+          branch(TxnBuilder(TxnType::Consensus)
+                     .where(eq(mod(evar("k"), pow_(lit(2), add(evar("j"), lit(1)))),
+                               lit(0)))
+                     .spawn("Sum1", {evar("k"), add(evar("j"), lit(1))})
+                     .build()),
+          branch(TxnBuilder(TxnType::Consensus)
+                     .where(ne(mod(evar("k"), pow_(lit(2), add(evar("j"), lit(1)))),
+                               lit(0)))
+                     .build()),
+      }),
+  });
+  return def;
+}
+
+ProcessDef sum3_def() {
+  ProcessDef def;
+  def.name = "Sum3";
+  def.body = seq({replicate({branch(TxnBuilder()
+                                        .exists({"v", "a", "u", "b"})
+                                        .match(pat({V("v"), V("a")}), true)
+                                        .match(pat({V("u"), V("b")}), true)
+                                        .where(ne(evar("v"), evar("u")))
+                                        .assert_tuple({evar("u"),
+                                                       add(evar("a"), evar("b"))})
+                                        .build())})});
+  return def;
+}
+
+class ArraySumProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ArraySumProperty, Sum1AndSum3AgreeWithSequential) {
+  Rng rng(GetParam() * 733);
+  const int log2n = 2 + static_cast<int>(rng.below(4));  // 4..32 elements
+  const int n = 1 << log2n;
+  std::vector<std::int64_t> values(static_cast<std::size_t>(n));
+  std::int64_t want = 0;
+  for (auto& v : values) {
+    v = rng.below(2000) - 1000;
+    want += v;
+  }
+
+  {
+    Runtime rt(opts());
+    rt.define(sum1_def());
+    for (int k = 1; k <= n; ++k) {
+      rt.seed(tup(k, values[static_cast<std::size_t>(k - 1)]));
+    }
+    for (int k = 2; k <= n; k += 2) rt.spawn("Sum1", {Value(k), Value(1)});
+    ASSERT_TRUE(rt.run().clean());
+    EXPECT_EQ(rt.space().count(tup(n, want)), 1u) << "Sum1, n=" << n;
+  }
+  {
+    Runtime rt(opts());
+    rt.define(sum3_def());
+    for (int k = 1; k <= n; ++k) {
+      rt.seed(tup(k, values[static_cast<std::size_t>(k - 1)]));
+    }
+    rt.spawn("Sum3");
+    ASSERT_TRUE(rt.run().clean());
+    ASSERT_EQ(rt.space().size(), 1u);
+    EXPECT_EQ(rt.space().snapshot()[0].tuple[1], Value(want)) << "Sum3, n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArraySumProperty,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// -------------------------------------- §3.3 region labeling property
+
+struct Image {
+  int w = 0;
+  int h = 0;
+  std::vector<int> on;  // 0/1 threshold classes
+};
+
+Image random_image(int side, Rng& rng) {
+  Image img;
+  img.w = side;
+  img.h = side;
+  img.on.resize(static_cast<std::size_t>(side * side));
+  for (auto& c : img.on) c = rng.below(3) == 0 ? 1 : 0;
+  return img;
+}
+
+std::vector<int> reference_labels(const Image& img) {
+  const int n = img.w * img.h;
+  std::vector<int> parent(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) parent[static_cast<std::size_t>(i)] = i;
+  std::function<int(int)> find = [&](int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      x = parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+    }
+    return x;
+  };
+  for (int y = 0; y < img.h; ++y) {
+    for (int x = 0; x < img.w; ++x) {
+      const int p = y * img.w + x;
+      if (x + 1 < img.w &&
+          img.on[static_cast<std::size_t>(p)] == img.on[static_cast<std::size_t>(p + 1)]) {
+        parent[static_cast<std::size_t>(find(p))] = find(p + 1);
+      }
+      if (y + 1 < img.h &&
+          img.on[static_cast<std::size_t>(p)] ==
+              img.on[static_cast<std::size_t>(p + img.w)]) {
+        parent[static_cast<std::size_t>(find(p))] = find(p + img.w);
+      }
+    }
+  }
+  std::vector<int> max_of(static_cast<std::size_t>(n), -1);
+  for (int i = 0; i < n; ++i) {
+    const int r = find(i);
+    max_of[static_cast<std::size_t>(r)] =
+        std::max(max_of[static_cast<std::size_t>(r)], i);
+  }
+  std::vector<int> out(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out[static_cast<std::size_t>(i)] = max_of[static_cast<std::size_t>(find(i))];
+  }
+  return out;
+}
+
+class RegionLabelProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RegionLabelProperty, CommunityModelMatchesReference) {
+  Rng rng(GetParam() * 577);
+  const int side = 4 + static_cast<int>(rng.below(4));  // 4..7
+  const Image img = random_image(side, rng);
+  const std::vector<int> want = reference_labels(img);
+
+  Runtime rt(opts());
+  rt.functions().register_function(
+      "neighbor", [side](std::span<const Value> a) -> Value {
+        const std::int64_t p = a[0].as_int();
+        const std::int64_t q = a[1].as_int();
+        const std::int64_t dx = p % side - q % side;
+        const std::int64_t dy = p / side - q / side;
+        return (dx < 0 ? -dx : dx) + (dy < 0 ? -dy : dy) == 1;
+      });
+  rt.functions().register_function("T", [](std::span<const Value> a) -> Value {
+    return a[0].as_int() >= 128 ? 1 : 0;
+  });
+
+  ProcessDef thresh;
+  thresh.name = "Threshold";
+  thresh.body = seq({replicate({branch(
+      TxnBuilder()
+          .exists({"p", "v"})
+          .match(pat({A("image"), V("p"), V("v")}), true)
+          .assert_tuple({lit(Value::atom("label")), evar("p"),
+                         call_fn("T", {evar("v")}), evar("p")})
+          .spawn("Label", {evar("p"), call_fn("T", {evar("v")})})
+          .build())})});
+  rt.define(std::move(thresh));
+
+  ProcessDef label;
+  label.name = "Label";
+  label.params = {"r", "t"};
+  label.view.import(pat({A("label"), E(evar("r")), E(evar("t")), W()}));
+  label.view.import(pat({A("label"), V("q"), E(evar("t")), W()}),
+                    call_fn("neighbor", {evar("q"), evar("r")}));
+  label.view.export_(pat({A("label"), E(evar("r")), W(), W()}));
+  label.body = seq({repeat({
+      branch(TxnBuilder()
+                 .exists({"l1", "p2", "l2"})
+                 .match(pat({A("label"), E(evar("r")), E(evar("t")), V("l1")}),
+                        true)
+                 .match(pat({A("label"), V("p2"), E(evar("t")), V("l2")}))
+                 .where(gt(evar("l2"), evar("l1")))
+                 .assert_tuple({lit(Value::atom("label")), evar("r"), evar("t"),
+                                evar("l2")})
+                 .build()),
+      branch(TxnBuilder(TxnType::Consensus)
+                 .exists({"l1"})
+                 .match(pat({A("label"), E(evar("r")), E(evar("t")), V("l1")}))
+                 .none({pat({A("label"), V("q2"), E(evar("t")), V("l2")})},
+                       gt(evar("l2"), evar("l1")))
+                 .exit_()
+                 .build()),
+  })});
+  rt.define(std::move(label));
+
+  for (int p = 0; p < side * side; ++p) {
+    rt.seed(tup("image", p, img.on[static_cast<std::size_t>(p)] != 0 ? 200 : 10));
+  }
+  rt.spawn("Threshold");
+  const RunReport report = rt.run();
+  ASSERT_TRUE(report.clean()) << (report.parked.empty() ? "" : report.parked[0]);
+
+  for (int p = 0; p < side * side; ++p) {
+    EXPECT_EQ(rt.space().count(tup("label", p,
+                                   img.on[static_cast<std::size_t>(p)] != 0 ? 1 : 0,
+                                   want[static_cast<std::size_t>(p)])),
+              1u)
+        << "pixel " << p << " side " << side << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegionLabelProperty,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace sdl

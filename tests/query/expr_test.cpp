@@ -1,0 +1,133 @@
+#include "query/expr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sdl {
+namespace {
+
+Value eval_resolved(const ExprPtr& e, Env env = {}, const FunctionRegistry* fns = nullptr) {
+  SymbolTable st;
+  e->resolve(st);
+  env.resize(static_cast<std::size_t>(st.size()));
+  return e->eval(env, fns);
+}
+
+TEST(ExprTest, Constant) {
+  EXPECT_EQ(eval_resolved(lit(42)), Value(42));
+}
+
+TEST(ExprTest, ArithmeticIntPreserving) {
+  EXPECT_EQ(eval_resolved(add(lit(2), lit(3))), Value(5));
+  EXPECT_EQ(eval_resolved(sub(lit(2), lit(3))), Value(-1));
+  EXPECT_EQ(eval_resolved(mul(lit(4), lit(3))), Value(12));
+  EXPECT_EQ(eval_resolved(div_(lit(7), lit(2))), Value(3));
+  EXPECT_EQ(eval_resolved(mod(lit(7), lit(2))), Value(1));
+}
+
+TEST(ExprTest, ArithmeticWidensToDouble) {
+  EXPECT_EQ(eval_resolved(add(lit(2), lit(0.5))), Value(2.5));
+}
+
+TEST(ExprTest, IntegerPower) {
+  // The paper's phase arithmetic: k - 2^(j-1).
+  EXPECT_EQ(eval_resolved(pow_(lit(2), lit(10))), Value(1024));
+  EXPECT_EQ(eval_resolved(sub(lit(8), pow_(lit(2), sub(lit(2), lit(1))))), Value(6));
+}
+
+TEST(ExprTest, DivisionByZeroThrows) {
+  EXPECT_THROW(eval_resolved(div_(lit(1), lit(0))), std::invalid_argument);
+  EXPECT_THROW(eval_resolved(mod(lit(1), lit(0))), std::invalid_argument);
+}
+
+TEST(ExprTest, Comparisons) {
+  EXPECT_EQ(eval_resolved(gt(lit(90), lit(87))), Value(true));
+  EXPECT_EQ(eval_resolved(le(lit(87), lit(87))), Value(true));
+  EXPECT_EQ(eval_resolved(lt(lit(88), lit(87))), Value(false));
+  EXPECT_EQ(eval_resolved(ne(lit(1), lit(2))), Value(true));
+}
+
+TEST(ExprTest, MixedNumericEquality) {
+  EXPECT_EQ(eval_resolved(eq(lit(3), lit(3.0))), Value(true));
+}
+
+TEST(ExprTest, AtomEqualityAndOrdering) {
+  EXPECT_EQ(eval_resolved(eq(lit(Value::atom("x")), lit(Value::atom("x")))), Value(true));
+  EXPECT_EQ(eval_resolved(lt(lit(Value::atom("apple")), lit(Value::atom("pear")))),
+            Value(true));
+}
+
+TEST(ExprTest, BooleanShortCircuit) {
+  // Right operand of 'and' must not be evaluated when left is false —
+  // division by zero would throw.
+  EXPECT_EQ(eval_resolved(land(lit(false), eq(div_(lit(1), lit(0)), lit(1)))),
+            Value(false));
+  EXPECT_EQ(eval_resolved(lor(lit(true), eq(div_(lit(1), lit(0)), lit(1)))),
+            Value(true));
+}
+
+TEST(ExprTest, NotAndNeg) {
+  EXPECT_EQ(eval_resolved(lnot(lit(false))), Value(true));
+  EXPECT_EQ(eval_resolved(neg(lit(5))), Value(-5));
+  EXPECT_EQ(eval_resolved(neg(lit(2.5))), Value(-2.5));
+}
+
+TEST(ExprTest, VariableReadsSlot) {
+  SymbolTable st;
+  const ExprPtr e = add(evar("a"), lit(1));
+  e->resolve(st);
+  Env env(static_cast<std::size_t>(st.size()));
+  env[static_cast<std::size_t>(*st.lookup("a"))] = Value(41);
+  EXPECT_EQ(e->eval(env, nullptr), Value(42));
+}
+
+TEST(ExprTest, UnboundVariableThrows) {
+  SymbolTable st;
+  const ExprPtr e = evar("ghost");
+  e->resolve(st);
+  Env env(static_cast<std::size_t>(st.size()));
+  EXPECT_THROW(e->eval(env, nullptr), std::invalid_argument);
+  EXPECT_EQ(e->try_eval(env, nullptr), std::nullopt);
+}
+
+TEST(ExprTest, FunctionCall) {
+  FunctionRegistry fns;
+  fns.register_function("T", [](std::span<const Value> args) -> Value {
+    return args[0].as_int() >= 128 ? 1 : 0;  // the paper's threshold T(v)
+  });
+  SymbolTable st;
+  const ExprPtr e = call_fn("T", {lit(200)});
+  e->resolve(st);
+  Env env(static_cast<std::size_t>(st.size()));
+  EXPECT_EQ(e->eval(env, &fns), Value(1));
+}
+
+TEST(ExprTest, UnknownFunctionThrows) {
+  FunctionRegistry fns;
+  SymbolTable st;
+  const ExprPtr e = call_fn("nope", {});
+  e->resolve(st);
+  Env env;
+  EXPECT_THROW(e->eval(env, &fns), std::invalid_argument);
+  EXPECT_THROW(e->eval(env, nullptr), std::invalid_argument);
+}
+
+TEST(ExprTest, SymbolTableInternsStableSlots) {
+  SymbolTable st;
+  const int a = st.intern("a");
+  const int b = st.intern("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(st.intern("a"), a);
+  EXPECT_EQ(st.lookup("b"), b);
+  EXPECT_EQ(st.lookup("c"), std::nullopt);
+  EXPECT_EQ(st.size(), 2);
+}
+
+TEST(ExprTest, ToStringReadable) {
+  EXPECT_EQ(add(evar("a"), lit(1))->to_string(), "(a + 1)");
+  EXPECT_EQ(call_fn("T", {evar("v")})->to_string(), "T(v)");
+}
+
+}  // namespace
+}  // namespace sdl

@@ -1,0 +1,167 @@
+#include "query/pattern.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sdl {
+namespace {
+
+struct Fixture {
+  SymbolTable st;
+  Env env;
+  std::vector<int> undo;
+
+  void finish(TuplePattern& p) {
+    p.resolve(st);
+    env.resize(static_cast<std::size_t>(st.size()));
+  }
+  Value& slot(const std::string& name) {
+    return env[static_cast<std::size_t>(*st.lookup(name))];
+  }
+};
+
+TEST(PatternTest, ConstantsMustMatchExactly) {
+  Fixture f;
+  TuplePattern p = pat({A("year"), C(87)});
+  f.finish(p);
+  EXPECT_TRUE(p.match(tup("year", 87), f.env, nullptr, f.undo));
+  EXPECT_FALSE(p.match(tup("year", 88), f.env, nullptr, f.undo));
+  EXPECT_FALSE(p.match(tup("month", 87), f.env, nullptr, f.undo));
+}
+
+TEST(PatternTest, ArityMismatchFails) {
+  Fixture f;
+  TuplePattern p = pat({A("year"), C(87)});
+  f.finish(p);
+  EXPECT_FALSE(p.match(tup("year", 87, 1), f.env, nullptr, f.undo));
+  EXPECT_FALSE(p.match(tup("year"), f.env, nullptr, f.undo));
+}
+
+TEST(PatternTest, WildcardMatchesAnything) {
+  Fixture f;
+  TuplePattern p = pat({A("year"), W()});
+  f.finish(p);
+  EXPECT_TRUE(p.match(tup("year", 87), f.env, nullptr, f.undo));
+  EXPECT_TRUE(p.match(tup("year", Value::atom("unknown")), f.env, nullptr, f.undo));
+  EXPECT_TRUE(f.undo.empty()) << "wildcards bind nothing";
+}
+
+TEST(PatternTest, VariableBindsOnFirstUse) {
+  Fixture f;
+  TuplePattern p = pat({A("year"), V("a")});
+  f.finish(p);
+  ASSERT_TRUE(p.match(tup("year", 90), f.env, nullptr, f.undo));
+  EXPECT_EQ(f.slot("a"), Value(90));
+  ASSERT_EQ(f.undo.size(), 1u);
+}
+
+TEST(PatternTest, BoundVariableConstrains) {
+  Fixture f;
+  TuplePattern p = pat({A("year"), V("a")});
+  f.finish(p);
+  f.slot("a") = Value(90);
+  EXPECT_TRUE(p.match(tup("year", 90), f.env, nullptr, f.undo));
+  EXPECT_FALSE(p.match(tup("year", 91), f.env, nullptr, f.undo));
+}
+
+TEST(PatternTest, RepeatedVariableInOnePattern) {
+  // [x, x] only matches tuples whose two fields are equal.
+  Fixture f;
+  TuplePattern p = pat({V("x"), V("x")});
+  f.finish(p);
+  EXPECT_TRUE(p.match(tup(5, 5), f.env, nullptr, f.undo));
+  f.slot("x") = Value();
+  f.undo.clear();
+  EXPECT_FALSE(p.match(tup(5, 6), f.env, nullptr, f.undo));
+  EXPECT_TRUE(f.slot("x").is_nil()) << "failed match must undo bindings";
+}
+
+TEST(PatternTest, FailedMatchUndoesPartialBindings) {
+  Fixture f;
+  TuplePattern p = pat({V("x"), C(1)});
+  f.finish(p);
+  EXPECT_FALSE(p.match(tup(9, 2), f.env, nullptr, f.undo));
+  EXPECT_TRUE(f.slot("x").is_nil());
+  EXPECT_TRUE(f.undo.empty());
+}
+
+TEST(PatternTest, ExprTermUsesEarlierBindings) {
+  // The join [k - 2^(j-1), a, j], [k, b, j] from Sum2 (§3.1): the first
+  // field of a pattern may be an arithmetic expression over bound vars.
+  Fixture f;
+  TuplePattern p = pat({E(sub(evar("k"), lit(2))), V("a")});
+  f.finish(p);
+  f.slot("k") = Value(6);
+  EXPECT_TRUE(p.match(tup(4, 100), f.env, nullptr, f.undo));
+  EXPECT_EQ(f.slot("a"), Value(100));
+}
+
+TEST(PatternTest, ExprTermWithUnboundVarFailsMatch) {
+  Fixture f;
+  TuplePattern p = pat({E(sub(evar("k"), lit(2))), V("a")});
+  f.finish(p);
+  EXPECT_FALSE(p.match(tup(4, 100), f.env, nullptr, f.undo));
+}
+
+TEST(PatternTest, KeySpecExactForConstantHead) {
+  Fixture f;
+  TuplePattern p = pat({A("year"), W()});
+  f.finish(p);
+  const KeySpec spec = p.key_spec(f.env, nullptr);
+  EXPECT_EQ(spec.kind, KeySpec::Kind::Exact);
+  EXPECT_EQ(spec.key, IndexKey::of(tup("year", 0)));
+}
+
+TEST(PatternTest, KeySpecArityForWildcardHead) {
+  Fixture f;
+  TuplePattern p = pat({W(), V("v")});
+  f.finish(p);
+  const KeySpec spec = p.key_spec(f.env, nullptr);
+  EXPECT_EQ(spec.kind, KeySpec::Kind::Arity);
+  EXPECT_EQ(spec.arity, 2u);
+}
+
+TEST(PatternTest, KeySpecExactForBoundVarHead) {
+  Fixture f;
+  TuplePattern p = pat({V("k"), W()});
+  f.finish(p);
+  EXPECT_EQ(p.key_spec(f.env, nullptr).kind, KeySpec::Kind::Arity);
+  f.slot("k") = Value(7);
+  const KeySpec spec = p.key_spec(f.env, nullptr);
+  EXPECT_EQ(spec.kind, KeySpec::Kind::Exact);
+  EXPECT_EQ(spec.key, IndexKey::of(tup(7, 0)));
+}
+
+TEST(PatternTest, KeySpecExactForComputableExprHead) {
+  Fixture f;
+  TuplePattern p = pat({E(add(evar("k"), lit(1))), W()});
+  f.finish(p);
+  f.slot("k") = Value(3);
+  const KeySpec spec = p.key_spec(f.env, nullptr);
+  EXPECT_EQ(spec.kind, KeySpec::Kind::Exact);
+  EXPECT_EQ(spec.key, IndexKey::of(tup(4, 0)));
+}
+
+TEST(PatternTest, KeySpecZeroArity) {
+  Fixture f;
+  TuplePattern p = pat({});
+  f.finish(p);
+  const KeySpec spec = p.key_spec(f.env, nullptr);
+  EXPECT_EQ(spec.kind, KeySpec::Kind::Exact);
+  EXPECT_EQ(spec.key, IndexKey::of(Tuple{}));
+}
+
+TEST(PatternTest, RetractTag) {
+  TuplePattern p = pat({A("x")});
+  EXPECT_FALSE(p.retract_tagged());
+  p.set_retract(true);
+  EXPECT_TRUE(p.retract_tagged());
+  EXPECT_EQ(p.to_string(), "[x]!");
+}
+
+TEST(PatternTest, ToString) {
+  TuplePattern p = pat({A("year"), V("a"), W()});
+  EXPECT_EQ(p.to_string(), "[year, a, *]");
+}
+
+}  // namespace
+}  // namespace sdl

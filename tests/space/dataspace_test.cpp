@@ -1,0 +1,238 @@
+#include "space/dataspace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace sdl {
+namespace {
+
+TEST(IndexKeyTest, SameHeadSameKey) {
+  EXPECT_EQ(IndexKey::of(tup("year", 87)), IndexKey::of(tup("year", 99)));
+}
+
+TEST(IndexKeyTest, DifferentArityDifferentKey) {
+  const IndexKey a = IndexKey::of(tup("year", 87));
+  const IndexKey b = IndexKey::of(tup("year", 87, 1));
+  EXPECT_FALSE(a == b);
+}
+
+TEST(IndexKeyTest, IntegerHeadsIndexToo) {
+  // Array-summation tuples <k, A(k)> have integer heads (§3.1).
+  EXPECT_EQ(IndexKey::of(tup(4, 100)), IndexKey::of_head(2, Value(4)));
+}
+
+TEST(IndexKeyTest, EmptyTupleKey) {
+  const IndexKey k = IndexKey::of(Tuple{});
+  EXPECT_EQ(k.arity, 0u);
+  EXPECT_EQ(k.head_hash, 0u);
+}
+
+TEST(DataspaceTest, RequiresPowerOfTwoShards) {
+  EXPECT_THROW(Dataspace(3), std::invalid_argument);
+  EXPECT_THROW(Dataspace(0), std::invalid_argument);
+  EXPECT_NO_THROW(Dataspace(1));
+  EXPECT_NO_THROW(Dataspace(128));
+}
+
+TEST(DataspaceTest, InsertAssignsFreshIdsWithOwner) {
+  Dataspace d(8);
+  const TupleId a = d.insert(tup("year", 87), 5);
+  const TupleId b = d.insert(tup("year", 87), 5);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.owner(), 5u);
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(DataspaceTest, MultisetKeepsDuplicates) {
+  Dataspace d(8);
+  d.insert(tup("x", 1), 0);
+  d.insert(tup("x", 1), 0);
+  d.insert(tup("x", 1), 0);
+  EXPECT_EQ(d.count(tup("x", 1)), 3u);
+}
+
+TEST(DataspaceTest, EraseRemovesExactlyOneInstance) {
+  Dataspace d(8);
+  d.insert(tup("x", 1), 0);
+  const TupleId victim = d.insert(tup("x", 1), 0);
+  EXPECT_TRUE(d.erase(IndexKey::of(tup("x", 1)), victim));
+  EXPECT_EQ(d.count(tup("x", 1)), 1u);
+  EXPECT_FALSE(d.erase(IndexKey::of(tup("x", 1)), victim)) << "double erase";
+}
+
+TEST(DataspaceTest, EraseUnknownKeyReturnsFalse) {
+  Dataspace d(8);
+  EXPECT_FALSE(d.erase(IndexKey::of(tup("ghost")), TupleId(0, 999)));
+}
+
+TEST(DataspaceTest, ScanKeyVisitsOnlyThatBucket) {
+  Dataspace d(8);
+  d.insert(tup("a", 1), 0);
+  d.insert(tup("a", 2), 0);
+  d.insert(tup("b", 1), 0);
+  d.insert(tup("a", 1, 1), 0);  // same head, different arity
+  int seen = 0;
+  d.scan_key(IndexKey::of_head(2, Value::atom("a")), [&](const Record&) {
+    ++seen;
+    return true;
+  });
+  EXPECT_EQ(seen, 2);
+}
+
+TEST(DataspaceTest, ScanArityCrossesHeads) {
+  Dataspace d(8);
+  d.insert(tup("a", 1), 0);
+  d.insert(tup("b", 2), 0);
+  d.insert(tup("c"), 0);
+  int seen = 0;
+  d.scan_arity(2, [&](const Record&) {
+    ++seen;
+    return true;
+  });
+  EXPECT_EQ(seen, 2);
+}
+
+TEST(DataspaceTest, ScanEarlyStop) {
+  Dataspace d(8);
+  for (int i = 0; i < 10; ++i) d.insert(tup("k", i), 0);
+  int seen = 0;
+  d.scan_key(IndexKey::of_head(2, Value::atom("k")), [&](const Record&) {
+    ++seen;
+    return seen < 3;
+  });
+  EXPECT_EQ(seen, 3);
+}
+
+TEST(DataspaceTest, SnapshotIsSortedAndComplete) {
+  Dataspace d(4);
+  d.insert(tup("b", 2), 1);
+  d.insert(tup("a", 1), 1);
+  d.insert(tup("a", 1), 2);
+  const std::vector<Record> snap = d.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].tuple, tup("a", 1));
+  EXPECT_EQ(snap[1].tuple, tup("a", 1));
+  EXPECT_EQ(snap[2].tuple, tup("b", 2));
+  EXPECT_LT(snap[0].id, snap[1].id);
+}
+
+TEST(DataspaceTest, EmptyBucketIsReclaimed) {
+  Dataspace d(8);
+  const TupleId id = d.insert(tup("once", 1), 0);
+  EXPECT_TRUE(d.erase(IndexKey::of(tup("once", 1)), id));
+  int seen = 0;
+  d.scan_all([&](const Record&) {
+    ++seen;
+    return true;
+  });
+  EXPECT_EQ(seen, 0);
+  EXPECT_EQ(d.size(), 0u);
+}
+
+TEST(DataspaceTest, StatsCountAssertsAndRetracts) {
+  Dataspace d(8);
+  const TupleId id = d.insert(tup("s", 1), 0);
+  d.insert(tup("s", 2), 0);
+  d.erase(IndexKey::of(tup("s", 1)), id);
+  EXPECT_EQ(d.stats().asserts, 2u);
+  EXPECT_EQ(d.stats().retracts, 1u);
+}
+
+TEST(DataspaceTest, ShardOfIsStable) {
+  Dataspace d(16);
+  const IndexKey k = IndexKey::of(tup("year", 87));
+  EXPECT_EQ(d.shard_of(k), d.shard_of(k));
+  EXPECT_LT(d.shard_of(k), d.shard_count());
+}
+
+TEST(DataspaceTest, SecondIndexProbesOnlyMatchingRecords) {
+  Dataspace d(8);
+  for (int i = 0; i < 100; ++i) d.insert(tup("label", i, i * 2), 0);
+  const std::uint64_t before = d.stats().records_scanned;
+  int seen = 0;
+  d.scan_key_second(IndexKey::of_head(3, Value::atom("label")), Value(42),
+                    [&](const Record& r) {
+                      EXPECT_EQ(r.tuple, tup("label", 42, 84));
+                      ++seen;
+                      return true;
+                    });
+  EXPECT_EQ(seen, 1);
+  EXPECT_LE(d.stats().records_scanned - before, 2u)
+      << "probe must not scan the bucket";
+}
+
+TEST(DataspaceTest, SecondIndexTracksErase) {
+  Dataspace d(8);
+  d.insert(tup("k", 5, 0), 0);
+  const TupleId victim = d.insert(tup("k", 5, 1), 0);
+  d.insert(tup("k", 6, 2), 0);
+  EXPECT_TRUE(d.erase(IndexKey::of(tup("k", 5, 0)), victim));
+  int seen = 0;
+  d.scan_key_second(IndexKey::of_head(3, Value::atom("k")), Value(5),
+                    [&](const Record& r) {
+                      EXPECT_EQ(r.tuple, tup("k", 5, 0));
+                      ++seen;
+                      return true;
+                    });
+  EXPECT_EQ(seen, 1);
+}
+
+TEST(DataspaceTest, SecondIndexDuplicateSecondFields) {
+  Dataspace d(8);
+  d.insert(tup("k", 7, 1), 0);
+  d.insert(tup("k", 7, 2), 0);
+  d.insert(tup("k", 8, 3), 0);
+  int seen = 0;
+  d.scan_key_second(IndexKey::of_head(3, Value::atom("k")), Value(7),
+                    [&](const Record&) {
+                      ++seen;
+                      return true;
+                    });
+  EXPECT_EQ(seen, 2);
+}
+
+TEST(DataspaceTest, SecondIndexMissIsEmpty) {
+  Dataspace d(8);
+  d.insert(tup("k", 1), 0);
+  int seen = 0;
+  d.scan_key_second(IndexKey::of_head(2, Value::atom("k")), Value(99),
+                    [&](const Record&) {
+                      ++seen;
+                      return true;
+                    });
+  EXPECT_EQ(seen, 0);
+}
+
+TEST(DataspaceTest, SecondIndexSurvivesSwapRemoveChurn) {
+  Dataspace d(8);
+  std::vector<TupleId> ids;
+  for (int i = 0; i < 50; ++i) ids.push_back(d.insert(tup("c", i % 5, i), 0));
+  // Remove every other instance (exercises position fixups).
+  for (std::size_t i = 0; i < ids.size(); i += 2) {
+    ASSERT_TRUE(d.erase(IndexKey::of_head(3, Value::atom("c")), ids[i]));
+  }
+  for (int s = 0; s < 5; ++s) {
+    int seen = 0;
+    d.scan_key_second(IndexKey::of_head(3, Value::atom("c")), Value(s),
+                      [&](const Record& r) {
+                        EXPECT_EQ(r.tuple[1], Value(s));
+                        ++seen;
+                        return true;
+                      });
+    EXPECT_EQ(seen, 5) << "second=" << s;
+  }
+}
+
+TEST(DataspaceTest, ManyDistinctHeadsSpreadOverShards) {
+  Dataspace d(16);
+  std::unordered_set<std::size_t> shards;
+  for (int i = 0; i < 256; ++i) {
+    shards.insert(d.shard_of(IndexKey::of(tup(i, 0))));
+  }
+  EXPECT_GT(shards.size(), 4u) << "shard distribution is degenerate";
+}
+
+}  // namespace
+}  // namespace sdl

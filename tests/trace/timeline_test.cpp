@@ -1,0 +1,143 @@
+#include "trace/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sdl {
+namespace {
+
+std::vector<TraceEvent> sample_events() {
+  std::vector<TraceEvent> events;
+  std::uint64_t seq = 0;
+  auto ev = [&](TraceKind kind, ProcessId pid, const char* detail = "") {
+    events.push_back(TraceEvent{seq++, kind, pid, detail});
+  };
+  ev(TraceKind::SeedTuple, 0);
+  ev(TraceKind::Spawn, 1, "Producer");
+  ev(TraceKind::Spawn, 2, "Consumer");
+  ev(TraceKind::Park, 2, "Consumer");
+  ev(TraceKind::Commit, 1, "[item, 7]");
+  ev(TraceKind::Wake, 2, "Consumer");
+  ev(TraceKind::Commit, 2, "[eaten, 7]");
+  ev(TraceKind::Terminate, 1, "Producer");
+  ev(TraceKind::Terminate, 2, "Consumer");
+  return events;
+}
+
+TEST(TimelineTest, SummarizeCountsPerProcess) {
+  const TimelineSummary s = summarize(sample_events());
+  ASSERT_EQ(s.processes.size(), 2u);
+  EXPECT_EQ(s.seeds, 1u);
+  EXPECT_EQ(s.total_events, 9u);
+
+  const ProcessTimeline& producer = s.processes[0];
+  EXPECT_EQ(producer.pid, 1u);
+  EXPECT_EQ(producer.name, "Producer");
+  EXPECT_EQ(producer.commits, 1u);
+  EXPECT_EQ(producer.parks, 0u);
+  EXPECT_TRUE(producer.terminated);
+
+  const ProcessTimeline& consumer = s.processes[1];
+  EXPECT_EQ(consumer.commits, 1u);
+  EXPECT_EQ(consumer.parks, 1u);
+  EXPECT_EQ(consumer.wakes, 1u);
+}
+
+TEST(TimelineTest, EmptyTrace) {
+  const TimelineSummary s = summarize({});
+  EXPECT_TRUE(s.processes.empty());
+  std::ostringstream os;
+  render_ascii(s, os);
+  EXPECT_NE(os.str().find("0 processes"), std::string::npos);
+}
+
+TEST(TimelineTest, ProcessWithoutSpawnEventStillAppears) {
+  // Ring overwrote the Spawn: first-seen event anchors the row.
+  std::vector<TraceEvent> events = {
+      TraceEvent{10, TraceKind::Commit, 5, "[x]"},
+      TraceEvent{11, TraceKind::Terminate, 5, "Worker"},
+  };
+  const TimelineSummary s = summarize(events);
+  ASSERT_EQ(s.processes.size(), 1u);
+  EXPECT_EQ(s.processes[0].spawned_at, 10u);
+  EXPECT_TRUE(s.processes[0].terminated);
+}
+
+TEST(TimelineTest, RenderShowsGlyphsAndCounts) {
+  std::ostringstream os;
+  render_ascii(summarize(sample_events()), os, 32);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Producer#1"), std::string::npos);
+  EXPECT_NE(out.find("Consumer#2"), std::string::npos);
+  EXPECT_NE(out.find("commits=1"), std::string::npos);
+  EXPECT_NE(out.find('T'), std::string::npos) << "terminate glyph missing";
+  EXPECT_NE(out.find('C'), std::string::npos) << "commit glyph missing";
+  EXPECT_NE(out.find('P'), std::string::npos) << "park glyph missing";
+}
+
+TEST(TimelineTest, LiveProcessMarked) {
+  std::vector<TraceEvent> events = {
+      TraceEvent{0, TraceKind::Spawn, 1, "Stuck"},
+      TraceEvent{1, TraceKind::Park, 1, "Stuck"},
+  };
+  std::ostringstream os;
+  render_ascii(summarize(events), os, 16);
+  EXPECT_NE(os.str().find("(live)"), std::string::npos);
+}
+
+TEST(TimelineTest, ConsensusFiresCounted) {
+  std::vector<TraceEvent> events = {
+      TraceEvent{0, TraceKind::Spawn, 1, "A"},
+      TraceEvent{1, TraceKind::Consensus, 1, ""},
+  };
+  const TimelineSummary s = summarize(events);
+  EXPECT_EQ(s.consensus_fires, 1u);
+  std::ostringstream os;
+  render_ascii(s, os, 16);
+  EXPECT_NE(os.str().find("1 consensus fires"), std::string::npos);
+}
+
+TEST(TimelineTest, HtmlRenderIsWellFormedEnough) {
+  std::ostringstream os;
+  render_html(summarize(sample_events()), os);
+  const std::string html = os.str();
+  EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+  EXPECT_NE(html.find("Producer#1"), std::string::npos);
+  EXPECT_NE(html.find("consensus"), std::string::npos);  // legend
+  EXPECT_NE(html.find("</html>"), std::string::npos);
+  // Every opened rect is closed (title-carrying form).
+  std::size_t opens = 0;
+  std::size_t pos = 0;
+  while ((pos = html.find("<rect", pos)) != std::string::npos) {
+    ++opens;
+    pos += 5;
+  }
+  EXPECT_GT(opens, 4u);
+}
+
+TEST(TimelineTest, HtmlEscapesProcessNames) {
+  std::vector<TraceEvent> events = {
+      TraceEvent{0, TraceKind::Spawn, 1, "Evil<script>\"&"},
+  };
+  std::ostringstream os;
+  render_html(summarize(events), os);
+  const std::string html = os.str();
+  EXPECT_EQ(html.find("<script>"), std::string::npos);
+  EXPECT_NE(html.find("Evil&lt;script&gt;&quot;&amp;"), std::string::npos);
+}
+
+TEST(TimelineTest, ColumnsStayInBounds) {
+  // Large sequence numbers must not index outside the lane.
+  std::vector<TraceEvent> events = {
+      TraceEvent{1000000, TraceKind::Spawn, 1, "A"},
+      TraceEvent{2000000, TraceKind::Terminate, 1, "A"},
+  };
+  std::ostringstream os;
+  render_ascii(summarize(events), os, 24);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace sdl

@@ -1,0 +1,91 @@
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+namespace sdl {
+namespace {
+
+TEST(TraceTest, RecordsInOrder) {
+  TraceRecorder tr(16);
+  tr.record(TraceKind::Spawn, 1, "A");
+  tr.record(TraceKind::Commit, 1, "B");
+  const auto events = tr.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, TraceKind::Spawn);
+  EXPECT_EQ(events[1].kind, TraceKind::Commit);
+  EXPECT_LT(events[0].sequence, events[1].sequence);
+}
+
+TEST(TraceTest, RingOverwritesOldest) {
+  TraceRecorder tr(4);
+  for (int i = 0; i < 10; ++i) {
+    tr.record(TraceKind::Commit, static_cast<ProcessId>(i), "");
+  }
+  const auto events = tr.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().pid, 6u);
+  EXPECT_EQ(events.back().pid, 9u);
+  EXPECT_EQ(tr.total_recorded(), 10u);
+}
+
+TEST(TraceTest, DisabledRecordsNothing) {
+  TraceRecorder tr(16);
+  tr.set_enabled(false);
+  tr.record(TraceKind::Commit, 1, "");
+  EXPECT_EQ(tr.total_recorded(), 0u);
+}
+
+TEST(TraceTest, ClearResets) {
+  TraceRecorder tr(16);
+  tr.record(TraceKind::Commit, 1, "");
+  tr.clear();
+  EXPECT_TRUE(tr.events().empty());
+  EXPECT_EQ(tr.total_recorded(), 0u);
+}
+
+TEST(TraceTest, TextDumpFormat) {
+  TraceRecorder tr(16);
+  tr.record(TraceKind::Park, 3, "waiting");
+  std::ostringstream os;
+  tr.dump_text(os);
+  EXPECT_EQ(os.str(), "#0 park pid=3 waiting\n");
+}
+
+TEST(TraceTest, JsonDumpEscapes) {
+  TraceRecorder tr(16);
+  tr.record(TraceKind::Commit, 1, "tuple \"x\"\n");
+  std::ostringstream os;
+  tr.dump_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\\\"x\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_EQ(json.front(), '[');
+}
+
+TEST(TraceTest, ConcurrentRecordingIsSafe) {
+  TraceRecorder tr(1024);
+  {
+    std::vector<std::jthread> workers;
+    for (int w = 0; w < 4; ++w) {
+      workers.emplace_back([&tr, w] {
+        for (int i = 0; i < 100; ++i) {
+          tr.record(TraceKind::Commit, static_cast<ProcessId>(w), "");
+        }
+      });
+    }
+  }
+  EXPECT_EQ(tr.total_recorded(), 400u);
+  EXPECT_EQ(tr.events().size(), 400u);
+}
+
+TEST(TraceTest, KindNames) {
+  EXPECT_STREQ(to_string(TraceKind::Spawn), "spawn");
+  EXPECT_STREQ(to_string(TraceKind::Consensus), "consensus");
+  EXPECT_STREQ(to_string(TraceKind::SeedTuple), "seed");
+}
+
+}  // namespace
+}  // namespace sdl

@@ -1,0 +1,111 @@
+// Failure injection: a transaction whose action list blows up mid-commit
+// must leave the dataspace untouched — "transactions appear to execute
+// serially and either succeed or have no effect on the dataspace" (§2.2).
+#include <gtest/gtest.h>
+
+#include "txn/engine.hpp"
+
+namespace sdl {
+namespace {
+
+class AtomicityTest : public ::testing::TestWithParam<bool> {
+ protected:
+  Dataspace space{16};
+  WaitSet waits;
+  FunctionRegistry fns;
+  std::unique_ptr<Engine> engine;
+
+  void SetUp() override {
+    if (GetParam()) {
+      engine = std::make_unique<ShardedEngine>(space, waits, &fns);
+    } else {
+      engine = std::make_unique<GlobalLockEngine>(space, waits, &fns);
+    }
+  }
+};
+
+TEST_P(AtomicityTest, ThrowingAssertFieldLeavesDataspaceUnchanged) {
+  space.insert(tup("victim", 10), 0);
+  // Retract the victim, then assert a field that divides by zero.
+  Transaction txn = TxnBuilder()
+                        .exists({"x"})
+                        .match(pat({A("victim"), V("x")}), true)
+                        .assert_tuple({lit(Value::atom("boom")),
+                                       div_(lit(1), sub(evar("x"), lit(10)))})
+                        .build();
+  SymbolTable st;
+  txn.resolve(st);
+  Env env(static_cast<std::size_t>(st.size()));
+  EXPECT_THROW(engine->execute(txn, env, 1), std::invalid_argument);
+  EXPECT_EQ(space.count(tup("victim", 10)), 1u)
+      << "retraction leaked from an aborted transaction";
+  EXPECT_EQ(space.size(), 1u);
+}
+
+TEST_P(AtomicityTest, ThrowingHostFunctionLeavesDataspaceUnchanged) {
+  fns.register_function("explode", [](std::span<const Value>) -> Value {
+    throw std::invalid_argument("host failure");
+  });
+  space.insert(tup("victim", 1), 0);
+  Transaction txn = TxnBuilder()
+                        .match(pat({A("victim"), C(1)}), true)
+                        .assert_tuple({call_fn("explode", {})})
+                        .build();
+  SymbolTable st;
+  txn.resolve(st);
+  Env env(static_cast<std::size_t>(st.size()));
+  EXPECT_THROW(engine->execute(txn, env, 1), std::invalid_argument);
+  EXPECT_EQ(space.count(tup("victim", 1)), 1u);
+}
+
+TEST_P(AtomicityTest, EngineUsableAfterAbortedTransaction) {
+  space.insert(tup("victim", 10), 0);
+  Transaction bad = TxnBuilder()
+                        .match(pat({A("victim"), W()}), true)
+                        .assert_tuple({div_(lit(1), lit(0))})
+                        .build();
+  SymbolTable st;
+  bad.resolve(st);
+  Env env(static_cast<std::size_t>(st.size()));
+  EXPECT_THROW(engine->execute(bad, env, 1), std::invalid_argument);
+
+  // Locks must have been released and state must be coherent.
+  Transaction good = TxnBuilder()
+                         .match(pat({A("victim"), W()}), true)
+                         .assert_tuple({lit(Value::atom("moved"))})
+                         .build();
+  SymbolTable st2;
+  good.resolve(st2);
+  Env env2(static_cast<std::size_t>(st2.size()));
+  EXPECT_TRUE(engine->execute(good, env2, 1).success);
+  EXPECT_EQ(space.count(tup("moved")), 1u);
+}
+
+TEST_P(AtomicityTest, ForAllPartialFailureAlsoAtomic) {
+  // Several matches; the throwing field fires on the third match — none
+  // of the earlier matches' effects may survive either.
+  space.insert(tup("n", 1), 0);
+  space.insert(tup("n", 2), 0);
+  space.insert(tup("n", 0), 0);  // divides by zero
+  Transaction txn = TxnBuilder()
+                        .forall({"x"})
+                        .match(pat({A("n"), V("x")}), true)
+                        .assert_tuple({lit(Value::atom("inv")),
+                                       div_(lit(100), evar("x"))})
+                        .build();
+  SymbolTable st;
+  txn.resolve(st);
+  Env env(static_cast<std::size_t>(st.size()));
+  EXPECT_THROW(engine->execute(txn, env, 1), std::invalid_argument);
+  EXPECT_EQ(space.size(), 3u);
+  EXPECT_EQ(space.count(tup("n", 1)), 1u);
+  EXPECT_EQ(space.count(tup("n", 2)), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, AtomicityTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Sharded" : "Global";
+                         });
+
+}  // namespace
+}  // namespace sdl

@@ -1,0 +1,115 @@
+#include "txn/transaction.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sdl {
+namespace {
+
+TEST(TxnBuilderTest, BuildsPaperImmediateTransaction) {
+  // ∃a : <year,a>! : a > 87 → let N = a, (found, a)   (§2.2)
+  Transaction t = TxnBuilder(TxnType::Immediate)
+                      .exists({"a"})
+                      .match(pat({A("year"), V("a")}), /*retract=*/true)
+                      .where(gt(evar("a"), lit(87)))
+                      .let_("N", evar("a"))
+                      .assert_tuple({lit(Value::atom("found")), evar("a")})
+                      .build();
+  EXPECT_EQ(t.type, TxnType::Immediate);
+  EXPECT_EQ(t.query.local_vars.size(), 1u);
+  ASSERT_EQ(t.query.patterns.size(), 1u);
+  EXPECT_TRUE(t.query.patterns[0].retract_tagged());
+  EXPECT_EQ(t.lets.size(), 1u);
+  EXPECT_EQ(t.asserts.size(), 1u);
+  EXPECT_EQ(t.control, ControlAction::None);
+}
+
+TEST(TxnBuilderTest, WhereClausesConjoin) {
+  Transaction t = TxnBuilder()
+                      .exists({"a"})
+                      .match(pat({A("x"), V("a")}))
+                      .where(gt(evar("a"), lit(0)))
+                      .where(lt(evar("a"), lit(10)))
+                      .build();
+  ASSERT_NE(t.query.guard, nullptr);
+  EXPECT_EQ(t.query.guard->op(), Expr::Op::And);
+}
+
+TEST(TxnBuilderTest, ControlActions) {
+  EXPECT_EQ(TxnBuilder().exit_().build().control, ControlAction::Exit);
+  EXPECT_EQ(TxnBuilder().abort_().build().control, ControlAction::Abort);
+}
+
+TEST(TransactionTest, ResolveFillsLetSlotsAndExprs) {
+  Transaction t = TxnBuilder()
+                      .exists({"a"})
+                      .match(pat({A("x"), V("a")}))
+                      .let_("N", add(evar("a"), lit(1)))
+                      .build();
+  SymbolTable st;
+  t.resolve(st);
+  EXPECT_GE(t.lets[0].slot, 0);
+  EXPECT_NE(t.lets[0].slot, *st.lookup("a"));
+  EXPECT_EQ(st.size(), 2);
+}
+
+TEST(TransactionTest, WriteSetExactForComputableHeads) {
+  Transaction t = TxnBuilder()
+                      .assert_tuple({lit(Value::atom("found")), lit(1)})
+                      .build();
+  SymbolTable st;
+  t.resolve(st);
+  Env env(static_cast<std::size_t>(st.size()));
+  const Transaction::WriteSet ws = t.write_set(env, nullptr);
+  EXPECT_FALSE(ws.unknown);
+  ASSERT_EQ(ws.exact.size(), 1u);
+  EXPECT_EQ(ws.exact[0], IndexKey::of(tup("found", 1)));
+}
+
+TEST(TransactionTest, WriteSetUnknownForQuantifiedHeads) {
+  // (a, b) where a is bound by the query — bucket unknown pre-commit.
+  Transaction t = TxnBuilder()
+                      .exists({"a", "b"})
+                      .match(pat({V("a"), V("b")}))
+                      .assert_tuple({evar("a"), evar("b")})
+                      .build();
+  SymbolTable st;
+  t.resolve(st);
+  Env env(static_cast<std::size_t>(st.size()));
+  t.query.clear_locals(env);
+  EXPECT_TRUE(t.write_set(env, nullptr).unknown);
+}
+
+TEST(TransactionTest, WriteSetUsesPersistentBindings) {
+  // Head depends on a parameter k, known before the query runs.
+  Transaction t = TxnBuilder()
+                      .exists({"a"})
+                      .match(pat({E(evar("k")), V("a")}))
+                      .assert_tuple({evar("k"), evar("a")})
+                      .build();
+  SymbolTable st;
+  const int k_slot = st.intern("k");
+  t.resolve(st);
+  Env env(static_cast<std::size_t>(st.size()));
+  env[static_cast<std::size_t>(k_slot)] = Value(7);
+  t.query.clear_locals(env);
+  const Transaction::WriteSet ws = t.write_set(env, nullptr);
+  // The bucket only depends on (arity, head): the quantified second field
+  // does not widen the write set.
+  EXPECT_FALSE(ws.unknown);
+  ASSERT_EQ(ws.exact.size(), 1u);
+  EXPECT_EQ(ws.exact[0], IndexKey::of_head(2, Value(7)));
+}
+
+TEST(TransactionTest, ToStringRendersTagAndActions) {
+  Transaction t = TxnBuilder(TxnType::Delayed)
+                      .exists({"a"})
+                      .match(pat({A("year"), V("a")}))
+                      .assert_tuple({lit(Value::atom("new_year"))})
+                      .build();
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("=>"), std::string::npos);
+  EXPECT_NE(s.find("new_year"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdl

@@ -1,0 +1,195 @@
+#include "view/view.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sdl {
+namespace {
+
+struct ViewFixture {
+  Dataspace space{16};
+  SymbolTable st;
+  Env env;
+  FunctionRegistry fns;
+
+  View make(ViewSpec& spec) {
+    spec.resolve(st);
+    env.resize(static_cast<std::size_t>(st.size()));
+    return View(spec);
+  }
+  void bind(const std::string& name, Value v) {
+    const int slot = st.intern(name);
+    if (static_cast<std::size_t>(slot) >= env.size()) {
+      env.resize(static_cast<std::size_t>(slot) + 1);
+    }
+    env[static_cast<std::size_t>(slot)] = std::move(v);
+  }
+};
+
+TEST(ViewTest, DefaultViewImportsEverything) {
+  ViewFixture f;
+  ViewSpec spec;
+  const View v = f.make(spec);
+  EXPECT_TRUE(v.imports_everything());
+  EXPECT_TRUE(v.exports_everything());
+  EXPECT_TRUE(v.imports_tuple(tup("anything", 1), f.env, &f.fns));
+  EXPECT_TRUE(v.exports_tuple(tup("anything", 1), f.env, &f.fns));
+}
+
+TEST(ViewTest, PaperImportExample) {
+  // IMPORT a : a <= 87 => (year, a); EXPORT (year, *)  (§2.1)
+  ViewFixture f;
+  ViewSpec spec;
+  spec.import(pat({A("year"), V("va")}), le(evar("va"), lit(87)));
+  spec.export_(pat({A("year"), W()}));
+  const View v = f.make(spec);
+
+  EXPECT_TRUE(v.imports_tuple(tup("year", 80), f.env, &f.fns));
+  EXPECT_FALSE(v.imports_tuple(tup("year", 90), f.env, &f.fns));
+  EXPECT_FALSE(v.imports_tuple(tup("month", 5), f.env, &f.fns));
+  EXPECT_TRUE(v.exports_tuple(tup("year", 99), f.env, &f.fns));
+  EXPECT_FALSE(v.exports_tuple(tup("month", 1), f.env, &f.fns));
+}
+
+TEST(ViewTest, ImportEntryBindingsAreTransient) {
+  ViewFixture f;
+  ViewSpec spec;
+  spec.import(pat({A("k"), V("x")}), gt(evar("x"), lit(0)));
+  const View v = f.make(spec);
+  EXPECT_TRUE(v.imports_tuple(tup("k", 5), f.env, &f.fns));
+  // The entry variable must not stay bound, or the next test would be
+  // constrained to 5.
+  EXPECT_TRUE(v.imports_tuple(tup("k", 7), f.env, &f.fns));
+}
+
+TEST(ViewTest, ParameterizedViewConstrains) {
+  // Sort(node_id, next_node_id) imports only its two nodes (§3.2).
+  ViewFixture f;
+  f.bind("id1", Value(10));
+  f.bind("id2", Value(20));
+  ViewSpec spec;
+  spec.import(pat({V("id1"), W(), W(), W()}));
+  spec.import(pat({V("id2"), W(), W(), W()}));
+  const View v = f.make(spec);
+  EXPECT_TRUE(v.imports_tuple(tup(10, "p", 1, 20), f.env, &f.fns));
+  EXPECT_TRUE(v.imports_tuple(tup(20, "q", 2, 30), f.env, &f.fns));
+  EXPECT_FALSE(v.imports_tuple(tup(30, "r", 3, 40), f.env, &f.fns));
+}
+
+TEST(ViewTest, DynamicViewViaHostFunction) {
+  // Label(r, t)'s import depends on neighbor(p, r) (§3.3).
+  ViewFixture f;
+  f.fns.register_function("neighbor", [](std::span<const Value> args) -> Value {
+    const std::int64_t a = args[0].as_int();
+    const std::int64_t b = args[1].as_int();
+    const std::int64_t diff = a - b;
+    return diff == 1 || diff == -1;
+  });
+  f.bind("r", Value(5));
+  ViewSpec spec;
+  spec.import(pat({A("label"), V("p"), W()}),
+              call_fn("neighbor", {evar("p"), evar("r")}));
+  const View v = f.make(spec);
+  EXPECT_TRUE(v.imports_tuple(tup("label", 4, 9), f.env, &f.fns));
+  EXPECT_TRUE(v.imports_tuple(tup("label", 6, 9), f.env, &f.fns));
+  EXPECT_FALSE(v.imports_tuple(tup("label", 7, 9), f.env, &f.fns));
+}
+
+TEST(ViewTest, CollectImportIdsComputesOverlapSets) {
+  ViewFixture f;
+  f.space.insert(tup("year", 80), 0);
+  f.space.insert(tup("year", 90), 0);
+  f.space.insert(tup("month", 3), 0);
+  ViewSpec spec;
+  spec.import(pat({A("year"), V("cy")}), le(evar("cy"), lit(87)));
+  const View v = f.make(spec);
+  std::unordered_set<TupleId> ids;
+  v.collect_import_ids(f.space, f.env, &f.fns, ids);
+  EXPECT_EQ(ids.size(), 1u);
+}
+
+TEST(ViewTest, CollectImportIdsAllForDefaultView) {
+  ViewFixture f;
+  f.space.insert(tup("a", 1), 0);
+  f.space.insert(tup("b", 2), 0);
+  ViewSpec spec;
+  const View v = f.make(spec);
+  std::unordered_set<TupleId> ids;
+  v.collect_import_ids(f.space, f.env, &f.fns, ids);
+  EXPECT_EQ(ids.size(), 2u);
+}
+
+TEST(WindowSourceTest, FiltersScanByImport) {
+  ViewFixture f;
+  f.space.insert(tup("year", 80), 0);
+  f.space.insert(tup("year", 90), 0);
+  ViewSpec spec;
+  spec.import(pat({A("year"), V("wy")}), le(evar("wy"), lit(87)));
+  const View v = f.make(spec);
+  const WindowSource w(f.space, v, f.env, &f.fns);
+  int seen = 0;
+  w.scan_key(IndexKey::of_head(2, Value::atom("year")), [&](const Record& r) {
+    EXPECT_EQ(r.tuple, tup("year", 80));
+    ++seen;
+    return true;
+  });
+  EXPECT_EQ(seen, 1);
+}
+
+TEST(WindowSourceTest, ArityScanNarrowsToImportBuckets) {
+  ViewFixture f;
+  // 100 noise tuples under other heads, 2 under the imported head.
+  for (int i = 0; i < 100; ++i) f.space.insert(tup("noise", i), 0);
+  f.space.insert(tup("mine", 1), 0);
+  f.space.insert(tup("mine", 2), 0);
+  ViewSpec spec;
+  spec.import(pat({A("mine"), W()}));
+  const View v = f.make(spec);
+  const WindowSource w(f.space, v, f.env, &f.fns);
+
+  const std::uint64_t scanned_before = f.space.stats().records_scanned;
+  int seen = 0;
+  w.scan_arity(2, [&](const Record&) {
+    ++seen;
+    return true;
+  });
+  const std::uint64_t scanned = f.space.stats().records_scanned - scanned_before;
+  EXPECT_EQ(seen, 2);
+  EXPECT_LE(scanned, 4u) << "window arity-scan should not visit noise buckets";
+}
+
+TEST(WindowSourceTest, ArityScanFallsBackForUnpinnedImports) {
+  ViewFixture f;
+  f.space.insert(tup(1, 10), 0);
+  f.space.insert(tup(2, 20), 0);
+  ViewSpec spec;
+  spec.import(pat({V("any"), W()}), lt(evar("any"), lit(2)));
+  const View v = f.make(spec);
+  const WindowSource w(f.space, v, f.env, &f.fns);
+  int seen = 0;
+  w.scan_arity(2, [&](const Record& r) {
+    EXPECT_EQ(r.tuple, tup(1, 10));
+    ++seen;
+    return true;
+  });
+  EXPECT_EQ(seen, 1);
+}
+
+TEST(WindowSourceTest, SharedBucketNotDoubleVisited) {
+  ViewFixture f;
+  f.space.insert(tup("k", 1), 0);
+  ViewSpec spec;
+  // Two entries over the same bucket: record must be offered once.
+  spec.import(pat({A("k"), V("x1")}), gt(evar("x1"), lit(0)));
+  spec.import(pat({A("k"), W()}));
+  const View v = f.make(spec);
+  const WindowSource w(f.space, v, f.env, &f.fns);
+  int seen = 0;
+  w.scan_arity(2, [&](const Record&) {
+    ++seen;
+    return true;
+  });
+  EXPECT_EQ(seen, 1);
+}
+
+}  // namespace
+}  // namespace sdl
