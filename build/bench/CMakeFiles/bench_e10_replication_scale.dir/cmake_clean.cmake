@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_replication_scale.dir/bench_e10_replication_scale.cpp.o"
+  "CMakeFiles/bench_e10_replication_scale.dir/bench_e10_replication_scale.cpp.o.d"
+  "bench_e10_replication_scale"
+  "bench_e10_replication_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_replication_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_society_scale.dir/bench_e11_society_scale.cpp.o"
+  "CMakeFiles/bench_e11_society_scale.dir/bench_e11_society_scale.cpp.o.d"
+  "bench_e11_society_scale"
+  "bench_e11_society_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_society_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_vs_linda.dir/bench_e12_vs_linda.cpp.o"
+  "CMakeFiles/bench_e12_vs_linda.dir/bench_e12_vs_linda.cpp.o.d"
+  "bench_e12_vs_linda"
+  "bench_e12_vs_linda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_vs_linda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_planner.dir/bench_e13_planner.cpp.o"
+  "CMakeFiles/bench_e13_planner.dir/bench_e13_planner.cpp.o.d"
+  "bench_e13_planner"
+  "bench_e13_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_clocked_sim.dir/bench_e14_clocked_sim.cpp.o"
+  "CMakeFiles/bench_e14_clocked_sim.dir/bench_e14_clocked_sim.cpp.o.d"
+  "bench_e14_clocked_sim"
+  "bench_e14_clocked_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_clocked_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

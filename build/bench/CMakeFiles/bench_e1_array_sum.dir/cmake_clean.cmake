@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_array_sum.dir/bench_e1_array_sum.cpp.o"
+  "CMakeFiles/bench_e1_array_sum.dir/bench_e1_array_sum.cpp.o.d"
+  "bench_e1_array_sum"
+  "bench_e1_array_sum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_array_sum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e2_property_list.cpp" "bench/CMakeFiles/bench_e2_property_list.dir/bench_e2_property_list.cpp.o" "gcc" "bench/CMakeFiles/bench_e2_property_list.dir/bench_e2_property_list.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sdl_linda.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdl_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdl_process.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdl_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdl_view.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdl_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdl_space.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdl_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdl_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_property_list.dir/bench_e2_property_list.cpp.o"
+  "CMakeFiles/bench_e2_property_list.dir/bench_e2_property_list.cpp.o.d"
+  "bench_e2_property_list"
+  "bench_e2_property_list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_property_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_region_label.dir/bench_e4_region_label.cpp.o"
+  "CMakeFiles/bench_e4_region_label.dir/bench_e4_region_label.cpp.o.d"
+  "bench_e4_region_label"
+  "bench_e4_region_label.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_region_label.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_dataspace.dir/bench_e5_dataspace.cpp.o"
+  "CMakeFiles/bench_e5_dataspace.dir/bench_e5_dataspace.cpp.o.d"
+  "bench_e5_dataspace"
+  "bench_e5_dataspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_dataspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_view_scope.dir/bench_e7_view_scope.cpp.o"
+  "CMakeFiles/bench_e7_view_scope.dir/bench_e7_view_scope.cpp.o.d"
+  "bench_e7_view_scope"
+  "bench_e7_view_scope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_view_scope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

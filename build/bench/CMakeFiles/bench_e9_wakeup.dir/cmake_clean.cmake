@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_wakeup.dir/bench_e9_wakeup.cpp.o"
+  "CMakeFiles/bench_e9_wakeup.dir/bench_e9_wakeup.cpp.o.d"
+  "bench_e9_wakeup"
+  "bench_e9_wakeup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_wakeup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/array_sum.dir/array_sum.cpp.o"
+  "CMakeFiles/array_sum.dir/array_sum.cpp.o.d"
+  "array_sum"
+  "array_sum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/array_sum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

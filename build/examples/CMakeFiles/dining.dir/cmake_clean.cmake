@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dining.dir/dining.cpp.o"
+  "CMakeFiles/dining.dir/dining.cpp.o.d"
+  "dining"
+  "dining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_list.dir/property_list.cpp.o"
+  "CMakeFiles/property_list.dir/property_list.cpp.o.d"
+  "property_list"
+  "property_list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

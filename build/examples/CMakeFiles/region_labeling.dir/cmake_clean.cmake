@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_labeling.dir/region_labeling.cpp.o"
+  "CMakeFiles/region_labeling.dir/region_labeling.cpp.o.d"
+  "region_labeling"
+  "region_labeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_labeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

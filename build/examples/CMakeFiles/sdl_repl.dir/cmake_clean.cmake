@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdl_repl.dir/sdl_repl.cpp.o"
+  "CMakeFiles/sdl_repl.dir/sdl_repl.cpp.o.d"
+  "sdl_repl"
+  "sdl_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdl_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdl_run.dir/sdl_run.cpp.o"
+  "CMakeFiles/sdl_run.dir/sdl_run.cpp.o.d"
+  "sdl_run"
+  "sdl_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdl_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

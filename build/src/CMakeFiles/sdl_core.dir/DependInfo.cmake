@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/atom.cpp" "src/CMakeFiles/sdl_core.dir/core/atom.cpp.o" "gcc" "src/CMakeFiles/sdl_core.dir/core/atom.cpp.o.d"
+  "/root/repo/src/core/tuple.cpp" "src/CMakeFiles/sdl_core.dir/core/tuple.cpp.o" "gcc" "src/CMakeFiles/sdl_core.dir/core/tuple.cpp.o.d"
+  "/root/repo/src/core/value.cpp" "src/CMakeFiles/sdl_core.dir/core/value.cpp.o" "gcc" "src/CMakeFiles/sdl_core.dir/core/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdl_core.dir/core/atom.cpp.o"
+  "CMakeFiles/sdl_core.dir/core/atom.cpp.o.d"
+  "CMakeFiles/sdl_core.dir/core/tuple.cpp.o"
+  "CMakeFiles/sdl_core.dir/core/tuple.cpp.o.d"
+  "CMakeFiles/sdl_core.dir/core/value.cpp.o"
+  "CMakeFiles/sdl_core.dir/core/value.cpp.o.d"
+  "libsdl_core.a"
+  "libsdl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sdl_core.
+# This may be replaced when dependencies are built.

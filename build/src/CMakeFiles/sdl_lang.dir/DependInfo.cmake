@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lang/analyze.cpp" "src/CMakeFiles/sdl_lang.dir/lang/analyze.cpp.o" "gcc" "src/CMakeFiles/sdl_lang.dir/lang/analyze.cpp.o.d"
+  "/root/repo/src/lang/compile.cpp" "src/CMakeFiles/sdl_lang.dir/lang/compile.cpp.o" "gcc" "src/CMakeFiles/sdl_lang.dir/lang/compile.cpp.o.d"
+  "/root/repo/src/lang/lexer.cpp" "src/CMakeFiles/sdl_lang.dir/lang/lexer.cpp.o" "gcc" "src/CMakeFiles/sdl_lang.dir/lang/lexer.cpp.o.d"
+  "/root/repo/src/lang/parser.cpp" "src/CMakeFiles/sdl_lang.dir/lang/parser.cpp.o" "gcc" "src/CMakeFiles/sdl_lang.dir/lang/parser.cpp.o.d"
+  "/root/repo/src/lang/printer.cpp" "src/CMakeFiles/sdl_lang.dir/lang/printer.cpp.o" "gcc" "src/CMakeFiles/sdl_lang.dir/lang/printer.cpp.o.d"
+  "/root/repo/src/lang/repl.cpp" "src/CMakeFiles/sdl_lang.dir/lang/repl.cpp.o" "gcc" "src/CMakeFiles/sdl_lang.dir/lang/repl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sdl_process.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdl_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdl_view.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdl_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdl_space.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdl_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdl_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdl_lang.dir/lang/analyze.cpp.o"
+  "CMakeFiles/sdl_lang.dir/lang/analyze.cpp.o.d"
+  "CMakeFiles/sdl_lang.dir/lang/compile.cpp.o"
+  "CMakeFiles/sdl_lang.dir/lang/compile.cpp.o.d"
+  "CMakeFiles/sdl_lang.dir/lang/lexer.cpp.o"
+  "CMakeFiles/sdl_lang.dir/lang/lexer.cpp.o.d"
+  "CMakeFiles/sdl_lang.dir/lang/parser.cpp.o"
+  "CMakeFiles/sdl_lang.dir/lang/parser.cpp.o.d"
+  "CMakeFiles/sdl_lang.dir/lang/printer.cpp.o"
+  "CMakeFiles/sdl_lang.dir/lang/printer.cpp.o.d"
+  "CMakeFiles/sdl_lang.dir/lang/repl.cpp.o"
+  "CMakeFiles/sdl_lang.dir/lang/repl.cpp.o.d"
+  "libsdl_lang.a"
+  "libsdl_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdl_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linda/linda.cpp" "src/CMakeFiles/sdl_linda.dir/linda/linda.cpp.o" "gcc" "src/CMakeFiles/sdl_linda.dir/linda/linda.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sdl_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdl_view.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdl_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdl_space.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdl_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

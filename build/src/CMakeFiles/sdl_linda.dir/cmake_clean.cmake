@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdl_linda.dir/linda/linda.cpp.o"
+  "CMakeFiles/sdl_linda.dir/linda/linda.cpp.o.d"
+  "libsdl_linda.a"
+  "libsdl_linda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdl_linda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

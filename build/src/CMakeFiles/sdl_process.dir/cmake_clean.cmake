@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdl_process.dir/consensus/consensus.cpp.o"
+  "CMakeFiles/sdl_process.dir/consensus/consensus.cpp.o.d"
+  "CMakeFiles/sdl_process.dir/process/process.cpp.o"
+  "CMakeFiles/sdl_process.dir/process/process.cpp.o.d"
+  "CMakeFiles/sdl_process.dir/process/runtime.cpp.o"
+  "CMakeFiles/sdl_process.dir/process/runtime.cpp.o.d"
+  "CMakeFiles/sdl_process.dir/process/scheduler.cpp.o"
+  "CMakeFiles/sdl_process.dir/process/scheduler.cpp.o.d"
+  "CMakeFiles/sdl_process.dir/process/statement.cpp.o"
+  "CMakeFiles/sdl_process.dir/process/statement.cpp.o.d"
+  "libsdl_process.a"
+  "libsdl_process.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdl_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

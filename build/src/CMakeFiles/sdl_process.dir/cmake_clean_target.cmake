@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsdl_process.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/expr.cpp" "src/CMakeFiles/sdl_query.dir/query/expr.cpp.o" "gcc" "src/CMakeFiles/sdl_query.dir/query/expr.cpp.o.d"
+  "/root/repo/src/query/pattern.cpp" "src/CMakeFiles/sdl_query.dir/query/pattern.cpp.o" "gcc" "src/CMakeFiles/sdl_query.dir/query/pattern.cpp.o.d"
+  "/root/repo/src/query/query.cpp" "src/CMakeFiles/sdl_query.dir/query/query.cpp.o" "gcc" "src/CMakeFiles/sdl_query.dir/query/query.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sdl_space.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdl_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdl_query.dir/query/expr.cpp.o"
+  "CMakeFiles/sdl_query.dir/query/expr.cpp.o.d"
+  "CMakeFiles/sdl_query.dir/query/pattern.cpp.o"
+  "CMakeFiles/sdl_query.dir/query/pattern.cpp.o.d"
+  "CMakeFiles/sdl_query.dir/query/query.cpp.o"
+  "CMakeFiles/sdl_query.dir/query/query.cpp.o.d"
+  "libsdl_query.a"
+  "libsdl_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdl_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdl_space.dir/space/dataspace.cpp.o"
+  "CMakeFiles/sdl_space.dir/space/dataspace.cpp.o.d"
+  "libsdl_space.a"
+  "libsdl_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdl_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

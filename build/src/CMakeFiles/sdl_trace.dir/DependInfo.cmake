@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/timeline.cpp" "src/CMakeFiles/sdl_trace.dir/trace/timeline.cpp.o" "gcc" "src/CMakeFiles/sdl_trace.dir/trace/timeline.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/CMakeFiles/sdl_trace.dir/trace/trace.cpp.o" "gcc" "src/CMakeFiles/sdl_trace.dir/trace/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sdl_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

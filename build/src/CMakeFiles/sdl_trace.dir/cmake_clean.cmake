@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdl_trace.dir/trace/timeline.cpp.o"
+  "CMakeFiles/sdl_trace.dir/trace/timeline.cpp.o.d"
+  "CMakeFiles/sdl_trace.dir/trace/trace.cpp.o"
+  "CMakeFiles/sdl_trace.dir/trace/trace.cpp.o.d"
+  "libsdl_trace.a"
+  "libsdl_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdl_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdl_txn.dir/txn/engine.cpp.o"
+  "CMakeFiles/sdl_txn.dir/txn/engine.cpp.o.d"
+  "CMakeFiles/sdl_txn.dir/txn/transaction.cpp.o"
+  "CMakeFiles/sdl_txn.dir/txn/transaction.cpp.o.d"
+  "CMakeFiles/sdl_txn.dir/txn/waitset.cpp.o"
+  "CMakeFiles/sdl_txn.dir/txn/waitset.cpp.o.d"
+  "libsdl_txn.a"
+  "libsdl_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdl_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

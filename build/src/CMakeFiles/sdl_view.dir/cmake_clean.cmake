@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdl_view.dir/view/view.cpp.o"
+  "CMakeFiles/sdl_view.dir/view/view.cpp.o.d"
+  "libsdl_view.a"
+  "libsdl_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdl_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

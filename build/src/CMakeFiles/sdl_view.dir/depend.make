@@ -1,0 +1,2 @@
+# Empty dependencies file for sdl_view.
+# This may be replaced when dependencies are built.

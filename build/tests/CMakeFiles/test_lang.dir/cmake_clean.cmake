@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lang.dir/lang/analyze_test.cpp.o"
+  "CMakeFiles/test_lang.dir/lang/analyze_test.cpp.o.d"
+  "CMakeFiles/test_lang.dir/lang/checkpoint_test.cpp.o"
+  "CMakeFiles/test_lang.dir/lang/checkpoint_test.cpp.o.d"
+  "CMakeFiles/test_lang.dir/lang/fuzz_test.cpp.o"
+  "CMakeFiles/test_lang.dir/lang/fuzz_test.cpp.o.d"
+  "CMakeFiles/test_lang.dir/lang/lexer_test.cpp.o"
+  "CMakeFiles/test_lang.dir/lang/lexer_test.cpp.o.d"
+  "CMakeFiles/test_lang.dir/lang/parse_errors_test.cpp.o"
+  "CMakeFiles/test_lang.dir/lang/parse_errors_test.cpp.o.d"
+  "CMakeFiles/test_lang.dir/lang/parser_test.cpp.o"
+  "CMakeFiles/test_lang.dir/lang/parser_test.cpp.o.d"
+  "CMakeFiles/test_lang.dir/lang/printer_test.cpp.o"
+  "CMakeFiles/test_lang.dir/lang/printer_test.cpp.o.d"
+  "CMakeFiles/test_lang.dir/lang/repl_test.cpp.o"
+  "CMakeFiles/test_lang.dir/lang/repl_test.cpp.o.d"
+  "CMakeFiles/test_lang.dir/lang/sdl_programs_test.cpp.o"
+  "CMakeFiles/test_lang.dir/lang/sdl_programs_test.cpp.o.d"
+  "test_lang"
+  "test_lang.pdb"
+  "test_lang[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

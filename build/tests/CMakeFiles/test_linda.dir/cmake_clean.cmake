@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linda.dir/linda/linda_test.cpp.o"
+  "CMakeFiles/test_linda.dir/linda/linda_test.cpp.o.d"
+  "test_linda"
+  "test_linda.pdb"
+  "test_linda[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

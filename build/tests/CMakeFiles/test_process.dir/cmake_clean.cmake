@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_process.dir/process/consensus_membership_test.cpp.o"
+  "CMakeFiles/test_process.dir/process/consensus_membership_test.cpp.o.d"
+  "CMakeFiles/test_process.dir/process/consensus_test.cpp.o"
+  "CMakeFiles/test_process.dir/process/consensus_test.cpp.o.d"
+  "CMakeFiles/test_process.dir/process/replication_test.cpp.o"
+  "CMakeFiles/test_process.dir/process/replication_test.cpp.o.d"
+  "CMakeFiles/test_process.dir/process/runtime_test.cpp.o"
+  "CMakeFiles/test_process.dir/process/runtime_test.cpp.o.d"
+  "CMakeFiles/test_process.dir/process/scheduler_edge_test.cpp.o"
+  "CMakeFiles/test_process.dir/process/scheduler_edge_test.cpp.o.d"
+  "CMakeFiles/test_process.dir/process/selection_retry_test.cpp.o"
+  "CMakeFiles/test_process.dir/process/selection_retry_test.cpp.o.d"
+  "CMakeFiles/test_process.dir/process/statement_test.cpp.o"
+  "CMakeFiles/test_process.dir/process/statement_test.cpp.o.d"
+  "CMakeFiles/test_process.dir/process/stats_test.cpp.o"
+  "CMakeFiles/test_process.dir/process/stats_test.cpp.o.d"
+  "test_process"
+  "test_process.pdb"
+  "test_process[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

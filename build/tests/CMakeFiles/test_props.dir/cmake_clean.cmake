@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_props.dir/props/consensus_stress_test.cpp.o"
+  "CMakeFiles/test_props.dir/props/consensus_stress_test.cpp.o.d"
+  "CMakeFiles/test_props.dir/props/paper_programs_property_test.cpp.o"
+  "CMakeFiles/test_props.dir/props/paper_programs_property_test.cpp.o.d"
+  "CMakeFiles/test_props.dir/props/property_test.cpp.o"
+  "CMakeFiles/test_props.dir/props/property_test.cpp.o.d"
+  "test_props"
+  "test_props.pdb"
+  "test_props[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_props.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/query/expr_test.cpp" "tests/CMakeFiles/test_query.dir/query/expr_test.cpp.o" "gcc" "tests/CMakeFiles/test_query.dir/query/expr_test.cpp.o.d"
+  "/root/repo/tests/query/pattern_test.cpp" "tests/CMakeFiles/test_query.dir/query/pattern_test.cpp.o" "gcc" "tests/CMakeFiles/test_query.dir/query/pattern_test.cpp.o.d"
+  "/root/repo/tests/query/planner_test.cpp" "tests/CMakeFiles/test_query.dir/query/planner_test.cpp.o" "gcc" "tests/CMakeFiles/test_query.dir/query/planner_test.cpp.o.d"
+  "/root/repo/tests/query/query_test.cpp" "tests/CMakeFiles/test_query.dir/query/query_test.cpp.o" "gcc" "tests/CMakeFiles/test_query.dir/query/query_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sdl_linda.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdl_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdl_process.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdl_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdl_view.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdl_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdl_space.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdl_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sdl_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_query.dir/query/expr_test.cpp.o"
+  "CMakeFiles/test_query.dir/query/expr_test.cpp.o.d"
+  "CMakeFiles/test_query.dir/query/pattern_test.cpp.o"
+  "CMakeFiles/test_query.dir/query/pattern_test.cpp.o.d"
+  "CMakeFiles/test_query.dir/query/planner_test.cpp.o"
+  "CMakeFiles/test_query.dir/query/planner_test.cpp.o.d"
+  "CMakeFiles/test_query.dir/query/query_test.cpp.o"
+  "CMakeFiles/test_query.dir/query/query_test.cpp.o.d"
+  "test_query"
+  "test_query.pdb"
+  "test_query[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

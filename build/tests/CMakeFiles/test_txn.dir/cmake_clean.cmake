@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_txn.dir/txn/atomicity_test.cpp.o"
+  "CMakeFiles/test_txn.dir/txn/atomicity_test.cpp.o.d"
+  "CMakeFiles/test_txn.dir/txn/engine_test.cpp.o"
+  "CMakeFiles/test_txn.dir/txn/engine_test.cpp.o.d"
+  "CMakeFiles/test_txn.dir/txn/transaction_test.cpp.o"
+  "CMakeFiles/test_txn.dir/txn/transaction_test.cpp.o.d"
+  "CMakeFiles/test_txn.dir/txn/waitset_test.cpp.o"
+  "CMakeFiles/test_txn.dir/txn/waitset_test.cpp.o.d"
+  "test_txn"
+  "test_txn.pdb"
+  "test_txn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_space[1]_include.cmake")
+include("/root/repo/build/tests/test_query[1]_include.cmake")
+include("/root/repo/build/tests/test_view[1]_include.cmake")
+include("/root/repo/build/tests/test_txn[1]_include.cmake")
+include("/root/repo/build/tests/test_process[1]_include.cmake")
+include("/root/repo/build/tests/test_linda[1]_include.cmake")
+include("/root/repo/build/tests/test_lang[1]_include.cmake")
+include("/root/repo/build/tests/test_props[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
