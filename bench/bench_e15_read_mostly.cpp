@@ -1,0 +1,151 @@
+// E15 (read-mostly scaling): reader–writer shard locking and the
+// read-only transaction fast path.
+//
+// Claim under test: views and content-addressed transactions "bound the
+// scope and hence the cost" of coordination — so pure queries should not
+// serialize at all. Before this optimization the sharded engine took an
+// exclusive lock per touched shard even for effect-free transactions;
+// readers of one bucket therefore serialized exactly like writers. With
+// reader–writer locks, read-only transactions take shared locks, skip
+// apply_effects, skip publication, and leave the commit version alone.
+//
+// Sweeps reader:writer thread mixes (100:0, 95:5, 50:50) over both
+// engines. Writers contend on one shared counter (delayed transactions,
+// so losing writers park and exercise the wakeup path); readers run
+// read-only probes of the same bucket. Reported per run:
+//   * items/s        — total operations per second (reads dominate);
+//   * reads / writes — operation counts;
+//   * wakes          — WaitSet wake callbacks delivered;
+//   * version        — commit-version delta (must equal the write count:
+//                      read-only transactions provably never bump it).
+//
+// On the single-core measurement container thread sweeps cannot show
+// parallel speedup; what this bench shows there is that per-op cost of
+// the 100%-read mix stays flat as threads are added (no lock-convoy
+// collapse). On real cores the shared-lock path admits true read
+// parallelism; see EXPERIMENTS.md E15.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <thread>
+
+#include "workloads.hpp"
+
+namespace {
+
+using namespace sdl;
+using namespace sdl::bench;
+
+constexpr int kOpsPerThread = 4000;
+
+template <typename EngineT>
+void run_mix(benchmark::State& state, int read_pct) {
+  const int threads = static_cast<int>(state.range(0));
+  std::uint64_t total_reads = 0;
+  std::uint64_t total_writes = 0;
+  std::uint64_t total_wakes = 0;
+  std::uint64_t total_version = 0;
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    Dataspace space(64);
+    WaitSet waits;
+    FunctionRegistry fns;
+    EngineT engine(space, waits, &fns);
+    space.insert(tup("c", 0), kEnvironmentProcess);
+    std::atomic<std::uint64_t> reads{0};
+    std::atomic<std::uint64_t> writes{0};
+    state.ResumeTiming();
+
+    {
+      std::vector<std::jthread> workers;
+      workers.reserve(static_cast<std::size_t>(threads));
+      for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+          SymbolTable st;
+          Transaction read = TxnBuilder()
+                                 .exists({"v"})
+                                 .match(pat({A("c"), V("v")}))
+                                 .build();
+          Transaction write = TxnBuilder(TxnType::Delayed)
+                                  .exists({"n"})
+                                  .match(pat({A("c"), V("n")}), true)
+                                  .assert_tuple({lit(Value::atom("c")),
+                                                 add(evar("n"), lit(1))})
+                                  .build();
+          read.resolve(st);
+          write.resolve(st);
+          Env env(static_cast<std::size_t>(st.size()));
+          std::uint64_t r = 0;
+          std::uint64_t w = 0;
+          for (int i = 0; i < kOpsPerThread; ++i) {
+            if (i % 100 < read_pct) {
+              benchmark::DoNotOptimize(
+                  engine.execute(read, env, static_cast<ProcessId>(t + 1)));
+              ++r;
+            } else {
+              execute_blocking(engine, write, env,
+                               static_cast<ProcessId>(t + 1));
+              ++w;
+            }
+          }
+          reads.fetch_add(r, std::memory_order_relaxed);
+          writes.fetch_add(w, std::memory_order_relaxed);
+        });
+      }
+    }
+
+    state.PauseTiming();
+    const auto w = writes.load(std::memory_order_relaxed);
+    // Serializability: every write landed exactly once.
+    if (space.count(tup("c", static_cast<std::int64_t>(w))) != 1) {
+      state.SkipWithError("lost update detected");
+    }
+    // Read-only executions must not publish: the commit version is the
+    // write count, whatever the read volume.
+    if (waits.version() != w) {
+      state.SkipWithError("read-only transaction bumped the commit version");
+    }
+    total_reads += reads.load(std::memory_order_relaxed);
+    total_writes += w;
+    total_wakes += waits.wakes_delivered();
+    total_version += waits.version();
+    state.ResumeTiming();
+  }
+
+  state.SetItemsProcessed(state.iterations() * threads * kOpsPerThread);
+  state.counters["reads"] = static_cast<double>(total_reads);
+  state.counters["writes"] = static_cast<double>(total_writes);
+  state.counters["wakes"] = static_cast<double>(total_wakes);
+  state.counters["version"] = static_cast<double>(total_version);
+}
+
+void BM_Global_R100(benchmark::State& state) {
+  run_mix<GlobalLockEngine>(state, 100);
+}
+void BM_Sharded_R100(benchmark::State& state) {
+  run_mix<ShardedEngine>(state, 100);
+}
+void BM_Global_R95(benchmark::State& state) {
+  run_mix<GlobalLockEngine>(state, 95);
+}
+void BM_Sharded_R95(benchmark::State& state) {
+  run_mix<ShardedEngine>(state, 95);
+}
+void BM_Global_R50(benchmark::State& state) {
+  run_mix<GlobalLockEngine>(state, 50);
+}
+void BM_Sharded_R50(benchmark::State& state) {
+  run_mix<ShardedEngine>(state, 50);
+}
+
+BENCHMARK(BM_Global_R100)->RangeMultiplier(2)->Range(1, 8)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_Sharded_R100)->RangeMultiplier(2)->Range(1, 8)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_Global_R95)->RangeMultiplier(2)->Range(1, 8)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_Sharded_R95)->RangeMultiplier(2)->Range(1, 8)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_Global_R50)->RangeMultiplier(2)->Range(1, 8)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_Sharded_R50)->RangeMultiplier(2)->Range(1, 8)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

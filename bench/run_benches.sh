@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Runs every bench_e* binary and emits BENCH_<date>.json — one JSON object
+# mapping bench name to Google Benchmark's own JSON report — so PRs leave a
+# machine-readable perf trajectory instead of an eyeballed bench_output.txt.
+#
+# Usage: bench/run_benches.sh [build-dir] [extra benchmark args...]
+#   bench/run_benches.sh                  # uses ./build, full run
+#   bench/run_benches.sh build --benchmark_min_time=0.05
+set -euo pipefail
+
+build_dir="${1:-build}"
+shift || true
+
+if [[ ! -d "${build_dir}/bench" ]]; then
+  echo "error: '${build_dir}/bench' not found — build first:" >&2
+  echo "  cmake -B ${build_dir} -S . && cmake --build ${build_dir} -j" >&2
+  exit 1
+fi
+
+out="BENCH_$(date +%Y%m%d).json"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "${tmpdir}"' EXIT
+
+benches=("${build_dir}"/bench/bench_e*)
+if [[ ${#benches[@]} -eq 0 ]]; then
+  echo "error: no bench_e* binaries under ${build_dir}/bench" >&2
+  exit 1
+fi
+
+{
+  printf '{\n'
+  printf '  "generated": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+  printf '  "host_nproc": %s,\n' "$(nproc)"
+  printf '  "results": {\n'
+  first=1
+  for bench in "${benches[@]}"; do
+    name="$(basename "${bench}")"
+    echo "running ${name} ..." >&2
+    json="${tmpdir}/${name}.json"
+    # A failing bench must not wipe out the whole summary.
+    if "${bench}" --benchmark_format=json "$@" > "${json}" 2>"${tmpdir}/${name}.err" \
+        && [[ -s "${json}" ]]; then
+      payload="$(cat "${json}")"
+    else
+      payload="{\"error\": \"bench exited nonzero or produced no output\"}"
+      echo "warning: ${name} failed; see stderr below" >&2
+      cat "${tmpdir}/${name}.err" >&2 || true
+    fi
+    if [[ ${first} -eq 0 ]]; then printf ',\n'; fi
+    first=0
+    printf '    "%s": %s' "${name}" "${payload}"
+  done
+  printf '\n  }\n}\n'
+} > "${out}"
+
+echo "wrote ${out}" >&2

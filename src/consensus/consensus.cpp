@@ -61,6 +61,10 @@ bool ConsensusManager::sweep_once() {
   sweeps_.fetch_add(1, std::memory_order_relaxed);
   bool fired_any = false;
 
+  // The composite commit returns every member's touched keys — with heavy
+  // duplication when members share buckets — in one list; exclusive()
+  // hands it to WaitSet::publish_batch, which dedupes keys and wakes each
+  // affected subscriber exactly once for the whole composite.
   engine_.exclusive([&]() -> std::vector<IndexKey> {
     std::vector<IndexKey> touched;
 

@@ -520,7 +520,20 @@ Scheduler::StepOutcome Scheduler::do_transaction(Process& p,
       return StepOutcome::Continue;
     }
     case TxnType::Delayed: {
+      // A live ticket means this is a re-check after a park: the first
+      // attempt already failed, so probe under read locks before paying
+      // for the full (exclusively locked) execute — a parked society
+      // re-checking disabled guards then contends only on shared locks.
+      // The subscription stays active throughout, so a commit racing the
+      // probe still wakes us (no lost wakeup). Read-only transactions
+      // skip the probe: their execute() is already the shared-lock path.
+      const bool recheck = p.ticket != WaitSet::kInvalidTicket;
       ensure_subscription(p, engine_.interest_of(txn, p.env));
+      if (recheck && !txn.is_read_only() &&
+          !engine_.probe(txn, p.env, p.view_ptr())) {
+        p.park_reason = ParkReason::DelayedTxn;
+        return StepOutcome::Parked;
+      }
       const TxnResult r = execute_engine(p, txn);
       if (!r.success) {
         p.park_reason = ParkReason::DelayedTxn;
@@ -676,7 +689,17 @@ int Scheduler::try_guards(Process& p, const std::vector<Branch>& branches,
     // itself provides the retry-until-enabled behavior, so the '=>' tag
     // adds nothing and consensus guards are not meaningful here (§2.3's
     // examples use '->' guards).
-    result = execute_engine(p, branches[i].guard);
+    //
+    // Most sweep attempts hit disabled guards, so evaluate each guard
+    // first under read locks (probe); only a guard that looks enabled
+    // pays for the exclusively locked execute, which revalidates.
+    // Read-only guards go straight to execute — it is already the
+    // shared-lock path.
+    const Transaction& guard = branches[i].guard;
+    if (!guard.is_read_only() && !engine_.probe(guard, p.env, p.view_ptr())) {
+      continue;
+    }
+    result = execute_engine(p, guard);
     if (result.success) return static_cast<int>(i);
   }
   return -1;

@@ -8,10 +8,15 @@
 //
 // Dataspace is deliberately NOT self-synchronizing: the transaction engines
 // in src/txn own the locks (GlobalLockEngine one mutex, ShardedEngine one
-// mutex per shard) so that locking policy is an interchangeable,
-// benchmarkable decision (experiment E6). Buckets are distributed over
-// `shard_count` shards by IndexKey hash; an engine holding a shard's lock
-// may touch exactly that shard's buckets.
+// reader–writer lock per shard) so that locking policy is an
+// interchangeable, benchmarkable decision (experiments E6, E15). Buckets
+// are distributed over `shard_count` shards by IndexKey hash. The lock
+// contract per shard:
+//   * mutation (insert, erase) requires that shard's lock EXCLUSIVELY;
+//   * reads (scan_*, count) require it at least SHARED — any number of
+//     concurrent readers of one shard is fine.
+// Whole-space operations (scan_arity, scan_all, snapshot) need every shard
+// held in the corresponding mode.
 #pragma once
 
 #include <atomic>
@@ -92,17 +97,18 @@ class Dataspace {
   }
 
   /// Inserts a tuple instance owned by `owner`; returns its fresh id.
-  /// Caller must hold the lock for shard_of(IndexKey::of(t)).
+  /// Caller must hold the lock for shard_of(IndexKey::of(t)) EXCLUSIVELY.
   TupleId insert(Tuple t, ProcessId owner);
 
   /// Removes the instance `id` from the bucket `key` (which the caller
   /// derives from the matched tuple). Returns false if not present.
-  /// Caller must hold the lock for shard_of(key).
+  /// Caller must hold the lock for shard_of(key) EXCLUSIVELY.
   bool erase(const IndexKey& key, TupleId id);
 
   using RecordFn = std::function<bool(const Record&)>;  // return false to stop
 
-  /// Visits every record in bucket `key`. Caller holds that shard's lock.
+  /// Visits every record in bucket `key`. Caller holds that shard's lock
+  /// (shared mode suffices for all scan_* entry points).
   void scan_key(const IndexKey& key, const RecordFn& fn) const;
 
   /// Visits only the records in bucket `key` whose SECOND field equals
@@ -144,11 +150,16 @@ class Dataspace {
     /// hash(second field) -> ids; empty for arity < 2 buckets.
     std::unordered_map<std::uint64_t, std::vector<TupleId>> by_second;
   };
-  /// Per-shard state. All mutation (including the counters, which have a
-  /// single writer at a time) happens under the owning engine's lock for
-  /// this shard; the counters are atomics only so that unlocked aggregate
-  /// reads (size()/stats()) are well-defined — writes are load+store, not
-  /// RMW, because the shard lock already excludes concurrent writers.
+  /// Per-shard state. Bucket mutation (and the asserts/retracts/live
+  /// counters) happens only under this shard's EXCLUSIVE lock — a single
+  /// writer — so those counter writes are load+store, not RMW. The
+  /// `scanned` counter is also bumped by readers holding the lock in
+  /// SHARED mode: concurrent load+store bumps may lose counts, which is
+  /// accepted — stats are documented approximate, and an RMW here would
+  /// put every concurrent same-shard reader back on one contended cache
+  /// line (the exact ceiling the shared-lock fast path removes, E15).
+  /// Atomics keep the unlocked aggregate reads (size()/stats()) and the
+  /// shared-mode bumps well-defined (no UB, no torn values).
   struct Shard {
     std::unordered_map<IndexKey, Bucket, IndexKeyHash> buckets;
     alignas(64) std::atomic<std::uint64_t> next_sequence{1};

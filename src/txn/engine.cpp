@@ -6,6 +6,16 @@
 
 namespace sdl {
 
+QueryOutcome Engine::evaluate_query(const Transaction& txn, Env& env,
+                                    const View* view) const {
+  if (view != nullptr && !view->imports_everything()) {
+    const WindowSource window(space_, *view, env, fns_);
+    return txn.query.evaluate(window, env, fns_);
+  }
+  const DataspaceSource source(space_);
+  return txn.query.evaluate(source, env, fns_);
+}
+
 WaitSet::Interest Engine::interest_of(const Transaction& txn, Env& env) const {
   txn.query.clear_locals(env);
   WaitSet::Interest interest;
@@ -82,7 +92,14 @@ TxnResult execute_blocking(Engine& engine, const Transaction& txn, Env& env,
   for (;;) {
     result = engine.execute(txn, env, owner, view);
     if (result.success) break;
-    waiter.wait();
+    // Re-checks after a wake go through the read-locked probe first, so a
+    // spurious or losing wake costs shared locks, not exclusive ones.
+    // (Read-only transactions skip the probe: their execute() already
+    // takes only shared locks.) A true probe is a hint — execute() above
+    // revalidates under the full lock plan.
+    do {
+      waiter.wait();
+    } while (!txn.is_read_only() && !engine.probe(txn, env, view));
   }
   engine.waits().unsubscribe(ticket);
   return result;
@@ -98,14 +115,7 @@ TxnResult GlobalLockEngine::execute(const Transaction& txn, Env& env,
   {
     std::scoped_lock lock(mutex_);
     result.version = waits_.version();
-    QueryOutcome outcome;
-    if (view != nullptr && !view->imports_everything()) {
-      const WindowSource window(space_, *view, env, fns_);
-      outcome = txn.query.evaluate(window, env, fns_);
-    } else {
-      const DataspaceSource source(space_);
-      outcome = txn.query.evaluate(source, env, fns_);
-    }
+    QueryOutcome outcome = evaluate_query(txn, env, view);
     if (outcome.success) {
       touched = apply_effects(txn, outcome, owner, view, result.asserted);
       result.success = true;
@@ -114,11 +124,18 @@ TxnResult GlobalLockEngine::execute(const Transaction& txn, Env& env,
   }
   if (result.success) {
     stats_.commits.add();
-    if (!touched.empty()) waits_.publish(touched);
+    if (!touched.empty()) waits_.publish_batch(std::move(touched));
   } else {
     stats_.failures.add();
   }
   return result;
+}
+
+bool GlobalLockEngine::probe(const Transaction& txn, Env& env,
+                             const View* view) {
+  stats_.probes.add();
+  std::scoped_lock lock(mutex_);
+  return evaluate_query(txn, env, view).success;
 }
 
 void GlobalLockEngine::exclusive(const std::function<std::vector<IndexKey>()>& fn) {
@@ -127,7 +144,7 @@ void GlobalLockEngine::exclusive(const std::function<std::vector<IndexKey>()>& f
     std::scoped_lock lock(mutex_);
     touched = fn();
   }
-  if (!touched.empty()) waits_.publish(touched);
+  if (!touched.empty()) waits_.publish_batch(std::move(touched));
 }
 
 // --------------------------------------------------------------- sharded
@@ -135,83 +152,187 @@ void GlobalLockEngine::exclusive(const std::function<std::vector<IndexKey>()>& f
 ShardedEngine::ShardedEngine(Dataspace& space, WaitSet& waits,
                              const FunctionRegistry* fns)
     : Engine(space, waits, fns),
-      locks_(std::make_unique<std::mutex[]>(space.shard_count())),
+      locks_(std::make_unique<std::shared_mutex[]>(space.shard_count())),
       lock_count_(space.shard_count()) {}
 
 ShardedEngine::LockPlan ShardedEngine::plan_locks(const Transaction& txn,
                                                   Env& env) const {
   LockPlan plan;
   txn.query.clear_locals(env);
-  for (const KeySpec& spec : txn.query.read_set(env, fns_)) {
+
+  // Positive patterns. A retract-tagged pattern is a write: the matched
+  // instance is erased from that pattern's bucket, so its shard needs an
+  // exclusive lock; an untagged pattern only reads. Unresolvable heads
+  // widen the corresponding mode to every shard.
+  for (const TuplePattern& p : txn.query.patterns) {
+    const KeySpec spec = p.key_spec(env, fns_);
     if (spec.kind == KeySpec::Kind::Arity) {
-      plan.all = true;
-      return plan;
+      (p.retract_tagged() ? plan.write_all : plan.read_all) = true;
+    } else if (p.retract_tagged()) {
+      plan.write_shards.push_back(space_.shard_of(spec.key));
+    } else {
+      plan.read_shards.push_back(space_.shard_of(spec.key));
     }
-    plan.shards.push_back(space_.shard_of(spec.key));
   }
+  // Negated patterns only test for absence — pure reads.
+  for (const NegatedGroup& g : txn.query.negations) {
+    for (const TuplePattern& p : g.patterns) {
+      const KeySpec spec = p.key_spec(env, fns_);
+      if (spec.kind == KeySpec::Kind::Arity) {
+        plan.read_all = true;
+      } else {
+        plan.read_shards.push_back(space_.shard_of(spec.key));
+      }
+    }
+  }
+  // Assertion targets, from the transaction's effect templates: exact
+  // heads give exact write shards; an unresolvable head widens the write
+  // set to all shards, exactly as the pre-r/w planner widened to `all`.
   const Transaction::WriteSet ws = txn.write_set(env, fns_);
-  if (ws.unknown) {
-    plan.all = true;
+  if (ws.unknown) plan.write_all = true;
+  for (const IndexKey& k : ws.exact) {
+    plan.write_shards.push_back(space_.shard_of(k));
+  }
+
+  if (plan.write_all) {
+    // Everything is exclusive; the per-shard lists are moot.
+    plan.read_all = false;
+    plan.read_shards.clear();
+    plan.write_shards.clear();
     return plan;
   }
-  for (const IndexKey& k : ws.exact) plan.shards.push_back(space_.shard_of(k));
-  std::sort(plan.shards.begin(), plan.shards.end());
-  plan.shards.erase(std::unique(plan.shards.begin(), plan.shards.end()),
-                    plan.shards.end());
+  std::sort(plan.write_shards.begin(), plan.write_shards.end());
+  plan.write_shards.erase(
+      std::unique(plan.write_shards.begin(), plan.write_shards.end()),
+      plan.write_shards.end());
+  if (plan.read_all) {
+    plan.read_shards.clear();  // acquire() shares everything not written
+    return plan;
+  }
+  std::sort(plan.read_shards.begin(), plan.read_shards.end());
+  plan.read_shards.erase(
+      std::unique(plan.read_shards.begin(), plan.read_shards.end()),
+      plan.read_shards.end());
+  // A shard both read and written is locked once, exclusively.
+  std::vector<std::size_t> only_read;
+  only_read.reserve(plan.read_shards.size());
+  std::set_difference(plan.read_shards.begin(), plan.read_shards.end(),
+                      plan.write_shards.begin(), plan.write_shards.end(),
+                      std::back_inserter(only_read));
+  plan.read_shards = std::move(only_read);
   return plan;
+}
+
+void ShardedEngine::acquire(const LockPlan& plan, HeldLocks& held) {
+  // Acquire in ascending shard order — one canonical order across both
+  // modes makes the reader–writer 2PL deadlock-free (CP.21's
+  // ordered-acquisition idea, spelled out because the lock set is
+  // dynamic). std::shared_mutex admits writer starvation in principle;
+  // acquisition order is unaffected.
+  if (plan.write_all) {
+    held.exclusive.reserve(lock_count_);
+    for (std::size_t i = 0; i < lock_count_; ++i) {
+      held.exclusive.emplace_back(locks_[i]);
+    }
+    return;
+  }
+  if (plan.read_all) {
+    held.shared.reserve(lock_count_ - plan.write_shards.size());
+    held.exclusive.reserve(plan.write_shards.size());
+    auto w = plan.write_shards.begin();
+    for (std::size_t i = 0; i < lock_count_; ++i) {
+      if (w != plan.write_shards.end() && *w == i) {
+        held.exclusive.emplace_back(locks_[i]);
+        ++w;
+      } else {
+        held.shared.emplace_back(locks_[i]);
+      }
+    }
+    return;
+  }
+  held.shared.reserve(plan.read_shards.size());
+  held.exclusive.reserve(plan.write_shards.size());
+  auto r = plan.read_shards.begin();
+  auto w = plan.write_shards.begin();
+  while (r != plan.read_shards.end() || w != plan.write_shards.end()) {
+    if (w == plan.write_shards.end() ||
+        (r != plan.read_shards.end() && *r < *w)) {
+      held.shared.emplace_back(locks_[*r]);
+      ++r;
+    } else {
+      held.exclusive.emplace_back(locks_[*w]);
+      ++w;
+    }
+  }
 }
 
 TxnResult ShardedEngine::execute(const Transaction& txn, Env& env,
                                  ProcessId owner, const View* view) {
   stats_.attempts.add();
   const LockPlan plan = plan_locks(txn, env);
-
-  // Acquire in ascending shard order — canonical order makes 2PL
-  // deadlock-free (CP.21's ordered-acquisition idea, spelled out because
-  // the lock set is dynamic).
-  std::vector<std::unique_lock<std::mutex>> held;
-  if (plan.all) {
-    held.reserve(lock_count_);
-    for (std::size_t i = 0; i < lock_count_; ++i) held.emplace_back(locks_[i]);
-  } else {
-    held.reserve(plan.shards.size());
-    for (std::size_t i : plan.shards) held.emplace_back(locks_[i]);
-  }
+  HeldLocks held;
+  acquire(plan, held);
 
   TxnResult result;
   result.version = waits_.version();
-  QueryOutcome outcome;
-  if (view != nullptr && !view->imports_everything()) {
-    const WindowSource window(space_, *view, env, fns_);
-    outcome = txn.query.evaluate(window, env, fns_);
-  } else {
-    const DataspaceSource source(space_);
-    outcome = txn.query.evaluate(source, env, fns_);
-  }
+  QueryOutcome outcome = evaluate_query(txn, env, view);
   std::vector<IndexKey> touched;
   if (outcome.success) {
-    touched = apply_effects(txn, outcome, owner, view, result.asserted);
+    // Read-only fast path: the transaction has no effect templates, so
+    // there is nothing to apply and nothing to publish — concurrent
+    // readers of the same shard commit under shared locks without
+    // bumping the commit version or waking anyone (E15).
+    if (!txn.is_read_only()) {
+      touched = apply_effects(txn, outcome, owner, view, result.asserted);
+    }
     result.success = true;
     result.matches = std::move(outcome.matches);
   }
-  held.clear();  // release before publishing (CP.22)
+  held.shared.clear();
+  held.exclusive.clear();  // release before publishing (CP.22)
 
   if (result.success) {
     stats_.commits.add();
-    if (!touched.empty()) waits_.publish(touched);
+    if (!touched.empty()) waits_.publish_batch(std::move(touched));
   } else {
     stats_.failures.add();
   }
   return result;
 }
 
+bool ShardedEngine::probe(const Transaction& txn, Env& env, const View* view) {
+  stats_.probes.add();
+  // A probe never applies effects, so even retract-tagged patterns and
+  // assertion targets contribute only READ locks: lock every bucket the
+  // query scans, shared, and evaluate.
+  LockPlan plan;
+  txn.query.clear_locals(env);
+  for (const KeySpec& spec : txn.query.read_set(env, fns_)) {
+    if (spec.kind == KeySpec::Kind::Arity) {
+      plan.read_all = true;
+      plan.read_shards.clear();
+      break;
+    }
+    plan.read_shards.push_back(space_.shard_of(spec.key));
+  }
+  if (!plan.read_all) {
+    std::sort(plan.read_shards.begin(), plan.read_shards.end());
+    plan.read_shards.erase(
+        std::unique(plan.read_shards.begin(), plan.read_shards.end()),
+        plan.read_shards.end());
+  }
+  HeldLocks held;
+  acquire(plan, held);
+  return evaluate_query(txn, env, view).success;
+}
+
 void ShardedEngine::exclusive(const std::function<std::vector<IndexKey>()>& fn) {
-  std::vector<std::unique_lock<std::mutex>> held;
+  std::vector<std::unique_lock<std::shared_mutex>> held;
   held.reserve(lock_count_);
   for (std::size_t i = 0; i < lock_count_; ++i) held.emplace_back(locks_[i]);
   std::vector<IndexKey> touched = fn();
   held.clear();
-  if (!touched.empty()) waits_.publish(touched);
+  if (!touched.empty()) waits_.publish_batch(std::move(touched));
 }
 
 }  // namespace sdl

@@ -4,7 +4,10 @@
 // implementations exist (experiment E6 compares them):
 //   * GlobalLockEngine — one exclusive mutex, the semantic reference;
 //   * ShardedEngine    — strict two-phase locking over the dataspace's
-//     shards, acquired in canonical order (deadlock-free, serializable).
+//     shards via reader–writer locks, acquired in canonical order
+//     (deadlock-free, serializable). Shards a transaction only reads are
+//     taken shared; shards an effect may land on are taken exclusive, so
+//     read-only transactions on the same shard run concurrently (E15).
 //
 // Engines apply a transaction's dataspace effects (retract, then assert,
 // §2.2) atomically and publish the touched index keys to the WaitSet.
@@ -16,6 +19,7 @@
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <shared_mutex>
 
 #include "core/striped_counter.hpp"
 #include "txn/transaction.hpp"
@@ -43,6 +47,9 @@ struct EngineStats {
   StripedCounter attempts;
   StripedCounter commits;
   StripedCounter failures;
+  /// Effect-free probe() evaluations (read locks only, never counted as
+  /// attempts/commits/failures — they are pre-checks, not transactions).
+  StripedCounter probes;
 };
 
 class Engine {
@@ -60,6 +67,17 @@ class Engine {
   virtual TxnResult execute(const Transaction& txn, Env& env, ProcessId owner,
                             const View* view = nullptr) = 0;
 
+  /// Effect-free pre-check: evaluates `txn`'s query under READ locks only
+  /// and reports whether it is currently satisfiable. Never applies
+  /// effects, never publishes, never bumps the commit version. Callers
+  /// that retry transactions whose guards usually fail (parked delayed
+  /// transactions re-checking on wake, replication sweeps) probe first so
+  /// a disabled guard costs a shared lock instead of exclusive ones; a
+  /// true probe is only a hint — the follow-up execute() may still fail
+  /// because the world moved between the two.
+  virtual bool probe(const Transaction& txn, Env& env,
+                     const View* view = nullptr) = 0;
+
   /// Runs `fn` under total mutual exclusion (every shard locked). `fn`
   /// may read and mutate space() directly and returns the touched keys,
   /// which are published after the locks are released. Used by the
@@ -76,6 +94,12 @@ class Engine {
   [[nodiscard]] WaitSet::Interest interest_of(const Transaction& txn, Env& env) const;
 
  protected:
+  /// Evaluates `txn`'s query against the dataspace, through `view`'s
+  /// window when one is active. Must be called with sufficient locks held
+  /// (shared suffices: evaluation only reads).
+  [[nodiscard]] QueryOutcome evaluate_query(const Transaction& txn, Env& env,
+                                            const View* view) const;
+
   /// Shared commit path: applies `outcome`'s retractions (deduped across
   /// matches) then the assertion templates per match, export-filtered by
   /// `view`. Must be called with sufficient locks held. Returns touched
@@ -98,40 +122,64 @@ TxnResult execute_blocking(Engine& engine, const Transaction& txn, Env& env,
                            ProcessId owner, const View* view = nullptr);
 
 /// GlobalLockEngine: one mutex serializes every transaction. Trivially
-/// serializable; the correctness baseline for E6.
+/// serializable; the correctness baseline for E6 and E15 — deliberately
+/// untouched by the reader–writer optimization so it stays the semantic
+/// reference the sharded engine is checked against.
 class GlobalLockEngine final : public Engine {
  public:
   using Engine::Engine;
 
   TxnResult execute(const Transaction& txn, Env& env, ProcessId owner,
                     const View* view = nullptr) override;
+  bool probe(const Transaction& txn, Env& env,
+             const View* view = nullptr) override;
   void exclusive(const std::function<std::vector<IndexKey>()>& fn) override;
 
  private:
   std::mutex mutex_;  // guards space_ entirely
 };
 
-/// ShardedEngine: strict 2PL over the dataspace's shards. A transaction
-/// locks, in ascending order, every shard its read and write sets may
-/// touch (arity-wide reads and unresolvable assertion heads widen to all
-/// shards); locks are held through commit.
+/// ShardedEngine: strict 2PL over the dataspace's shards with
+/// reader–writer discrimination. A transaction locks, in ascending shard
+/// order, every shard its read and write sets may touch — shared for
+/// shards it can only read, exclusive for shards an effect (retraction or
+/// assertion) can land on. Arity-wide patterns widen the read set to all
+/// shards (shared); retract-tagged arity-wide patterns and unresolvable
+/// assertion heads widen the write set to all shards (exclusive), exactly
+/// as the pre-r/w planner widened to `all`. Locks are held through commit
+/// (strict 2PL), and the single canonical acquisition order across both
+/// modes keeps the engine deadlock-free.
 class ShardedEngine final : public Engine {
  public:
   ShardedEngine(Dataspace& space, WaitSet& waits, const FunctionRegistry* fns);
 
   TxnResult execute(const Transaction& txn, Env& env, ProcessId owner,
                     const View* view = nullptr) override;
+  bool probe(const Transaction& txn, Env& env,
+             const View* view = nullptr) override;
   void exclusive(const std::function<std::vector<IndexKey>()>& fn) override;
 
  private:
-  /// Sorted, deduped shard indices to lock; empty optional = all shards.
+  /// Which shards to lock and in which mode. `read_shards`/`write_shards`
+  /// are sorted, deduped, and disjoint (write wins on overlap). The `all`
+  /// flags widen one mode to every shard.
   struct LockPlan {
-    std::vector<std::size_t> shards;
-    bool all = false;
+    std::vector<std::size_t> read_shards;   // shared mode
+    std::vector<std::size_t> write_shards;  // exclusive mode
+    bool read_all = false;   // unresolvable read head: share-lock all
+    bool write_all = false;  // unresolvable effect target: lock all exclusive
   };
   LockPlan plan_locks(const Transaction& txn, Env& env) const;
 
-  std::unique_ptr<std::mutex[]> locks_;  // one per dataspace shard
+  /// RAII for one execute()'s lock set; locks are acquired in ascending
+  /// shard order regardless of mode and released all at once.
+  struct HeldLocks {
+    std::vector<std::shared_lock<std::shared_mutex>> shared;
+    std::vector<std::unique_lock<std::shared_mutex>> exclusive;
+  };
+  void acquire(const LockPlan& plan, HeldLocks& held);
+
+  std::unique_ptr<std::shared_mutex[]> locks_;  // one per dataspace shard
   std::size_t lock_count_;
 };
 

@@ -14,6 +14,16 @@ void Transaction::resolve(SymbolTable& symtab) {
   for (SpawnAction& s : spawns) {
     for (ExprPtr& a : s.args) a->resolve(symtab);
   }
+
+  // Negated patterns only test for absence; they never retract, so only
+  // the positive patterns' retract tags matter here.
+  read_only_ = asserts.empty();
+  for (const TuplePattern& p : query.patterns) {
+    if (p.retract_tagged()) {
+      read_only_ = false;
+      break;
+    }
+  }
 }
 
 Transaction::WriteSet Transaction::write_set(const Env& env,

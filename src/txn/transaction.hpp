@@ -56,8 +56,18 @@ class Transaction {
   std::vector<SpawnAction> spawns;
   ControlAction control = ControlAction::None;
 
-  /// Interns names, resolves all expressions. Call exactly once.
+  /// Interns names, resolves all expressions, and caches is_read_only().
+  /// Call exactly once.
   void resolve(SymbolTable& symtab);
+
+  /// True when this transaction can never change the dataspace: no assert
+  /// templates and no retract-tagged pattern anywhere in the query.
+  /// Process-local actions (lets, spawns, control) do not count — they are
+  /// applied by the caller and never touch D. Engines route read-only
+  /// transactions through the shared-lock fast path: no exclusive locks,
+  /// no apply_effects, no WaitSet publication, no commit-version bump.
+  /// Cached by resolve(); false (conservative) before resolution.
+  [[nodiscard]] bool is_read_only() const { return read_only_; }
 
   /// Conservative index keys this transaction may *write*: assertion heads
   /// evaluable without quantified bindings give exact keys; the rest
@@ -69,6 +79,9 @@ class Transaction {
   [[nodiscard]] WriteSet write_set(const Env& env, const FunctionRegistry* fns) const;
 
   [[nodiscard]] std::string to_string() const;
+
+ private:
+  bool read_only_ = false;  // cached by resolve()
 };
 
 /// Fluent builder — the C++ embedding of the paper's transaction syntax.

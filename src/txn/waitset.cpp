@@ -54,6 +54,10 @@ void WaitSet::unsubscribe(Ticket ticket) {
 }
 
 void WaitSet::publish(const std::vector<IndexKey>& touched) {
+  publish_batch(touched);
+}
+
+void WaitSet::publish_batch(std::vector<IndexKey> touched) {
   version_.fetch_add(1, std::memory_order_acq_rel);
 
   // Fast path: no subscribers, nothing to wake. (A subscriber appearing
@@ -62,23 +66,40 @@ void WaitSet::publish(const std::vector<IndexKey>& touched) {
   // lost — it either sees the commit's effects or a later publish.)
   if (live_subscribers_.load(std::memory_order_acquire) == 0) return;
 
+  // Coalesce: a ForAll retracting N tuples from one bucket, or a composite
+  // consensus commit, repeats keys — dedupe before probing the maps so each
+  // unique key (and arity) costs one lookup instead of one per occurrence.
+  std::sort(touched.begin(), touched.end(),
+            [](const IndexKey& a, const IndexKey& b) {
+              return a.arity != b.arity ? a.arity < b.arity
+                                        : a.head_hash < b.head_hash;
+            });
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+
   // Collect the wake callbacks under the lock, invoke them after (CP.22).
   std::vector<std::function<void()>> to_wake;
   {
     std::scoped_lock lock(mutex_);
-    if (policy_ == WakePolicy::WakeAll) {
+    if (policy() == WakePolicy::WakeAll) {
       to_wake.reserve(entries_.size());
       for (const auto& [ticket, entry] : entries_) to_wake.push_back(entry.wake);
     } else {
       std::vector<Ticket> tickets(all_.begin(), all_.end());
+      std::uint32_t last_arity = 0;
+      bool have_arity = false;
       for (const IndexKey& k : touched) {
         if (auto it = by_key_.find(k); it != by_key_.end()) {
           tickets.insert(tickets.end(), it->second.begin(), it->second.end());
         }
+        // touched is sorted by arity: probe by_arity_ once per arity run.
+        if (have_arity && k.arity == last_arity) continue;
+        last_arity = k.arity;
+        have_arity = true;
         if (auto it = by_arity_.find(k.arity); it != by_arity_.end()) {
           tickets.insert(tickets.end(), it->second.begin(), it->second.end());
         }
       }
+      // A waiter subscribed to several touched keys is woken once.
       std::sort(tickets.begin(), tickets.end());
       tickets.erase(std::unique(tickets.begin(), tickets.end()), tickets.end());
       to_wake.reserve(tickets.size());

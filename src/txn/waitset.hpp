@@ -49,15 +49,30 @@ class WaitSet {
 
   /// Announces a committed change touching `touched`; bumps the version
   /// and invokes matching wake callbacks (outside the internal lock).
+  /// Convenience forwarder to publish_batch.
   void publish(const std::vector<IndexKey>& touched);
+
+  /// Batched publication: one version bump and one subscriber-map lock
+  /// acquisition for an entire commit's touched-key list, however many
+  /// keys it holds. Keys are deduplicated before probing the subscriber
+  /// maps and wake targets are deduplicated across keys, so a waiter
+  /// subscribed to several touched keys (or a composite consensus commit
+  /// retracting N tuples from one bucket) wakes each subscriber once, not
+  /// once per key. Engines and the consensus manager publish through this.
+  void publish_batch(std::vector<IndexKey> touched);
 
   /// Monotonic commit counter.
   [[nodiscard]] std::uint64_t version() const {
     return version_.load(std::memory_order_acquire);
   }
 
-  [[nodiscard]] WakePolicy policy() const { return policy_; }
-  void set_policy(WakePolicy p) { policy_ = p; }
+  /// The wake policy is an ablation switch (E9) that may be flipped while
+  /// publishes run concurrently — hence atomic, relaxed: any publish
+  /// observes either policy, both of which are correct.
+  [[nodiscard]] WakePolicy policy() const {
+    return policy_.load(std::memory_order_relaxed);
+  }
+  void set_policy(WakePolicy p) { policy_.store(p, std::memory_order_relaxed); }
 
   /// Number of live subscriptions (diagnostics).
   [[nodiscard]] std::size_t subscriber_count() const;
@@ -73,7 +88,7 @@ class WaitSet {
     std::function<void()> wake;
   };
 
-  WakePolicy policy_;
+  std::atomic<WakePolicy> policy_;
   std::atomic<std::uint64_t> version_{0};
   std::atomic<std::uint64_t> wakes_{0};
   /// Lock-free publish fast path: commits with nobody subscribed skip the
