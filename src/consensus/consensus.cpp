@@ -60,6 +60,7 @@ void ConsensusManager::notify() {
 bool ConsensusManager::sweep_once() {
   sweeps_.fetch_add(1, std::memory_order_relaxed);
   bool fired_any = false;
+  bool injected_abort = false;
 
   // The composite commit returns every member's touched keys — with heavy
   // duplication when members share buckets — in one list; exclusive()
@@ -235,6 +236,26 @@ bool ConsensusManager::sweep_once() {
           continue;
         }
 
+        // Injection point: every member is Claimed, offers not yet
+        // evaluated. FailCommit aborts through the same revert path a
+        // lost claim race takes — members return to Parked with offers
+        // intact and the sweep retries, proving an abort here cannot
+        // wedge the set.
+        if (faults_ != nullptr) {
+          switch (faults_->decide(FaultPoint::ConsensusClaim)) {
+            case FaultAction::Delay:
+              faults_->delay();
+              break;
+            case FaultAction::FailCommit:
+              injected_aborts_.fetch_add(1, std::memory_order_relaxed);
+              injected_abort = true;
+              revert();
+              continue;
+            default:
+              break;
+          }
+        }
+
         // ---- 5. Evaluate every member's offers against the pre-state. ----
         std::vector<MemberPlan> plans;
         plans.reserve(claimed.size());
@@ -269,6 +290,25 @@ bool ConsensusManager::sweep_once() {
         if (!eval_ok) {
           revert();
           continue;
+        }
+
+        // Injection point: offers evaluated and satisfiable, composite
+        // effects not yet applied — the last instant an abort is still
+        // effect-free. FailCommit here must leave the dataspace
+        // untouched (nothing below has run) and the members re-parked.
+        if (faults_ != nullptr) {
+          switch (faults_->decide(FaultPoint::ConsensusCommit)) {
+            case FaultAction::Delay:
+              faults_->delay();
+              break;
+            case FaultAction::FailCommit:
+              injected_aborts_.fetch_add(1, std::memory_order_relaxed);
+              injected_abort = true;
+              revert();
+              continue;
+            default:
+              break;
+          }
         }
 
         // ---- 6. Composite commit: materialize every member's assertions
@@ -336,7 +376,10 @@ bool ConsensusManager::sweep_once() {
     return touched;
   });
 
-  return fired_any;
+  // An injected abort left a fireable component un-fired: report progress
+  // so notify() sweeps again (the decision stream has advanced, so a
+  // bounded or probabilistic fault eventually lets the fire through).
+  return fired_any || injected_abort;
 }
 
 }  // namespace sdl

@@ -43,6 +43,15 @@ class ConsensusManager {
   /// one sweeping thread.
   void notify();
 
+  /// Arms the ConsensusClaim / ConsensusCommit injection points (null
+  /// disables). FailCommit at either point aborts the fire attempt via
+  /// the claim-revert path — every member returns to Parked with its
+  /// offers intact and the sweep retries, so an injected abort can delay
+  /// a consensus but never wedge or corrupt it. (Arming FailCommit at
+  /// permille 1000 with unlimited fires is a livelock by construction —
+  /// chaos tests bound the fire budget instead.)
+  void set_fault_injector(FaultInjector* f) { faults_ = f; }
+
   /// Consensus sets fired so far.
   [[nodiscard]] std::uint64_t fires() const {
     return fires_.load(std::memory_order_relaxed);
@@ -51,17 +60,24 @@ class ConsensusManager {
   [[nodiscard]] std::uint64_t sweeps() const {
     return sweeps_.load(std::memory_order_relaxed);
   }
+  /// Fire attempts aborted by an injected claim/commit fault (E16).
+  [[nodiscard]] std::uint64_t injected_aborts() const {
+    return injected_aborts_.load(std::memory_order_relaxed);
+  }
 
  private:
-  /// One full sweep; returns true if at least one component fired.
+  /// One full sweep; returns true if at least one component fired (or an
+  /// injected fault aborted a fireable one — the caller must re-sweep).
   bool sweep_once();
 
   Engine& engine_;
   Scheduler& scheduler_;
+  FaultInjector* faults_ = nullptr;
   std::atomic<bool> dirty_{false};
   std::atomic<bool> sweeping_{false};
   std::atomic<std::uint64_t> fires_{0};
   std::atomic<std::uint64_t> sweeps_{0};
+  std::atomic<std::uint64_t> injected_aborts_{0};
 };
 
 }  // namespace sdl

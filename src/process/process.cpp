@@ -50,13 +50,14 @@ void Process::compute_static_imports() {
   }
 }
 
-Process::Process(ProcessId pid_, const Process& parent, ReplicationGroup* group_)
-    : pid(pid_), def(parent.def), env(parent.env), group(group_) {
+Process::Process(ProcessId pid_, const Process& parent,
+                 std::shared_ptr<ReplicationGroup> group_)
+    : pid(pid_), def(parent.def), env(parent.env), group(std::move(group_)) {
   if (!def.view.import_all || !def.view.export_all) view.emplace(def.view);
   static_imports = parent.static_imports;
   Frame f;
   f.type = Frame::Type::Sweep;
-  f.stmt = group_->stmt;
+  f.stmt = group->stmt;
   frames.push_back(f);
 }
 

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -110,7 +111,11 @@ class Process;
 struct ReplicationGroup {
   const Statement* stmt = nullptr;
   ProcessId parent = 0;
-  int width = 0;
+  /// Members the termination check must account for. Atomic because a
+  /// replicant torn down abnormally (killed / crashed) is subtracted —
+  /// the dead member can never park, so leaving it counted would wedge
+  /// the construct's "every member parked" check forever.
+  std::atomic<int> width{0};
   std::atomic<int> active{0};   // replicants not yet Done
   std::atomic<int> parked{0};   // replicants parked in guard-sweep failure
   std::atomic<bool> done{false};
@@ -141,8 +146,11 @@ class Process {
  public:
   Process(ProcessId pid, const ProcessDef& def, std::vector<Value> args);
 
-  /// Replicant constructor: clones `parent`'s environment.
-  Process(ProcessId pid, const Process& parent, ReplicationGroup* group);
+  /// Replicant constructor: clones `parent`'s environment. The group is
+  /// held by shared_ptr so it outlives a parent torn down early (killed or
+  /// crashed) — replicants never observe a dangling group.
+  Process(ProcessId pid, const Process& parent,
+          std::shared_ptr<ReplicationGroup> group);
 
   const ProcessId pid;
   const ProcessDef& def;
@@ -151,9 +159,13 @@ class Process {
   Env env;
   std::vector<Frame> frames;
   std::optional<View> view;           // engaged when def.view is non-trivial
-  ReplicationGroup* group = nullptr;  // non-null for replicants
+  std::shared_ptr<ReplicationGroup> group;        // non-null for replicants
   std::shared_ptr<ReplicationGroup> owned_group;  // parent's group
   WaitSet::Ticket ticket = WaitSet::kInvalidTicket;  // live subscription
+  /// Copy of the live subscription's interest — what the WaitSet would
+  /// have to publish to wake this process. Kept for deadlock diagnosis
+  /// (the wait-for report matches it against other processes' write sets).
+  WaitSet::Interest interest;
   std::uint64_t txns_committed = 0;
   /// This replicant is counted in group->parked (exactly-once accounting;
   /// set before parking, cleared when the scheduler resumes it).
@@ -162,6 +174,19 @@ class Process {
   bool counted_waiter = false;
   /// Frozen bucket-level import over-approximation (see ImportSummary).
   ImportSummary static_imports;
+  /// Deadline the interpreter stages for the park it is about to enter:
+  /// 0 = scheduler default for the park reason, < 0 = never, > 0 = that
+  /// many ms. Consumed (and reset) by finalize_park.
+  std::int64_t park_timeout_ms = 0;
+
+  // --- teardown flags: set by kill()/watchdog, consumed by the worker
+  //     that owns the process next (atomic so the interpreter can poll
+  //     them promptly without taking state_mutex) ---
+  std::atomic<bool> pending_kill{false};
+  std::atomic<bool> timed_out{false};
+  /// Wait-for diagnosis built by the watchdog at expiry time (while the
+  /// park state is still intact); consumed by the retiring worker.
+  std::string timeout_note;
 
   // --- scheduling state: guarded by state_mutex_ ---
   std::mutex state_mutex;
@@ -170,6 +195,9 @@ class Process {
   ParkReason park_reason = ParkReason::None;
   std::vector<ConsensusOffer> offers;            // valid while Parked/Claimed
   std::optional<ConsensusResult> consensus_result;
+  /// Armed park deadline (the watchdog expires it). Valid while Parked.
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
 
   [[nodiscard]] const View* view_ptr() const {
     return view.has_value() ? &*view : nullptr;

@@ -19,6 +19,26 @@ Runtime::Runtime(RuntimeOptions options)
   if (options_.tracing) scheduler_->set_trace(&trace_);
 }
 
+FaultInjector& Runtime::enable_faults(std::uint64_t seed) {
+  if (!faults_) {
+    faults_ = std::make_unique<FaultInjector>(seed);
+    engine_->set_fault_injector(faults_.get());
+    waits_.set_fault_injector(faults_.get());
+    scheduler_->set_fault_injector(faults_.get());
+    consensus_->set_fault_injector(faults_.get());
+  }
+  return *faults_;
+}
+
+void Runtime::disable_faults() {
+  if (!faults_) return;
+  engine_->set_fault_injector(nullptr);
+  waits_.set_fault_injector(nullptr);
+  scheduler_->set_fault_injector(nullptr);
+  consensus_->set_fault_injector(nullptr);
+  faults_.reset();
+}
+
 TupleId Runtime::seed(Tuple t) {
   TupleId id;
   const IndexKey key = IndexKey::of(t);

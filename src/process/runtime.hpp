@@ -58,6 +58,16 @@ class Runtime {
   /// Drives the society to quiescence.
   RunReport run() { return scheduler_->run(); }
 
+  /// Creates (or returns the existing) deterministic fault injector and
+  /// threads it through every injection point — engine commit, WaitSet
+  /// publish/wake delivery, scheduler dispatch, consensus claim/commit.
+  /// Arm points on the returned injector; call disable_faults() to detach
+  /// (the runtime then pays only a null-pointer branch per crossing).
+  FaultInjector& enable_faults(std::uint64_t seed);
+  void disable_faults();
+  /// Null when faults are disabled.
+  [[nodiscard]] FaultInjector* faults() { return faults_.get(); }
+
   /// Executes one transaction on behalf of the environment (blocking for
   /// delayed transactions) — the host-program escape hatch.
   TxnResult execute(const Transaction& txn, Env& env,
@@ -100,6 +110,7 @@ class Runtime {
   std::unique_ptr<Engine> engine_;
   std::unique_ptr<Scheduler> scheduler_;
   std::unique_ptr<ConsensusManager> consensus_;
+  std::unique_ptr<FaultInjector> faults_;
 };
 
 }  // namespace sdl

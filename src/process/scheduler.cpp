@@ -1,6 +1,8 @@
 #include "process/scheduler.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <stdexcept>
 
 #include "consensus/consensus.hpp"
@@ -20,6 +22,45 @@ const char* park_reason_name(ParkReason r) {
   return "?";
 }
 
+/// Collects every transaction in a statement tree, branch guards included.
+/// Used by the wait-for diagnosis to over-approximate what a live process
+/// may still assert (its whole body, not just the statements ahead of its
+/// program counter — conservative, never misses a supplier).
+void collect_txns(const Statement* s, std::vector<const Transaction*>& out) {
+  if (s == nullptr) return;
+  switch (s->kind) {
+    case Statement::Kind::Txn:
+      out.push_back(&s->txn);
+      break;
+    case Statement::Kind::Sequence:
+      for (const StmtPtr& c : s->children) collect_txns(c.get(), out);
+      break;
+    default:
+      for (const Branch& b : s->branches) {
+        out.push_back(&b.guard);
+        collect_txns(b.body.get(), out);
+      }
+      break;
+  }
+}
+
+/// Could a write set land in any bucket this waiter listens to?
+bool interest_overlaps(const WaitSet::Interest& in,
+                       const Transaction::WriteSet& ws) {
+  if (ws.unknown) return true;  // bucket not computable: assume overlap
+  if (ws.exact.empty()) return false;
+  if (in.everything) return true;
+  for (const IndexKey& k : ws.exact) {
+    for (const IndexKey& ik : in.keys) {
+      if (ik == k) return true;
+    }
+    for (std::uint32_t a : in.arities) {
+      if (a == k.arity) return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 Scheduler::Scheduler(Engine& engine, SchedulerOptions opts)
@@ -32,6 +73,7 @@ Scheduler::Scheduler(Engine& engine, SchedulerOptions opts)
   if (options_.replication_width == 0) {
     options_.replication_width = options_.workers;
   }
+  if (options_.watchdog_tick_ms <= 0) options_.watchdog_tick_ms = 1;
 }
 
 Scheduler::~Scheduler() {
@@ -41,6 +83,11 @@ Scheduler::~Scheduler() {
   }
   queue_cv_.notify_all();
   workers_.clear();
+  if (watchdog_.joinable()) {
+    watchdog_.request_stop();
+    watchdog_cv_.notify_all();
+    watchdog_ = std::jthread();
+  }
 }
 
 const ProcessDef& Scheduler::define(ProcessDef def) {
@@ -83,8 +130,8 @@ ProcessId Scheduler::spawn(const std::string& def_name, std::vector<Value> args)
   return pid;
 }
 
-ProcessId Scheduler::spawn_replicant(const Process& parent,
-                                     ReplicationGroup* group) {
+ProcessId Scheduler::spawn_replicant(
+    const Process& parent, const std::shared_ptr<ReplicationGroup>& group) {
   ProcessId pid;
   {
     std::scoped_lock lock(society_mutex_);
@@ -159,6 +206,50 @@ void Scheduler::wake(ProcessId pid) {
   }
 }
 
+bool Scheduler::kill(ProcessId pid) {
+  bool wake_it = false;
+  {
+    std::scoped_lock society_lock(society_mutex_);
+    auto it = society_.find(pid);
+    if (it == society_.end()) return false;
+    Process& p = *it->second;
+    p.pending_kill.store(true, std::memory_order_release);
+    std::scoped_lock state_lock(p.state_mutex);
+    if (p.state == RunState::Parked) {
+      p.state = RunState::Ready;
+      wake_it = true;
+    }
+    // Ready / Running / Claimed: the flag is honored when a worker next
+    // owns the process — at dispatch, at the quantum boundary, or on
+    // consensus resume. A victim claimed by a firing consensus still
+    // contributes its offer (the composite commit is atomic and already
+    // decided); only its local continuation is discarded, which is
+    // exactly a crash after the commit.
+  }
+  if (wake_it) enqueue_new(pid);
+  return true;
+}
+
+void Scheduler::wake_one_parked(std::uint64_t salt) {
+  ProcessId victim = 0;
+  {
+    std::scoped_lock society_lock(society_mutex_);
+    std::vector<ProcessId> parked;
+    parked.reserve(society_.size());
+    for (auto& [pid, p] : society_) {
+      std::scoped_lock state_lock(p->state_mutex);
+      if (p->state == RunState::Parked) parked.push_back(pid);
+    }
+    if (parked.empty()) return;
+    std::sort(parked.begin(), parked.end());
+    victim = parked[salt % parked.size()];
+  }
+  // wake() re-acquires society_mutex_, so call it outside the lock. The
+  // victim re-checks its guards and re-parks — a spurious wake is safe by
+  // the subscribe-first discipline, which is the point of injecting it.
+  wake(victim);
+}
+
 Process* Scheduler::begin_running(ProcessId pid) {
   std::scoped_lock society_lock(society_mutex_);
   auto it = society_.find(pid);
@@ -175,6 +266,10 @@ Process* Scheduler::begin_running(ProcessId pid) {
       p.counted_waiter = false;
     }
     p.offers.clear();
+    if (p.has_deadline) {
+      p.has_deadline = false;
+      deadlines_armed_.fetch_sub(1, std::memory_order_release);
+    }
   }
   if (p.counted_parked && p.group != nullptr) {
     p.group->parked.fetch_sub(1, std::memory_order_acq_rel);
@@ -184,39 +279,104 @@ Process* Scheduler::begin_running(ProcessId pid) {
 }
 
 bool Scheduler::finalize_park(Process& p, ParkReason reason) {
-  std::scoped_lock state_lock(p.state_mutex);
-  if (p.pending_wake) {
-    p.pending_wake = false;
-    p.state = RunState::Ready;
-    return false;  // caller requeues
+  // Deadline for this park: the statement's staged timeout wins; 0 falls
+  // back to the scheduler default for the park reason; negative (or a
+  // replication park, whose construct has its own termination detection)
+  // means never.
+  const std::int64_t staged = p.park_timeout_ms;
+  p.park_timeout_ms = 0;
+  std::int64_t timeout_ms = 0;
+  switch (reason) {
+    case ParkReason::DelayedTxn:
+    case ParkReason::Selection:
+      timeout_ms = options_.delayed_txn_timeout_ms;
+      break;
+    case ParkReason::Consensus:
+      timeout_ms = options_.consensus_timeout_ms;
+      break;
+    default:
+      break;
   }
-  p.state = RunState::Parked;
-  p.park_reason = reason;
-  if (!p.offers.empty()) {
-    consensus_waiters_.fetch_add(1, std::memory_order_relaxed);
-    p.counted_waiter = true;
+  if (staged > 0) timeout_ms = staged;
+  if (staged < 0 || reason == ParkReason::Replication) timeout_ms = 0;
+
+  bool armed = false;
+  {
+    std::scoped_lock state_lock(p.state_mutex);
+    if (p.pending_wake) {
+      p.pending_wake = false;
+      p.state = RunState::Ready;
+      return false;  // caller requeues
+    }
+    p.state = RunState::Parked;
+    p.park_reason = reason;
+    if (!p.offers.empty()) {
+      consensus_waiters_.fetch_add(1, std::memory_order_relaxed);
+      p.counted_waiter = true;
+    }
+    if (timeout_ms > 0) {
+      p.has_deadline = true;
+      p.deadline = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(timeout_ms);
+      deadlines_armed_.fetch_add(1, std::memory_order_release);
+      armed = true;
+    }
   }
+  if (armed) watchdog_cv_.notify_all();  // watchdog may be idle-waiting
   return true;
 }
 
-void Scheduler::complete(Process& p) {
+void Scheduler::retire(Process& p, RetireKind kind, std::string note) {
+  // The single teardown path, crash-safe by construction:
+  // 1. The WaitSet subscription cannot outlive the process — a later
+  //    publish must not invoke a wake for an erased pid (harmless today
+  //    because wake() checks the society, but the subscription itself
+  //    would leak forever).
   drop_subscription(p);
   if (trace_ != nullptr && trace_->enabled()) {
     trace_->record(TraceKind::Terminate, p.pid, p.def.name);
   }
+  // 2. Withdraw consensus offers under the state lock: a concurrently
+  //    sweeping consensus manager either observes the process still
+  //    Parked with offers (and may claim it before we get the lock) or
+  //    observes Done with no offers — never a claim on a dying process.
   {
     std::scoped_lock state_lock(p.state_mutex);
     p.state = RunState::Done;
+    p.offers.clear();
+    p.consensus_result.reset();
     if (p.counted_waiter) {
       consensus_waiters_.fetch_sub(1, std::memory_order_relaxed);
       p.counted_waiter = false;
     }
+    if (p.has_deadline) {
+      p.has_deadline = false;
+      deadlines_armed_.fetch_sub(1, std::memory_order_release);
+    }
   }
-  ReplicationGroup* group = p.group;
+  // 3. Settle replication accounting. The group is held by shared_ptr, so
+  //    a parent torn down early cannot dangle its replicants.
+  std::shared_ptr<ReplicationGroup> group = p.group;
   const ProcessId pid = p.pid;
   if (p.counted_parked && group != nullptr) {
     group->parked.fetch_sub(1, std::memory_order_acq_rel);
     p.counted_parked = false;
+  }
+  if (p.owned_group != nullptr && kind != RetireKind::Completed) {
+    // A parent that dies mid-replication aborts the construct; replicants
+    // observe done/abort on their next step and drain instead of sweeping
+    // for a vanished parent.
+    p.owned_group->abort.store(true, std::memory_order_release);
+    p.owned_group->done.store(true, std::memory_order_release);
+    wake_group(*p.owned_group, p.pid);
+  }
+  if (group != nullptr && kind != RetireKind::Completed) {
+    // A replicant dying abnormally can never park, so shrink the member
+    // count the termination check compares against and wake the group: a
+    // surviving member re-sweeps and redoes the last-parker check with
+    // the new width (otherwise the construct waits for the dead forever).
+    group->width.fetch_sub(1, std::memory_order_acq_rel);
+    wake_group(*group, pid);
   }
   ProcessId wake_parent = 0;
   if (group != nullptr &&
@@ -227,7 +387,28 @@ void Scheduler::complete(Process& p) {
     std::scoped_lock society_lock(society_mutex_);
     society_.erase(pid);
   }
-  completed_.fetch_add(1, std::memory_order_relaxed);
+  switch (kind) {
+    case RetireKind::Completed:
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RetireKind::Errored: {
+      std::scoped_lock lock(report_mutex_);
+      errors_.push_back(std::move(note));
+      break;
+    }
+    case RetireKind::Killed: {
+      killed_total_.fetch_add(1, std::memory_order_relaxed);
+      std::scoped_lock lock(report_mutex_);
+      killed_.push_back(std::move(note));
+      break;
+    }
+    case RetireKind::TimedOut: {
+      timeouts_total_.fetch_add(1, std::memory_order_relaxed);
+      std::scoped_lock lock(report_mutex_);
+      timed_out_.push_back(std::move(note));
+      break;
+    }
+  }
   if (wake_parent != 0) wake(wake_parent);
   notify_consensus();  // membership changed
 }
@@ -254,6 +435,165 @@ void Scheduler::work_finished() {
   }
 }
 
+// --------------------------------------------------------------- deadlines
+
+void Scheduler::watchdog_loop(const std::stop_token& st) {
+  std::unique_lock lock(watchdog_mutex_);
+  while (!st.stop_requested()) {
+    if (deadlines_armed_.load(std::memory_order_acquire) == 0) {
+      // Nothing armed: sleep until a park arms a deadline (or stop).
+      watchdog_cv_.wait(lock, st, [this] {
+        return deadlines_armed_.load(std::memory_order_acquire) > 0;
+      });
+      continue;
+    }
+    watchdog_cv_.wait_for(lock, st,
+                          std::chrono::milliseconds(options_.watchdog_tick_ms),
+                          [] { return false; });
+    if (st.stop_requested()) break;
+    lock.unlock();
+    expire_deadlines();
+    lock.lock();
+  }
+}
+
+void Scheduler::expire_deadlines() {
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<ProcessId> expired;
+  {
+    std::scoped_lock society_lock(society_mutex_);
+    for (auto& [pid, p] : society_) {
+      {
+        std::scoped_lock state_lock(p->state_mutex);
+        // Claimed processes are mid-consensus-fire: their deadline is
+        // held over (checked again if the claim reverts them to Parked).
+        if (p->state != RunState::Parked || !p->has_deadline) continue;
+        if (now < p->deadline) continue;
+        p->timed_out.store(true, std::memory_order_release);
+        p->state = RunState::Ready;
+        // has_deadline stays set (and deadlines_armed_ stays raised)
+        // until begin_running hands the process to its retiring worker —
+        // the quiescence check must keep treating it as pending work.
+      }
+      // Build the wait-for diagnosis NOW, while the park state (frames,
+      // interest, environment) is intact and we exclusively control the
+      // process: it is Ready but not yet enqueued, and holding
+      // society_mutex_ blocks any begin_running.
+      p->timeout_note = p->label() + " (" +
+                        park_reason_name(p->park_reason) +
+                        ") park deadline expired" + explain_park_locked(*p);
+      expired.push_back(pid);
+    }
+  }
+  for (ProcessId pid : expired) {
+    if (trace_ != nullptr && trace_->enabled()) {
+      trace_->record(TraceKind::Wake, pid, "deadline");
+    }
+    enqueue_new(pid);
+  }
+}
+
+// --------------------------------------------------------------- diagnosis
+
+std::string Scheduler::explain_park_locked(const Process& p) const {
+  std::string out;
+  if (!p.frames.empty()) {
+    const Frame& f = p.frames.back();
+    switch (f.type) {
+      case Frame::Type::Txn:
+        out += " waiting on: " + f.stmt->txn.to_string();
+        break;
+      case Frame::Type::Select:
+      case Frame::Type::Repeat:
+      case Frame::Type::Sweep:
+        for (const Branch& b : f.stmt->branches) {
+          if (b.guard.type != TxnType::Immediate ||
+              f.type == Frame::Type::Sweep) {
+            out += "\n    guard: " + b.guard.to_string();
+          }
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  if (p.ticket == WaitSet::kInvalidTicket) return out;
+
+  // What would have to be published to wake it.
+  out += "\n    subscribed to: ";
+  if (p.interest.everything) {
+    out += "every commit";
+  } else {
+    bool first = true;
+    for (const IndexKey& k : p.interest.keys) {
+      if (!first) out += ", ";
+      first = false;
+      out += "bucket(arity=" + std::to_string(k.arity) + ", head#" +
+             std::to_string(k.head_hash) + ")";
+    }
+    for (std::uint32_t a : p.interest.arities) {
+      if (!first) out += ", ";
+      first = false;
+      out += "arity=" + std::to_string(a);
+    }
+    if (first) out += "(nothing)";
+  }
+
+  // Which live processes could still assert a matching tuple. Each body
+  // is scanned whole (over-approximation); a Running process's
+  // environment cannot be read safely, so its write sets are evaluated
+  // against an empty environment — unresolvable heads degrade to
+  // "unknown", which only adds candidates, never drops one.
+  std::vector<std::string> suppliers;
+  for (const auto& [qid, q] : society_) {
+    if (qid == p.pid) continue;
+    RunState qs;
+    {
+      std::scoped_lock state_lock(q->state_mutex);
+      qs = q->state;
+    }
+    if (qs == RunState::Done) continue;
+    Env scratch;
+    const Env* env = &q->env;
+    if (qs == RunState::Running) {
+      scratch.resize(q->def.env_size());
+      env = &scratch;
+    }
+    std::vector<const Transaction*> txns;
+    collect_txns(q->def.body.get(), txns);
+    for (const Transaction* t : txns) {
+      if (t->is_read_only()) continue;
+      if (interest_overlaps(p.interest,
+                            t->write_set(*env, engine_.functions()))) {
+        suppliers.push_back(q->label());
+        break;
+      }
+    }
+  }
+  if (suppliers.empty()) {
+    out += "\n    no live process can assert a matching tuple";
+  } else {
+    std::sort(suppliers.begin(), suppliers.end());
+    out += "\n    may be supplied by: ";
+    const std::size_t shown = std::min<std::size_t>(suppliers.size(), 8);
+    for (std::size_t i = 0; i < shown; ++i) {
+      if (i > 0) out += ", ";
+      out += suppliers[i];
+    }
+    if (suppliers.size() > shown) {
+      out += " (+" + std::to_string(suppliers.size() - shown) + " more)";
+    }
+  }
+  return out;
+}
+
+std::string Scheduler::explain_park(const Process& p) {
+  std::scoped_lock lock(society_mutex_);
+  return explain_park_locked(p);
+}
+
+// --------------------------------------------------------------------- run
+
 RunReport Scheduler::run() {
   const std::uint64_t completed_before = completed_.load(std::memory_order_relaxed);
   {
@@ -261,60 +601,72 @@ RunReport Scheduler::run() {
     stop_ = false;
     running_ = true;
   }
+  watchdog_ = std::jthread([this](const std::stop_token& st) { watchdog_loop(st); });
   workers_.reserve(options_.workers);
   for (std::size_t i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
   {
     std::unique_lock lock(queue_mutex_);
-    idle_cv_.wait(lock, [this] { return inflight_ == 0; });
+    for (;;) {
+      idle_cv_.wait(lock, [this] { return inflight_ == 0; });
+      if (deadlines_armed_.load(std::memory_order_acquire) == 0) break;
+      // Quiescent, but a park deadline is armed: the watchdog is about to
+      // expire a parker (which raises inflight_ again). Re-check at tick
+      // granularity instead of declaring the society parked forever.
+      idle_cv_.wait_for(lock,
+                        std::chrono::milliseconds(options_.watchdog_tick_ms),
+                        [this] { return inflight_ > 0; });
+    }
     stop_ = true;
     running_ = false;
   }
   queue_cv_.notify_all();
   workers_.clear();  // joins
+  watchdog_.request_stop();
+  watchdog_cv_.notify_all();
+  watchdog_ = std::jthread();  // joins
 
   RunReport report;
   report.completed = static_cast<std::size_t>(
       completed_.load(std::memory_order_relaxed) - completed_before);
   {
     std::scoped_lock lock(society_mutex_);
+    // Workers are joined: states are stable, environments readable.
+    std::vector<const Process*> parked;
     for (const auto& [pid, p] : society_) {
       std::scoped_lock state_lock(p->state_mutex);
-      if (p->state == RunState::Parked) {
-        ++report.still_parked;
-        std::string entry =
-            p->label() + " (" + park_reason_name(p->park_reason) + ")";
-        // What is it stuck on? A parked process's top frame names the
-        // statement whose guard(s) cannot currently commit.
-        if (!p->frames.empty()) {
-          const Frame& f = p->frames.back();
-          switch (f.type) {
-            case Frame::Type::Txn:
-              entry += " waiting on: " + f.stmt->txn.to_string();
-              break;
-            case Frame::Type::Select:
-            case Frame::Type::Repeat:
-            case Frame::Type::Sweep:
-              for (const Branch& b : f.stmt->branches) {
-                if (b.guard.type != TxnType::Immediate ||
-                    f.type == Frame::Type::Sweep) {
-                  entry += "\n    guard: " + b.guard.to_string();
-                }
-              }
-              break;
-            default:
-              break;
-          }
-        }
-        report.parked.push_back(std::move(entry));
+      if (p->state != RunState::Parked) continue;
+      ++report.still_parked;
+      switch (p->park_reason) {
+        case ParkReason::Consensus:
+          ++report.parked_on_consensus;
+          break;
+        case ParkReason::Replication:
+          ++report.parked_on_replication;
+          break;
+        default:
+          ++report.parked_on_data;
+          break;
       }
+      parked.push_back(p.get());
+    }
+    // Render outside the per-process state locks: the wait-for diagnosis
+    // peeks at *other* processes' states, and state mutexes must not nest.
+    for (const Process* p : parked) {
+      report.parked.push_back(p->label() + " (" +
+                              park_reason_name(p->park_reason) + ")" +
+                              explain_park_locked(*p));
     }
   }
   {
-    std::scoped_lock lock(errors_mutex_);
+    std::scoped_lock lock(report_mutex_);
     report.errors = errors_;
     errors_.clear();
+    report.timed_out = timed_out_;
+    timed_out_.clear();
+    report.killed = killed_;
+    killed_.clear();
   }
   return report;
 }
@@ -336,16 +688,58 @@ void Scheduler::worker_loop() {
       continue;
     }
 
+    // Teardown requests beat interpretation: a kill or an expired park
+    // deadline retires the process on the worker that owns it.
+    if (p->pending_kill.load(std::memory_order_acquire)) {
+      retire(*p, RetireKind::Killed, p->label() + " killed");
+      work_finished();
+      continue;
+    }
+    if (p->timed_out.exchange(false, std::memory_order_acq_rel)) {
+      retire(*p, RetireKind::TimedOut, std::move(p->timeout_note));
+      work_finished();
+      continue;
+    }
+
+    if (faults_ != nullptr) {
+      switch (faults_->decide(FaultPoint::SchedulerDispatch)) {
+        case FaultAction::Delay:
+          // Stall the dispatch: the process is Running but not stepping,
+          // so wakes aimed at it must buffer via pending_wake.
+          faults_->delay();
+          break;
+        case FaultAction::SpuriousWake:
+          wake_one_parked(pid);
+          break;
+        case FaultAction::Kill:
+          retire(*p, RetireKind::Killed,
+                 p->label() + " killed (fault injection)");
+          work_finished();
+          continue;
+        default:
+          break;
+      }
+    }
+
     StepOutcome outcome;
     try {
       outcome = run_process(*p);
     } catch (const std::exception& e) {
-      {
-        std::scoped_lock lock(errors_mutex_);
-        errors_.push_back(p->label() + ": " + e.what());
-      }
-      p->frames.clear();
-      outcome = StepOutcome::Done;
+      // Crash-safe teardown: same path as kill(), so the exception cannot
+      // leak the WaitSet subscription, wedge a consensus set on stale
+      // offers, or strand a replication group.
+      retire(*p, RetireKind::Errored, p->label() + ": " + e.what());
+      work_finished();
+      continue;
+    }
+
+    // A kill that arrived during the quantum retires the process here
+    // instead of letting it re-park or requeue.
+    if (outcome != StepOutcome::Done &&
+        p->pending_kill.load(std::memory_order_acquire)) {
+      retire(*p, RetireKind::Killed, p->label() + " killed");
+      work_finished();
+      continue;
     }
 
     switch (outcome) {
@@ -358,9 +752,7 @@ void Scheduler::worker_loop() {
         requeue(pid);
         break;
       case StepOutcome::Parked:
-        // park_reason was staged by the interpreter in p->park_reason?
-        // No: the interpreter passes it via pending_park_reason_. See
-        // run_process — it stores the reason in p->park_reason before
+        // The interpreter stored the reason in p->park_reason before
         // returning; finalize_park re-checks pending wakes.
         if (finalize_park(*p, p->park_reason)) {
           if (trace_ != nullptr && trace_->enabled()) {
@@ -385,6 +777,10 @@ void Scheduler::worker_loop() {
 Scheduler::StepOutcome Scheduler::run_process(Process& p) {
   for (std::size_t steps = 0; steps < options_.quantum; ++steps) {
     if (p.frames.empty()) return StepOutcome::Done;
+    // Yield promptly to a pending kill; the worker loop retires us.
+    if (p.pending_kill.load(std::memory_order_acquire)) {
+      return StepOutcome::Yield;
+    }
     if (p.group != nullptr && (p.group->done.load(std::memory_order_acquire) ||
                                p.group->abort.load(std::memory_order_acquire))) {
       p.frames.clear();
@@ -436,6 +832,20 @@ Scheduler::StepOutcome Scheduler::run_process(Process& p) {
 
 TxnResult Scheduler::execute_engine(Process& p, const Transaction& txn) {
   TxnResult r = engine_.execute(txn, p.env, p.pid, p.view_ptr());
+  // An injected transient commit failure means the query succeeded but no
+  // effects were applied — so no publish is coming and parking would hang
+  // forever. Retry in place with exponential, jittered backoff; on
+  // exhaustion the caller yields (requeue) rather than parks.
+  for (std::size_t attempt = 0;
+       r.injected_fault && attempt < options_.commit_retry_limit; ++attempt) {
+    commit_retries_.fetch_add(1, std::memory_order_relaxed);
+    const unsigned shift = attempt < 6 ? static_cast<unsigned>(attempt) : 6u;
+    const std::uint64_t base =
+        static_cast<std::uint64_t>(options_.commit_backoff_us) << shift;
+    const std::uint64_t jitter = faults_ != nullptr ? faults_->jitter_us(base) : 0;
+    std::this_thread::sleep_for(std::chrono::microseconds(base + jitter));
+    r = engine_.execute(txn, p.env, p.pid, p.view_ptr());
+  }
   if (r.success) {
     ++p.txns_committed;
     if (trace_ != nullptr && trace_->enabled()) {
@@ -448,6 +858,7 @@ TxnResult Scheduler::execute_engine(Process& p, const Transaction& txn) {
 void Scheduler::ensure_subscription(Process& p, WaitSet::Interest interest) {
   if (p.ticket != WaitSet::kInvalidTicket) return;
   const ProcessId pid = p.pid;
+  p.interest = interest;  // diagnosis copy (wait-for reports)
   p.ticket = engine_.waits().subscribe(std::move(interest),
                                        [this, pid] { wake(pid); });
 }
@@ -456,6 +867,7 @@ void Scheduler::drop_subscription(Process& p) {
   if (p.ticket == WaitSet::kInvalidTicket) return;
   engine_.waits().unsubscribe(p.ticket);
   p.ticket = WaitSet::kInvalidTicket;
+  p.interest = {};
 }
 
 ControlAction Scheduler::apply_actions(Process& p, const Transaction& txn,
@@ -482,7 +894,7 @@ Scheduler::StepOutcome Scheduler::handle_exit(Process& p) {
     if (p.frames.back().type == Frame::Type::Sweep) {
       // `exit` inside a replicated sequence terminates the replication
       // construct (the analogue of "terminates ... the repetition", §2.3).
-      ReplicationGroup* g = p.group;
+      ReplicationGroup* g = p.group.get();
       g->done.store(true, std::memory_order_release);
       wake_group(*g, p.pid);
       p.frames.clear();
@@ -510,6 +922,12 @@ Scheduler::StepOutcome Scheduler::do_transaction(Process& p,
   switch (txn.type) {
     case TxnType::Immediate: {
       const TxnResult r = execute_engine(p, txn);
+      if (r.injected_fault) {
+        // Retries exhausted on an injected transient failure. The query
+        // succeeded, so treating this as the skip case would wrongly drop
+        // the statement — keep the frame and yield for another attempt.
+        return StepOutcome::Yield;
+      }
       p.frames.pop_back();
       if (r.success) {
         const ControlAction c = apply_actions(p, txn, r);
@@ -532,11 +950,18 @@ Scheduler::StepOutcome Scheduler::do_transaction(Process& p,
       if (recheck && !txn.is_read_only() &&
           !engine_.probe(txn, p.env, p.view_ptr())) {
         p.park_reason = ParkReason::DelayedTxn;
+        p.park_timeout_ms = txn.timeout_ms;
         return StepOutcome::Parked;
       }
       const TxnResult r = execute_engine(p, txn);
       if (!r.success) {
+        if (r.injected_fault) {
+          // No publish is coming for an injected failure — parking would
+          // hang. Yield and retry from the ready queue instead.
+          return StepOutcome::Yield;
+        }
         p.park_reason = ParkReason::DelayedTxn;
+        p.park_timeout_ms = txn.timeout_ms;
         return StepOutcome::Parked;
       }
       drop_subscription(p);
@@ -560,6 +985,7 @@ Scheduler::StepOutcome Scheduler::do_transaction(Process& p,
       ensure_subscription(p, engine_.interest_of(txn, p.env));
       p.offers = {ConsensusOffer{&txn, -1}};
       p.park_reason = ParkReason::Consensus;
+      p.park_timeout_ms = txn.timeout_ms;
       return StepOutcome::Parked;
     }
   }
@@ -620,11 +1046,18 @@ Scheduler::StepOutcome Scheduler::do_selection(Process& p, Frame& f) {
   }
 
   // 3. Try every non-consensus guard once, in order.
+  bool saw_injected = false;
   for (std::size_t i = 0; i < branches.size(); ++i) {
     if (branches[i].guard.type == TxnType::Consensus) continue;
     const TxnResult r = execute_engine(p, branches[i].guard);
     if (r.success) return choose(i, r);
+    if (r.injected_fault) saw_injected = true;
   }
+
+  // An injected transient failure hid a branch that may well be enabled:
+  // neither skip (could wrongly end a repetition) nor park (no wakeup is
+  // coming) is safe — yield and re-run the whole selection.
+  if (saw_injected) return StepOutcome::Yield;
 
   // 4. Nothing committed. Fail (skip / end repetition) or park.
   if (!has_blocking) {
@@ -640,6 +1073,28 @@ Scheduler::StepOutcome Scheduler::do_selection(Process& p, Frame& f) {
   }
   p.park_reason =
       p.offers.empty() ? ParkReason::Selection : ParkReason::Consensus;
+  // Deadline for the park: the smallest explicit per-guard timeout wins;
+  // "never" only if every blocking guard says never.
+  {
+    std::int64_t staged = 0;
+    bool any_pos = false;
+    bool any_default = false;
+    for (const Branch& b : branches) {
+      if (b.guard.type == TxnType::Immediate) continue;
+      const std::int64_t t = b.guard.timeout_ms;
+      if (t > 0) {
+        staged = any_pos ? std::min(staged, t) : t;
+        any_pos = true;
+      } else if (t == 0) {
+        any_default = true;
+      }
+    }
+    if (any_pos) {
+      p.park_timeout_ms = staged;
+    } else {
+      p.park_timeout_ms = any_default ? 0 : -1;
+    }
+  }
   return StepOutcome::Parked;
 }
 
@@ -652,14 +1107,15 @@ Scheduler::StepOutcome Scheduler::do_replicate_parent(Process& p, Frame& f) {
     auto group = std::make_shared<ReplicationGroup>();
     group->stmt = f.stmt;
     group->parent = p.pid;
-    group->width = static_cast<int>(options_.replication_width);
-    group->active.store(group->width, std::memory_order_relaxed);
+    const int width = static_cast<int>(options_.replication_width);
+    group->width.store(width, std::memory_order_relaxed);
+    group->active.store(width, std::memory_order_relaxed);
     p.owned_group = group;
     f.pc = 1;
     std::vector<ProcessId> members;
-    members.reserve(static_cast<std::size_t>(group->width));
-    for (int i = 0; i < group->width; ++i) {
-      members.push_back(spawn_replicant(p, group.get()));
+    members.reserve(static_cast<std::size_t>(width));
+    for (int i = 0; i < width; ++i) {
+      members.push_back(spawn_replicant(p, group));
     }
     group->members = members;  // fixed before any replicant runs? see below
     // Replicants were inserted into the society but not yet queued; queue
@@ -669,9 +1125,14 @@ Scheduler::StepOutcome Scheduler::do_replicate_parent(Process& p, Frame& f) {
     return StepOutcome::Parked;
   }
   // Resumed: the group must be done (wakes only come from the last
-  // replicant); tolerate spurious wakes by re-parking.
+  // replicant); tolerate spurious wakes by re-parking. active == 0 with
+  // done unset means every member was torn down abnormally — there is no
+  // last parker left to set the flag, so the construct is over.
   auto group = p.owned_group;
-  if (!group || !group->done.load(std::memory_order_acquire)) {
+  const bool finished =
+      group && (group->done.load(std::memory_order_acquire) ||
+                group->active.load(std::memory_order_acquire) == 0);
+  if (!finished) {
     p.park_reason = ParkReason::Replication;
     return StepOutcome::Parked;
   }
@@ -683,7 +1144,7 @@ Scheduler::StepOutcome Scheduler::do_replicate_parent(Process& p, Frame& f) {
 }
 
 int Scheduler::try_guards(Process& p, const std::vector<Branch>& branches,
-                          TxnResult& result) {
+                          TxnResult& result, bool& saw_injected) {
   for (std::size_t i = 0; i < branches.size(); ++i) {
     // Inside replication every guard is attempted eagerly; the construct
     // itself provides the retry-until-enabled behavior, so the '=>' tag
@@ -701,12 +1162,13 @@ int Scheduler::try_guards(Process& p, const std::vector<Branch>& branches,
     }
     result = execute_engine(p, guard);
     if (result.success) return static_cast<int>(i);
+    if (result.injected_fault) saw_injected = true;
   }
   return -1;
 }
 
 Scheduler::StepOutcome Scheduler::do_sweep(Process& p, Frame& f) {
-  ReplicationGroup* group = p.group;
+  ReplicationGroup* group = p.group.get();
   const std::vector<Branch>& branches = f.stmt->branches;
 
   {
@@ -721,7 +1183,8 @@ Scheduler::StepOutcome Scheduler::do_sweep(Process& p, Frame& f) {
   }
 
   TxnResult r;
-  const int idx = try_guards(p, branches, r);
+  bool saw_injected = false;
+  const int idx = try_guards(p, branches, r, saw_injected);
   if (idx >= 0) {
     const Branch& br = branches[static_cast<std::size_t>(idx)];
     const ControlAction c = apply_actions(p, br.guard, r);
@@ -731,12 +1194,19 @@ Scheduler::StepOutcome Scheduler::do_sweep(Process& p, Frame& f) {
     return StepOutcome::Continue;
   }
 
+  // An injected failure masked a guard that looked enabled: do not count
+  // this replicant as parked (it could wrongly satisfy the termination
+  // check) — retry the sweep after a yield.
+  if (saw_injected) return StepOutcome::Yield;
+
   // Every guard failed. Count ourselves parked; the last parker verifies
   // global disablement under total exclusion before declaring the
   // construct finished.
   p.counted_parked = true;
   const int parked_now = group->parked.fetch_add(1, std::memory_order_acq_rel) + 1;
-  if (parked_now == group->width) {
+  // >= because an abnormal teardown may shrink width below the parked
+  // count while a sweep is in flight.
+  if (parked_now >= group->width.load(std::memory_order_acquire)) {
     bool enabled = false;
     engine_.exclusive([&]() -> std::vector<IndexKey> {
       for (const Branch& b : branches) {

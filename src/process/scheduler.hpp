@@ -42,16 +42,53 @@ struct SchedulerOptions {
   std::size_t quantum = 32;
   /// Replicant tasks per replication construct. 0 = worker count.
   std::size_t replication_width = 0;
+  /// Default park deadline for delayed ('=>') transactions and blocking
+  /// selections, in ms; 0 = never time out. A per-statement
+  /// Transaction::timeout_ms overrides this.
+  std::int64_t delayed_txn_timeout_ms = 0;
+  /// Default park deadline for consensus offers, in ms; 0 = never.
+  std::int64_t consensus_timeout_ms = 0;
+  /// Watchdog scan granularity — deadlines expire within one tick.
+  std::int64_t watchdog_tick_ms = 5;
+  /// Retries of a fault-injected transient commit failure before the
+  /// worker gives the process back to the queue (see FaultInjector).
+  std::size_t commit_retry_limit = 8;
+  /// Base backoff between those retries, in µs, doubled per attempt and
+  /// jittered by the injector so contending retriers desynchronize.
+  std::int64_t commit_backoff_us = 20;
 };
 
 /// What run() reports when the society goes quiescent.
+///
+/// Parked processes are classified by what they wait for: a consensus
+/// offer awaiting peers is a liveness *hand-off* (more spawns or a later
+/// run may complete the consensus set), while a delayed transaction or
+/// blocked selection waits on data no one is going to produce — the
+/// classic deadlock shape. `parked` carries a wait-for explanation per
+/// process: the blocking query, the index keys subscribed, and which live
+/// processes could still export a matching tuple.
 struct RunReport {
   std::size_t completed = 0;       // processes terminated during this run
-  std::size_t still_parked = 0;    // processes left blocked (deadlock?)
-  std::vector<std::string> parked; // their labels + park reasons
-  std::vector<std::string> errors; // processes killed by exceptions
+  std::size_t still_parked = 0;    // processes left blocked
+  std::vector<std::string> parked; // wait-for explanation per parked process
+  std::vector<std::string> errors; // processes torn down by exceptions
+  std::vector<std::string> timed_out; // park deadlines expired (diagnosed)
+  std::vector<std::string> killed;    // kill()/fault-injected teardowns
+  std::size_t parked_on_data = 0;        // delayed txn / selection guards
+  std::size_t parked_on_consensus = 0;   // consensus offers awaiting peers
+  std::size_t parked_on_replication = 0; // replication parent or sweeper
   [[nodiscard]] bool deadlocked() const { return still_parked > 0; }
-  [[nodiscard]] bool clean() const { return still_parked == 0 && errors.empty(); }
+  /// Every parked process is a consensus offer awaiting peers — the run
+  /// is incomplete but not data-deadlocked; spawning the missing peers
+  /// (or a later run) can still fire the sets.
+  [[nodiscard]] bool awaiting_consensus() const {
+    return parked_on_consensus > 0 && parked_on_data == 0 &&
+           parked_on_replication == 0;
+  }
+  [[nodiscard]] bool clean() const {
+    return still_parked == 0 && errors.empty() && timed_out.empty() &&
+           killed.empty();
+  }
 };
 
 class Scheduler {
@@ -63,6 +100,9 @@ class Scheduler {
 
   void set_consensus_manager(ConsensusManager* mgr) { consensus_ = mgr; }
   void set_trace(TraceRecorder* trace) { trace_ = trace; }
+  /// Arms the SchedulerDispatch injection point and the jittered backoff
+  /// source for transient-commit retries (null disables).
+  void set_fault_injector(FaultInjector* f) { faults_ = f; }
 
   /// Registers a process definition (takes ownership; finalizes if the
   /// caller has not).
@@ -80,6 +120,16 @@ class Scheduler {
   /// Wake a parked process (used by WaitSet subscriptions and the
   /// consensus manager; harmless for non-parked pids).
   void wake(ProcessId pid);
+
+  /// Requests crash-safe teardown of `pid`: its WaitSet subscription is
+  /// unsubscribed, pending consensus offers are withdrawn (the claim
+  /// aborts without wedging the rest of the consensus set), replication
+  /// accounting is settled, and the process is released. Asynchronous —
+  /// the teardown runs on the worker that next owns the process (a parked
+  /// victim is woken for it; during quiescence kill() may be issued
+  /// before run() and takes effect as the run starts). The teardown is
+  /// recorded in RunReport::killed. Returns false for an unknown pid.
+  bool kill(ProcessId pid);
 
   /// Executes `fn` with the society locked; `live` spans every process
   /// not yet erased. Used by the consensus manager inside the engine's
@@ -103,8 +153,23 @@ class Scheduler {
     return consensus_waiters_.load(std::memory_order_relaxed);
   }
 
+  /// Processes torn down by kill()/fault injection, and by park-deadline
+  /// expiry, across the scheduler's lifetime (operator counters).
+  [[nodiscard]] std::uint64_t total_killed() const {
+    return killed_total_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total_timed_out() const {
+    return timeouts_total_.load(std::memory_order_relaxed);
+  }
+  /// Retries of injected transient commit failures (E16 instrumentation).
+  [[nodiscard]] std::uint64_t commit_retries() const {
+    return commit_retries_.load(std::memory_order_relaxed);
+  }
+
  private:
   enum class StepOutcome { Continue, Yield, Parked, Done };
+  /// Why a process is leaving the society (one teardown path for all).
+  enum class RetireKind { Completed, Errored, Killed, TimedOut };
 
   // --- interpretation (worker-thread context, process owned) ---
   StepOutcome run_process(Process& p);
@@ -122,9 +187,11 @@ class Scheduler {
   void drop_subscription(Process& p);
   TxnResult execute_engine(Process& p, const Transaction& txn);
   /// Guard sweep shared by Sweep frames: attempts every non-consensus
-  /// guard once; returns the branch index or -1.
+  /// guard once; returns the branch index or -1. `saw_injected` is set
+  /// when a guard failed only because of an injected transient commit
+  /// fault (the sweep must retry, not count itself parked).
   int try_guards(Process& p, const std::vector<Branch>& branches,
-                 TxnResult& result);
+                 TxnResult& result, bool& saw_injected);
 
   // --- scheduling plumbing ---
   void worker_loop();
@@ -132,18 +199,44 @@ class Scheduler {
   /// Returns false when a pending wake converted the park into Ready (the
   /// caller then requeues instead).
   bool finalize_park(Process& p, ParkReason reason);
-  void complete(Process& p);
+  /// The single teardown path: unsubscribes the WaitSet entry, withdraws
+  /// consensus offers under the state lock, settles replication-group
+  /// accounting, erases the process, and records the outcome under `kind`.
+  /// Caller must own the process (worker context) or hold exclusive
+  /// access (pre-run kill drain).
+  void retire(Process& p, RetireKind kind, std::string note);
+  void complete(Process& p) { retire(p, RetireKind::Completed, {}); }
   void requeue(ProcessId pid);
   void enqueue_new(ProcessId pid);
   void work_finished();  // decrement inflight, maybe declare quiescence
   void notify_consensus();
   void wake_group(ReplicationGroup& group, ProcessId except);
-  ProcessId spawn_replicant(const Process& parent, ReplicationGroup* group);
+  ProcessId spawn_replicant(const Process& parent,
+                            const std::shared_ptr<ReplicationGroup>& group);
+  /// SpuriousWake injection helper: wakes one parked process (any one),
+  /// chosen by `salt` so the victim varies deterministically.
+  void wake_one_parked(std::uint64_t salt);
+
+  // --- deadlines ---
+  /// Watchdog body: scans for expired park deadlines every tick while any
+  /// are armed; expired parkers are woken with `timed_out` set.
+  void watchdog_loop(const std::stop_token& st);
+  /// One scan; wakes every parked process whose deadline passed.
+  void expire_deadlines();
+
+  // --- diagnosis ---
+  /// Wait-for explanation for a parked process: the blocking query, the
+  /// subscribed index keys, and which live processes could export a
+  /// matching tuple. Caller holds society_mutex_.
+  [[nodiscard]] std::string explain_park_locked(const Process& p) const;
+  /// Same, acquiring society_mutex_ (worker context, no locks held).
+  [[nodiscard]] std::string explain_park(const Process& p);
 
   Engine& engine_;
   SchedulerOptions options_;
   ConsensusManager* consensus_ = nullptr;
   TraceRecorder* trace_ = nullptr;
+  FaultInjector* faults_ = nullptr;
 
   mutable std::mutex defs_mutex_;  // guards defs_
   std::unordered_map<std::string, std::unique_ptr<ProcessDef>> defs_;
@@ -161,11 +254,25 @@ class Scheduler {
   bool running_ = false;  // run() in progress
 
   std::vector<std::jthread> workers_;
-  std::mutex errors_mutex_;  // guards errors_
+  std::mutex report_mutex_;  // guards errors_, timed_out_, killed_
   std::vector<std::string> errors_;
+  std::vector<std::string> timed_out_;
+  std::vector<std::string> killed_;
   std::atomic<std::uint64_t> spawned_{0};
   std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> killed_total_{0};
+  std::atomic<std::uint64_t> timeouts_total_{0};
+  std::atomic<std::uint64_t> commit_retries_{0};
   std::atomic<int> consensus_waiters_{0};
+
+  // Watchdog: runs only during run(), only scans while deadlines are
+  // armed. deadlines_armed_ counts parked processes with a deadline; the
+  // quiescence check treats an armed deadline as pending work, so run()
+  // cannot report "parked forever" about a process about to time out.
+  std::jthread watchdog_;
+  std::mutex watchdog_mutex_;
+  std::condition_variable_any watchdog_cv_;
+  std::atomic<int> deadlines_armed_{0};
 };
 
 }  // namespace sdl

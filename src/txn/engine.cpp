@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <thread>
 #include <unordered_set>
 
 namespace sdl {
@@ -14,6 +15,24 @@ QueryOutcome Engine::evaluate_query(const Transaction& txn, Env& env,
   }
   const DataspaceSource source(space_);
   return txn.query.evaluate(source, env, fns_);
+}
+
+bool Engine::inject_commit_fault(const Transaction& txn, bool query_succeeded) {
+  if (faults_ == nullptr) return false;
+  switch (faults_->decide(FaultPoint::EngineCommit)) {
+    case FaultAction::Delay:
+      // Widen the evaluate→apply window with the locks held: commits that
+      // race this one queue up behind it, wakes pile into the publish.
+      faults_->delay();
+      return false;
+    case FaultAction::FailCommit:
+      // Only meaningful for a commit that would have applied effects —
+      // failing an already-failing or read-only transaction injects
+      // nothing observable.
+      return query_succeeded && !txn.is_read_only();
+    default:
+      return false;
+  }
 }
 
 WaitSet::Interest Engine::interest_of(const Transaction& txn, Env& env) const {
@@ -81,8 +100,14 @@ std::vector<IndexKey> Engine::apply_effects(const Transaction& txn,
 
 TxnResult execute_blocking(Engine& engine, const Transaction& txn, Env& env,
                            ProcessId owner, const View* view) {
-  // Fast path: no subscription needed if the first attempt commits.
+  // Fast path: no subscription needed if the first attempt commits. An
+  // injected transient failure is retried here rather than parked on:
+  // nothing was applied, so nothing will publish a wakeup for it.
   TxnResult result = engine.execute(txn, env, owner, view);
+  while (result.injected_fault) {
+    std::this_thread::yield();
+    result = engine.execute(txn, env, owner, view);
+  }
   if (result.success || txn.type == TxnType::Immediate) return result;
 
   BlockingWaiter waiter;
@@ -92,6 +117,12 @@ TxnResult execute_blocking(Engine& engine, const Transaction& txn, Env& env,
   for (;;) {
     result = engine.execute(txn, env, owner, view);
     if (result.success) break;
+    if (result.injected_fault) {
+      // Transient injected failure: no publish is coming for it, so retry
+      // instead of waiting.
+      std::this_thread::yield();
+      continue;
+    }
     // Re-checks after a wake go through the read-locked probe first, so a
     // spurious or losing wake costs shared locks, not exclusive ones.
     // (Read-only transactions skip the probe: their execute() already
@@ -116,7 +147,9 @@ TxnResult GlobalLockEngine::execute(const Transaction& txn, Env& env,
     std::scoped_lock lock(mutex_);
     result.version = waits_.version();
     QueryOutcome outcome = evaluate_query(txn, env, view);
-    if (outcome.success) {
+    if (inject_commit_fault(txn, outcome.success)) {
+      result.injected_fault = true;  // effects withheld; retry is safe
+    } else if (outcome.success) {
       touched = apply_effects(txn, outcome, owner, view, result.asserted);
       result.success = true;
       result.matches = std::move(outcome.matches);
@@ -277,7 +310,9 @@ TxnResult ShardedEngine::execute(const Transaction& txn, Env& env,
   result.version = waits_.version();
   QueryOutcome outcome = evaluate_query(txn, env, view);
   std::vector<IndexKey> touched;
-  if (outcome.success) {
+  if (inject_commit_fault(txn, outcome.success)) {
+    result.injected_fault = true;  // effects withheld; retry is safe
+  } else if (outcome.success) {
     // Read-only fast path: the transaction has no effect templates, so
     // there is nothing to apply and nothing to publish — concurrent
     // readers of the same shard commit under shared locks without

@@ -22,6 +22,7 @@
 #include <shared_mutex>
 
 #include "core/striped_counter.hpp"
+#include "fault/fault.hpp"
 #include "txn/transaction.hpp"
 #include "txn/waitset.hpp"
 #include "view/view.hpp"
@@ -31,6 +32,11 @@ namespace sdl {
 /// Outcome of one execution attempt.
 struct TxnResult {
   bool success = false;
+  /// The failure was injected by the FaultInjector's EngineCommit point:
+  /// the query succeeded but the effects were withheld before touching the
+  /// dataspace. Retrying is safe (nothing was applied) and expected — the
+  /// scheduler retries with bounded, jittered backoff.
+  bool injected_fault = false;
   /// WaitSet version sampled during the attempt (diagnostics).
   std::uint64_t version = 0;
   /// Query matches (Exists: one; ForAll: zero or more). Bindings are
@@ -89,6 +95,11 @@ class Engine {
   [[nodiscard]] const FunctionRegistry* functions() const { return fns_; }
   [[nodiscard]] EngineStats& stats() { return stats_; }
 
+  /// Arms the EngineCommit injection point (null disables — the only cost
+  /// is then a branch on this pointer per execute). Call while no
+  /// transactions are in flight.
+  void set_fault_injector(FaultInjector* f) { faults_ = f; }
+
   /// Builds the WaitSet interest for a transaction's read set (call with
   /// locals cleared — done internally).
   [[nodiscard]] WaitSet::Interest interest_of(const Transaction& txn, Env& env) const;
@@ -109,10 +120,18 @@ class Engine {
                                       const View* view,
                                       std::vector<TupleId>& asserted);
 
+  /// FaultInjector decision at the commit point, called with the engine's
+  /// locks held and the query outcome known. Returns true when the commit
+  /// must be withheld (transient injected failure); may also inject a
+  /// delay to widen the evaluate→apply race window.
+  [[nodiscard]] bool inject_commit_fault(const Transaction& txn,
+                                         bool query_succeeded);
+
   Dataspace& space_;
   WaitSet& waits_;
   const FunctionRegistry* fns_;
   EngineStats stats_;
+  FaultInjector* faults_ = nullptr;
 };
 
 /// Blocks the calling OS thread until `txn` commits — the delayed ('=>')

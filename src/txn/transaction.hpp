@@ -56,6 +56,13 @@ class Transaction {
   std::vector<SpawnAction> spawns;
   ControlAction control = ControlAction::None;
 
+  /// Per-statement deadline for blocking transactions (delayed '=>' parks
+  /// and consensus offers): how long the issuing process may stay parked
+  /// on this statement before the scheduler's watchdog expires it with a
+  /// Timeout outcome. 0 = use the scheduler-wide default from
+  /// SchedulerOptions; < 0 = never time out, overriding that default.
+  std::int64_t timeout_ms = 0;
+
   /// Interns names, resolves all expressions, and caches is_read_only().
   /// Call exactly once.
   void resolve(SymbolTable& symtab);
@@ -134,6 +141,11 @@ class TxnBuilder {
   }
   TxnBuilder& spawn(std::string process_type, std::vector<ExprPtr> args = {}) {
     txn_.spawns.push_back(SpawnAction{std::move(process_type), std::move(args)});
+    return *this;
+  }
+  /// Park deadline for this statement (see Transaction::timeout_ms).
+  TxnBuilder& timeout(std::int64_t ms) {
+    txn_.timeout_ms = ms;
     return *this;
   }
   TxnBuilder& exit_() {

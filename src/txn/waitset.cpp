@@ -66,6 +66,25 @@ void WaitSet::publish_batch(std::vector<IndexKey> touched) {
   // lost — it either sees the commit's effects or a later publish.)
   if (live_subscribers_.load(std::memory_order_acquire) == 0) return;
 
+  bool wake_everyone = false;
+  if (faults_ != nullptr) {
+    switch (faults_->decide(FaultPoint::WaitSetPublish)) {
+      case FaultAction::Delay:
+        // Widen the commit→publish window: the committed effects are
+        // visible but nobody has been told yet, the exact window the
+        // subscribe-first discipline must survive.
+        faults_->delay();
+        break;
+      case FaultAction::SpuriousWake:
+        // Escalate this one publish to wake-all: every subscriber gets a
+        // wakeup, almost all of them spurious.
+        wake_everyone = true;
+        break;
+      default:
+        break;
+    }
+  }
+
   // Coalesce: a ForAll retracting N tuples from one bucket, or a composite
   // consensus commit, repeats keys — dedupe before probing the maps so each
   // unique key (and arity) costs one lookup instead of one per occurrence.
@@ -80,7 +99,7 @@ void WaitSet::publish_batch(std::vector<IndexKey> touched) {
   std::vector<std::function<void()>> to_wake;
   {
     std::scoped_lock lock(mutex_);
-    if (policy() == WakePolicy::WakeAll) {
+    if (wake_everyone || policy() == WakePolicy::WakeAll) {
       to_wake.reserve(entries_.size());
       for (const auto& [ticket, entry] : entries_) to_wake.push_back(entry.wake);
     } else {
@@ -108,6 +127,13 @@ void WaitSet::publish_batch(std::vector<IndexKey> touched) {
         if (it != entries_.end()) to_wake.push_back(it->second.wake);
       }
     }
+  }
+  if (faults_ != nullptr && !to_wake.empty() &&
+      faults_->decide(FaultPoint::WakeDeliver) == FaultAction::Delay) {
+    // Callbacks collected, lock released, not yet invoked: the waiter may
+    // already have unsubscribed by the time these run — the stale-wake
+    // window that wake() and BlockingWaiter must tolerate.
+    faults_->delay();
   }
   wakes_.fetch_add(to_wake.size(), std::memory_order_relaxed);
   for (const auto& wake : to_wake) wake();

@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "space/dataspace.hpp"
 
 namespace sdl {
@@ -82,6 +83,12 @@ class WaitSet {
     return wakes_.load(std::memory_order_relaxed);
   }
 
+  /// Arms the WaitSetPublish / WakeDeliver injection points (null
+  /// disables). SpuriousWake at WaitSetPublish escalates one publish to
+  /// wake-all — every subscriber gets a (correct but mostly spurious)
+  /// wakeup; Delay widens the commit→publish and collect→invoke windows.
+  void set_fault_injector(FaultInjector* f) { faults_ = f; }
+
  private:
   struct Entry {
     Interest interest;
@@ -91,6 +98,7 @@ class WaitSet {
   std::atomic<WakePolicy> policy_;
   std::atomic<std::uint64_t> version_{0};
   std::atomic<std::uint64_t> wakes_{0};
+  FaultInjector* faults_ = nullptr;
   /// Lock-free publish fast path: commits with nobody subscribed skip the
   /// mutex entirely (otherwise every commit in the system serializes on
   /// it — measured as the scaling ceiling in experiment E6).

@@ -1,0 +1,174 @@
+// Chaos suite: the shipped paper programs run under deterministic fault
+// injection at every point. Masked faults (delays, spurious wakes,
+// budgeted transient commit failures) must leave the documented results
+// exactly intact; fail-stop faults (kills) must end in a crash-safe
+// report — no hang, no leaked subscriptions, no wedged constructs.
+// ISSUE 2's acceptance gate: "with every point enabled, paper societies
+// run to completion or a correctly-diagnosed RunReport".
+#include <gtest/gtest.h>
+
+#include "lang/compile.hpp"
+
+namespace sdl {
+namespace {
+
+Runtime make_runtime() {
+  RuntimeOptions o;
+  o.scheduler.workers = 4;
+  o.scheduler.replication_width = 4;
+  return Runtime(o);
+}
+
+std::string script(const char* name) {
+  return std::string(SDL_EXAMPLES_DIR) + "/" + name;
+}
+
+void expect_dining_result(Runtime& rt) {
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(rt.space().count(tup("sated", i)), 1u) << "philosopher " << i;
+    EXPECT_EQ(rt.space().count(tup("chopstick", i)), 1u) << "chopstick " << i;
+  }
+}
+
+void expect_bounded_buffer_result(Runtime& rt) {
+  for (int i = 1; i <= 10; ++i) {
+    EXPECT_EQ(rt.space().count(tup("consumed", i)), 1u) << "item " << i;
+  }
+  EXPECT_EQ(rt.space().count(tup("slot")), 3u) << "capacity restored";
+}
+
+/// Masked-fault run: the injected fault may reorder and slow everything,
+/// but the program's documented output must be bit-for-bit intact.
+void run_masked(const char* name, FaultPoint point, FaultAction action,
+                std::uint32_t permille, std::uint64_t max_fires,
+                std::uint64_t seed, void (*check)(Runtime&)) {
+  Runtime rt = make_runtime();
+  rt.enable_faults(seed).arm(point, action, permille, max_fires);
+  lang::load_path(rt, script(name));
+  const RunReport report = rt.run();
+  EXPECT_TRUE(report.clean())
+      << name << " under " << fault_point_name(point) << "/"
+      << fault_action_name(action) << ": "
+      << (report.parked.empty()
+              ? (report.timed_out.empty() ? "" : report.timed_out[0])
+              : report.parked[0]);
+  check(rt);
+  EXPECT_EQ(rt.waits().subscriber_count(), 0u) << "leaked subscription";
+  EXPECT_EQ(rt.scheduler().live_count(), 0u);
+}
+
+TEST(ChaosTest, DiningSurvivesEveryMaskedPoint) {
+  std::uint64_t seed = 100;
+  for (const FaultPoint point :
+       {FaultPoint::EngineCommit, FaultPoint::WaitSetPublish,
+        FaultPoint::WakeDeliver, FaultPoint::SchedulerDispatch}) {
+    run_masked("dining.sdl", point, FaultAction::Delay, 300, 0, seed++,
+               expect_dining_result);
+  }
+  run_masked("dining.sdl", FaultPoint::EngineCommit, FaultAction::FailCommit,
+             250, 0, seed++, expect_dining_result);
+  run_masked("dining.sdl", FaultPoint::WaitSetPublish,
+             FaultAction::SpuriousWake, 400, 0, seed++, expect_dining_result);
+}
+
+TEST(ChaosTest, BoundedBufferSurvivesEveryMaskedPoint) {
+  std::uint64_t seed = 200;
+  for (const FaultPoint point :
+       {FaultPoint::EngineCommit, FaultPoint::WaitSetPublish,
+        FaultPoint::WakeDeliver, FaultPoint::SchedulerDispatch}) {
+    run_masked("bounded_buffer.sdl", point, FaultAction::Delay, 300, 0, seed++,
+               expect_bounded_buffer_result);
+  }
+  run_masked("bounded_buffer.sdl", FaultPoint::EngineCommit,
+             FaultAction::FailCommit, 250, 0, seed++,
+             expect_bounded_buffer_result);
+  run_masked("bounded_buffer.sdl", FaultPoint::SchedulerDispatch,
+             FaultAction::SpuriousWake, 300, 0, seed++,
+             expect_bounded_buffer_result);
+}
+
+TEST(ChaosTest, ConsensusProgramSurvivesBudgetedAborts) {
+  // sum1.sdl synchronizes phases with consensus barriers; budgeted claim
+  // and commit aborts must only delay the fires, never corrupt the sum.
+  std::uint64_t seed = 300;
+  for (const FaultPoint point :
+       {FaultPoint::ConsensusClaim, FaultPoint::ConsensusCommit}) {
+    Runtime rt = make_runtime();
+    rt.enable_faults(seed++).arm(point, FaultAction::FailCommit, 500, 6);
+    lang::load_path(rt, script("sum1.sdl"));
+    const RunReport report = rt.run();
+    EXPECT_TRUE(report.clean()) << "point " << fault_point_name(point);
+    EXPECT_EQ(
+        rt.space().count(tup(8, 11 + 22 + 33 + 44 + 55 + 66 + 77 + 88)), 1u);
+    EXPECT_GE(rt.consensus().fires(), 3u);
+    EXPECT_EQ(rt.waits().subscriber_count(), 0u);
+  }
+}
+
+TEST(ChaosTest, AllMaskedPointsArmedAtOnce) {
+  // Everything at once: commit failures, publish delays, late wake
+  // delivery, dispatch delays, spurious wakes, consensus aborts. Still
+  // the exact documented result.
+  Runtime rt = make_runtime();
+  FaultInjector& f = rt.enable_faults(777);
+  f.arm(FaultPoint::EngineCommit, FaultAction::FailCommit, 150, 0);
+  f.arm(FaultPoint::WaitSetPublish, FaultAction::Delay, 200, 0);
+  f.arm(FaultPoint::WakeDeliver, FaultAction::Delay, 200, 0);
+  f.arm(FaultPoint::SchedulerDispatch, FaultAction::SpuriousWake, 200, 0);
+  f.arm(FaultPoint::ConsensusClaim, FaultAction::FailCommit, 300, 4);
+  f.arm(FaultPoint::ConsensusCommit, FaultAction::FailCommit, 300, 4);
+  lang::load_path(rt, script("dining.sdl"));
+  const RunReport report = rt.run();
+  EXPECT_TRUE(report.clean())
+      << (report.parked.empty() ? "" : report.parked[0]);
+  expect_dining_result(rt);
+  EXPECT_EQ(rt.waits().subscriber_count(), 0u);
+  EXPECT_GT(f.total_fired(), 0u) << "the storm must actually have fired";
+}
+
+TEST(ChaosTest, DispatchKillsEndInCrashSafeReport) {
+  // Fail-stop chaos: random kills tear philosophers down mid-protocol.
+  // The run may not produce dinner, but it must terminate, report every
+  // kill, leak nothing, and never invent errors.
+  for (const std::uint64_t seed : {401u, 402u, 403u}) {
+    Runtime rt = make_runtime();
+    rt.enable_faults(seed).arm(FaultPoint::SchedulerDispatch,
+                               FaultAction::Kill, 60, 3);
+    lang::load_path(rt, script("dining.sdl"));
+    const RunReport report = rt.run();
+    EXPECT_TRUE(report.errors.empty())
+        << "seed " << seed << ": " << report.errors[0];
+    EXPECT_EQ(report.killed.size(), rt.scheduler().total_killed());
+    EXPECT_EQ(rt.scheduler().live_count(), 0u) << "seed " << seed;
+    EXPECT_LE(rt.waits().subscriber_count(), report.still_parked)
+        << "seed " << seed << ": dead process left a subscription";
+    if (report.clean()) expect_dining_result(rt);
+  }
+}
+
+TEST(ChaosTest, KillsPlusDeadlinesAlwaysConclude) {
+  // A kill can strand survivors waiting for a dead peer's tuple — the
+  // deadline layer must then conclude the run with diagnosed timeouts
+  // rather than a quiescent-but-wedged report.
+  for (const std::uint64_t seed : {501u, 502u}) {
+    RuntimeOptions o;
+    o.scheduler.workers = 4;
+    o.scheduler.replication_width = 4;
+    o.scheduler.delayed_txn_timeout_ms = 300;
+    o.scheduler.consensus_timeout_ms = 300;
+    Runtime rt(o);
+    rt.enable_faults(seed).arm(FaultPoint::SchedulerDispatch,
+                               FaultAction::Kill, 80, 4);
+    lang::load_path(rt, script("bounded_buffer.sdl"));
+    const RunReport report = rt.run();
+    EXPECT_TRUE(report.errors.empty()) << "seed " << seed;
+    EXPECT_EQ(report.still_parked, 0u)
+        << "seed " << seed << ": parked past its deadline";
+    EXPECT_EQ(rt.scheduler().live_count(), 0u);
+    EXPECT_EQ(rt.waits().subscriber_count(), 0u);
+    if (report.clean()) expect_bounded_buffer_result(rt);
+  }
+}
+
+}  // namespace
+}  // namespace sdl

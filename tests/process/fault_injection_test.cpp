@@ -1,0 +1,265 @@
+// Deterministic fault injection against whole societies: every injection
+// point is exercised against contended workloads and the runtime must
+// either finish with the exact correct dataspace (delays, spurious wakes,
+// transient commit failures are *masked* faults) or tear the victims down
+// crash-safely (kills are *fail-stop* faults: recorded in the report, no
+// leaked subscriptions, no wedged consensus or replication).
+#include <gtest/gtest.h>
+
+#include "fault/fault.hpp"
+#include "process/runtime.hpp"
+
+namespace sdl {
+namespace {
+
+RuntimeOptions small_opts() {
+  RuntimeOptions o;
+  o.scheduler.workers = 4;
+  o.scheduler.replication_width = 4;
+  return o;
+}
+
+/// One process that atomically increments a single shared counter tuple
+/// once via a delayed transaction — N of them contend on one bucket and
+/// exercise park/wake on every collision.
+ProcessDef incrementer_def() {
+  ProcessDef def;
+  def.name = "Inc";
+  def.body = seq({stmt(TxnBuilder(TxnType::Delayed)
+                           .exists({"x"})
+                           .match(pat({A("c"), V("x")}), true)
+                           .assert_tuple({lit(Value::atom("c")),
+                                          add(evar("x"), lit(1))})
+                           .build())});
+  return def;
+}
+
+/// Runs N incrementers from c=0 under the given arming and requires the
+/// exact final count — any lost wakeup, double apply, or dropped retry
+/// shows up as a wrong counter or a non-clean report.
+void run_counter_society(FaultPoint point, FaultAction action,
+                         std::uint32_t permille, std::uint64_t max_fires,
+                         std::uint64_t seed) {
+  constexpr int kN = 24;
+  Runtime rt(small_opts());
+  rt.enable_faults(seed).arm(point, action, permille, max_fires);
+  rt.seed(tup("c", 0));
+  rt.define(incrementer_def());
+  for (int i = 0; i < kN; ++i) rt.spawn("Inc");
+  const RunReport report = rt.run();
+  EXPECT_TRUE(report.clean()) << "point=" << fault_point_name(point)
+                              << " action=" << fault_action_name(action);
+  EXPECT_EQ(rt.space().count(tup("c", kN)), 1u);
+  EXPECT_EQ(rt.space().size(), 1u);
+  EXPECT_EQ(rt.waits().subscriber_count(), 0u) << "leaked subscription";
+}
+
+TEST(FaultInjectionTest, EngineCommitFailuresAreMasked) {
+  // Transient commit failures: every failed commit withheld its effects,
+  // so the bounded scheduler retry must converge on the exact count.
+  run_counter_society(FaultPoint::EngineCommit, FaultAction::FailCommit,
+                      300, 0, 41);
+  run_counter_society(FaultPoint::EngineCommit, FaultAction::Delay, 300, 0, 42);
+}
+
+TEST(FaultInjectionTest, WaitSetPublishFaultsAreMasked) {
+  // Delay widens the commit→publish window; SpuriousWake escalates a
+  // publish to wake-all. Both must be invisible to the final state.
+  run_counter_society(FaultPoint::WaitSetPublish, FaultAction::Delay,
+                      400, 0, 43);
+  run_counter_society(FaultPoint::WaitSetPublish, FaultAction::SpuriousWake,
+                      400, 0, 44);
+}
+
+TEST(FaultInjectionTest, WakeDeliverDelayIsMasked) {
+  // Stale-wake window: callbacks already collected run late, possibly
+  // after the subscriber moved on.
+  run_counter_society(FaultPoint::WakeDeliver, FaultAction::Delay, 400, 0, 45);
+}
+
+TEST(FaultInjectionTest, SchedulerDispatchFaultsAreMasked) {
+  run_counter_society(FaultPoint::SchedulerDispatch, FaultAction::Delay,
+                      300, 0, 46);
+  run_counter_society(FaultPoint::SchedulerDispatch, FaultAction::SpuriousWake,
+                      300, 0, 47);
+}
+
+TEST(FaultInjectionTest, CommitRetriesAreCounted) {
+  Runtime rt(small_opts());
+  rt.enable_faults(7).arm(FaultPoint::EngineCommit, FaultAction::FailCommit,
+                          1000, 8);
+  rt.seed(tup("c", 0));
+  rt.define(incrementer_def());
+  for (int i = 0; i < 4; ++i) rt.spawn("Inc");
+  const RunReport report = rt.run();
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(rt.space().count(tup("c", 4)), 1u);
+  EXPECT_EQ(rt.faults()->fired(FaultPoint::EngineCommit), 8u);
+  EXPECT_GE(rt.scheduler().commit_retries(), 8u);
+}
+
+TEST(FaultInjectionTest, DispatchKillTearsDownBudgetedVictims) {
+  // Fail-stop: permille 1000 with a budget of 3 kills exactly the first
+  // three dispatches; everything else must complete untouched.
+  constexpr int kN = 12;
+  Runtime rt(small_opts());
+  rt.enable_faults(9).arm(FaultPoint::SchedulerDispatch, FaultAction::Kill,
+                          1000, 3);
+  ProcessDef def;
+  def.name = "Emit";
+  def.params = {"k"};
+  def.body = seq({stmt(
+      TxnBuilder().assert_tuple({lit(Value::atom("e")), evar("k")}).build())});
+  rt.define(std::move(def));
+  for (int i = 0; i < kN; ++i) rt.spawn("Emit", {Value(i)});
+  const RunReport report = rt.run();
+  EXPECT_FALSE(report.clean());
+  EXPECT_TRUE(report.errors.empty());
+  EXPECT_EQ(report.killed.size(), 3u);
+  EXPECT_EQ(report.completed, static_cast<std::size_t>(kN - 3));
+  EXPECT_EQ(rt.space().size(), static_cast<std::size_t>(kN - 3));
+  EXPECT_EQ(rt.scheduler().total_killed(), 3u);
+  EXPECT_EQ(rt.scheduler().live_count(), 0u);
+  EXPECT_EQ(rt.waits().subscriber_count(), 0u);
+}
+
+TEST(FaultInjectionTest, KillParkedWaiterReleasesSubscription) {
+  Runtime rt(small_opts());
+  ProcessDef def;
+  def.name = "Waiter";
+  def.body = seq({stmt(TxnBuilder(TxnType::Delayed)
+                           .match(pat({A("never")}), true)
+                           .build())});
+  rt.define(std::move(def));
+  const ProcessId pid = rt.spawn("Waiter");
+  const RunReport first = rt.run();
+  EXPECT_TRUE(first.deadlocked());
+  EXPECT_EQ(rt.waits().subscriber_count(), 1u);
+
+  EXPECT_TRUE(rt.scheduler().kill(pid));
+  EXPECT_FALSE(rt.scheduler().kill(9999)) << "unknown pid";
+  const RunReport second = rt.run();
+  EXPECT_EQ(second.killed.size(), 1u);
+  EXPECT_NE(second.killed[0].find("Waiter"), std::string::npos);
+  EXPECT_EQ(second.still_parked, 0u);
+  EXPECT_EQ(rt.scheduler().live_count(), 0u);
+  EXPECT_EQ(rt.waits().subscriber_count(), 0u) << "subscription leaked";
+}
+
+TEST(FaultInjectionTest, KilledReplicantsDoNotWedgeTheConstruct) {
+  // Replication termination is "every member parked + guards disabled".
+  // A killed member can never park; the group must shrink its width and
+  // still terminate instead of waiting for the dead forever.
+  Runtime rt(small_opts());
+  rt.enable_faults(11).arm(FaultPoint::SchedulerDispatch, FaultAction::Kill,
+                           600, 2);
+  for (int i = 0; i < 40; ++i) rt.seed(tup("work", i));
+  ProcessDef def;
+  def.name = "Sweeper";
+  def.body = seq({
+      replicate({branch(TxnBuilder()
+                            .exists({"w"})
+                            .match(pat({A("work"), V("w")}), true)
+                            .assert_tuple({lit(Value::atom("done")), evar("w")})
+                            .build())}),
+      stmt(TxnBuilder().assert_tuple({lit(Value::atom("finished"))}).build()),
+  });
+  rt.define(std::move(def));
+  rt.spawn("Sweeper");
+  const RunReport report = rt.run();
+  EXPECT_TRUE(report.errors.empty());
+  EXPECT_EQ(report.still_parked, 0u) << "replication wedged on dead member";
+  EXPECT_EQ(rt.scheduler().live_count(), 0u);
+  EXPECT_EQ(rt.waits().subscriber_count(), 0u);
+  // If the parent survived the kills, the construct completed normally.
+  if (rt.space().count(tup("finished")) == 1) {
+    EXPECT_EQ(rt.space().count(tup("work", 0)), 0u);
+  }
+}
+
+TEST(FaultInjectionTest, ConsensusClaimAbortRetriesWithoutWedging) {
+  Runtime rt(small_opts());
+  rt.enable_faults(13).arm(FaultPoint::ConsensusClaim, FaultAction::FailCommit,
+                           1000, 2);
+  rt.seed(tup("shared", 0));
+  ProcessDef def;
+  def.name = "Member";
+  def.params = {"k"};
+  def.body = seq({stmt(TxnBuilder(TxnType::Consensus)
+                           .match(pat({A("shared"), W()}))
+                           .assert_tuple({lit(Value::atom("arrived")), evar("k")})
+                           .build())});
+  rt.define(std::move(def));
+  rt.spawn("Member", {Value(1)});
+  rt.spawn("Member", {Value(2)});
+  const RunReport report = rt.run();
+  EXPECT_TRUE(report.clean()) << "injected claim abort wedged the set";
+  EXPECT_EQ(rt.space().count(tup("arrived", 1)), 1u);
+  EXPECT_EQ(rt.space().count(tup("arrived", 2)), 1u);
+  EXPECT_EQ(rt.consensus().fires(), 1u);
+  EXPECT_GE(rt.consensus().injected_aborts(), 1u);
+}
+
+TEST(FaultInjectionTest, ConsensusCommitAbortIsEffectFree) {
+  Runtime rt(small_opts());
+  rt.enable_faults(17).arm(FaultPoint::ConsensusCommit, FaultAction::FailCommit,
+                           1000, 3);
+  rt.seed(tup("shared", 0));
+  ProcessDef def;
+  def.name = "Member";
+  def.params = {"k"};
+  def.body = seq({stmt(TxnBuilder(TxnType::Consensus)
+                           .match(pat({A("shared"), W()}), true)
+                           .assert_tuple({lit(Value::atom("took")), evar("k")})
+                           .build())});
+  rt.define(std::move(def));
+  rt.spawn("Member", {Value(1)});
+  const RunReport report = rt.run();
+  EXPECT_TRUE(report.clean());
+  // Exactly one fire applied effects — the aborted attempts left the
+  // retracted tuple in place for the retry.
+  EXPECT_EQ(rt.space().count(tup("shared", 0)), 0u);
+  EXPECT_EQ(rt.space().count(tup("took", 1)), 1u);
+  EXPECT_GE(rt.consensus().injected_aborts(), 3u);
+}
+
+TEST(FaultInjectionTest, DecisionStreamIsDeterministic) {
+  FaultInjector a(12345);
+  FaultInjector b(12345);
+  FaultInjector c(54321);
+  for (FaultInjector* f : {&a, &b, &c}) {
+    f->arm(FaultPoint::EngineCommit, FaultAction::FailCommit, 250);
+  }
+  bool differs_from_c = false;
+  for (int i = 0; i < 2000; ++i) {
+    const FaultAction da = a.decide(FaultPoint::EngineCommit);
+    EXPECT_EQ(da, b.decide(FaultPoint::EngineCommit)) << "crossing " << i;
+    if (da != c.decide(FaultPoint::EngineCommit)) differs_from_c = true;
+  }
+  EXPECT_EQ(a.fired(FaultPoint::EngineCommit), b.fired(FaultPoint::EngineCommit));
+  EXPECT_TRUE(differs_from_c) << "different seeds produced identical streams";
+  // ~25% of 2000 crossings should fire; allow a generous band.
+  EXPECT_GT(a.fired(FaultPoint::EngineCommit), 300u);
+  EXPECT_LT(a.fired(FaultPoint::EngineCommit), 700u);
+}
+
+TEST(FaultInjectionTest, BudgetAndDisarmStopFiring) {
+  FaultInjector f(1);
+  f.arm(FaultPoint::WakeDeliver, FaultAction::Delay, 1000, 5);
+  std::uint64_t fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (f.decide(FaultPoint::WakeDeliver) != FaultAction::None) ++fired;
+  }
+  EXPECT_EQ(fired, 5u);
+  f.arm(FaultPoint::WakeDeliver, FaultAction::Delay, 0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(f.decide(FaultPoint::WakeDeliver), FaultAction::None);
+  }
+  f.arm(FaultPoint::WakeDeliver, FaultAction::Delay, 1000);
+  EXPECT_NE(f.decide(FaultPoint::WakeDeliver), FaultAction::None);
+  f.disarm(FaultPoint::WakeDeliver);
+  EXPECT_EQ(f.decide(FaultPoint::WakeDeliver), FaultAction::None);
+}
+
+}  // namespace
+}  // namespace sdl

@@ -1,0 +1,132 @@
+// Engine-level fault injection: a FailCommit at the EngineCommit point
+// must fail the transaction *before* any effect is applied (retry-safe),
+// and retrying after the injected failure must apply effects exactly once
+// — never zero, never twice.
+#include <gtest/gtest.h>
+
+#include "fault/fault.hpp"
+#include "txn/engine.hpp"
+
+namespace sdl {
+namespace {
+
+enum class Kind { Global, Sharded };
+
+class FaultRetryTest : public ::testing::TestWithParam<Kind> {
+ protected:
+  Dataspace space{16};
+  WaitSet waits;
+  FunctionRegistry fns;
+  SymbolTable st;
+  Env env;
+  FaultInjector faults{2026};
+  std::unique_ptr<Engine> engine;
+
+  void SetUp() override {
+    if (GetParam() == Kind::Global) {
+      engine = std::make_unique<GlobalLockEngine>(space, waits, &fns);
+    } else {
+      engine = std::make_unique<ShardedEngine>(space, waits, &fns);
+    }
+    engine->set_fault_injector(&faults);
+  }
+
+  Transaction prep(TxnBuilder b) {
+    Transaction t = b.build();
+    t.resolve(st);
+    env.resize(static_cast<std::size_t>(st.size()));
+    return t;
+  }
+};
+
+TEST_P(FaultRetryTest, InjectedFailureWithholdsAllEffects) {
+  space.insert(tup("year", 90), 0);
+  faults.arm(FaultPoint::EngineCommit, FaultAction::FailCommit, 1000);
+  Transaction t = prep(TxnBuilder()
+                           .exists({"a"})
+                           .match(pat({A("year"), V("a")}), true)
+                           .assert_tuple({lit(Value::atom("found")), evar("a")}));
+  const TxnResult r = engine->execute(t, env, 1);
+  EXPECT_FALSE(r.success);
+  EXPECT_TRUE(r.injected_fault) << "must be distinguishable from a no-match";
+  EXPECT_EQ(space.count(tup("year", 90)), 1u) << "retract leaked";
+  EXPECT_EQ(space.count(tup("found", 90)), 0u) << "assert leaked";
+  EXPECT_EQ(space.size(), 1u);
+}
+
+TEST_P(FaultRetryTest, RetryAfterInjectionAppliesExactlyOnce) {
+  space.insert(tup("c", 0), 0);
+  faults.arm(FaultPoint::EngineCommit, FaultAction::FailCommit, 1000, 3);
+  Transaction t = prep(TxnBuilder()
+                           .exists({"x"})
+                           .match(pat({A("c"), V("x")}), true)
+                           .assert_tuple({lit(Value::atom("c")),
+                                          add(evar("x"), lit(1))}));
+  int attempts = 0;
+  TxnResult r;
+  do {
+    r = engine->execute(t, env, 1);
+    ++attempts;
+    ASSERT_LE(attempts, 10) << "injection budget must exhaust";
+  } while (!r.success && r.injected_fault);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(attempts, 4) << "three injected failures, then the real commit";
+  EXPECT_EQ(space.count(tup("c", 1)), 1u) << "applied exactly once";
+  EXPECT_EQ(space.size(), 1u) << "no double apply, no residue";
+  EXPECT_EQ(faults.fired(FaultPoint::EngineCommit), 3u);
+}
+
+TEST_P(FaultRetryTest, GenuineQueryFailureIsNotInjected) {
+  faults.arm(FaultPoint::EngineCommit, FaultAction::FailCommit, 1000);
+  Transaction t = prep(TxnBuilder().match(pat({A("absent")}), true));
+  const TxnResult r = engine->execute(t, env, 1);
+  EXPECT_FALSE(r.success);
+  EXPECT_FALSE(r.injected_fault)
+      << "a failed query must not be blamed on the injector";
+}
+
+TEST_P(FaultRetryTest, ExecuteBlockingRetriesThroughInjection) {
+  space.insert(tup("item", 7), 0);
+  faults.arm(FaultPoint::EngineCommit, FaultAction::FailCommit, 1000, 2);
+  Transaction t = prep(TxnBuilder(TxnType::Delayed)
+                           .exists({"v"})
+                           .match(pat({A("item"), V("v")}), true)
+                           .assert_tuple({lit(Value::atom("taken")), evar("v")}));
+  const TxnResult r = execute_blocking(*engine, t, env, 1);
+  ASSERT_TRUE(r.success) << "blocking path must absorb transient failures";
+  EXPECT_EQ(space.count(tup("taken", 7)), 1u);
+  EXPECT_EQ(space.size(), 1u);
+}
+
+TEST_P(FaultRetryTest, DelayAtCommitIsHarmless) {
+  space.insert(tup("item", 1), 0);
+  faults.arm(FaultPoint::EngineCommit, FaultAction::Delay, 1000, 5);
+  Transaction t = prep(TxnBuilder()
+                           .exists({"v"})
+                           .match(pat({A("item"), V("v")}), true)
+                           .assert_tuple({lit(Value::atom("out")), evar("v")}));
+  const TxnResult r = engine->execute(t, env, 1);
+  ASSERT_TRUE(r.success);
+  EXPECT_FALSE(r.injected_fault);
+  EXPECT_EQ(space.count(tup("out", 1)), 1u);
+}
+
+TEST_P(FaultRetryTest, DetachedInjectorCostsNothingSemantically) {
+  faults.arm(FaultPoint::EngineCommit, FaultAction::FailCommit, 1000);
+  engine->set_fault_injector(nullptr);
+  Transaction t = prep(TxnBuilder().assert_tuple({lit(Value::atom("ok"))}));
+  const TxnResult r = engine->execute(t, env, 1);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(faults.fired(FaultPoint::EngineCommit), 0u)
+      << "detached injector must never be consulted";
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, FaultRetryTest,
+                         ::testing::Values(Kind::Global, Kind::Sharded),
+                         [](const auto& info) {
+                           return info.param == Kind::Global ? "Global"
+                                                             : "Sharded";
+                         });
+
+}  // namespace
+}  // namespace sdl
