@@ -1,0 +1,58 @@
+#include "check/history.hpp"
+
+#include <algorithm>
+
+namespace sdl {
+
+void HistoryRecorder::reset(const Dataspace& space) {
+  std::scoped_lock lock(mutex_);
+  entries_.clear();
+  initial_.clear();
+  for (const Record& r : space.snapshot()) initial_.push_back(r.id);
+  next_seq_.store(1, std::memory_order_relaxed);
+}
+
+void HistoryRecorder::record_seed(TupleId id) {
+  std::scoped_lock lock(mutex_);
+  initial_.push_back(id);
+}
+
+void HistoryRecorder::record_commit(ProcessId owner,
+                                    std::uint64_t consensus_fire,
+                                    std::vector<TupleId> reads,
+                                    std::vector<TupleId> retracts,
+                                    std::vector<TupleId> asserts,
+                                    std::string label) {
+  HistoryEntry e;
+  e.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  e.owner = owner;
+  e.consensus_fire = consensus_fire;
+  e.reads = std::move(reads);
+  e.retracts = std::move(retracts);
+  e.asserts = std::move(asserts);
+  e.label = std::move(label);
+  std::scoped_lock lock(mutex_);
+  entries_.push_back(std::move(e));
+}
+
+std::vector<HistoryEntry> HistoryRecorder::entries() const {
+  std::vector<HistoryEntry> out;
+  {
+    std::scoped_lock lock(mutex_);
+    out = entries_;
+  }
+  // Append order can differ from sequence order when read-only commits
+  // under shared locks race each other; the witness is the seq order.
+  std::sort(out.begin(), out.end(),
+            [](const HistoryEntry& a, const HistoryEntry& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+std::vector<TupleId> HistoryRecorder::initial() const {
+  std::scoped_lock lock(mutex_);
+  return initial_;
+}
+
+}  // namespace sdl

@@ -1,0 +1,86 @@
+// Commit-history recording for the serializability checker (ISSUE 3).
+//
+// The paper's central guarantee is that every transaction — including an
+// n-way consensus — "appears as a single atomic transformation" of the
+// dataspace. The engines record, for each commit, the tuple *instances*
+// the query bound (reads), the instances erased (retracts) and the
+// instances created (asserts), stamped with a global sequence number
+// assigned WHILE THE COMMIT'S LOCKS ARE HELD. Under correct strict 2PL
+// any two conflicting commits hold a common lock, so the sequence order
+// is a valid serialization witness; the checker (check.hpp) replays it
+// against a single-threaded reference model and flags any step the
+// witness cannot explain.
+//
+// Deliberately independent of the transaction types: the recorder speaks
+// only TupleId/IndexKey, so the engine layer can depend on it without a
+// cycle (sdl_txn links sdl_check).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "space/dataspace.hpp"
+
+namespace sdl {
+
+/// One committed transaction as the checker sees it. Entries created by
+/// the same consensus fire share a nonzero `consensus_fire` ordinal and
+/// are replayed as one atomic composite (they must also be contiguous in
+/// sequence order — the engine commits them under total exclusion).
+struct HistoryEntry {
+  std::uint64_t seq = 0;             // serialization witness position
+  ProcessId owner = 0;
+  std::uint64_t consensus_fire = 0;  // 0 = independent transaction
+  std::vector<TupleId> reads;        // instances the query bound
+  std::vector<TupleId> retracts;     // instances the commit erased
+  std::vector<TupleId> asserts;      // instances the commit created
+  std::string label;                 // diagnostics (rendered transaction)
+};
+
+/// Thread-safe commit log. Enable, reset against the quiescent dataspace,
+/// run, then hand to check_serializability. The sequence counter is
+/// atomic so concurrent read-only commits (which hold only shared locks)
+/// order themselves; their relative order is free precisely because they
+/// do not conflict.
+class HistoryRecorder {
+ public:
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_release); }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_acquire);
+  }
+
+  /// Forgets everything recorded and snapshots `space` as the initial
+  /// state. Call while quiescent (no transactions in flight).
+  void reset(const Dataspace& space);
+
+  /// An environment seed (Runtime::seed) — extends the initial state.
+  void record_seed(TupleId id);
+
+  /// Records one commit. MUST be called with the commit's engine locks
+  /// still held: the sequence number assigned here is the serialization
+  /// witness the checker validates. Id vectors may contain duplicates
+  /// (ForAll matches); the checker dedupes.
+  void record_commit(ProcessId owner, std::uint64_t consensus_fire,
+                     std::vector<TupleId> reads, std::vector<TupleId> retracts,
+                     std::vector<TupleId> asserts, std::string label);
+
+  /// Entries sorted by sequence number.
+  [[nodiscard]] std::vector<HistoryEntry> entries() const;
+  /// Initial-state instance ids (snapshot + seeds).
+  [[nodiscard]] std::vector<TupleId> initial() const;
+  [[nodiscard]] std::uint64_t commits() const {
+    return next_seq_.load(std::memory_order_relaxed) - 1;
+  }
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> next_seq_{1};
+  mutable std::mutex mutex_;  // guards entries_ and initial_
+  std::vector<HistoryEntry> entries_;
+  std::vector<TupleId> initial_;
+};
+
+}  // namespace sdl

@@ -347,6 +347,16 @@ bool ConsensusManager::sweep_once() {
             }
           }
         }
+        // History: every member's entry carries the same nonzero fire
+        // ordinal, and all entries are sequenced here under exclusive() —
+        // the checker replays them as one atomic composite and verifies
+        // they stayed contiguous in the witness order. Per-member retract
+        // sets record the member's *intent*; the composite dedupe is the
+        // checker's to reapply.
+        HistoryRecorder* history = engine_.history();
+        if (history != nullptr && !history->enabled()) history = nullptr;
+        const std::uint64_t fire_id =
+            fires_.load(std::memory_order_relaxed) + 1;
         for (std::size_t pi = 0; pi < plans.size(); ++pi) {
           MemberPlan& plan = plans[pi];
           Process* p = plan.node->p;
@@ -356,6 +366,20 @@ bool ConsensusManager::sweep_once() {
             const IndexKey key = IndexKey::of(t);
             result.asserted.push_back(space.insert(std::move(t), p->pid));
             touched.push_back(key);
+          }
+          if (history != nullptr) {
+            std::vector<TupleId> reads;
+            std::vector<TupleId> member_retracts;
+            for (const QueryMatch& m : plan.outcome.matches) {
+              reads.insert(reads.end(), m.reads.begin(), m.reads.end());
+              for (const auto& [key, id] : m.retract) {
+                (void)key;
+                member_retracts.push_back(id);
+              }
+            }
+            history->record_commit(p->pid, fire_id, std::move(reads),
+                                   std::move(member_retracts), result.asserted,
+                                   plan.txn->to_string());
           }
           result.matches = std::move(plan.outcome.matches);
 

@@ -39,6 +39,25 @@ void Runtime::disable_faults() {
   faults_.reset();
 }
 
+HistoryRecorder& Runtime::enable_history() {
+  if (!history_) history_ = std::make_unique<HistoryRecorder>();
+  history_->reset(space_);
+  history_->set_enabled(true);
+  engine_->set_history(history_.get());
+  return *history_;
+}
+
+void Runtime::disable_history() {
+  if (!history_) return;
+  engine_->set_history(nullptr);
+  history_.reset();
+}
+
+CheckReport Runtime::check_history() const {
+  if (!history_) return {};
+  return check_serializability(*history_, space_);
+}
+
 TupleId Runtime::seed(Tuple t) {
   TupleId id;
   const IndexKey key = IndexKey::of(t);
@@ -46,6 +65,7 @@ TupleId Runtime::seed(Tuple t) {
     id = space_.insert(std::move(t), kEnvironmentProcess);
     return {key};
   });
+  if (history_ && history_->enabled()) history_->record_seed(id);
   if (trace_.enabled()) trace_.record(TraceKind::SeedTuple, 0, "");
   return id;
 }

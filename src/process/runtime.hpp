@@ -16,6 +16,7 @@
 
 #include <memory>
 
+#include "check/check.hpp"
 #include "consensus/consensus.hpp"
 #include "process/scheduler.hpp"
 
@@ -68,6 +69,18 @@ class Runtime {
   /// Null when faults are disabled.
   [[nodiscard]] FaultInjector* faults() { return faults_.get(); }
 
+  /// Starts commit-history recording for the serializability checker: the
+  /// recorder snapshots the current dataspace as the initial state and
+  /// every subsequent commit (engine and consensus) is logged with its
+  /// read/retract/assert instance sets. Call while quiescent.
+  HistoryRecorder& enable_history();
+  void disable_history();
+  /// Null when history recording is disabled.
+  [[nodiscard]] HistoryRecorder* history() { return history_.get(); }
+  /// Replays the recorded history against the reference model and the
+  /// current dataspace. Call while quiescent (after run()).
+  [[nodiscard]] CheckReport check_history() const;
+
   /// Executes one transaction on behalf of the environment (blocking for
   /// delayed transactions) — the host-program escape hatch.
   TxnResult execute(const Transaction& txn, Env& env,
@@ -111,6 +124,7 @@ class Runtime {
   std::unique_ptr<Scheduler> scheduler_;
   std::unique_ptr<ConsensusManager> consensus_;
   std::unique_ptr<FaultInjector> faults_;
+  std::unique_ptr<HistoryRecorder> history_;
 };
 
 }  // namespace sdl

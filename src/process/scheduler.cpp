@@ -65,6 +65,14 @@ bool interest_overlaps(const WaitSet::Interest& in,
 
 Scheduler::Scheduler(Engine& engine, SchedulerOptions opts)
     : engine_(engine), options_(opts) {
+  if (deterministic()) {
+    // Single coordinator, one interpreter step per decision point, and a
+    // machine-independent replication width — the whole point is that the
+    // same seed replays the same schedule anywhere.
+    options_.workers = 1;
+    options_.quantum = 1;
+    if (options_.replication_width == 0) options_.replication_width = 4;
+  }
   if (options_.workers == 0) {
     const unsigned hw = std::thread::hardware_concurrency();
     options_.workers = hw >= 2 ? hw : 2;
@@ -316,8 +324,7 @@ bool Scheduler::finalize_park(Process& p, ParkReason reason) {
     }
     if (timeout_ms > 0) {
       p.has_deadline = true;
-      p.deadline = std::chrono::steady_clock::now() +
-                   std::chrono::milliseconds(timeout_ms);
+      p.deadline = park_clock_now() + std::chrono::milliseconds(timeout_ms);
       deadlines_armed_.fetch_add(1, std::memory_order_release);
       armed = true;
     }
@@ -452,13 +459,16 @@ void Scheduler::watchdog_loop(const std::stop_token& st) {
                           [] { return false; });
     if (st.stop_requested()) break;
     lock.unlock();
-    expire_deadlines();
+    expire_deadlines(std::chrono::steady_clock::now());
     lock.lock();
   }
 }
 
-void Scheduler::expire_deadlines() {
-  const auto now = std::chrono::steady_clock::now();
+std::chrono::steady_clock::time_point Scheduler::park_clock_now() const {
+  return deterministic() ? det_now_ : std::chrono::steady_clock::now();
+}
+
+void Scheduler::expire_deadlines(std::chrono::steady_clock::time_point now) {
   std::vector<ProcessId> expired;
   {
     std::scoped_lock society_lock(society_mutex_);
@@ -485,6 +495,9 @@ void Scheduler::expire_deadlines() {
       expired.push_back(pid);
     }
   }
+  // Society iteration order is a hash-map accident; the enqueue order must
+  // not be (it is part of the deterministic-mode schedule).
+  std::sort(expired.begin(), expired.end());
   for (ProcessId pid : expired) {
     if (trace_ != nullptr && trace_->enabled()) {
       trace_->record(TraceKind::Wake, pid, "deadline");
@@ -595,6 +608,7 @@ std::string Scheduler::explain_park(const Process& p) {
 // --------------------------------------------------------------------- run
 
 RunReport Scheduler::run() {
+  if (deterministic()) return run_deterministic();
   const std::uint64_t completed_before = completed_.load(std::memory_order_relaxed);
   {
     std::scoped_lock lock(queue_mutex_);
@@ -626,7 +640,108 @@ RunReport Scheduler::run() {
   watchdog_.request_stop();
   watchdog_cv_.notify_all();
   watchdog_ = std::jthread();  // joins
+  return build_report(completed_before);
+}
 
+RunReport Scheduler::run_deterministic() {
+  const std::uint64_t completed_before =
+      completed_.load(std::memory_order_relaxed);
+  {
+    std::scoped_lock lock(queue_mutex_);
+    stop_ = false;
+    running_ = true;
+  }
+  det_now_ = std::chrono::steady_clock::time_point{};  // virtual epoch
+
+  sim::SeededDecisionSource seeded(
+      static_cast<std::uint64_t>(options_.deterministic_seed));
+  sim::DecisionSource* source =
+      decision_source_ != nullptr ? decision_source_ : &seeded;
+
+  for (;;) {
+    std::vector<ProcessId> candidates;
+    {
+      std::scoped_lock lock(queue_mutex_);
+      candidates.assign(ready_.begin(), ready_.end());
+    }
+    if (candidates.empty()) {
+      // Nothing runnable. A parked consensus set may be fireable now —
+      // the threaded mode's work_finished() does the same at idle.
+      notify_consensus();
+      {
+        std::scoped_lock lock(queue_mutex_);
+        if (!ready_.empty()) continue;
+      }
+      if (deadlines_armed_.load(std::memory_order_acquire) > 0 &&
+          det_advance_clock()) {
+        continue;
+      }
+      break;  // quiescent
+    }
+
+    std::size_t choice = source->pick(candidates);
+    if (choice >= candidates.size()) choice = candidates.size() - 1;
+    const ProcessId pid = candidates[choice];
+    {
+      std::scoped_lock lock(queue_mutex_);
+      auto it = std::find(ready_.begin(), ready_.end(), pid);
+      assert(it != ready_.end());  // single-threaded: the snapshot is live
+      ready_.erase(it);
+    }
+
+    // Opaque-step detection: anything the bucket footprint cannot express
+    // (spawn, termination, kill, timeout, consensus fire) shows up in the
+    // counters and makes the step dependent with every other.
+    const std::uint64_t spawned0 = spawned_.load(std::memory_order_relaxed);
+    const std::uint64_t completed0 = completed_.load(std::memory_order_relaxed);
+    const std::uint64_t killed0 = killed_total_.load(std::memory_order_relaxed);
+    const std::uint64_t timeouts0 =
+        timeouts_total_.load(std::memory_order_relaxed);
+    const std::uint64_t fires0 = consensus_ != nullptr ? consensus_->fires() : 0;
+
+    sim_step_ = sim::SimStep{};
+    sim_step_.pid = pid;
+    sim_recording_ = true;
+    dispatch_one(pid);
+    sim_recording_ = false;
+    sim_step_.opaque =
+        spawned_.load(std::memory_order_relaxed) != spawned0 ||
+        completed_.load(std::memory_order_relaxed) != completed0 ||
+        killed_total_.load(std::memory_order_relaxed) != killed0 ||
+        timeouts_total_.load(std::memory_order_relaxed) != timeouts0 ||
+        (consensus_ != nullptr && consensus_->fires() != fires0);
+    source->observe(sim_step_);
+  }
+
+  {
+    std::scoped_lock lock(queue_mutex_);
+    stop_ = true;
+    running_ = false;
+  }
+  return build_report(completed_before);
+}
+
+bool Scheduler::det_advance_clock() {
+  std::chrono::steady_clock::time_point earliest{};
+  bool found = false;
+  {
+    std::scoped_lock society_lock(society_mutex_);
+    for (auto& [pid, p] : society_) {
+      std::scoped_lock state_lock(p->state_mutex);
+      if (p->state != RunState::Parked || !p->has_deadline) continue;
+      if (!found || p->deadline < earliest) {
+        earliest = p->deadline;
+        found = true;
+      }
+    }
+  }
+  if (!found) return false;
+  if (earliest > det_now_) det_now_ = earliest;
+  expire_deadlines(det_now_);
+  return true;
+}
+
+RunReport Scheduler::build_report(std::uint64_t completed_before) {
   RunReport report;
   report.completed = static_cast<std::size_t>(
       completed_.load(std::memory_order_relaxed) - completed_before);
@@ -681,94 +796,97 @@ void Scheduler::worker_loop() {
       pid = ready_.front();
       ready_.pop_front();
     }
+    dispatch_one(pid);
+  }
+}
 
-    Process* p = begin_running(pid);
-    if (p == nullptr) {
-      work_finished();
-      continue;
-    }
+void Scheduler::dispatch_one(ProcessId pid) {
+  Process* p = begin_running(pid);
+  if (p == nullptr) {
+    work_finished();
+    return;
+  }
 
-    // Teardown requests beat interpretation: a kill or an expired park
-    // deadline retires the process on the worker that owns it.
-    if (p->pending_kill.load(std::memory_order_acquire)) {
-      retire(*p, RetireKind::Killed, p->label() + " killed");
-      work_finished();
-      continue;
-    }
-    if (p->timed_out.exchange(false, std::memory_order_acq_rel)) {
-      retire(*p, RetireKind::TimedOut, std::move(p->timeout_note));
-      work_finished();
-      continue;
-    }
+  // Teardown requests beat interpretation: a kill or an expired park
+  // deadline retires the process on the worker that owns it.
+  if (p->pending_kill.load(std::memory_order_acquire)) {
+    retire(*p, RetireKind::Killed, p->label() + " killed");
+    work_finished();
+    return;
+  }
+  if (p->timed_out.exchange(false, std::memory_order_acq_rel)) {
+    retire(*p, RetireKind::TimedOut, std::move(p->timeout_note));
+    work_finished();
+    return;
+  }
 
-    if (faults_ != nullptr) {
-      switch (faults_->decide(FaultPoint::SchedulerDispatch)) {
-        case FaultAction::Delay:
-          // Stall the dispatch: the process is Running but not stepping,
-          // so wakes aimed at it must buffer via pending_wake.
-          faults_->delay();
-          break;
-        case FaultAction::SpuriousWake:
-          wake_one_parked(pid);
-          break;
-        case FaultAction::Kill:
-          retire(*p, RetireKind::Killed,
-                 p->label() + " killed (fault injection)");
-          work_finished();
-          continue;
-        default:
-          break;
-      }
-    }
-
-    StepOutcome outcome;
-    try {
-      outcome = run_process(*p);
-    } catch (const std::exception& e) {
-      // Crash-safe teardown: same path as kill(), so the exception cannot
-      // leak the WaitSet subscription, wedge a consensus set on stale
-      // offers, or strand a replication group.
-      retire(*p, RetireKind::Errored, p->label() + ": " + e.what());
-      work_finished();
-      continue;
-    }
-
-    // A kill that arrived during the quantum retires the process here
-    // instead of letting it re-park or requeue.
-    if (outcome != StepOutcome::Done &&
-        p->pending_kill.load(std::memory_order_acquire)) {
-      retire(*p, RetireKind::Killed, p->label() + " killed");
-      work_finished();
-      continue;
-    }
-
-    switch (outcome) {
-      case StepOutcome::Continue:  // run_process never returns Continue
-      case StepOutcome::Yield:
-        {
-          std::scoped_lock state_lock(p->state_mutex);
-          p->state = RunState::Ready;
-        }
-        requeue(pid);
+  if (faults_ != nullptr) {
+    switch (faults_->decide(FaultPoint::SchedulerDispatch)) {
+      case FaultAction::Delay:
+        // Stall the dispatch: the process is Running but not stepping,
+        // so wakes aimed at it must buffer via pending_wake.
+        faults_->delay();
         break;
-      case StepOutcome::Parked:
-        // The interpreter stored the reason in p->park_reason before
-        // returning; finalize_park re-checks pending wakes.
-        if (finalize_park(*p, p->park_reason)) {
-          if (trace_ != nullptr && trace_->enabled()) {
-            trace_->record(TraceKind::Park, pid, p->def.name);
-          }
-          notify_consensus();
-          work_finished();
-        } else {
-          requeue(pid);
-        }
+      case FaultAction::SpuriousWake:
+        wake_one_parked(pid);
         break;
-      case StepOutcome::Done:
-        complete(*p);
+      case FaultAction::Kill:
+        retire(*p, RetireKind::Killed,
+               p->label() + " killed (fault injection)");
         work_finished();
+        return;
+      default:
         break;
     }
+  }
+
+  StepOutcome outcome;
+  try {
+    outcome = run_process(*p);
+  } catch (const std::exception& e) {
+    // Crash-safe teardown: same path as kill(), so the exception cannot
+    // leak the WaitSet subscription, wedge a consensus set on stale
+    // offers, or strand a replication group.
+    retire(*p, RetireKind::Errored, p->label() + ": " + e.what());
+    work_finished();
+    return;
+  }
+
+  // A kill that arrived during the quantum retires the process here
+  // instead of letting it re-park or requeue.
+  if (outcome != StepOutcome::Done &&
+      p->pending_kill.load(std::memory_order_acquire)) {
+    retire(*p, RetireKind::Killed, p->label() + " killed");
+    work_finished();
+    return;
+  }
+
+  switch (outcome) {
+    case StepOutcome::Continue:  // run_process never returns Continue
+    case StepOutcome::Yield:
+      {
+        std::scoped_lock state_lock(p->state_mutex);
+        p->state = RunState::Ready;
+      }
+      requeue(pid);
+      break;
+    case StepOutcome::Parked:
+      // The interpreter stored the reason in p->park_reason before
+      // returning; finalize_park re-checks pending wakes.
+      if (finalize_park(*p, p->park_reason)) {
+        if (trace_ != nullptr && trace_->enabled()) {
+          trace_->record(TraceKind::Park, pid, p->def.name);
+        }
+        notify_consensus();
+        work_finished();
+      } else {
+        requeue(pid);
+      }
+      break;
+    case StepOutcome::Done:
+      complete(*p);
+      work_finished();
+      break;
   }
 }
 
@@ -830,7 +948,29 @@ Scheduler::StepOutcome Scheduler::run_process(Process& p) {
   return StepOutcome::Yield;
 }
 
+void Scheduler::sim_note_txn(const Transaction& txn, Env& env) {
+  if (!sim_recording_) return;
+  txn.query.clear_locals(env);
+  const bool effectful = !txn.is_read_only();
+  for (const KeySpec& spec : txn.query.read_set(env, engine_.functions())) {
+    if (spec.kind == KeySpec::Kind::Arity) {
+      sim_step_.reads_all = true;
+      // An effectful transaction may retract from any bucket it matches.
+      if (effectful) sim_step_.writes_all = true;
+    } else {
+      sim_step_.reads.push_back(spec.key);
+      if (effectful) sim_step_.writes.push_back(spec.key);
+    }
+  }
+  if (effectful) {
+    const Transaction::WriteSet ws = txn.write_set(env, engine_.functions());
+    if (ws.unknown) sim_step_.writes_all = true;
+    for (const IndexKey& k : ws.exact) sim_step_.writes.push_back(k);
+  }
+}
+
 TxnResult Scheduler::execute_engine(Process& p, const Transaction& txn) {
+  sim_note_txn(txn, p.env);
   TxnResult r = engine_.execute(txn, p.env, p.pid, p.view_ptr());
   // An injected transient commit failure means the query succeeded but no
   // effects were applied — so no publish is coming and parking would hang
@@ -947,6 +1087,7 @@ Scheduler::StepOutcome Scheduler::do_transaction(Process& p,
       // skip the probe: their execute() is already the shared-lock path.
       const bool recheck = p.ticket != WaitSet::kInvalidTicket;
       ensure_subscription(p, engine_.interest_of(txn, p.env));
+      sim_note_txn(txn, p.env);
       if (recheck && !txn.is_read_only() &&
           !engine_.probe(txn, p.env, p.view_ptr())) {
         p.park_reason = ParkReason::DelayedTxn;
@@ -983,6 +1124,7 @@ Scheduler::StepOutcome Scheduler::do_transaction(Process& p,
         return StepOutcome::Continue;
       }
       ensure_subscription(p, engine_.interest_of(txn, p.env));
+      sim_note_txn(txn, p.env);
       p.offers = {ConsensusOffer{&txn, -1}};
       p.park_reason = ParkReason::Consensus;
       p.park_timeout_ms = txn.timeout_ms;
@@ -1068,6 +1210,7 @@ Scheduler::StepOutcome Scheduler::do_selection(Process& p, Frame& f) {
   p.offers.clear();
   for (std::size_t i = 0; i < branches.size(); ++i) {
     if (branches[i].guard.type == TxnType::Consensus) {
+      sim_note_txn(branches[i].guard, p.env);
       p.offers.push_back(ConsensusOffer{&branches[i].guard, static_cast<int>(i)});
     }
   }
@@ -1157,6 +1300,7 @@ int Scheduler::try_guards(Process& p, const std::vector<Branch>& branches,
     // Read-only guards go straight to execute — it is already the
     // shared-lock path.
     const Transaction& guard = branches[i].guard;
+    sim_note_txn(guard, p.env);
     if (!guard.is_read_only() && !engine_.probe(guard, p.env, p.view_ptr())) {
       continue;
     }
@@ -1207,6 +1351,9 @@ Scheduler::StepOutcome Scheduler::do_sweep(Process& p, Frame& f) {
   // >= because an abnormal teardown may shrink width below the parked
   // count while a sweep is in flight.
   if (parked_now >= group->width.load(std::memory_order_acquire)) {
+    // The termination check reads under total exclusion — for the
+    // explorer's dependence relation that is a read of everything.
+    if (sim_recording_) sim_step_.reads_all = true;
     bool enabled = false;
     engine_.exclusive([&]() -> std::vector<IndexKey> {
       for (const Branch& b : branches) {

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "process/process.hpp"
+#include "sim/decision.hpp"
 #include "trace/trace.hpp"
 
 namespace sdl {
@@ -56,6 +57,17 @@ struct SchedulerOptions {
   /// Base backoff between those retries, in µs, doubled per attempt and
   /// jittered by the injector so contending retriers desynchronize.
   std::int64_t commit_backoff_us = 20;
+  /// >= 0 switches run() to deterministic simulation mode: no worker
+  /// threads, no watchdog — a single coordinator picks the next ready
+  /// process from a SplitMix64 walk seeded here (or from an explicit
+  /// DecisionSource) at every dispatch point, and park deadlines expire on
+  /// a virtual clock that jumps to the earliest armed deadline whenever
+  /// the ready queue drains. Same seed ⇒ bit-identical schedule and trace
+  /// event sequence. Forces workers=1 and quantum=1 (every interpreter
+  /// step is a separate decision point) and defaults replication_width to
+  /// 4 instead of the machine's core count, so schedules replay across
+  /// machines. -1 (default) = normal threaded execution.
+  std::int64_t deterministic_seed = -1;
 };
 
 /// What run() reports when the society goes quiescent.
@@ -103,6 +115,14 @@ class Scheduler {
   /// Arms the SchedulerDispatch injection point and the jittered backoff
   /// source for transient-commit retries (null disables).
   void set_fault_injector(FaultInjector* f) { faults_ = f; }
+
+  /// Deterministic mode only: overrides the seeded random walk with an
+  /// explicit schedule chooser (the explorer's recording/replaying
+  /// sources). Null reverts to the seed. Set between runs, never during.
+  void set_decision_source(sim::DecisionSource* src) { decision_source_ = src; }
+  [[nodiscard]] bool deterministic() const {
+    return options_.deterministic_seed >= 0;
+  }
 
   /// Registers a process definition (takes ownership; finalizes if the
   /// caller has not).
@@ -195,6 +215,23 @@ class Scheduler {
 
   // --- scheduling plumbing ---
   void worker_loop();
+  /// One full dispatch of `pid`: teardown checks, fault injection, a
+  /// quantum of interpretation, and the outcome transition. The body of
+  /// worker_loop's iteration, shared with the deterministic coordinator.
+  void dispatch_one(ProcessId pid);
+  /// The deterministic-mode run(): single-threaded coordinator loop.
+  RunReport run_deterministic();
+  /// Report assembly shared by run() and run_deterministic(); call only
+  /// when no worker owns a process (states stable).
+  RunReport build_report(std::uint64_t completed_before);
+  /// Deterministic mode: advance the virtual clock to the earliest armed
+  /// park deadline and expire it. Returns false when nothing was armed.
+  bool det_advance_clock();
+  /// steady_clock::now(), or the virtual clock in deterministic mode.
+  [[nodiscard]] std::chrono::steady_clock::time_point park_clock_now() const;
+  /// Deterministic mode: fold a transaction's bucket footprint into the
+  /// step the DecisionSource will observe. No-op while not recording.
+  void sim_note_txn(const Transaction& txn, Env& env);
   Process* begin_running(ProcessId pid);
   /// Returns false when a pending wake converted the park into Ready (the
   /// caller then requeues instead).
@@ -221,8 +258,9 @@ class Scheduler {
   /// Watchdog body: scans for expired park deadlines every tick while any
   /// are armed; expired parkers are woken with `timed_out` set.
   void watchdog_loop(const std::stop_token& st);
-  /// One scan; wakes every parked process whose deadline passed.
-  void expire_deadlines();
+  /// One scan; wakes every parked process whose deadline passed `now`
+  /// (wall time from the watchdog, virtual time in deterministic mode).
+  void expire_deadlines(std::chrono::steady_clock::time_point now);
 
   // --- diagnosis ---
   /// Wait-for explanation for a parked process: the blocking query, the
@@ -273,6 +311,14 @@ class Scheduler {
   std::mutex watchdog_mutex_;
   std::condition_variable_any watchdog_cv_;
   std::atomic<int> deadlines_armed_{0};
+
+  // Deterministic mode. The virtual clock starts at the epoch and only
+  // moves forward when the coordinator has nothing runnable; the step
+  // under construction is coordinator-thread-only state.
+  sim::DecisionSource* decision_source_ = nullptr;
+  std::chrono::steady_clock::time_point det_now_{};
+  sim::SimStep sim_step_;
+  bool sim_recording_ = false;
 };
 
 }  // namespace sdl

@@ -161,7 +161,9 @@ QueryMatch make_match(const std::vector<TuplePattern>& patterns,
   QueryMatch m;
   m.binding = env;
   for (std::size_t i = 0; i < patterns.size(); ++i) {
-    if (patterns[i].retract_tagged() && chosen[i] != nullptr) {
+    if (chosen[i] == nullptr) continue;
+    m.reads.push_back(chosen[i]->id);
+    if (patterns[i].retract_tagged()) {
       m.retract.emplace_back(IndexKey::of(chosen[i]->tuple), chosen[i]->id);
     }
   }

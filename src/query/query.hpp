@@ -75,6 +75,9 @@ enum class Quantifier { Exists, ForAll };
 struct QueryMatch {
   Env binding;
   std::vector<std::pair<IndexKey, TupleId>> retract;
+  /// Every instance the match bound (retract-tagged or not) — the read
+  /// set the serializability checker validates a commit against.
+  std::vector<TupleId> reads;
 };
 
 /// Result of evaluating a query. For Exists: success implies exactly one

@@ -1,0 +1,157 @@
+// Deterministic-simulation decision sources (ISSUE 3 tentpole).
+//
+// In deterministic mode the scheduler runs every process on one
+// coordinator thread and, at each dispatch point, asks a DecisionSource
+// which ready process goes next. The source sees the candidate list and,
+// after the step, its index-bucket footprint — enough for a replay source
+// to re-drive an exact schedule and for the explorer (sim/explore) to
+// prune interleavings whose adjacent steps commute (DPOR-lite).
+//
+// This header is dependency-light on purpose: the scheduler includes it,
+// and the explorer library (sdl_sim) links the scheduler — keeping the
+// interface here avoids a cycle between the two.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "space/dataspace.hpp"
+
+namespace sdl::sim {
+
+/// splitmix64. Used instead of <random> engines + distributions because
+/// the schedule must be bit-identical across standard libraries and
+/// platforms for the same seed — std distributions make no such promise.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Index-bucket footprint of one dispatched step, over-approximated: every
+/// bucket a transaction may read is in `reads` (arity-wide patterns widen
+/// to `reads_all`), and for effectful transactions the read buckets are
+/// also counted as writes (retract targets come from matched buckets).
+/// `opaque` marks steps with scheduler-level side effects the buckets
+/// cannot express (spawn, terminate, kill, timeout, consensus fire) —
+/// they are treated as dependent with everything.
+struct SimStep {
+  ProcessId pid = 0;
+  std::vector<IndexKey> reads;
+  std::vector<IndexKey> writes;
+  bool reads_all = false;
+  bool writes_all = false;
+  bool opaque = false;
+
+  [[nodiscard]] bool touches_anything() const {
+    return reads_all || writes_all || !reads.empty() || !writes.empty();
+  }
+
+  /// Conservative dependence: true unless the two steps provably commute.
+  [[nodiscard]] bool dependent(const SimStep& other) const {
+    if (pid == other.pid) return true;
+    if (opaque || other.opaque) return true;
+    auto overlap = [](const std::vector<IndexKey>& a,
+                      const std::vector<IndexKey>& b) {
+      for (const IndexKey& x : a) {
+        for (const IndexKey& y : b) {
+          if (x == y) return true;
+        }
+      }
+      return false;
+    };
+    // writes × (reads ∪ writes), both directions; *_all widens.
+    if ((writes_all && other.touches_anything()) ||
+        (other.writes_all && touches_anything())) {
+      return true;
+    }
+    if ((reads_all && (other.writes_all || !other.writes.empty())) ||
+        (other.reads_all && (writes_all || !writes.empty()))) {
+      return true;
+    }
+    return overlap(writes, other.writes) || overlap(writes, other.reads) ||
+           overlap(reads, other.writes);
+  }
+};
+
+/// Chooses the next ready process at each dispatch point of a
+/// deterministic run. `pick` returns an index into `ready` (out-of-range
+/// values are clamped by the scheduler); `observe` is called after the
+/// chosen process's step with its footprint.
+class DecisionSource {
+ public:
+  virtual ~DecisionSource() = default;
+  virtual std::size_t pick(const std::vector<ProcessId>& ready) = 0;
+  virtual void observe(const SimStep& step) { (void)step; }
+};
+
+/// The seeded random walk (SchedulerOptions::deterministic_seed).
+class SeededDecisionSource final : public DecisionSource {
+ public:
+  explicit SeededDecisionSource(std::uint64_t seed) : rng_(seed) {}
+  std::size_t pick(const std::vector<ProcessId>& ready) override {
+    return static_cast<std::size_t>(rng_.next() % ready.size());
+  }
+
+ private:
+  SplitMix64 rng_;
+};
+
+/// Replays a fixed choice prefix, then falls through to `fallback` (or
+/// index 0 when none), recording every decision point: the candidates,
+/// the choice taken, and the step's footprint. The explorer DFS feeds the
+/// log back as longer prefixes; the seed-sweep minimizer truncates it.
+class RecordingDecisionSource final : public DecisionSource {
+ public:
+  struct Decision {
+    std::vector<ProcessId> ready;
+    std::uint32_t chosen = 0;
+    SimStep step;
+  };
+
+  explicit RecordingDecisionSource(std::vector<std::uint32_t> prefix = {},
+                                   DecisionSource* fallback = nullptr)
+      : prefix_(std::move(prefix)), fallback_(fallback) {}
+
+  std::size_t pick(const std::vector<ProcessId>& ready) override {
+    std::size_t choice = 0;
+    if (log_.size() < prefix_.size()) {
+      choice = prefix_[log_.size()];
+    } else if (fallback_ != nullptr) {
+      choice = fallback_->pick(ready);
+    }
+    if (choice >= ready.size()) choice = ready.size() - 1;
+    Decision d;
+    d.ready = ready;
+    d.chosen = static_cast<std::uint32_t>(choice);
+    log_.push_back(std::move(d));
+    return choice;
+  }
+
+  void observe(const SimStep& step) override {
+    if (!log_.empty()) log_.back().step = step;
+  }
+
+  [[nodiscard]] const std::vector<Decision>& log() const { return log_; }
+  [[nodiscard]] std::vector<std::uint32_t> choices() const {
+    std::vector<std::uint32_t> out;
+    out.reserve(log_.size());
+    for (const Decision& d : log_) out.push_back(d.chosen);
+    return out;
+  }
+
+ private:
+  std::vector<std::uint32_t> prefix_;
+  DecisionSource* fallback_;
+  std::vector<Decision> log_;
+};
+
+}  // namespace sdl::sim

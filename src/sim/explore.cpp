@@ -1,0 +1,218 @@
+#include "sim/explore.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace sdl::sim {
+
+namespace {
+
+struct Verdict {
+  bool failed = false;
+  std::string reason;
+};
+
+Verdict judge(Runtime& rt, const RunReport& report, bool check_ser,
+              const CheckFn& check) {
+  if (!report.errors.empty()) {
+    return {true, "process error: " + report.errors.front()};
+  }
+  if (check_ser) {
+    const CheckReport cr = rt.check_history();
+    if (!cr.ok()) return {true, "serializability: " + cr.to_string()};
+  }
+  if (check) {
+    std::string msg = check(rt, report);
+    if (!msg.empty()) return {true, std::move(msg)};
+  }
+  return {};
+}
+
+/// One forced-prefix run; returns the verdict and fills `src`'s log.
+Verdict run_once(const BuildFn& build, std::int64_t seed,
+                 RecordingDecisionSource& src, bool check_ser,
+                 const CheckFn& check) {
+  std::unique_ptr<Runtime> rt = build(seed);
+  rt->scheduler().set_decision_source(&src);
+  const RunReport report = rt->run();
+  return judge(*rt, report, check_ser, check);
+}
+
+std::string render_choices(const std::vector<std::uint32_t>& choices) {
+  std::string out;
+  for (std::size_t i = 0; i < choices.size(); ++i) {
+    if (i > 0) out += " ";
+    out += std::to_string(choices[i]);
+  }
+  return out;
+}
+
+/// FNV-1a over the dispatch sequence — two runs with the same hash made
+/// the same choices over the same candidates.
+std::uint64_t trace_hash(const std::vector<RecordingDecisionSource::Decision>& log) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  };
+  for (const auto& d : log) {
+    mix(d.ready.size());
+    mix(d.chosen);
+    mix(d.step.pid);
+  }
+  return h;
+}
+
+}  // namespace
+
+SweepResult sweep_seeds(const BuildFn& build, SweepOptions opts,
+                        const CheckFn& check) {
+  SweepResult result;
+  std::unordered_set<std::uint64_t> hashes;
+
+  for (std::size_t i = 0; i < opts.seeds; ++i) {
+    const std::int64_t seed =
+        static_cast<std::int64_t>(opts.first_seed + i);
+    SeededDecisionSource walk(static_cast<std::uint64_t>(seed));
+    RecordingDecisionSource src({}, &walk);
+    const Verdict v =
+        run_once(build, seed, src, opts.check_serializability, check);
+    ++result.runs;
+    hashes.insert(trace_hash(src.log()));
+    if (!v.failed) continue;
+
+    ++result.failures;
+    if (result.first_failing_seed >= 0) continue;  // keep counting, once diagnosed
+    result.first_failing_seed = seed;
+    std::vector<std::uint32_t> choices = src.choices();
+
+    if (opts.minimize) {
+      // Shrink to the shortest forced prefix (default continuation: first
+      // ready process) that still fails. The failure is deterministic, so
+      // a binary search over the prefix length is sound whenever failure
+      // is monotone in the prefix; the final verify guards the cases
+      // where it is not.
+      auto fails_at = [&](std::size_t len) {
+        std::vector<std::uint32_t> prefix(choices.begin(),
+                                          choices.begin() +
+                                              static_cast<std::ptrdiff_t>(len));
+        RecordingDecisionSource replay(std::move(prefix), nullptr);
+        return run_once(build, seed, replay, opts.check_serializability, check)
+            .failed;
+      };
+      std::size_t lo = 0;
+      std::size_t hi = choices.size();
+      if (fails_at(0)) {
+        hi = 0;
+      } else {
+        while (lo + 1 < hi) {
+          const std::size_t mid = lo + (hi - lo) / 2;
+          if (fails_at(mid)) {
+            hi = mid;
+          } else {
+            lo = mid;
+          }
+        }
+      }
+      if (hi < choices.size() && !fails_at(hi)) {
+        hi = choices.size();  // non-monotone failure: keep the full trace
+      }
+      choices.resize(hi);
+    }
+    result.minimized_choices = choices;
+    result.first_failure =
+        "deterministic seed " + std::to_string(seed) + ": " + v.reason +
+        "\n  reproduce with SchedulerOptions::deterministic_seed = " +
+        std::to_string(seed) + "\n  minimized schedule (" +
+        std::to_string(choices.size()) +
+        " forced decisions): " + render_choices(choices);
+  }
+  result.distinct_traces = hashes.size();
+  return result;
+}
+
+ReplayResult replay_trace(const BuildFn& build,
+                          const std::vector<std::uint32_t>& choices,
+                          std::int64_t seed) {
+  ReplayResult out;
+  RecordingDecisionSource src(choices, nullptr);
+  std::unique_ptr<Runtime> rt = build(seed);
+  rt->scheduler().set_decision_source(&src);
+  out.report = rt->run();
+  out.check = rt->check_history();
+  out.choices = src.choices();
+  return out;
+}
+
+namespace {
+
+/// DPOR-lite: choosing candidate `alt` at decision `i` (instead of where
+/// its process actually ran next, at `j`) yields an equivalent execution
+/// when step `j` commutes with every step in [i, j). If the process never
+/// ran again, nothing is known — explore it.
+bool can_prune(const std::vector<RecordingDecisionSource::Decision>& log,
+               std::size_t i, std::uint32_t alt) {
+  const ProcessId q = log[i].ready[alt];
+  for (std::size_t j = i + 1; j < log.size(); ++j) {
+    if (log[j].step.pid != q) continue;
+    for (std::size_t k = i; k < j; ++k) {
+      if (log[k].step.dependent(log[j].step)) return false;
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ExploreResult explore_schedules(const BuildFn& build, ExploreOptions opts,
+                                const CheckFn& check) {
+  ExploreResult result;
+  std::vector<std::vector<std::uint32_t>> frontier;
+  frontier.push_back({});
+
+  while (!frontier.empty()) {
+    if (result.schedules_run >= opts.max_schedules) return result;
+    const std::vector<std::uint32_t> prefix = std::move(frontier.back());
+    frontier.pop_back();
+
+    RecordingDecisionSource src(prefix, nullptr);
+    const Verdict v =
+        run_once(build, 0, src, opts.check_serializability, check);
+    ++result.schedules_run;
+    if (v.failed) {
+      ++result.failures;
+      if (result.first_failure.empty()) {
+        result.first_failure =
+            v.reason + "\n  schedule: " + render_choices(src.choices());
+        result.failing_choices = src.choices();
+      }
+    }
+
+    // Branch only past the forced prefix: alternatives at earlier
+    // decisions were enqueued when their own prefix was generated, so
+    // every prefix is explored exactly once.
+    const auto& log = src.log();
+    const std::size_t first_free = prefix.size();
+    for (std::size_t i = log.size(); i-- > first_free;) {
+      if (i >= opts.max_depth) continue;
+      for (std::uint32_t a = 0;
+           a < static_cast<std::uint32_t>(log[i].ready.size()); ++a) {
+        if (a == log[i].chosen) continue;
+        if (opts.prune_commuting && can_prune(log, i, a)) {
+          ++result.schedules_pruned;
+          continue;
+        }
+        std::vector<std::uint32_t> next;
+        next.reserve(i + 1);
+        for (std::size_t k = 0; k < i; ++k) next.push_back(log[k].chosen);
+        next.push_back(a);
+        frontier.push_back(std::move(next));
+      }
+    }
+  }
+  result.exhausted = true;
+  return result;
+}
+
+}  // namespace sdl::sim

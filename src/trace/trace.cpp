@@ -23,7 +23,7 @@ TraceRecorder::TraceRecorder(std::size_t capacity)
 }
 
 void TraceRecorder::record(TraceKind kind, ProcessId pid, std::string detail) {
-  if (!enabled_) return;
+  if (!enabled()) return;
   std::scoped_lock lock(mutex_);
   TraceEvent ev{next_, kind, pid, std::move(detail)};
   if (ring_.size() < capacity_) {

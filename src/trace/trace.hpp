@@ -9,6 +9,7 @@
 // JSON form is the feed a visualization front-end would consume.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <mutex>
@@ -47,8 +48,12 @@ class TraceRecorder {
   void record(TraceKind kind, ProcessId pid, std::string detail);
 
   /// True once record() may be skipped entirely (cheap fast-path check).
-  [[nodiscard]] bool enabled() const { return enabled_; }
-  void set_enabled(bool on) { enabled_ = on; }
+  /// Atomic: the flag is flipped by the host thread while workers are
+  /// already running record()'s unlocked fast path.
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_acquire);
+  }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_release); }
 
   /// Events in recording order (oldest first).
   [[nodiscard]] std::vector<TraceEvent> events() const;
@@ -67,7 +72,7 @@ class TraceRecorder {
   std::vector<TraceEvent> ring_;
   std::size_t capacity_;
   std::uint64_t next_ = 0;
-  bool enabled_ = true;
+  std::atomic<bool> enabled_{true};
 };
 
 }  // namespace sdl

@@ -1,6 +1,7 @@
 #include "txn/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <thread>
 #include <unordered_set>
@@ -48,10 +49,28 @@ WaitSet::Interest Engine::interest_of(const Transaction& txn, Env& env) const {
   return interest;
 }
 
+void Engine::record_history(ProcessId owner, const Transaction& txn,
+                            const QueryOutcome& outcome,
+                            const std::vector<TupleId>& asserted) {
+  if (history_ == nullptr || !history_->enabled()) return;
+  std::vector<TupleId> reads;
+  std::vector<TupleId> retracts;
+  for (const QueryMatch& m : outcome.matches) {
+    reads.insert(reads.end(), m.reads.begin(), m.reads.end());
+    for (const auto& [key, id] : m.retract) {
+      (void)key;
+      retracts.push_back(id);
+    }
+  }
+  history_->record_commit(owner, /*consensus_fire=*/0, std::move(reads),
+                          std::move(retracts), asserted, txn.to_string());
+}
+
 std::vector<IndexKey> Engine::apply_effects(const Transaction& txn,
                                             const QueryOutcome& outcome,
                                             ProcessId owner, const View* view,
-                                            std::vector<TupleId>& asserted) {
+                                            std::vector<TupleId>& asserted,
+                                            bool tolerate_missing_retract) {
   // Atomicity: materialize every assertion FIRST. A throwing field
   // expression (division by zero, a host function failing) must abort the
   // transaction with the dataspace untouched — "transactions ... either
@@ -82,6 +101,7 @@ std::vector<IndexKey> Engine::apply_effects(const Transaction& txn,
     for (const auto& [key, id] : m.retract) {
       if (!retracted.insert(id).second) continue;
       if (!space_.erase(key, id)) {
+        if (tolerate_missing_retract) continue;  // split_2pl sabotage path
         // Evaluation and application happen under the same locks; a miss
         // here is an engine bug, not a data race.
         throw std::logic_error("sdl::Engine: retraction target vanished");
@@ -152,6 +172,7 @@ TxnResult GlobalLockEngine::execute(const Transaction& txn, Env& env,
     } else if (outcome.success) {
       touched = apply_effects(txn, outcome, owner, view, result.asserted);
       result.success = true;
+      record_history(owner, txn, outcome, result.asserted);
       result.matches = std::move(outcome.matches);
     }
   }
@@ -318,9 +339,29 @@ TxnResult ShardedEngine::execute(const Transaction& txn, Env& env,
     // readers of the same shard commit under shared locks without
     // bumping the commit version or waking anyone (E15).
     if (!txn.is_read_only()) {
-      touched = apply_effects(txn, outcome, owner, view, result.asserted);
+      const bool drop = sabotage_ != nullptr &&
+                        sabotage_->drop_effects.load(std::memory_order_relaxed);
+      const bool split = sabotage_ != nullptr &&
+                         sabotage_->split_2pl.load(std::memory_order_relaxed);
+      if (drop) {
+        // Torn commit: success is reported (and recorded below, with the
+        // intended retract set) but nothing reaches the dataspace.
+      } else if (split) {
+        // Break strict 2PL: drop every lock between evaluation and
+        // application, widen the unprotected window, then re-lock and
+        // apply whatever is still there.
+        held.shared.clear();
+        held.exclusive.clear();
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        acquire(plan, held);
+        touched = apply_effects(txn, outcome, owner, view, result.asserted,
+                                /*tolerate_missing_retract=*/true);
+      } else {
+        touched = apply_effects(txn, outcome, owner, view, result.asserted);
+      }
     }
     result.success = true;
+    record_history(owner, txn, outcome, result.asserted);
     result.matches = std::move(outcome.matches);
   }
   held.shared.clear();

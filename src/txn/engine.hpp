@@ -21,6 +21,7 @@
 #include <memory>
 #include <shared_mutex>
 
+#include "check/history.hpp"
 #include "core/striped_counter.hpp"
 #include "fault/fault.hpp"
 #include "txn/transaction.hpp"
@@ -28,6 +29,23 @@
 #include "view/view.hpp"
 
 namespace sdl {
+
+/// Test-only correctness sabotage, for the mutation self-test that proves
+/// the serializability checker actually detects broken isolation (ISSUE 3
+/// satellite). Honored by ShardedEngine only; both mutations keep the
+/// implementation memory-safe (every dataspace access still happens under
+/// proper locks) while breaking the atomicity contract the checker
+/// verifies:
+///   * split_2pl — release all locks between query evaluation and effect
+///     application (with a sleep in the gap), breaking strict 2PL: racing
+///     commits can consume this transaction's matches first.
+///   * drop_effects — report success and record the commit but apply
+///     nothing: a torn/lost commit, caught by the final-state check and
+///     by later reads of the "retracted" instances.
+struct EngineSabotage {
+  std::atomic<bool> split_2pl{false};
+  std::atomic<bool> drop_effects{false};
+};
 
 /// Outcome of one execution attempt.
 struct TxnResult {
@@ -100,6 +118,15 @@ class Engine {
   /// transactions are in flight.
   void set_fault_injector(FaultInjector* f) { faults_ = f; }
 
+  /// Arms commit-history recording for the serializability checker (null
+  /// disables). Call while no transactions are in flight.
+  void set_history(HistoryRecorder* h) { history_ = h; }
+  [[nodiscard]] HistoryRecorder* history() const { return history_; }
+
+  /// Arms the mutation self-test hooks (null disables). ShardedEngine
+  /// only; the reference GlobalLockEngine stays unbroken by construction.
+  void set_sabotage(EngineSabotage* s) { sabotage_ = s; }
+
   /// Builds the WaitSet interest for a transaction's read set (call with
   /// locals cleared — done internally).
   [[nodiscard]] WaitSet::Interest interest_of(const Transaction& txn, Env& env) const;
@@ -115,10 +142,23 @@ class Engine {
   /// matches) then the assertion templates per match, export-filtered by
   /// `view`. Must be called with sufficient locks held. Returns touched
   /// keys; appends created ids to `asserted`.
+  /// `tolerate_missing_retract` is for the split_2pl sabotage path only:
+  /// with the 2PL window broken a retraction target may legitimately have
+  /// been consumed by a racing commit, and the point of the exercise is to
+  /// let the checker (not a throw) report the violation.
   std::vector<IndexKey> apply_effects(const Transaction& txn,
                                       const QueryOutcome& outcome, ProcessId owner,
                                       const View* view,
-                                      std::vector<TupleId>& asserted);
+                                      std::vector<TupleId>& asserted,
+                                      bool tolerate_missing_retract = false);
+
+  /// Records one commit with the history recorder, when armed. MUST be
+  /// called with the commit's locks still held (the sequence number is
+  /// the serialization witness). Records the *intended* retract set from
+  /// the matches — under sabotage that intent is exactly what convicts.
+  void record_history(ProcessId owner, const Transaction& txn,
+                      const QueryOutcome& outcome,
+                      const std::vector<TupleId>& asserted);
 
   /// FaultInjector decision at the commit point, called with the engine's
   /// locks held and the query outcome known. Returns true when the commit
@@ -132,6 +172,8 @@ class Engine {
   const FunctionRegistry* fns_;
   EngineStats stats_;
   FaultInjector* faults_ = nullptr;
+  HistoryRecorder* history_ = nullptr;
+  EngineSabotage* sabotage_ = nullptr;
 };
 
 /// Blocks the calling OS thread until `txn` commits — the delayed ('=>')

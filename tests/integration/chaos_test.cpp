@@ -7,7 +7,10 @@
 // run to completion or a correctly-diagnosed RunReport".
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "lang/compile.hpp"
+#include "sim/explore.hpp"
 
 namespace sdl {
 namespace {
@@ -168,6 +171,75 @@ TEST(ChaosTest, KillsPlusDeadlinesAlwaysConclude) {
     EXPECT_EQ(rt.waits().subscriber_count(), 0u);
     if (report.clean()) expect_bounded_buffer_result(rt);
   }
+}
+
+// ----------------------- deterministic-scheduler sweeps (ISSUE 3)
+//
+// The same chaos programs, re-run under the deterministic coordinator
+// across 64 seeded schedules each, with the serializability checker
+// armed. A failure here prints the reproducing seed and the minimized
+// decision prefix (SweepResult::first_failure).
+
+std::string classify_unclean(const RunReport& report) {
+  if (report.clean()) return {};
+  if (!report.errors.empty()) return "error: " + report.errors[0];
+  if (!report.timed_out.empty()) return "timeout: " + report.timed_out[0];
+  if (!report.parked.empty()) return "parked: " + report.parked[0];
+  return "unclean report";
+}
+
+TEST(ChaosTest, DeterministicSweepDiningUnderCommitFaults) {
+  // Masked transient commit failures under 64 deterministic schedules:
+  // every seed must still produce dinner, serializably.
+  const sim::BuildFn build = [](std::int64_t seed) {
+    RuntimeOptions o;
+    o.scheduler.deterministic_seed = seed;
+    auto rt = std::make_unique<Runtime>(o);
+    rt->enable_faults(static_cast<std::uint64_t>(seed) + 1)
+        .arm(FaultPoint::EngineCommit, FaultAction::FailCommit, 250, 0);
+    lang::load_path(*rt, script("dining.sdl"));
+    rt->enable_history();
+    return rt;
+  };
+  const sim::CheckFn check = [](Runtime& rt, const RunReport& report) {
+    if (std::string bad = classify_unclean(report); !bad.empty()) return bad;
+    for (int i = 0; i < 5; ++i) {
+      if (rt.space().count(tup("sated", i)) != 1) {
+        return "philosopher " + std::to_string(i) + " starved";
+      }
+    }
+    if (rt.waits().subscriber_count() != 0) return std::string("leaked subscription");
+    return std::string();
+  };
+  const sim::SweepResult r = sim::sweep_seeds(build, {.seeds = 64}, check);
+  ASSERT_TRUE(r.ok()) << r.first_failure;
+  EXPECT_GT(r.distinct_traces, 1u);
+}
+
+TEST(ChaosTest, DeterministicSweepBoundedBufferUnderSpuriousWakes) {
+  const sim::BuildFn build = [](std::int64_t seed) {
+    RuntimeOptions o;
+    o.scheduler.deterministic_seed = seed;
+    auto rt = std::make_unique<Runtime>(o);
+    rt->enable_faults(static_cast<std::uint64_t>(seed) + 1)
+        .arm(FaultPoint::WaitSetPublish, FaultAction::SpuriousWake, 400, 0);
+    lang::load_path(*rt, script("bounded_buffer.sdl"));
+    rt->enable_history();
+    return rt;
+  };
+  const sim::CheckFn check = [](Runtime& rt, const RunReport& report) {
+    if (std::string bad = classify_unclean(report); !bad.empty()) return bad;
+    for (int i = 1; i <= 10; ++i) {
+      if (rt.space().count(tup("consumed", i)) != 1) {
+        return "item " + std::to_string(i) + " not consumed exactly once";
+      }
+    }
+    if (rt.space().count(tup("slot")) != 3) return std::string("capacity lost");
+    return std::string();
+  };
+  const sim::SweepResult r = sim::sweep_seeds(build, {.seeds = 64}, check);
+  ASSERT_TRUE(r.ok()) << r.first_failure;
+  EXPECT_GT(r.distinct_traces, 1u);
 }
 
 }  // namespace

@@ -4,7 +4,9 @@
 // done.
 #include <gtest/gtest.h>
 
-#include "process/runtime.hpp"
+#include <memory>
+
+#include "sim/explore.hpp"
 
 namespace sdl {
 namespace {
@@ -113,6 +115,70 @@ INSTANTIATE_TEST_SUITE_P(SeedsAndEngines, ConsensusStressTest,
                                                   : "Global") +
                                   "_seed" + std::to_string(info.param.seed);
                          });
+
+TEST(ConsensusStressDeterministic, SweepFiresExactlyOncePerCommunity) {
+  // ISSUE 3 satellite: the fires-exactly-once invariant across 64
+  // deterministic schedules of a fixed 3-community society, with the
+  // serializability checker verifying every fire committed as one
+  // atomic composite.
+  constexpr int kCommunities = 3;
+  constexpr int kPerCommunity = 3;
+  const sim::BuildFn build = [](std::int64_t seed) {
+    RuntimeOptions o;
+    o.scheduler.deterministic_seed = seed;
+    auto rt = std::make_unique<Runtime>(o);
+    ProcessDef member;
+    member.name = "Member";
+    member.params = {"c", "i"};
+    member.view.import(pat({V("c"), W()}));
+    member.view.export_(pat({A("fired"), W(), W()}));
+    member.body = seq({repeat({
+        branch(TxnBuilder()
+                   .exists({"w"})
+                   .match(pat({E(evar("c")), V("w")}), true)
+                   .where(gt(evar("w"), lit(0)))
+                   .build()),
+        branch(TxnBuilder(TxnType::Consensus)
+                   .match(pat({E(evar("c")), C(0)}))
+                   .none({pat({E(evar("c")), V("left")})},
+                         gt(evar("left"), lit(0)))
+                   .assert_tuple(
+                       {lit(Value::atom("fired")), evar("c"), evar("i")})
+                   .exit_()
+                   .build()),
+    })});
+    rt->define(std::move(member));
+    Rng rng(42);  // fixed society; only the schedule varies with `seed`
+    for (int c = 0; c < kCommunities; ++c) {
+      rt->seed(tup(c, 0));
+      const int work = 1 + static_cast<int>(rng.below(5));
+      for (int w = 0; w < work; ++w) rt->seed(tup(c, 1 + rng.below(100)));
+      for (int i = 0; i < kPerCommunity; ++i) {
+        rt->spawn("Member", {Value(c), Value(i)});
+      }
+    }
+    rt->enable_history();
+    return rt;
+  };
+  const sim::CheckFn check = [](Runtime& rt, const RunReport& report) {
+    if (!report.clean()) return std::string("unclean report");
+    if (rt.consensus().fires() != kCommunities) {
+      return "fires = " + std::to_string(rt.consensus().fires());
+    }
+    for (int c = 0; c < kCommunities; ++c) {
+      for (int i = 0; i < kPerCommunity; ++i) {
+        if (rt.space().count(tup("fired", c, i)) != 1) {
+          return "community " + std::to_string(c) + " member " +
+                 std::to_string(i) + " missed the fire";
+        }
+      }
+    }
+    return std::string();
+  };
+  const sim::SweepResult r = sim::sweep_seeds(build, {.seeds = 64}, check);
+  ASSERT_TRUE(r.ok()) << r.first_failure;
+  EXPECT_GT(r.distinct_traces, 1u);
+}
 
 }  // namespace
 }  // namespace sdl

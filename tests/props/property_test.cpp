@@ -3,9 +3,10 @@
 // parameterized gtest sweeps.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <numeric>
 
-#include "process/runtime.hpp"
+#include "sim/explore.hpp"
 
 namespace sdl {
 namespace {
@@ -160,6 +161,62 @@ TEST_P(ReplicationSortTest, SortsRandomPermutation) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ReplicationSortTest,
                          ::testing::Range<std::uint64_t>(1, 13));
 
+TEST(ReplicationSortDeterministic, SweepSortsSeededPermutations) {
+  // ISSUE 3 satellite: the same property under the deterministic
+  // scheduler, 64 seeds. Each seed derives both the permutation and the
+  // schedule; a failure prints the reproducing seed and minimized trace.
+  const sim::BuildFn build = [](std::int64_t seed) {
+    RuntimeOptions o;
+    o.scheduler.deterministic_seed = seed;
+    auto rt = std::make_unique<Runtime>(o);
+    Rng rng(static_cast<std::uint64_t>(seed) * 31 + 7);
+    const int n = 5 + static_cast<int>(rng.below(8));
+    std::vector<int> values(static_cast<std::size_t>(n));
+    std::iota(values.begin(), values.end(), 1);
+    for (int i = n - 1; i > 0; --i) {
+      std::swap(values[static_cast<std::size_t>(i)],
+                values[static_cast<std::size_t>(rng.below(i + 1))]);
+    }
+    for (int i = 1; i <= n; ++i) {
+      rt->seed(tup(i, values[static_cast<std::size_t>(i - 1)]));
+    }
+    rt->seed(tup("n", n));  // lets the check recover the size
+    ProcessDef def;
+    def.name = "SortRep";
+    def.body = seq({replicate({branch(
+        TxnBuilder()
+            .exists({"i", "j", "v1", "v2"})
+            .match(pat({V("i"), V("v1")}), true)
+            .match(pat({V("j"), V("v2")}), true)
+            .where(land(lt(evar("i"), evar("j")), gt(evar("v1"), evar("v2"))))
+            .assert_tuple({evar("i"), evar("v2")})
+            .assert_tuple({evar("j"), evar("v1")})
+            .build())})});
+    rt->define(std::move(def));
+    rt->spawn("SortRep");
+    rt->enable_history();
+    return rt;
+  };
+  const sim::CheckFn check = [](Runtime& rt, const RunReport& report) {
+    if (!report.clean()) return std::string("unclean report");
+    std::int64_t n = 0;
+    rt.space().scan_key(IndexKey::of_head(2, Value::atom("n")),
+                        [&](const Record& r) {
+                          n = r.tuple[1].as_int();
+                          return true;
+                        });
+    for (std::int64_t i = 1; i <= n; ++i) {
+      if (rt.space().count(tup(i, i)) != 1) {
+        return "position " + std::to_string(i) + " unsorted";
+      }
+    }
+    return std::string();
+  };
+  const sim::SweepResult r = sim::sweep_seeds(build, {.seeds = 64}, check);
+  ASSERT_TRUE(r.ok()) << r.first_failure;
+  EXPECT_GT(r.distinct_traces, 1u);
+}
+
 // ------------------------------------------------------- Sum3 any input
 
 class Sum3Test : public ::testing::TestWithParam<std::uint64_t> {};
@@ -196,6 +253,44 @@ TEST_P(Sum3Test, SumsRandomArrays) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Sum3Test, ::testing::Range<std::uint64_t>(1, 11));
+
+TEST(Sum3Deterministic, SweepSumsFixedArrayUnderAnySchedule) {
+  // Fixed input, 64 different schedules: the §2.4 pairwise folding must
+  // reach the same total no matter which pairs the scheduler picks.
+  constexpr int kN = 12;
+  constexpr std::int64_t kWant = kN * (kN + 1) / 2;
+  const sim::BuildFn build = [](std::int64_t seed) {
+    RuntimeOptions o;
+    o.scheduler.deterministic_seed = seed;
+    auto rt = std::make_unique<Runtime>(o);
+    for (int k = 1; k <= kN; ++k) rt->seed(tup(k, k));
+    ProcessDef def;
+    def.name = "Sum3";
+    def.body = seq({replicate({branch(
+        TxnBuilder()
+            .exists({"v", "a", "u", "b"})
+            .match(pat({V("v"), V("a")}), true)
+            .match(pat({V("u"), V("b")}), true)
+            .where(ne(evar("v"), evar("u")))
+            .assert_tuple({evar("u"), add(evar("a"), evar("b"))})
+            .build())})});
+    rt->define(std::move(def));
+    rt->spawn("Sum3");
+    rt->enable_history();
+    return rt;
+  };
+  const sim::CheckFn check = [](Runtime& rt, const RunReport& report) {
+    if (!report.clean()) return std::string("unclean report");
+    if (rt.space().size() != 1) return std::string("fold incomplete");
+    if (rt.space().snapshot()[0].tuple[1] != Value(kWant)) {
+      return std::string("wrong total");
+    }
+    return std::string();
+  };
+  const sim::SweepResult r = sim::sweep_seeds(build, {.seeds = 64}, check);
+  ASSERT_TRUE(r.ok()) << r.first_failure;
+  EXPECT_GT(r.distinct_traces, 1u);
+}
 
 // ---------------------------------------------- query evaluator algebra
 
