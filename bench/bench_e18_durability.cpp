@@ -1,0 +1,188 @@
+// E18: the price of durability (ISSUE 4).
+//
+// Claims under test:
+//   1. WAL group commit amortizes the fsync: fsync_every=64 must cost
+//      < 2× the non-durable commit throughput on the E5-style
+//      retract+assert workload (the acceptance gate), while
+//      fsync_every=1 pays a full device sync per commit.
+//   2. Recovery is linear in surviving WAL length, and a snapshot
+//      truncates that cost: replaying N commits from the log is O(N),
+//      recovering through a snapshot barrier is O(live set).
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <string>
+
+#include "persist/recovery.hpp"
+#include "workloads.hpp"
+
+namespace {
+
+using namespace sdl;
+namespace fs = std::filesystem;
+
+std::string scratch_dir(const std::string& tag) {
+  const std::string dir = fs::temp_directory_path().string() + "/sdl_e18_" + tag;
+  fs::remove_all(dir);
+  return dir;
+}
+
+/// One E5-style read-modify-write commit: ∃x : <job,x>! → (job, x+1).
+/// Every execution retracts one instance and asserts one — a two-entry
+/// WAL record per commit when durability is on.
+struct CommitWorkload {
+  SymbolTable st;
+  Env env;
+  Transaction txn;
+
+  CommitWorkload() {
+    txn = TxnBuilder()
+              .exists({"x"})
+              .match(pat({A("job"), V("x")}), /*retract=*/true)
+              .assert_tuple({lit(Value::atom("job")), add(evar("x"), lit(1))})
+              .build();
+    txn.resolve(st);
+    env.resize(static_cast<std::size_t>(st.size()));
+  }
+};
+
+/// arg0 selects the durability mode: -1 = persistence off (the baseline),
+/// otherwise the PersistOptions::fsync_every dial (1 / 8 / 64 / 0).
+void BM_CommitThroughput(benchmark::State& state) {
+  const std::int64_t mode = state.range(0);
+  const std::string dir =
+      scratch_dir("commit_" + std::to_string(state.range(0) + 1));
+  RuntimeOptions o;
+  if (mode >= 0) {
+    o.persist.dir = dir;
+    o.persist.fsync_every = static_cast<std::uint64_t>(mode);
+  }
+  Runtime rt(o);
+  rt.seed(tup("job", 0));
+  CommitWorkload w;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt.execute(w.txn, w.env).success);
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (mode >= 0) {
+    state.counters["fsyncs"] =
+        static_cast<double>(rt.persist()->stats().syncs);
+  }
+  fs::remove_all(dir);
+}
+
+/// The E12 transfer shape: a two-account atomic move — retract both
+/// balances, assert both updated. Twice the WAL payload of the E5 shape
+/// and the workload where SDL's multi-tuple atomicity earns its keep
+/// (E12); durability must not change that story.
+struct TransferWorkload {
+  SymbolTable st;
+  Env env;
+  Transaction txn;
+
+  TransferWorkload() {
+    txn = TxnBuilder()
+              .exists({"x", "y"})
+              .match(pat({A("acct"), C(0), V("x")}), /*retract=*/true)
+              .match(pat({A("acct"), C(1), V("y")}), /*retract=*/true)
+              .assert_tuple(
+                  {lit(Value::atom("acct")), lit(0), sub(evar("x"), lit(1))})
+              .assert_tuple(
+                  {lit(Value::atom("acct")), lit(1), add(evar("y"), lit(1))})
+              .build();
+    txn.resolve(st);
+    env.resize(static_cast<std::size_t>(st.size()));
+  }
+};
+
+/// Same mode dial as BM_CommitThroughput, on the transfer shape.
+void BM_TransferThroughput(benchmark::State& state) {
+  const std::int64_t mode = state.range(0);
+  const std::string dir =
+      scratch_dir("transfer_" + std::to_string(state.range(0) + 1));
+  RuntimeOptions o;
+  if (mode >= 0) {
+    o.persist.dir = dir;
+    o.persist.fsync_every = static_cast<std::uint64_t>(mode);
+  }
+  Runtime rt(o);
+  rt.seed(tup("acct", 0, 1000));
+  rt.seed(tup("acct", 1, 1000));
+  TransferWorkload w;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt.execute(w.txn, w.env).success);
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (mode >= 0) {
+    state.counters["fsyncs"] =
+        static_cast<double>(rt.persist()->stats().syncs);
+  }
+  fs::remove_all(dir);
+}
+
+/// Builds a durable directory holding `commits` WAL records (no snapshot
+/// unless `snapshot` is set, in which case one is taken at the end and
+/// the log is truncated to the barrier).
+std::string build_wal_dir(std::int64_t commits, bool snapshot) {
+  const std::string dir = scratch_dir(
+      (snapshot ? "recover_snap_" : "recover_wal_") + std::to_string(commits));
+  RuntimeOptions o;
+  o.persist.dir = dir;
+  o.persist.fsync_every = 0;  // setup speed; write() visibility is enough
+  Runtime rt(o);
+  rt.seed(tup("job", 0));
+  CommitWorkload w;
+  for (std::int64_t i = 0; i < commits; ++i) {
+    (void)rt.execute(w.txn, w.env);
+  }
+  if (snapshot) rt.snapshot();
+  return dir;
+}
+
+void BM_RecoveryReplayWal(benchmark::State& state) {
+  const std::int64_t commits = state.range(0);
+  const std::string dir = build_wal_dir(commits, /*snapshot=*/false);
+  for (auto _ : state) {
+    const persist::RecoveredState s = persist::replay(dir);
+    benchmark::DoNotOptimize(s.last_seq);
+  }
+  state.SetItemsProcessed(state.iterations() * commits);
+  fs::remove_all(dir);
+}
+
+void BM_RecoveryThroughSnapshot(benchmark::State& state) {
+  // Same commit count, but a snapshot barrier supersedes the log: replay
+  // reads the live set (1 tuple here), not the N-record history.
+  const std::int64_t commits = state.range(0);
+  const std::string dir = build_wal_dir(commits, /*snapshot=*/true);
+  for (auto _ : state) {
+    const persist::RecoveredState s = persist::replay(dir);
+    benchmark::DoNotOptimize(s.used_snapshot);
+  }
+  state.SetItemsProcessed(state.iterations());
+  fs::remove_all(dir);
+}
+
+BENCHMARK(BM_CommitThroughput)
+    ->Arg(-1)   // non-durable baseline
+    ->Arg(1)    // fsync every commit
+    ->Arg(8)    // group commit
+    ->Arg(64)   // group commit (the acceptance dial)
+    ->Arg(0)    // append, never fsync
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_TransferThroughput)
+    ->Arg(-1)
+    ->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_RecoveryReplayWal)
+    ->RangeMultiplier(10)
+    ->Range(1000, 100000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RecoveryThroughSnapshot)
+    ->RangeMultiplier(10)
+    ->Range(1000, 100000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -21,11 +21,58 @@ out="BENCH_$(date +%Y%m%d).json"
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "${tmpdir}"' EXIT
 
-benches=("${build_dir}"/bench/bench_e*)
+# Explicit experiment order (a glob would sort bench_e10 before bench_e2
+# and silently skip anything misnamed). Append new experiments here.
+bench_names=(
+  bench_e1_array_sum
+  bench_e2_property_list
+  bench_e3_sort_consensus
+  bench_e4_region_label
+  bench_e5_dataspace
+  bench_e6_engine_ablation
+  bench_e7_view_scope
+  bench_e8_consensus_scale
+  bench_e9_wakeup
+  bench_e10_replication_scale
+  bench_e11_society_scale
+  bench_e12_vs_linda
+  bench_e13_planner
+  bench_e14_clocked_sim
+  bench_e15_read_mostly
+  bench_e16_fault_sweep
+  bench_e17_sim_explore
+  bench_e18_durability
+)
+
+benches=()
+for name in "${bench_names[@]}"; do
+  bin="${build_dir}/bench/${name}"
+  if [[ -x "${bin}" ]]; then
+    benches+=("${bin}")
+  else
+    echo "warning: ${name} not built under ${build_dir}/bench — skipping" >&2
+  fi
+done
 if [[ ${#benches[@]} -eq 0 ]]; then
-  echo "error: no bench_e* binaries under ${build_dir}/bench" >&2
+  echo "error: no bench binaries from the list under ${build_dir}/bench" >&2
   exit 1
 fi
+
+# Guard: a built bench binary missing from the list above means someone
+# added an experiment without registering it here — warn loudly so the
+# perf trajectory never silently loses coverage.
+for bin in "${build_dir}"/bench/bench_e*; do
+  [[ -x "${bin}" && -f "${bin}" ]] || continue
+  name="$(basename "${bin}")"
+  listed=0
+  for known in "${bench_names[@]}"; do
+    [[ "${name}" == "${known}" ]] && listed=1 && break
+  done
+  if [[ ${listed} -eq 0 ]]; then
+    echo "warning: ${name} is built but NOT in bench_names — add it to" \
+         "bench/run_benches.sh or it will never appear in BENCH_*.json" >&2
+  fi
+done
 
 {
   printf '{\n'

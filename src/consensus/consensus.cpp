@@ -3,6 +3,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "persist/persist.hpp"
+
 namespace sdl {
 namespace {
 
@@ -337,12 +339,21 @@ bool ConsensusManager::sweep_once() {
             }
           }
         }
+        // WAL: a consensus fire is ONE atomic record — every member's
+        // retractions and assertions under the common fire ordinal, logged
+        // below while total exclusion is still held. Recovery replays the
+        // record atomically, preserving the composite's all-or-nothing
+        // semantics across a crash.
+        persist::PersistManager* wal = engine_.persist();
+        Engine::DurableEffects durable;
         std::unordered_set<TupleId> retracted;
         for (const MemberPlan& plan : plans) {
           for (const QueryMatch& m : plan.outcome.matches) {
             for (const auto& [key, id] : m.retract) {
               if (!retracted.insert(id).second) continue;
-              space.erase(key, id);
+              if (space.erase(key, id) && wal != nullptr) {
+                durable.retracts.push_back(id);
+              }
               touched.push_back(key);
             }
           }
@@ -364,7 +375,11 @@ bool ConsensusManager::sweep_once() {
           result.success = true;
           for (Tuple& t : to_insert[pi]) {
             const IndexKey key = IndexKey::of(t);
-            result.asserted.push_back(space.insert(std::move(t), p->pid));
+            Tuple wal_copy;
+            if (wal != nullptr) wal_copy = t;
+            const TupleId id = space.insert(std::move(t), p->pid);
+            result.asserted.push_back(id);
+            if (wal != nullptr) durable.asserts.emplace_back(id, std::move(wal_copy));
             touched.push_back(key);
           }
           if (history != nullptr) {
@@ -391,6 +406,11 @@ bool ConsensusManager::sweep_once() {
             p->pending_wake = false;
           }
           scheduler_.enqueue_ready(p->pid);
+        }
+        if (wal != nullptr &&
+            (!durable.retracts.empty() || !durable.asserts.empty())) {
+          wal->log_commit(kEnvironmentProcess, fire_id, durable.retracts,
+                          durable.asserts);
         }
         fires_.fetch_add(1, std::memory_order_relaxed);
         fired_any = true;

@@ -1,0 +1,83 @@
+// Binary codec for the durable formats (WAL records, snapshots).
+//
+// Atoms are interned per process, so their 32-bit ids are meaningless
+// across a restart — every atom is serialized by SPELLING and re-interned
+// on decode. Ints use zigzag varints (dataspace values cluster near zero),
+// doubles their IEEE bit pattern, and all fixed-width fields are
+// little-endian regardless of host order, so a WAL written on one machine
+// replays on another.
+//
+// Decoding is failure-tolerant by design: a Reader never throws and never
+// reads past its window — any malformed or truncated input flips `ok` and
+// every subsequent getter returns a default. The persistence layer's
+// truncate-at-first-corrupt recovery policy leans on exactly this.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/tuple.hpp"
+
+namespace sdl::codec {
+
+// ---- writers (append to a std::string buffer) ----
+
+void put_u8(std::string& out, std::uint8_t v);
+void put_u32(std::string& out, std::uint32_t v);
+void put_u64(std::string& out, std::uint64_t v);
+/// LEB128; at most 10 bytes.
+void put_varint(std::string& out, std::uint64_t v);
+/// Zigzag + varint for signed values.
+void put_svarint(std::string& out, std::int64_t v);
+/// varint length + raw bytes.
+void put_string(std::string& out, std::string_view s);
+void put_value(std::string& out, const Value& v);
+void put_tuple(std::string& out, const Tuple& t);
+
+// ---- reader ----
+
+/// Cursor over an immutable byte window. All getters are total: on
+/// malformed input they set ok=false and return a zero value; callers
+/// check ok once after a logical unit instead of per field.
+class Reader {
+ public:
+  Reader(const char* data, std::size_t size)
+      : p_(reinterpret_cast<const unsigned char*>(data)), end_(p_ + size) {}
+  explicit Reader(std::string_view s) : Reader(s.data(), s.size()) {}
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] bool at_end() const { return p_ == end_; }
+  [[nodiscard]] std::size_t remaining() const {
+    return static_cast<std::size_t>(end_ - p_);
+  }
+
+  std::uint8_t get_u8();
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  std::uint64_t get_varint();
+  std::int64_t get_svarint();
+  std::string get_string();
+  Value get_value();
+  Tuple get_tuple();
+
+ private:
+  const unsigned char* p_;
+  const unsigned char* end_;
+  bool ok_ = true;
+
+  bool take(std::size_t n) {
+    if (!ok_ || static_cast<std::size_t>(end_ - p_) < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+};
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected). `crc` chains calls; pass the
+/// previous return value to continue over a split buffer.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size,
+                                  std::uint32_t crc = 0);
+
+}  // namespace sdl::codec

@@ -26,6 +26,8 @@ const char* fault_point_name(FaultPoint p) {
     case FaultPoint::SchedulerDispatch: return "scheduler-dispatch";
     case FaultPoint::ConsensusClaim: return "consensus-claim";
     case FaultPoint::ConsensusCommit: return "consensus-commit";
+    case FaultPoint::WalAppend: return "wal-append";
+    case FaultPoint::SnapshotWrite: return "snapshot-write";
   }
   return "?";
 }

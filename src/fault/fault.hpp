@@ -46,8 +46,10 @@ enum class FaultPoint : std::uint8_t {
   SchedulerDispatch,  // worker popped a pid and owns the process
   ConsensusClaim,     // consensus members claimed, offers not yet evaluated
   ConsensusCommit,    // offers evaluated, composite effects not yet applied
+  WalAppend,          // WAL writer framed the record, bytes not yet durable
+  SnapshotWrite,      // snapshot payload serialized, file not yet renamed
 };
-inline constexpr std::size_t kFaultPointCount = 6;
+inline constexpr std::size_t kFaultPointCount = 8;
 
 enum class FaultAction : std::uint8_t {
   None = 0,

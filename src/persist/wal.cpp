@@ -1,0 +1,472 @@
+#include "persist/wal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "core/codec.hpp"
+
+namespace sdl::persist {
+
+namespace {
+
+// Durable format constants — append-only, never renumber.
+constexpr char kWalMagic[8] = {'S', 'D', 'L', 'W', 'A', 'L', '1', '\n'};
+constexpr std::size_t kHeaderSize = 8 + 12 + 4;  // magic, payload, crc
+constexpr std::uint8_t kRecordCommit = 1;
+// A frame length beyond this is corruption, not a huge commit: even a
+// consensus composite over thousands of tuples stays far below it.
+constexpr std::uint32_t kMaxRecordLen = 1u << 30;
+// Preallocation granularity: keeping writes inside fallocated space makes
+// fdatasync a pure data flush (no extent/size journal commit), which on
+// ext4 halves the per-sync latency and CPU. ~20k typical commit frames.
+constexpr std::uint64_t kPreallocChunk = 1u << 20;
+
+std::string header_bytes(std::uint32_t shard_count, std::uint64_t start_seq) {
+  std::string out(kWalMagic, sizeof kWalMagic);
+  std::string payload;
+  codec::put_u32(payload, shard_count);
+  codec::put_u64(payload, start_seq);
+  out += payload;
+  codec::put_u32(out, codec::crc32(payload.data(), payload.size()));
+  return out;
+}
+
+bool decode_commit(std::string_view payload, WalCommit* out) {
+  codec::Reader r(payload);
+  if (r.get_u8() != kRecordCommit) return false;
+  out->seq = r.get_varint();
+  out->owner = static_cast<ProcessId>(r.get_varint());
+  out->fire = r.get_varint();
+  const std::uint64_t nretracts = r.get_varint();
+  if (!r.ok() || nretracts > r.remaining()) return false;
+  out->retracts.reserve(static_cast<std::size_t>(nretracts));
+  for (std::uint64_t i = 0; i < nretracts && r.ok(); ++i) {
+    const std::uint64_t bits = r.get_u64();
+    out->retracts.emplace_back(static_cast<ProcessId>(bits >> 40), bits);
+  }
+  const std::uint64_t nasserts = r.get_varint();
+  if (!r.ok() || nasserts > r.remaining()) return false;
+  out->asserts.reserve(static_cast<std::size_t>(nasserts));
+  for (std::uint64_t i = 0; i < nasserts && r.ok(); ++i) {
+    const std::uint64_t bits = r.get_u64();
+    const TupleId id(static_cast<ProcessId>(bits >> 40), bits);
+    Tuple t = r.get_tuple();
+    if (!r.ok()) break;
+    out->asserts.emplace_back(id, std::move(t));
+  }
+  // Trailing garbage inside a CRC-clean frame would mean an encoder bug,
+  // not disk corruption; reject it all the same.
+  return r.ok() && r.at_end();
+}
+
+}  // namespace
+
+std::string wal_segment_name(std::uint64_t start_seq) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "wal-%020llu.wal",
+                static_cast<unsigned long long>(start_seq));
+  return buf;
+}
+
+WalReadResult read_wal_segment(const std::string& path) {
+  WalReadResult result;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("wal: cannot open " + path);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) throw std::runtime_error("wal: read failed: " + path);
+
+  if (data.empty()) {
+    // A segment created by rotate()/open that never got its header bytes
+    // (crash between creat and write). Nothing durable was lost.
+    result.detail = "empty segment";
+    return result;
+  }
+  if (data.size() < kHeaderSize ||
+      std::memcmp(data.data(), kWalMagic, sizeof kWalMagic) != 0) {
+    result.corrupt = true;
+    result.detail = "bad segment header";
+    return result;
+  }
+  {
+    codec::Reader r(data.data() + sizeof kWalMagic, 16);
+    const std::uint32_t shard_count = r.get_u32();
+    const std::uint64_t start_seq = r.get_u64();
+    const std::uint32_t crc = r.get_u32();
+    if (crc != codec::crc32(data.data() + sizeof kWalMagic, 12)) {
+      result.corrupt = true;
+      result.detail = "segment header crc mismatch";
+      return result;
+    }
+    result.header_ok = true;
+    result.shard_count = shard_count;
+    result.start_seq = start_seq;
+  }
+
+  std::size_t off = kHeaderSize;
+  result.valid_bytes = off;
+  while (off < data.size()) {
+    if (data.size() - off < 8) {
+      result.corrupt = true;
+      result.detail = "torn frame header at offset " + std::to_string(off);
+      break;
+    }
+    codec::Reader fr(data.data() + off, 8);
+    const std::uint32_t len = fr.get_u32();
+    const std::uint32_t crc = fr.get_u32();
+    if (len == 0 && crc == 0) {
+      // Preallocation padding: the writer fallocates segment space ahead
+      // of the data, so a crashed segment ends in zeros. A real frame's
+      // payload is never empty (it always carries a record kind byte), so
+      // [0][0] unambiguously marks clean end-of-log — not corruption.
+      break;
+    }
+    if (len > kMaxRecordLen || data.size() - off - 8 < len) {
+      result.corrupt = true;
+      result.detail = "torn record at offset " + std::to_string(off);
+      break;
+    }
+    const std::string_view payload(data.data() + off + 8, len);
+    if (codec::crc32(payload.data(), payload.size()) != crc) {
+      result.corrupt = true;
+      result.detail = "record crc mismatch at offset " + std::to_string(off);
+      break;
+    }
+    WalCommit commit;
+    if (!decode_commit(payload, &commit)) {
+      result.corrupt = true;
+      result.detail = "undecodable record at offset " + std::to_string(off);
+      break;
+    }
+    result.offsets.push_back(off);
+    result.commits.push_back(std::move(commit));
+    off += 8 + len;
+    result.valid_bytes = off;
+  }
+  return result;
+}
+
+WalWriter::WalWriter(std::string dir, std::uint32_t shard_count,
+                     std::uint64_t next_seq, std::uint64_t fsync_every)
+    : dir_(std::move(dir)),
+      shard_count_(shard_count),
+      fsync_every_(fsync_every),
+      next_seq_(next_seq),
+      last_appended_(next_seq - 1),
+      last_synced_(next_seq - 1) {
+  {
+    std::scoped_lock lock(mutex_);
+    open_segment(next_seq_);
+  }
+  // Group commit: the fsync runs off the commit path. Committers park
+  // frames; the flusher pays the device latency.
+  if (fsync_every_ > 1) flusher_ = std::thread([this] { flusher_main(); });
+}
+
+WalWriter::~WalWriter() {
+  {
+    std::unique_lock lock(mutex_);
+    if (fd_ >= 0 && !dead_ && fsync_every_ > 0 &&
+        (last_synced_ < last_appended_ || !batch_.empty())) {
+      sync_locked(lock);
+    }
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+  std::scoped_lock lock(mutex_);
+  if (fd_ >= 0) {
+    // Clean shutdown drops the preallocation padding: the segment on disk
+    // ends exactly at the last frame, as pre-preallocation readers expect.
+    if (!dead_ && prealloc_end_ > file_off_) {
+      ::ftruncate(fd_, static_cast<off_t>(file_off_));
+    }
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void WalWriter::flusher_main() {
+  std::unique_lock lock(mutex_);
+  while (true) {
+    cv_.wait(lock, [&] { return stop_ || flush_requested_; });
+    if (flush_requested_ && fd_ >= 0 && !dead_ && !batch_.empty()) {
+      flush_requested_ = false;
+      std::string pending = std::move(batch_);
+      batch_.clear();
+      const std::uint64_t target = last_appended_;
+      // Claim the batch's file range under the mutex (writes stay in
+      // sequence order), then pwrite+fdatasync on a dup so rotate()/
+      // teardown can close fd_ meanwhile (the duplicated descriptor
+      // shares the open file description), and outside the mutex so
+      // committers keep parking frames.
+      ensure_capacity_locked(pending.size());
+      const std::uint64_t off = file_off_;
+      file_off_ += pending.size();
+      const int dupfd = ::dup(fd_);
+      flush_inflight_ = true;
+      lock.unlock();
+      bool ok = dupfd >= 0;
+      if (ok) {
+        ok = write_at(dupfd, pending.data(), pending.size(), off);
+        if (ok) ::fdatasync(dupfd);
+      }
+      if (dupfd >= 0) ::close(dupfd);
+      lock.lock();
+      flush_inflight_ = false;
+      if (!ok) dead_ = true;
+      // An inline sync (barrier, teardown) may have overtaken this batch.
+      if (ok && target > last_synced_) {
+        last_synced_ = target;
+        ++syncs_;
+      }
+      done_cv_.notify_all();
+    } else {
+      flush_requested_ = false;
+    }
+    if (stop_ && !flush_requested_) return;
+  }
+}
+
+void WalWriter::open_segment(std::uint64_t start_seq) {
+  path_ = dir_ + "/" + wal_segment_name(start_seq);
+  // No O_TRUNC: after a crash between rotate() and the first append,
+  // reopening the same start_seq must continue the existing segment,
+  // never wipe it. Writes use pwrite at file_off_ (not O_APPEND — the
+  // preallocated file's EOF sits past the data).
+  fd_ = ::open(path_.c_str(), O_CREAT | O_WRONLY, 0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("wal: cannot open segment " + path_ + ": " +
+                             std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) {
+    throw std::runtime_error("wal: fstat failed: " + path_);
+  }
+  // An existing segment was truncated to its clean prefix by recovery
+  // (PersistManager::clean_directory), so its size IS the data end.
+  file_off_ = static_cast<std::uint64_t>(st.st_size);
+  prealloc_end_ = file_off_;
+  if (st.st_size == 0) {
+    ensure_capacity_locked(kPreallocChunk);
+    const std::string header = header_bytes(shard_count_, start_seq);
+    if (!write_at(fd_, header.data(), header.size(), 0)) {
+      throw std::runtime_error("wal: cannot write segment header: " + path_);
+    }
+    file_off_ = header.size();
+    if (fsync_every_ > 0) {
+      ::fsync(fd_);
+      // Persist the directory entry too, so the segment itself survives a
+      // crash right after creation.
+      const int dfd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY);
+      if (dfd >= 0) {
+        ::fsync(dfd);
+        ::close(dfd);
+      }
+    }
+  }
+}
+
+void WalWriter::ensure_capacity_locked(std::size_t need) {
+  if (!prealloc_enabled_) return;
+  while (file_off_ + need > prealloc_end_) {
+    // posix_fallocate extends the file size as well as the allocation, so
+    // every later write in the region is non-extending (cheap fdatasync).
+    if (::posix_fallocate(fd_, static_cast<off_t>(prealloc_end_),
+                          static_cast<off_t>(kPreallocChunk)) != 0) {
+      prealloc_enabled_ = false;  // e.g. unsupported fs; writes extend
+      return;
+    }
+    prealloc_end_ += kPreallocChunk;
+  }
+}
+
+bool WalWriter::write_at(int fd, const char* data, std::size_t size,
+                         std::uint64_t off) {
+  while (size > 0) {
+    const ssize_t n = ::pwrite(fd, data, size, static_cast<off_t>(off));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+    off += static_cast<std::uint64_t>(n);
+  }
+  return true;
+}
+
+std::uint64_t WalWriter::append(
+    ProcessId owner, std::uint64_t fire, const std::vector<TupleId>& retracts,
+    const std::vector<std::pair<TupleId, Tuple>>& asserts) {
+  std::unique_lock lock(mutex_);
+  if (dead_) return 0;
+
+  // Encode straight into the reused scratch buffer (its capacity sticks
+  // across appends — the encode path is on every commit's critical
+  // section, so allocations here are commit latency). The payload starts
+  // at byte 8; the frame header is patched in once the length is known.
+  std::string& frame = frame_scratch_;
+  frame.clear();
+  frame.append(8, '\0');
+  {
+    codec::put_u8(frame, kRecordCommit);
+    codec::put_varint(frame, next_seq_);
+    codec::put_varint(frame, owner);
+    codec::put_varint(frame, fire);
+    codec::put_varint(frame, retracts.size());
+    for (const TupleId id : retracts) codec::put_u64(frame, id.bits());
+    codec::put_varint(frame, asserts.size());
+    for (const auto& [id, tuple] : asserts) {
+      codec::put_u64(frame, id.bits());
+      codec::put_tuple(frame, tuple);
+    }
+  }
+  const std::size_t payload_len = frame.size() - 8;
+  std::string header;
+  codec::put_u32(header, static_cast<std::uint32_t>(payload_len));
+  codec::put_u32(header, codec::crc32(frame.data() + 8, payload_len));
+  frame.replace(0, 8, header);
+
+  if (faults_ != nullptr) {
+    switch (faults_->decide(FaultPoint::WalAppend)) {
+      case FaultAction::Delay:
+        faults_->delay();
+        break;
+      case FaultAction::Kill: {
+        // Simulated crash mid-write: the parked group-commit batch plus a
+        // deterministic prefix of the new frame is what "reached disk".
+        // The commit is NOT acknowledged; recovery must drop the torn
+        // record. Batched-but-unsynced acks die with the process — the
+        // documented fsync_every > 1 window. Wait out any in-flight flush
+        // first so the torn bytes land at a well-defined file position.
+        done_cv_.wait(lock, [&] { return !flush_inflight_; });
+        std::string pending = std::move(batch_);
+        batch_.clear();
+        pending += frame;
+        const std::uint64_t torn =
+            faults_->jitter_us(static_cast<std::uint64_t>(pending.size() - 1));
+        write_at(fd_, pending.data(), static_cast<std::size_t>(torn),
+                 file_off_);
+        if (fd_ >= 0) ::fsync(fd_);
+        dead_ = true;
+        return 0;
+      }
+      default:
+        break;
+    }
+  }
+
+  // Group commit: for fsync_every > 1 the committer does NO syscall — the
+  // frame parks in user space and the background flusher drains the batch
+  // with one pwrite+fdatasync pair (a committer-side write would block on
+  // the inode lock behind the in-flight fsync). fsync_every <= 1 writes
+  // through immediately (1 also syncs inline: strict durable-before-ack).
+  if (fsync_every_ > 1) {
+    batch_ += frame;
+  } else {
+    ensure_capacity_locked(frame.size());
+    if (!write_at(fd_, frame.data(), frame.size(), file_off_)) {
+      dead_ = true;
+      return 0;
+    }
+    file_off_ += frame.size();
+  }
+  last_appended_ = next_seq_++;
+  ++appended_;
+  ++unsynced_;
+  bool notify = false;
+  if (fsync_every_ == 1) {
+    sync_locked(lock);
+  } else if (fsync_every_ > 1 && unsynced_ >= fsync_every_) {
+    unsynced_ = 0;
+    flush_requested_ = true;
+    notify = true;
+  }
+  const std::uint64_t acked = last_appended_;
+  lock.unlock();
+  // Notify after unlock: waking the flusher while holding the mutex would
+  // bounce it straight back to sleep (and on one core, preempt the
+  // committer mid-critical-section).
+  if (notify) cv_.notify_one();
+  return acked;
+}
+
+void WalWriter::sync_locked(std::unique_lock<std::mutex>& lock) {
+  // Fence the flusher first: its batch write must fully precede ours or
+  // the frames would interleave out of sequence order.
+  done_cv_.wait(lock, [&] { return !flush_inflight_; });
+  if (fd_ < 0 || dead_) return;
+  if (!batch_.empty()) {
+    std::string pending = std::move(batch_);
+    batch_.clear();
+    flush_requested_ = false;
+    ensure_capacity_locked(pending.size());
+    if (!write_at(fd_, pending.data(), pending.size(), file_off_)) {
+      dead_ = true;
+      return;
+    }
+    file_off_ += pending.size();
+  }
+  ::fdatasync(fd_);
+  last_synced_ = last_appended_;
+  unsynced_ = 0;
+  ++syncs_;
+}
+
+void WalWriter::sync() {
+  std::unique_lock lock(mutex_);
+  sync_locked(lock);
+}
+
+std::uint64_t WalWriter::rotate() {
+  std::unique_lock lock(mutex_);
+  const std::uint64_t barrier = last_appended_;
+  if (dead_) return barrier;
+  sync_locked(lock);
+  if (dead_) return barrier;
+  // Trim the padding so the closed segment ends at its last frame (the
+  // snapshot barrier makes this segment immutable from here on).
+  if (prealloc_end_ > file_off_) {
+    ::ftruncate(fd_, static_cast<off_t>(file_off_));
+    if (fsync_every_ > 0) ::fsync(fd_);
+  }
+  ::close(fd_);
+  fd_ = -1;
+  open_segment(barrier + 1);
+  return barrier;
+}
+
+bool WalWriter::alive() const {
+  std::scoped_lock lock(mutex_);
+  return !dead_;
+}
+
+std::uint64_t WalWriter::last_appended() const {
+  std::scoped_lock lock(mutex_);
+  return last_appended_;
+}
+
+std::uint64_t WalWriter::last_synced() const {
+  std::scoped_lock lock(mutex_);
+  return last_synced_;
+}
+
+std::uint64_t WalWriter::appended_commits() const {
+  std::scoped_lock lock(mutex_);
+  return appended_;
+}
+
+std::uint64_t WalWriter::syncs() const {
+  std::scoped_lock lock(mutex_);
+  return syncs_;
+}
+
+}  // namespace sdl::persist

@@ -17,6 +17,15 @@ Runtime::Runtime(RuntimeOptions options)
   consensus_ = std::make_unique<ConsensusManager>(*engine_, *scheduler_);
   scheduler_->set_consensus_manager(consensus_.get());
   if (options_.tracing) scheduler_->set_trace(&trace_);
+  if (options_.persist.enabled()) {
+    // Mutating open: recovers the directory's committed state, then loads
+    // it into the (still single-threaded) fresh dataspace before arming
+    // the engine's WAL hook. Geometry mismatches throw here.
+    persist_mgr_ = std::make_unique<persist::PersistManager>(
+        options_.persist, static_cast<std::uint32_t>(options_.shards));
+    persist::apply(space_, persist_mgr_->recovered());
+    engine_->set_persist(persist_mgr_.get());
+  }
 }
 
 FaultInjector& Runtime::enable_faults(std::uint64_t seed) {
@@ -26,6 +35,7 @@ FaultInjector& Runtime::enable_faults(std::uint64_t seed) {
     waits_.set_fault_injector(faults_.get());
     scheduler_->set_fault_injector(faults_.get());
     consensus_->set_fault_injector(faults_.get());
+    if (persist_mgr_) persist_mgr_->set_fault_injector(faults_.get());
   }
   return *faults_;
 }
@@ -36,6 +46,7 @@ void Runtime::disable_faults() {
   waits_.set_fault_injector(nullptr);
   scheduler_->set_fault_injector(nullptr);
   consensus_->set_fault_injector(nullptr);
+  if (persist_mgr_) persist_mgr_->set_fault_injector(nullptr);
   faults_.reset();
 }
 
@@ -62,12 +73,34 @@ TupleId Runtime::seed(Tuple t) {
   TupleId id;
   const IndexKey key = IndexKey::of(t);
   engine_->exclusive([&]() -> std::vector<IndexKey> {
+    Tuple wal_copy;
+    if (persist_mgr_) wal_copy = t;
     id = space_.insert(std::move(t), kEnvironmentProcess);
+    // Seeds are commits too: without this record a recovered run would
+    // silently lose its initial dataspace.
+    if (persist_mgr_) {
+      persist_mgr_->log_commit(kEnvironmentProcess, /*fire=*/0, {},
+                               {{id, std::move(wal_copy)}});
+    }
     return {key};
   });
   if (history_ && history_->enabled()) history_->record_seed(id);
   if (trace_.enabled()) trace_.record(TraceKind::SeedTuple, 0, "");
+  // Seeds count toward the snapshot interval like any other commit, but
+  // bypass the engine's post-commit hook — check here.
+  if (persist_mgr_ && persist_mgr_->snapshot_due()) snapshot();
   return id;
+}
+
+bool Runtime::snapshot() {
+  if (!persist_mgr_) return false;
+  return persist_mgr_->snapshot_now(
+      space_, [this](const std::function<void()>& fn) {
+        engine_->exclusive([&]() -> std::vector<IndexKey> {
+          fn();
+          return {};
+        });
+      });
 }
 
 Runtime::Stats Runtime::stats() const {

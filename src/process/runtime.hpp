@@ -18,6 +18,7 @@
 
 #include "check/check.hpp"
 #include "consensus/consensus.hpp"
+#include "persist/persist.hpp"
 #include "process/scheduler.hpp"
 
 namespace sdl {
@@ -31,6 +32,13 @@ struct RuntimeOptions {
   SchedulerOptions scheduler;
   bool tracing = false;
   std::size_t trace_capacity = 65536;
+  /// Durability (WAL + snapshots + crash recovery). Off unless
+  /// persist.dir is set; when on, the constructor recovers any committed
+  /// state already in the directory into the dataspace before the first
+  /// process runs, and every subsequent commit is logged. Process
+  /// continuations are NOT durable — only the dataspace is shared state
+  /// (§2.1); hosts re-spawn the society after recovery.
+  persist::PersistOptions persist;
 };
 
 class Runtime {
@@ -106,6 +114,14 @@ class Runtime {
   };
   [[nodiscard]] Stats stats() const;
 
+  /// Null when durability is off (options.persist.dir empty). Use for
+  /// explicit snapshots (persist()->snapshot_now via snapshot()), stats,
+  /// and what recovery reconstructed at startup.
+  [[nodiscard]] persist::PersistManager* persist() { return persist_mgr_.get(); }
+  /// Explicit snapshot barrier (no-op returning false when durability is
+  /// off). True when the snapshot became durable.
+  bool snapshot();
+
   [[nodiscard]] Dataspace& space() { return space_; }
   [[nodiscard]] Engine& engine() { return *engine_; }
   [[nodiscard]] WaitSet& waits() { return waits_; }
@@ -125,6 +141,7 @@ class Runtime {
   std::unique_ptr<ConsensusManager> consensus_;
   std::unique_ptr<FaultInjector> faults_;
   std::unique_ptr<HistoryRecorder> history_;
+  std::unique_ptr<persist::PersistManager> persist_mgr_;
 };
 
 }  // namespace sdl

@@ -121,6 +121,35 @@ void Dataspace::scan_all(const RecordFn& fn) const {
   }
 }
 
+void Dataspace::for_each_instance(
+    const std::function<void(const Record&)>& fn) const {
+  for (std::size_t si = 0; si < shard_count_; ++si) {
+    for (const auto& [key, bucket] : shards_[si].buckets) {
+      for (const Record& r : bucket.records) fn(r);
+    }
+  }
+}
+
+void Dataspace::restore(Tuple t, TupleId id) {
+  const IndexKey key = IndexKey::of(t);
+  Shard& shard = shards_[shard_of(key)];
+  // Advance the per-shard sequence past the restored id. Sequences are
+  // allocated as local * shard_count + shard_index, so any local strictly
+  // greater than id.sequence() / shard_count yields a larger sequence.
+  const std::uint64_t floor = id.sequence() / shard_count_ + 1;
+  if (shard.next_sequence.load(std::memory_order_relaxed) < floor) {
+    shard.next_sequence.store(floor, std::memory_order_relaxed);
+  }
+  Bucket& bucket = shard.buckets[key];
+  if (!bucket.position.emplace(id, bucket.records.size()).second) {
+    throw std::logic_error("Dataspace::restore: id already resident: " +
+                           id.to_string());
+  }
+  if (t.arity() >= 2) bucket.by_second[t[1].hash()].push_back(id);
+  bucket.records.push_back(Record{id, std::move(t)});
+  Shard::bump(shard.live);
+}
+
 std::size_t Dataspace::size() const {
   std::uint64_t n = 0;
   for (std::size_t si = 0; si < shard_count_; ++si) {

@@ -126,6 +126,21 @@ class Dataspace {
   /// Visits every record (caller must hold every shard lock).
   void scan_all(const RecordFn& fn) const;
 
+  /// Full-space walk for serialization (snapshots): visits every record,
+  /// no early-stop, no scan-counter noise. Caller must hold every shard
+  /// lock (the persistence layer runs it inside Engine::exclusive).
+  void for_each_instance(const std::function<void(const Record&)>& fn) const;
+
+  /// Re-inserts an instance under its ORIGINAL id — the recovery path.
+  /// The shard's sequence counter is advanced past the id so instances
+  /// asserted after recovery can never collide with restored ones; this
+  /// guarantee requires the dataspace to have the same shard_count the id
+  /// was created under (the durable formats stamp it; recovery verifies).
+  /// Throws if the id is already resident. Caller must hold the lock for
+  /// shard_of(IndexKey::of(t)) EXCLUSIVELY. Bumps `live` but not the
+  /// assert counter: the instance was counted when first asserted.
+  void restore(Tuple t, TupleId id);
+
   /// Number of resident tuple instances (approximate under concurrency:
   /// exact when the caller holds all shard locks).
   [[nodiscard]] std::size_t size() const;

@@ -6,6 +6,8 @@
 #include <thread>
 #include <unordered_set>
 
+#include "persist/persist.hpp"
+
 namespace sdl {
 
 QueryOutcome Engine::evaluate_query(const Transaction& txn, Env& env,
@@ -66,11 +68,37 @@ void Engine::record_history(ProcessId owner, const Transaction& txn,
                           std::move(retracts), asserted, txn.to_string());
 }
 
+void Engine::record_wal(ProcessId owner, const DurableEffects& durable) {
+  if (persist_ == nullptr) return;
+  if (durable.retracts.empty() && durable.asserts.empty()) return;
+  persist_->log_commit(owner, /*fire=*/0, durable.retracts, durable.asserts);
+}
+
+Engine::DurableEffects& Engine::durable_scratch() {
+  // The WAL layer only reads the effect set, so each worker reuses one
+  // buffer — per-commit vector allocations are commit latency (E18).
+  static thread_local DurableEffects scratch;
+  scratch.retracts.clear();
+  scratch.asserts.clear();
+  return scratch;
+}
+
+void Engine::maybe_snapshot_after_commit() {
+  if (persist_ == nullptr || !persist_->snapshot_due()) return;
+  persist_->maybe_snapshot(space_, [this](const std::function<void()>& fn) {
+    exclusive([&]() -> std::vector<IndexKey> {
+      fn();
+      return {};
+    });
+  });
+}
+
 std::vector<IndexKey> Engine::apply_effects(const Transaction& txn,
                                             const QueryOutcome& outcome,
                                             ProcessId owner, const View* view,
                                             std::vector<TupleId>& asserted,
-                                            bool tolerate_missing_retract) {
+                                            bool tolerate_missing_retract,
+                                            DurableEffects* durable) {
   // Atomicity: materialize every assertion FIRST. A throwing field
   // expression (division by zero, a host function failing) must abort the
   // transaction with the dataspace untouched — "transactions ... either
@@ -107,12 +135,18 @@ std::vector<IndexKey> Engine::apply_effects(const Transaction& txn,
         throw std::logic_error("sdl::Engine: retraction target vanished");
       }
       touched.push_back(key);
+      if (durable != nullptr) durable->retracts.push_back(id);
     }
   }
 
   for (Tuple& t : to_insert) {
     const IndexKey key = IndexKey::of(t);
-    asserted.push_back(space_.insert(std::move(t), owner));
+    // The WAL needs the tuple after insert() consumes it — copy first.
+    Tuple wal_copy;
+    if (durable != nullptr) wal_copy = t;
+    const TupleId id = space_.insert(std::move(t), owner);
+    asserted.push_back(id);
+    if (durable != nullptr) durable->asserts.emplace_back(id, std::move(wal_copy));
     touched.push_back(key);
   }
   return touched;
@@ -170,15 +204,20 @@ TxnResult GlobalLockEngine::execute(const Transaction& txn, Env& env,
     if (inject_commit_fault(txn, outcome.success)) {
       result.injected_fault = true;  // effects withheld; retry is safe
     } else if (outcome.success) {
-      touched = apply_effects(txn, outcome, owner, view, result.asserted);
+      DurableEffects& durable = durable_scratch();
+      touched = apply_effects(txn, outcome, owner, view, result.asserted,
+                              /*tolerate_missing_retract=*/false,
+                              persist_ != nullptr ? &durable : nullptr);
       result.success = true;
       record_history(owner, txn, outcome, result.asserted);
+      record_wal(owner, durable);
       result.matches = std::move(outcome.matches);
     }
   }
   if (result.success) {
     stats_.commits.add();
     if (!touched.empty()) waits_.publish_batch(std::move(touched));
+    maybe_snapshot_after_commit();
   } else {
     stats_.failures.add();
   }
@@ -343,9 +382,12 @@ TxnResult ShardedEngine::execute(const Transaction& txn, Env& env,
                         sabotage_->drop_effects.load(std::memory_order_relaxed);
       const bool split = sabotage_ != nullptr &&
                          sabotage_->split_2pl.load(std::memory_order_relaxed);
+      DurableEffects& durable = durable_scratch();
+      auto* durable_out = persist_ != nullptr ? &durable : nullptr;
       if (drop) {
         // Torn commit: success is reported (and recorded below, with the
-        // intended retract set) but nothing reaches the dataspace.
+        // intended retract set) but nothing reaches the dataspace — and
+        // nothing reaches the WAL, which logs only applied effects.
       } else if (split) {
         // Break strict 2PL: drop every lock between evaluation and
         // application, widen the unprotected window, then re-lock and
@@ -355,10 +397,12 @@ TxnResult ShardedEngine::execute(const Transaction& txn, Env& env,
         std::this_thread::sleep_for(std::chrono::microseconds(100));
         acquire(plan, held);
         touched = apply_effects(txn, outcome, owner, view, result.asserted,
-                                /*tolerate_missing_retract=*/true);
+                                /*tolerate_missing_retract=*/true, durable_out);
       } else {
-        touched = apply_effects(txn, outcome, owner, view, result.asserted);
+        touched = apply_effects(txn, outcome, owner, view, result.asserted,
+                                /*tolerate_missing_retract=*/false, durable_out);
       }
+      record_wal(owner, durable);
     }
     result.success = true;
     record_history(owner, txn, outcome, result.asserted);
@@ -370,6 +414,7 @@ TxnResult ShardedEngine::execute(const Transaction& txn, Env& env,
   if (result.success) {
     stats_.commits.add();
     if (!touched.empty()) waits_.publish_batch(std::move(touched));
+    maybe_snapshot_after_commit();
   } else {
     stats_.failures.add();
   }

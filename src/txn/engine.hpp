@@ -30,6 +30,10 @@
 
 namespace sdl {
 
+namespace persist {
+class PersistManager;
+}
+
 /// Test-only correctness sabotage, for the mutation self-test that proves
 /// the serializability checker actually detects broken isolation (ISSUE 3
 /// satellite). Honored by ShardedEngine only; both mutations keep the
@@ -127,6 +131,22 @@ class Engine {
   /// only; the reference GlobalLockEngine stays unbroken by construction.
   void set_sabotage(EngineSabotage* s) { sabotage_ = s; }
 
+  /// The effect set apply_effects ACTUALLY applied, in WAL form — the
+  /// retracted instance ids and the asserted (id, tuple) pairs. Collected
+  /// only when durability is armed (the tuple copies are the cost). Public
+  /// because the consensus manager builds one for its composite record.
+  struct DurableEffects {
+    std::vector<TupleId> retracts;
+    std::vector<std::pair<TupleId, Tuple>> asserts;
+  };
+
+  /// Arms the durability subsystem (null disables). When armed, every
+  /// effectful commit logs its effect set to the WAL while the commit's
+  /// locks are held, and a snapshot runs when one falls due. Call while
+  /// no transactions are in flight.
+  void set_persist(persist::PersistManager* p) { persist_ = p; }
+  [[nodiscard]] persist::PersistManager* persist() const { return persist_; }
+
   /// Builds the WaitSet interest for a transaction's read set (call with
   /// locals cleared — done internally).
   [[nodiscard]] WaitSet::Interest interest_of(const Transaction& txn, Env& env) const;
@@ -141,7 +161,8 @@ class Engine {
   /// Shared commit path: applies `outcome`'s retractions (deduped across
   /// matches) then the assertion templates per match, export-filtered by
   /// `view`. Must be called with sufficient locks held. Returns touched
-  /// keys; appends created ids to `asserted`.
+  /// keys; appends created ids to `asserted`; fills `durable` (when
+  /// non-null) with the applied effect set for the WAL.
   /// `tolerate_missing_retract` is for the split_2pl sabotage path only:
   /// with the 2PL window broken a retraction target may legitimately have
   /// been consumed by a racing commit, and the point of the exercise is to
@@ -150,7 +171,8 @@ class Engine {
                                       const QueryOutcome& outcome, ProcessId owner,
                                       const View* view,
                                       std::vector<TupleId>& asserted,
-                                      bool tolerate_missing_retract = false);
+                                      bool tolerate_missing_retract = false,
+                                      DurableEffects* durable = nullptr);
 
   /// Records one commit with the history recorder, when armed. MUST be
   /// called with the commit's locks still held (the sequence number is
@@ -167,6 +189,18 @@ class Engine {
   [[nodiscard]] bool inject_commit_fault(const Transaction& txn,
                                          bool query_succeeded);
 
+  /// Logs one commit's applied effect set to the WAL, when durability is
+  /// armed. MUST be called with the commit's locks still held — the WAL
+  /// sequence assigned inside is the recovery-order witness (wal.hpp).
+  void record_wal(ProcessId owner, const DurableEffects& durable);
+  /// Cleared per-worker reusable effect-set buffer (the WAL layer only
+  /// reads it, so per-commit allocations would be pure waste).
+  static DurableEffects& durable_scratch();
+
+  /// Post-publish hook (no locks held): runs the snapshot barrier
+  /// protocol when the configured snapshot interval has elapsed.
+  void maybe_snapshot_after_commit();
+
   Dataspace& space_;
   WaitSet& waits_;
   const FunctionRegistry* fns_;
@@ -174,6 +208,7 @@ class Engine {
   FaultInjector* faults_ = nullptr;
   HistoryRecorder* history_ = nullptr;
   EngineSabotage* sabotage_ = nullptr;
+  persist::PersistManager* persist_ = nullptr;
 };
 
 /// Blocks the calling OS thread until `txn` commits — the delayed ('=>')

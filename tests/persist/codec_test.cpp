@@ -1,0 +1,146 @@
+// Binary codec: roundtrips, the durable-format invariants (little-endian,
+// atoms by spelling), and the failure tolerance the truncate-at-first-
+// corrupt recovery policy depends on.
+#include "core/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace sdl {
+namespace {
+
+TEST(CodecTest, FixedWidthLittleEndian) {
+  std::string out;
+  codec::put_u32(out, 0x01020304u);
+  codec::put_u64(out, 0x0102030405060708ull);
+  ASSERT_EQ(out.size(), 12u);
+  EXPECT_EQ(static_cast<unsigned char>(out[0]), 0x04);
+  EXPECT_EQ(static_cast<unsigned char>(out[3]), 0x01);
+  EXPECT_EQ(static_cast<unsigned char>(out[4]), 0x08);
+  EXPECT_EQ(static_cast<unsigned char>(out[11]), 0x01);
+  codec::Reader r(out);
+  EXPECT_EQ(r.get_u32(), 0x01020304u);
+  EXPECT_EQ(r.get_u64(), 0x0102030405060708ull);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(CodecTest, VarintBoundaries) {
+  const std::uint64_t cases[] = {0,     1,     127,
+                                 128,   16383, 16384,
+                                 std::numeric_limits<std::uint64_t>::max()};
+  for (const std::uint64_t v : cases) {
+    std::string out;
+    codec::put_varint(out, v);
+    codec::Reader r(out);
+    EXPECT_EQ(r.get_varint(), v);
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r.at_end()) << v;
+  }
+}
+
+TEST(CodecTest, SignedVarintZigzag) {
+  for (const std::int64_t v :
+       {std::int64_t{0}, std::int64_t{-1}, std::int64_t{1},
+        std::int64_t{-1000000}, std::numeric_limits<std::int64_t>::min(),
+        std::numeric_limits<std::int64_t>::max()}) {
+    std::string out;
+    codec::put_svarint(out, v);
+    codec::Reader r(out);
+    EXPECT_EQ(r.get_svarint(), v);
+    EXPECT_TRUE(r.ok());
+  }
+  // Small magnitudes stay small on the wire (the reason for zigzag).
+  std::string out;
+  codec::put_svarint(out, -3);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(CodecTest, ValueRoundtripEveryKind) {
+  const Value values[] = {Value(),        Value(true),   Value(false),
+                          Value(-42),     Value(std::int64_t{1234567890123}),
+                          Value(3.25),    Value::atom("chopstick"),
+                          Value(std::string("embedded\0byte", 13))};
+  for (const Value& v : values) {
+    std::string out;
+    codec::put_value(out, v);
+    codec::Reader r(out);
+    const Value back = r.get_value();
+    EXPECT_TRUE(r.ok()) << v.to_string();
+    EXPECT_EQ(back, v) << v.to_string();
+  }
+}
+
+TEST(CodecTest, AtomsSerializedBySpelling) {
+  // The atom's intern id must NOT appear on the wire — only its spelling,
+  // so a WAL replays in a process with a different intern order.
+  std::string out;
+  codec::put_value(out, Value::atom("philosopher"));
+  EXPECT_NE(out.find("philosopher"), std::string::npos);
+}
+
+TEST(CodecTest, TupleRoundtrip) {
+  const Tuple t = tup("job", 7, "payload", 3.5);
+  std::string out;
+  codec::put_tuple(out, t);
+  codec::Reader r(out);
+  const Tuple back = r.get_tuple();
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(back, t);
+
+  const Tuple empty = tup();
+  out.clear();
+  codec::put_tuple(out, empty);
+  codec::Reader r2(out);
+  EXPECT_EQ(r2.get_tuple(), empty);
+  EXPECT_TRUE(r2.ok());
+}
+
+TEST(CodecTest, TruncatedInputNeverThrows) {
+  std::string out;
+  codec::put_tuple(out, tup("alpha", 1, "beta", 2.5, "a long trailing string"));
+  // Every proper prefix must decode to ok=false without crashing.
+  for (std::size_t cut = 0; cut < out.size(); ++cut) {
+    codec::Reader r(out.data(), cut);
+    (void)r.get_tuple();
+    EXPECT_FALSE(r.ok()) << "prefix of " << cut << " bytes decoded as whole";
+  }
+  codec::Reader whole(out);
+  (void)whole.get_tuple();
+  EXPECT_TRUE(whole.ok());
+}
+
+TEST(CodecTest, CorruptArityCannotBalloonAllocation) {
+  // A tuple claiming 2^60 fields in a 3-byte buffer must fail cleanly
+  // instead of reserving petabytes.
+  std::string out;
+  codec::put_varint(out, 1ull << 60);
+  codec::Reader r(out);
+  (void)r.get_tuple();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CodecTest, ReaderGettersAfterFailureReturnDefaults) {
+  codec::Reader r("", 0);
+  EXPECT_EQ(r.get_u32(), 0u);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.get_varint(), 0u);     // still false, still total
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_TRUE(r.get_value().is_nil());
+}
+
+TEST(CodecTest, Crc32MatchesIeeeReference) {
+  const char* check = "123456789";
+  EXPECT_EQ(codec::crc32(check, 9), 0xCBF43926u);
+  // Chaining over a split buffer equals one pass.
+  const std::uint32_t split = codec::crc32(check + 4, 5, codec::crc32(check, 4));
+  EXPECT_EQ(split, 0xCBF43926u);
+  // Single-bit damage is detected.
+  std::string data(check);
+  data[3] ^= 0x01;
+  EXPECT_NE(codec::crc32(data.data(), data.size()), 0xCBF43926u);
+}
+
+}  // namespace
+}  // namespace sdl

@@ -1,0 +1,259 @@
+// Crash recovery end-to-end: a Runtime with durability on, killed and
+// reopened, must come back with EXACTLY the committed dataspace — across
+// plain restarts, snapshots, torn WAL tails, and crashed snapshot writes.
+// Every scenario also closes the loop with the ISSUE 3 checker:
+// verify_recovery replays the surviving WAL prefix and proves the
+// recovered state is its serial replay.
+#include "persist/recovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+
+#include "persist/persist.hpp"
+#include "process/runtime.hpp"
+
+namespace sdl {
+namespace {
+
+namespace fs = std::filesystem;
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  std::string dir;
+  SymbolTable st;
+  Env env;
+
+  void SetUp() override {
+    dir = ::testing::TempDir() + "sdl_recovery_" +
+          ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(dir);
+  }
+  void TearDown() override { fs::remove_all(dir); }
+
+  RuntimeOptions opts(std::uint64_t fsync_every = 1,
+                      std::uint64_t snapshot_every = 0) {
+    RuntimeOptions o;
+    o.persist.dir = dir;
+    o.persist.fsync_every = fsync_every;
+    o.persist.snapshot_every = snapshot_every;
+    return o;
+  }
+
+  Transaction prep(TxnBuilder b) {
+    Transaction t = b.build();
+    t.resolve(st);
+    env.resize(static_cast<std::size_t>(st.size()));
+    return t;
+  }
+
+  /// Moves a job tuple to done: ∃a : <job,a>! → (done, a).
+  Transaction consume_job() {
+    return prep(TxnBuilder()
+                    .exists({"a"})
+                    .match(pat({A("job"), V("a")}), true)
+                    .assert_tuple({lit(Value::atom("done")), evar("a")}));
+  }
+
+  static std::vector<Record> sorted_state(Runtime& rt) {
+    return rt.space().snapshot();  // sorted by (tuple, id)
+  }
+
+  static void expect_same_state(const std::vector<Record>& a,
+                                const std::vector<Record>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id) << "instance " << i;
+      EXPECT_EQ(a[i].tuple, b[i].tuple) << "instance " << i;
+    }
+  }
+};
+
+TEST_F(RecoveryTest, EmptyDirectoryIsAFreshStart) {
+  const persist::RecoveredState state = persist::replay(dir);
+  EXPECT_EQ(state.shard_count, 0u);
+  EXPECT_TRUE(state.live.empty());
+  EXPECT_TRUE(persist::verify_recovery(state).ok());
+}
+
+TEST_F(RecoveryTest, RestartRecoversExactCommittedState) {
+  std::vector<Record> before;
+  {
+    Runtime rt(opts());
+    for (int i = 0; i < 8; ++i) rt.seed(tup("job", i));
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(rt.execute(consume_job(), env).success);
+    }
+    before = sorted_state(rt);
+    ASSERT_EQ(before.size(), 8u);
+  }
+  // The "crash": the runtime is gone; only the directory remains.
+  const persist::RecoveredState state = persist::replay(dir);
+  EXPECT_EQ(state.shard_count, 64u);
+  EXPECT_EQ(state.commits.size(), 11u) << "8 seeds + 3 transactions";
+  EXPECT_TRUE(persist::verify_recovery(state).ok());
+
+  Runtime rt2(opts());
+  expect_same_state(sorted_state(rt2), before);
+  // Which of the 8 jobs the 3 consumes picked is schedule-defined, but the
+  // recovered tallies must match: 5 jobs left, 3 done markers.
+  std::size_t jobs = 0, dones = 0;
+  for (int i = 0; i < 8; ++i) {
+    jobs += rt2.space().count(tup("job", i));
+    dones += rt2.space().count(tup("done", i));
+  }
+  EXPECT_EQ(jobs, 5u);
+  EXPECT_EQ(dones, 3u);
+}
+
+TEST_F(RecoveryTest, RecoveredIdsNeverCollideWithFreshOnes) {
+  {
+    Runtime rt(opts());
+    for (int i = 0; i < 50; ++i) rt.seed(tup("job", i));
+  }
+  Runtime rt2(opts());
+  for (int i = 50; i < 100; ++i) rt2.seed(tup("job", i));
+  const std::vector<Record> all = sorted_state(rt2);
+  ASSERT_EQ(all.size(), 100u);
+  std::set<std::uint64_t> ids;
+  for (const Record& r : all) ids.insert(r.id.bits());
+  EXPECT_EQ(ids.size(), 100u) << "restored and fresh TupleIds must be disjoint";
+}
+
+TEST_F(RecoveryTest, SnapshotTruncatesLogAndRecoversThroughIt) {
+  std::vector<Record> before;
+  {
+    Runtime rt(opts());
+    for (int i = 0; i < 6; ++i) rt.seed(tup("job", i));
+    ASSERT_TRUE(rt.snapshot());
+    // Commits after the barrier land in the fresh segment and must be
+    // replayed ON TOP of the snapshot at recovery.
+    ASSERT_TRUE(rt.execute(consume_job(), env).success);
+    rt.seed(tup("late", 1));
+    before = sorted_state(rt);
+    ASSERT_EQ(rt.persist()->stats().snapshots_written, 1u);
+  }
+  // Exactly one snapshot and one (post-barrier) segment remain on disk.
+  std::size_t snaps = 0, wals = 0;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    const std::string name = e.path().filename().string();
+    snaps += name.ends_with(".snap");
+    wals += name.ends_with(".wal");
+  }
+  EXPECT_EQ(snaps, 1u);
+  EXPECT_EQ(wals, 1u) << "pre-barrier segments must be gone";
+
+  const persist::RecoveredState state = persist::replay(dir);
+  EXPECT_TRUE(state.used_snapshot);
+  EXPECT_EQ(state.snapshot_barrier, 6u);
+  EXPECT_EQ(state.commits.size(), 2u) << "only post-barrier commits replay";
+  EXPECT_TRUE(persist::verify_recovery(state).ok());
+
+  Runtime rt2(opts());
+  expect_same_state(sorted_state(rt2), before);
+}
+
+TEST_F(RecoveryTest, AutomaticSnapshotsTriggerOnCommitInterval) {
+  {
+    Runtime rt(opts(/*fsync_every=*/1, /*snapshot_every=*/4));
+    for (int i = 0; i < 10; ++i) rt.seed(tup("job", i));
+    EXPECT_GE(rt.persist()->stats().snapshots_written, 2u);
+  }
+  const persist::RecoveredState state = persist::replay(dir);
+  EXPECT_TRUE(state.used_snapshot);
+  EXPECT_TRUE(persist::verify_recovery(state).ok());
+  Runtime rt2(opts());
+  EXPECT_EQ(rt2.space().size(), 10u);
+}
+
+TEST_F(RecoveryTest, TornWalTailLosesOnlyTheUnacknowledgedCommit) {
+  std::vector<Record> acked;
+  {
+    Runtime rt(opts());
+    for (int i = 0; i < 5; ++i) rt.seed(tup("job", i));
+    ASSERT_TRUE(rt.execute(consume_job(), env).success);
+    acked = sorted_state(rt);
+
+    // Crash mid-append: the next commit applies in memory but tears on
+    // disk and is never acknowledged.
+    rt.enable_faults(42).arm(FaultPoint::WalAppend, FaultAction::Kill, 1000, 1);
+    ASSERT_TRUE(rt.execute(consume_job(), env).success)
+        << "in-memory society continues past the dead disk";
+    EXPECT_FALSE(rt.persist()->wal_alive());
+    EXPECT_NE(sorted_state(rt).size(), 0u);
+  }
+  const persist::RecoveredState state = persist::replay(dir);
+  EXPECT_EQ(state.commits.size(), 6u) << "the torn commit must not replay";
+  EXPECT_TRUE(persist::verify_recovery(state).ok());
+
+  Runtime rt2(opts());
+  expect_same_state(sorted_state(rt2), acked);
+  EXPECT_EQ(rt2.space().count(tup("done", 0)) + rt2.space().count(tup("done", 1)) +
+                rt2.space().count(tup("done", 2)) + rt2.space().count(tup("done", 3)) +
+                rt2.space().count(tup("done", 4)),
+            1u)
+      << "exactly the one acknowledged consume survives";
+}
+
+TEST_F(RecoveryTest, CrashedSnapshotFallsBackToOlderChain) {
+  std::vector<Record> before;
+  {
+    Runtime rt(opts());
+    for (int i = 0; i < 4; ++i) rt.seed(tup("job", i));
+    rt.enable_faults(7).arm(FaultPoint::SnapshotWrite, FaultAction::Kill, 1000, 1);
+    EXPECT_FALSE(rt.snapshot()) << "killed snapshot must not report success";
+    rt.disable_faults();
+    // The WAL stayed alive: later commits are still durable.
+    rt.seed(tup("late", 9));
+    before = sorted_state(rt);
+    EXPECT_EQ(rt.persist()->stats().snapshot_failures, 1u);
+  }
+  const persist::RecoveredState state = persist::replay(dir);
+  EXPECT_FALSE(state.used_snapshot) << "no durable snapshot exists";
+  EXPECT_EQ(state.commits.size(), 5u);
+  EXPECT_TRUE(persist::verify_recovery(state).ok());
+
+  Runtime rt2(opts());
+  expect_same_state(sorted_state(rt2), before);
+  // The orphan .tmp from the crashed write was cleaned at reopen.
+  for (const auto& e : fs::directory_iterator(dir)) {
+    EXPECT_FALSE(e.path().string().ends_with(".tmp"));
+  }
+}
+
+TEST_F(RecoveryTest, GeometryMismatchRefusesToOpen) {
+  { Runtime rt(opts()); rt.seed(tup("job", 1)); }  // shards = 64 (default)
+  RuntimeOptions o = opts();
+  o.shards = 16;
+  EXPECT_THROW(Runtime{o}, std::invalid_argument);
+}
+
+TEST_F(RecoveryTest, ReadOnlyTransactionsAreNotLogged) {
+  Runtime rt(opts());
+  rt.seed(tup("job", 1));
+  const std::uint64_t logged = rt.persist()->stats().logged_commits;
+  Transaction peek = prep(TxnBuilder().exists({"x"}).match(
+      pat({A("job"), V("x")}), /*retract=*/false));
+  ASSERT_TRUE(rt.execute(peek, env).success);
+  EXPECT_EQ(rt.persist()->stats().logged_commits, logged)
+      << "a read-only commit has no effect set to log";
+}
+
+TEST_F(RecoveryTest, GroupCommitAcksSurviveRestart) {
+  // fsync_every=64 batches the syncs; on a CLEAN shutdown the writer
+  // flushes, so nothing may be lost.
+  std::vector<Record> before;
+  {
+    Runtime rt(opts(/*fsync_every=*/64));
+    for (int i = 0; i < 20; ++i) rt.seed(tup("job", i));
+    before = sorted_state(rt);
+    EXPECT_LT(rt.persist()->stats().syncs, 20u) << "syncs must be batched";
+  }
+  Runtime rt2(opts());
+  expect_same_state(sorted_state(rt2), before);
+}
+
+}  // namespace
+}  // namespace sdl
