@@ -90,18 +90,27 @@ bool PersistManager::snapshot_now(const Dataspace& space,
   // them. The durable files stay frozen at the crash point.
   if (!wal_->alive()) return false;
 
-  // Barrier: under total exclusion, capture every instance and rotate the
-  // WAL. Everything <= barrier is in the capture and in closed segments;
-  // everything after goes to the fresh segment. The expensive file write
-  // happens OUTSIDE the exclusion.
+  // Barrier: under total exclusion, rotate the WAL and capture every
+  // instance. Everything <= barrier is in the capture and in closed
+  // segments; everything after goes to the fresh segment. The expensive
+  // file write happens OUTSIDE the exclusion.
   std::vector<std::pair<TupleId, Tuple>> records;
   std::uint64_t barrier = 0;
+  bool writer_alive = true;
   exclusive([&] {
+    barrier = wal_->rotate();
+    // Re-check under the barrier: a committer may have killed the WAL
+    // between the alive() check above and this exclusive section (or
+    // rotate()'s own sync may have died), leaving an unacknowledged
+    // commit in memory that the capture would resurrect. Rotate no-ops on
+    // a dead writer, so aborting here touches no durable file.
+    writer_alive = wal_->alive();
+    if (!writer_alive) return;
     records.reserve(space.size());
     space.for_each_instance(
         [&](const Record& r) { records.emplace_back(r.id, r.tuple); });
-    barrier = wal_->rotate();
   });
+  if (!writer_alive) return false;
   commits_since_snapshot_.store(0, std::memory_order_relaxed);
 
   if (!write_snapshot(opts_.dir, shard_count_, barrier, records, faults_)) {

@@ -114,8 +114,21 @@ WalReadResult read_wal_segment(const std::string& path) {
   result.valid_bytes = off;
   while (off < data.size()) {
     if (data.size() - off < 8) {
-      result.corrupt = true;
-      result.detail = "torn frame header at offset " + std::to_string(off);
+      // A crash can land the file size anywhere inside the preallocated
+      // region, including 1-7 bytes past the last frame. All-zero short
+      // tails are that padding — clean end-of-log, same as a full [0][0]
+      // marker below. Only a NONZERO partial header is a torn write.
+      bool all_zero = true;
+      for (std::size_t i = off; i < data.size(); ++i) {
+        if (data[i] != '\0') {
+          all_zero = false;
+          break;
+        }
+      }
+      if (!all_zero) {
+        result.corrupt = true;
+        result.detail = "torn frame header at offset " + std::to_string(off);
+      }
       break;
     }
     codec::Reader fr(data.data() + off, 8);

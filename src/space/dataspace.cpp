@@ -133,12 +133,18 @@ void Dataspace::for_each_instance(
 void Dataspace::restore(Tuple t, TupleId id) {
   const IndexKey key = IndexKey::of(t);
   Shard& shard = shards_[shard_of(key)];
-  // Advance the per-shard sequence past the restored id. Sequences are
-  // allocated as local * shard_count + shard_index, so any local strictly
-  // greater than id.sequence() / shard_count yields a larger sequence.
+  // Advance the sequence counter of the id's ORIGINATING shard past the
+  // restored id. Sequences are allocated as local * shard_count +
+  // shard_index, so the originator is id.sequence() % shard_count — and
+  // only that shard can ever mint a sequence congruent to this one. The
+  // bucket shard (shard_of above) is NOT restart-stable: atom hashes use
+  // process-local intern ids, so after a real restart the same tuple can
+  // bucket elsewhere, and advancing the bucket shard's counter here would
+  // let a fresh insert re-mint this exact id.
+  Shard& origin = shards_[id.sequence() % shard_count_];
   const std::uint64_t floor = id.sequence() / shard_count_ + 1;
-  if (shard.next_sequence.load(std::memory_order_relaxed) < floor) {
-    shard.next_sequence.store(floor, std::memory_order_relaxed);
+  if (origin.next_sequence.load(std::memory_order_relaxed) < floor) {
+    origin.next_sequence.store(floor, std::memory_order_relaxed);
   }
   Bucket& bucket = shard.buckets[key];
   if (!bucket.position.emplace(id, bucket.records.size()).second) {

@@ -132,13 +132,17 @@ class Dataspace {
   void for_each_instance(const std::function<void(const Record&)>& fn) const;
 
   /// Re-inserts an instance under its ORIGINAL id — the recovery path.
-  /// The shard's sequence counter is advanced past the id so instances
-  /// asserted after recovery can never collide with restored ones; this
-  /// guarantee requires the dataspace to have the same shard_count the id
-  /// was created under (the durable formats stamp it; recovery verifies).
-  /// Throws if the id is already resident. Caller must hold the lock for
-  /// shard_of(IndexKey::of(t)) EXCLUSIVELY. Bumps `live` but not the
-  /// assert counter: the instance was counted when first asserted.
+  /// The sequence counter of the id's originating shard (recovered from
+  /// the id itself, NOT from the tuple's bucket — bucket placement hashes
+  /// atom intern ids and is not stable across a process restart) is
+  /// advanced past the id so instances asserted after recovery can never
+  /// collide with restored ones; this guarantee requires the dataspace to
+  /// have the same shard_count the id was created under (the durable
+  /// formats stamp it; recovery verifies). Throws if the id is already
+  /// resident. Recovery-only: the caller must be quiescent (it may touch
+  /// two shards — the bucket and the sequence originator). Bumps `live`
+  /// but not the assert counter: the instance was counted when first
+  /// asserted.
   void restore(Tuple t, TupleId id);
 
   /// Number of resident tuple instances (approximate under concurrency:

@@ -223,6 +223,43 @@ TEST_F(RecoveryTest, CrashedSnapshotFallsBackToOlderChain) {
   }
 }
 
+TEST_F(RecoveryTest, SnapshotAbortsWhenCommitterKillsWalBeforeBarrier) {
+  // TOCTOU race: a committer crashes the WAL after snapshot_now's entry
+  // alive() check but before the exclusive barrier. The dead append was
+  // never acknowledged, yet its effects are in memory — a snapshot taken
+  // now would resurrect them. snapshot_now must re-check under the
+  // barrier, abort, and leave every durable file frozen at the crash.
+  persist::PersistOptions po;
+  po.dir = dir;
+  po.fsync_every = 1;
+  persist::PersistManager pm(po, /*shard_count=*/16);
+  Dataspace space(16);
+  const TupleId acked = space.insert(tup("job", 1), 1);
+  ASSERT_NE(pm.log_commit(1, 0, {}, {{acked, tup("job", 1)}}), 0u);
+
+  FaultInjector faults(99);
+  pm.set_fault_injector(&faults);
+  auto racy_exclusive = [&](const std::function<void()>& fn) {
+    // The racing committer lands just before exclusion takes effect.
+    faults.arm(FaultPoint::WalAppend, FaultAction::Kill, 1000, 1);
+    const TupleId torn = space.insert(tup("torn", 2), 1);
+    EXPECT_EQ(pm.log_commit(1, 0, {}, {{torn, tup("torn", 2)}}), 0u);
+    EXPECT_FALSE(pm.wal_alive());
+    fn();
+  };
+  EXPECT_FALSE(pm.snapshot_now(space, racy_exclusive))
+      << "snapshot over a writer that died before the barrier must abort";
+
+  // Frozen at the crash point: no snapshot written, the WAL chain intact,
+  // and recovery sees exactly the acknowledged commit.
+  const persist::RecoveredState state = persist::replay(dir);
+  EXPECT_FALSE(state.used_snapshot);
+  EXPECT_EQ(state.commits.size(), 1u);
+  ASSERT_EQ(state.live.size(), 1u);
+  EXPECT_EQ(state.live[0].second, tup("job", 1));
+  EXPECT_TRUE(persist::verify_recovery(state).ok());
+}
+
 TEST_F(RecoveryTest, GeometryMismatchRefusesToOpen) {
   { Runtime rt(opts()); rt.seed(tup("job", 1)); }  // shards = 64 (default)
   RuntimeOptions o = opts();

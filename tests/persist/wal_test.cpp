@@ -160,6 +160,40 @@ TEST_F(WalTest, DetectsBitrotInsideRecord) {
   EXPECT_EQ(r.commits.size(), 3u) << "clean prefix survives the flip";
 }
 
+TEST_F(WalTest, ShortZeroTailIsCleanPaddingNotCorruption) {
+  // A crash can leave the file size anywhere inside the preallocated
+  // region, including 1-7 zero bytes past the last frame — too short for
+  // the [0][0] end-of-log marker. That tail is padding, not a torn write:
+  // the reader must report a clean log with every commit intact.
+  std::string seg;
+  {
+    WalWriter w(dir, 16, 1, 1);
+    seg = w.segment_path();
+    for (int i = 0; i < 3; ++i) w.append(1, 0, {}, {{TupleId(1, 60u + i), tup("p", i)}});
+  }
+  const std::string whole = slurp(seg);
+  const std::string padded = dir + "/padded.bin";
+  for (std::size_t pad = 1; pad <= 7; ++pad) {
+    std::ofstream(padded, std::ios::binary | std::ios::trunc)
+        << whole << std::string(pad, '\0');
+    const WalReadResult r = read_wal_segment(padded);
+    ASSERT_TRUE(r.header_ok) << "pad " << pad;
+    EXPECT_FALSE(r.corrupt) << "pad " << pad
+                            << ": zero padding mislabeled as torn";
+    EXPECT_EQ(r.commits.size(), 3u) << "pad " << pad;
+    EXPECT_EQ(r.valid_bytes, whole.size()) << "pad " << pad;
+
+    // A NONZERO partial header of the same length IS a torn write.
+    std::string torn_tail(pad, '\0');
+    torn_tail[0] = '\x2a';
+    std::ofstream(padded, std::ios::binary | std::ios::trunc)
+        << whole << torn_tail;
+    const WalReadResult torn = read_wal_segment(padded);
+    EXPECT_TRUE(torn.corrupt) << "pad " << pad;
+    EXPECT_EQ(torn.commits.size(), 3u) << "pad " << pad;
+  }
+}
+
 // ---- the torn-write property (ISSUE 4 satellite) ----
 //
 // For EVERY byte offset of a valid multi-record segment, the truncated

@@ -225,6 +225,34 @@ TEST(DataspaceTest, SecondIndexSurvivesSwapRemoveChurn) {
   }
 }
 
+TEST(DataspaceTest, RestoreAdvancesOriginatingShardNotBucketShard) {
+  // Across a real process restart atoms re-intern in replay order, so the
+  // same tuple can hash into a DIFFERENT bucket shard than the one that
+  // minted its id. The id itself encodes its minting shard
+  // (sequence % shard_count); restore must advance THAT shard's counter —
+  // advancing the bucket shard's would let a fresh insert re-mint the
+  // restored id. Simulate the restart by restoring under an id whose
+  // originating shard differs from the tuple's current bucket shard.
+  constexpr std::size_t kShards = 8;
+  Dataspace d(kShards);
+  const Tuple t = tup("job", 1);
+  const std::size_t bucket = d.shard_of(IndexKey::of(t));
+  const std::size_t origin = (bucket + 1) % kShards;
+  const TupleId restored(/*owner=*/3, /*sequence=*/origin);  // local 0
+  d.restore(t, restored);
+
+  // The first insert landing in the origin shard would re-mint sequence
+  // `origin` if restore had advanced the wrong counter.
+  for (int i = 0; i < 4096; ++i) {
+    const Tuple fresh = tup(i, i);
+    if (d.shard_of(IndexKey::of(fresh)) != origin) continue;
+    const TupleId id = d.insert(fresh, /*owner=*/3);
+    ASSERT_NE(id, restored) << "fresh insert re-minted a restored id";
+    break;
+  }
+  EXPECT_EQ(d.count(t), 1u);
+}
+
 TEST(DataspaceTest, ManyDistinctHeadsSpreadOverShards) {
   Dataspace d(16);
   std::unordered_set<std::size_t> shards;
