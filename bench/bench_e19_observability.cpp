@@ -1,0 +1,163 @@
+// E19 (observability overhead): cost of the SDL_OBS metrics instruments
+// on the hot paths, measured as matched pairs — the identical workload
+// with the instruments disabled (the default null-gated path) and enabled.
+//
+// Claim under test: the tentpole's cost model. Disabled, a transaction
+// pays one pointer null-check plus one relaxed flag load; enabled, it
+// pays a handful of steady_clock reads and striped relaxed increments —
+// which must stay within ~5% of the uninstrumented run (EXPERIMENTS E19).
+//
+// Two shapes, chosen to bracket the instrument density per unit of work:
+//   * E15's read-mostly engine mix (95:5 read:write over one bucket) —
+//     maximal instrument pressure: every operation is one transaction, so
+//     every operation crosses the txn-span, lock-wait and lock-hold
+//     timers;
+//   * E5's dataspace shape driven through the engine (constant-headed
+//     match over a 64-head space of range(0) tuples) — per-txn timer cost
+//     amortized over a real bucket scan, with the window scanned/admitted
+//     counters ticking per record.
+//
+// A third group prices the export path itself (to_prometheus / to_json /
+// summary on a populated registry) — read-side only, never on a hot path.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "workloads.hpp"
+
+namespace {
+
+using namespace sdl;
+using namespace sdl::bench;
+
+constexpr int kOpsPerThread = 4000;
+
+// E15 shape: read-mostly mix over one shared counter bucket.
+void run_read_mostly(benchmark::State& state, bool obs_on) {
+  const int threads = static_cast<int>(state.range(0));
+  obs::set_enabled(obs_on);
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    Dataspace space(64);
+    WaitSet waits;
+    FunctionRegistry fns;
+    ShardedEngine engine(space, waits, &fns);
+    obs::MetricsRegistry reg;
+    obs::RuntimeMetrics metrics(reg);
+    engine.set_metrics(&metrics);
+    space.insert(tup("c", 0), kEnvironmentProcess);
+    state.ResumeTiming();
+
+    {
+      std::vector<std::jthread> workers;
+      workers.reserve(static_cast<std::size_t>(threads));
+      for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+          SymbolTable st;
+          Transaction read = TxnBuilder()
+                                 .exists({"v"})
+                                 .match(pat({A("c"), V("v")}))
+                                 .build();
+          Transaction write = TxnBuilder(TxnType::Delayed)
+                                  .exists({"n"})
+                                  .match(pat({A("c"), V("n")}), true)
+                                  .assert_tuple({lit(Value::atom("c")),
+                                                 add(evar("n"), lit(1))})
+                                  .build();
+          read.resolve(st);
+          write.resolve(st);
+          Env env(static_cast<std::size_t>(st.size()));
+          for (int i = 0; i < kOpsPerThread; ++i) {
+            if (i % 100 < 95) {
+              benchmark::DoNotOptimize(
+                  engine.execute(read, env, static_cast<ProcessId>(t + 1)));
+            } else {
+              execute_blocking(engine, write, env,
+                               static_cast<ProcessId>(t + 1));
+            }
+          }
+        });
+      }
+    }
+  }
+
+  state.SetItemsProcessed(state.iterations() * threads * kOpsPerThread);
+  obs::set_enabled(false);
+}
+
+// E5 shape: constant-headed existential match through the engine over a
+// populated 64-head dataspace — the per-record window counters tick for
+// every bucket record the scan visits.
+void run_dataspace_match(benchmark::State& state, bool obs_on) {
+  const std::int64_t size = state.range(0);
+  obs::set_enabled(obs_on);
+
+  Dataspace space(64);
+  WaitSet waits;
+  FunctionRegistry fns;
+  ShardedEngine engine(space, waits, &fns);
+  obs::MetricsRegistry reg;
+  obs::RuntimeMetrics metrics(reg);
+  engine.set_metrics(&metrics);
+  for (std::int64_t i = 0; i < size; ++i) {
+    space.insert(tup(i % 64, i), kEnvironmentProcess);
+  }
+
+  SymbolTable st;
+  Transaction probe = TxnBuilder()
+                          .exists({"x"})
+                          .match(pat({C(7), V("x")}))
+                          .build();
+  probe.resolve(st);
+  Env env(static_cast<std::size_t>(st.size()));
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.execute(probe, env, 1));
+  }
+  state.SetItemsProcessed(state.iterations());
+  obs::set_enabled(false);
+}
+
+void BM_ReadMostly_ObsOff(benchmark::State& state) {
+  run_read_mostly(state, false);
+}
+void BM_ReadMostly_ObsOn(benchmark::State& state) {
+  run_read_mostly(state, true);
+}
+void BM_DataspaceMatch_ObsOff(benchmark::State& state) {
+  run_dataspace_match(state, false);
+}
+void BM_DataspaceMatch_ObsOn(benchmark::State& state) {
+  run_dataspace_match(state, true);
+}
+
+// Export-path cost on a registry populated like a real run's.
+void BM_Export(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  obs::RuntimeMetrics metrics(reg);
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    metrics.txn_total_ns->record(i * 37 % 100000);
+    metrics.txn_lock_wait_ns->record(i * 13 % 5000);
+  }
+  metrics.window_records_scanned->add(123456);
+  metrics.window_records_admitted->add(98765);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reg.to_prometheus());
+    benchmark::DoNotOptimize(reg.to_json());
+    benchmark::DoNotOptimize(reg.summary());
+  }
+  state.SetItemsProcessed(state.iterations() * 3);
+}
+
+BENCHMARK(BM_ReadMostly_ObsOff)->RangeMultiplier(2)->Range(1, 4)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_ReadMostly_ObsOn)->RangeMultiplier(2)->Range(1, 4)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_DataspaceMatch_ObsOff)->Arg(10000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_DataspaceMatch_ObsOn)->Arg(10000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Export)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

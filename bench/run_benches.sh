@@ -42,6 +42,7 @@ bench_names=(
   bench_e16_fault_sweep
   bench_e17_sim_explore
   bench_e18_durability
+  bench_e19_observability
 )
 
 benches=()

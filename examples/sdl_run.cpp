@@ -104,6 +104,11 @@ int main(int argc, char** argv) {
   if (stats) {
     std::cout << "-- stats --\n" << rt.stats().to_string();
   }
+  // Populated only when SDL_OBS is on: the nonzero-instrument digest of
+  // the metrics registry (per-txn spans, lock contention, window costs).
+  if (!report.metrics.empty()) {
+    std::cout << "-- metrics (SDL_OBS) --\n" << report.metrics;
+  }
   if (html_path != nullptr) {
     std::ofstream out(html_path);
     if (!out) {

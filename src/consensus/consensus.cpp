@@ -200,6 +200,15 @@ bool ConsensusManager::sweep_once() {
         }
         if (!all_ready) continue;
 
+        // Claim-to-fire span: from the first member claim to the last
+        // member resumed + the composite WAL record logged. Recorded only
+        // for components that actually fire (reverts and injected aborts
+        // are not fires).
+        obs::RuntimeMetrics* const obs_m =
+            (metrics_ != nullptr && obs::enabled()) ? metrics_ : nullptr;
+        const std::uint64_t t_claim0 =
+            obs_m != nullptr ? obs::now_ns() : 0;
+
         // ---- 4. Claim members. ----
         std::vector<Node*> claimed;
         bool claim_ok = true;
@@ -269,7 +278,8 @@ bool ConsensusManager::sweep_once() {
           for (const ConsensusOffer& offer : n->offers) {
             QueryOutcome outcome;
             if (p->view_ptr() != nullptr && !p->view_ptr()->imports_everything()) {
-              const WindowSource window(space, *p->view_ptr(), p->env, fns);
+              const WindowSource window(space, *p->view_ptr(), p->env, fns,
+                                        obs_m);
               outcome = offer.txn->query.evaluate(window, p->env, fns);
             } else {
               const DataspaceSource source(space);
@@ -413,6 +423,9 @@ bool ConsensusManager::sweep_once() {
                           durable.asserts);
         }
         fires_.fetch_add(1, std::memory_order_relaxed);
+        if (obs_m != nullptr) {
+          obs_m->consensus_claim_fire_ns->record(obs::now_ns() - t_claim0);
+        }
         fired_any = true;
       }
     });

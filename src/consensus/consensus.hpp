@@ -52,6 +52,10 @@ class ConsensusManager {
   /// chaos tests bound the fire budget instead.)
   void set_fault_injector(FaultInjector* f) { faults_ = f; }
 
+  /// Arms the claim-to-fire latency instrument (null disables; also
+  /// re-gated on the SDL_OBS runtime flag, once per fired component).
+  void set_metrics(obs::RuntimeMetrics* m) { metrics_ = m; }
+
   /// Consensus sets fired so far.
   [[nodiscard]] std::uint64_t fires() const {
     return fires_.load(std::memory_order_relaxed);
@@ -73,6 +77,7 @@ class ConsensusManager {
   Engine& engine_;
   Scheduler& scheduler_;
   FaultInjector* faults_ = nullptr;
+  obs::RuntimeMetrics* metrics_ = nullptr;
   std::atomic<bool> dirty_{false};
   std::atomic<bool> sweeping_{false};
   std::atomic<std::uint64_t> fires_{0};

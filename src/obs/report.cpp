@@ -1,0 +1,50 @@
+#include "obs/report.hpp"
+
+namespace sdl::obs {
+
+PeriodicReporter::PeriodicReporter(const MetricsRegistry& registry,
+                                   std::chrono::milliseconds interval,
+                                   Sink sink, Format format)
+    : registry_(registry),
+      interval_(interval),
+      sink_(std::move(sink)),
+      format_(format),
+      thread_([this] { loop(); }) {}
+
+PeriodicReporter::~PeriodicReporter() { stop(); }
+
+void PeriodicReporter::stop() {
+  {
+    std::scoped_lock lock(mutex_);
+    if (stopped_) return;
+    stopping_ = true;
+    stopped_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  sink_(render());  // final flush so short runs still report once
+}
+
+void PeriodicReporter::loop() {
+  std::unique_lock lock(mutex_);
+  while (!stopping_) {
+    if (cv_.wait_for(lock, interval_, [this] { return stopping_; })) break;
+    lock.unlock();
+    sink_(render());
+    lock.lock();
+  }
+}
+
+std::string PeriodicReporter::render() const {
+  switch (format_) {
+    case Format::Prometheus:
+      return registry_.to_prometheus();
+    case Format::Json:
+      return registry_.to_json();
+    case Format::Summary:
+    default:
+      return registry_.summary();
+  }
+}
+
+}  // namespace sdl::obs

@@ -1,0 +1,49 @@
+// Optional periodic reporter: a background thread that renders the
+// registry at a fixed interval and hands the text to a caller-supplied
+// sink (stderr, a file, a test probe). Entirely outside the hot paths —
+// exports read instruments with relaxed loads.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace sdl::obs {
+
+class PeriodicReporter {
+ public:
+  enum class Format { Summary, Prometheus, Json };
+  using Sink = std::function<void(const std::string&)>;
+
+  /// Starts reporting immediately; first report fires after one interval.
+  PeriodicReporter(const MetricsRegistry& registry,
+                   std::chrono::milliseconds interval, Sink sink,
+                   Format format = Format::Summary);
+  ~PeriodicReporter();
+
+  PeriodicReporter(const PeriodicReporter&) = delete;
+  PeriodicReporter& operator=(const PeriodicReporter&) = delete;
+
+  /// Stops the thread after flushing one final report.
+  void stop();
+
+ private:
+  void loop();
+  [[nodiscard]] std::string render() const;
+
+  const MetricsRegistry& registry_;
+  const std::chrono::milliseconds interval_;
+  const Sink sink_;
+  const Format format_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace sdl::obs

@@ -85,6 +85,11 @@ bool PersistManager::snapshot_now(const Dataspace& space,
                                   const ExclusiveRunner& exclusive) {
   std::scoped_lock lock(snapshot_mutex_);
   if (snapshots_dead_.load(std::memory_order_relaxed)) return false;
+  // Whole-protocol duration (barrier + capture + durable write + pruning),
+  // recorded only for snapshots that became durable.
+  obs::RuntimeMetrics* const obs_m =
+      (metrics_ != nullptr && obs::enabled()) ? metrics_ : nullptr;
+  const std::uint64_t t_snap0 = obs_m != nullptr ? obs::now_ns() : 0;
   // A dead WAL writer simulates a crashed disk: the in-memory state has
   // commits the log never acknowledged, and persisting it would resurrect
   // them. The durable files stay frozen at the crash point.
@@ -134,6 +139,7 @@ bool PersistManager::snapshot_now(const Dataspace& space,
         name != wal_segment_name(barrier + 1);
     if (old_snap || old_wal) ::unlink(entry.path().string().c_str());
   }
+  if (obs_m != nullptr) obs_m->snapshot_ns->record_since(t_snap0);
   return true;
 }
 
@@ -142,6 +148,11 @@ void PersistManager::sync() { wal_->sync(); }
 void PersistManager::set_fault_injector(FaultInjector* f) {
   faults_ = f;
   wal_->set_fault_injector(f);
+}
+
+void PersistManager::set_metrics(obs::RuntimeMetrics* m) {
+  metrics_ = m;
+  wal_->set_metrics(m);
 }
 
 PersistManager::Stats PersistManager::stats() const {

@@ -104,6 +104,10 @@ class PersistManager {
   /// Arms/disarms WalAppend + SnapshotWrite fault points (null disarms).
   void set_fault_injector(FaultInjector* f);
 
+  /// Arms the WAL append/flush and snapshot-duration instruments (null
+  /// disarms; also re-gated on the SDL_OBS runtime flag per operation).
+  void set_metrics(obs::RuntimeMetrics* m);
+
   [[nodiscard]] bool wal_alive() const { return wal_->alive(); }
 
   struct Stats {
@@ -127,6 +131,7 @@ class PersistManager {
   RecoveredState recovered_;
   std::unique_ptr<WalWriter> wal_;
   FaultInjector* faults_ = nullptr;
+  obs::RuntimeMetrics* metrics_ = nullptr;
 
   std::mutex snapshot_mutex_;  // one snapshot at a time
   std::atomic<std::uint64_t> commits_since_snapshot_{0};

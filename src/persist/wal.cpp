@@ -226,11 +226,15 @@ void WalWriter::flusher_main() {
       const int dupfd = ::dup(fd_);
       flush_inflight_ = true;
       lock.unlock();
+      obs::RuntimeMetrics* const obs_m =
+          (metrics_ != nullptr && obs::enabled()) ? metrics_ : nullptr;
+      const std::uint64_t t_flush0 = obs_m != nullptr ? obs::now_ns() : 0;
       bool ok = dupfd >= 0;
       if (ok) {
         ok = write_at(dupfd, pending.data(), pending.size(), off);
         if (ok) ::fdatasync(dupfd);
       }
+      if (ok && obs_m != nullptr) obs_m->wal_flush_ns->record_since(t_flush0);
       if (dupfd >= 0) ::close(dupfd);
       lock.lock();
       flush_inflight_ = false;
@@ -319,6 +323,12 @@ bool WalWriter::write_at(int fd, const char* data, std::size_t size,
 std::uint64_t WalWriter::append(
     ProcessId owner, std::uint64_t fire, const std::vector<TupleId>& retracts,
     const std::vector<std::pair<TupleId, Tuple>>& asserts) {
+  // Committer-side append latency: mutex wait + encode + write (and, for
+  // fsync_every == 1, the inline durable sync). Recorded only for
+  // acknowledged appends — the dead/killed paths are not the hot path.
+  obs::RuntimeMetrics* const obs_m =
+      (metrics_ != nullptr && obs::enabled()) ? metrics_ : nullptr;
+  const std::uint64_t t_append0 = obs_m != nullptr ? obs::now_ns() : 0;
   std::unique_lock lock(mutex_);
   if (dead_) return 0;
 
@@ -405,6 +415,7 @@ std::uint64_t WalWriter::append(
   }
   const std::uint64_t acked = last_appended_;
   lock.unlock();
+  if (obs_m != nullptr) obs_m->wal_append_ns->record_since(t_append0);
   // Notify after unlock: waking the flusher while holding the mutex would
   // bounce it straight back to sleep (and on one core, preempt the
   // committer mid-critical-section).
@@ -417,6 +428,9 @@ void WalWriter::sync_locked(std::unique_lock<std::mutex>& lock) {
   // the frames would interleave out of sequence order.
   done_cv_.wait(lock, [&] { return !flush_inflight_; });
   if (fd_ < 0 || dead_) return;
+  obs::RuntimeMetrics* const obs_m =
+      (metrics_ != nullptr && obs::enabled()) ? metrics_ : nullptr;
+  const std::uint64_t t_flush0 = obs_m != nullptr ? obs::now_ns() : 0;
   if (!batch_.empty()) {
     std::string pending = std::move(batch_);
     batch_.clear();
@@ -432,6 +446,7 @@ void WalWriter::sync_locked(std::unique_lock<std::mutex>& lock) {
   last_synced_ = last_appended_;
   unsynced_ = 0;
   ++syncs_;
+  if (obs_m != nullptr) obs_m->wal_flush_ns->record_since(t_flush0);
 }
 
 void WalWriter::sync() {

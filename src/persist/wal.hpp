@@ -51,6 +51,7 @@
 
 #include "core/tuple.hpp"
 #include "fault/fault.hpp"
+#include "obs/metrics.hpp"
 
 namespace sdl::persist {
 
@@ -130,6 +131,10 @@ class WalWriter {
   /// Arms the WalAppend injection point (null disables).
   void set_fault_injector(FaultInjector* f) { faults_ = f; }
 
+  /// Arms the append/flush latency instruments (null disables; also
+  /// re-gated on the SDL_OBS runtime flag, once per append/flush).
+  void set_metrics(obs::RuntimeMetrics* m) { metrics_ = m; }
+
  private:
   void open_segment(std::uint64_t start_seq);  // caller holds mutex_
   void sync_locked(std::unique_lock<std::mutex>& lock);
@@ -144,6 +149,7 @@ class WalWriter {
   const std::uint32_t shard_count_;
   const std::uint64_t fsync_every_;
   FaultInjector* faults_ = nullptr;
+  obs::RuntimeMetrics* metrics_ = nullptr;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;       // wakes the flusher at a batch boundary

@@ -199,6 +199,17 @@ class Process {
   bool has_deadline = false;
   std::chrono::steady_clock::time_point deadline{};
 
+  // --- observability stamps (guarded by state_mutex; written only while
+  //     the SDL_OBS instruments are armed, 0 = unstamped) ---
+  /// When finalize_park made the park effective, obs::now_ns().
+  std::uint64_t park_started_ns = 0;
+  /// When a wake / deadline expiry made the process Ready again. Left 0
+  /// by consensus resumes (they go Claimed → Ready, not through wake()).
+  std::uint64_t woke_at_ns = 0;
+  /// Stable copy of park_reason for begin_running's metrics read —
+  /// wake() resets park_reason to None before the redispatch.
+  ParkReason obs_park_reason = ParkReason::None;
+
   [[nodiscard]] const View* view_ptr() const {
     return view.has_value() ? &*view : nullptr;
   }

@@ -17,6 +17,14 @@ Runtime::Runtime(RuntimeOptions options)
   consensus_ = std::make_unique<ConsensusManager>(*engine_, *scheduler_);
   scheduler_->set_consensus_manager(consensus_.get());
   if (options_.tracing) scheduler_->set_trace(&trace_);
+  // Observability: instruments are always wired (the registry owns them),
+  // but record only while obs::enabled() — components re-check the flag
+  // once per operation, so the disabled cost is one pointer + one relaxed
+  // load per hot-path crossing.
+  engine_->set_metrics(&metrics_);
+  scheduler_->set_metrics(&metrics_);
+  consensus_->set_metrics(&metrics_);
+  register_gauges();
   if (options_.persist.enabled()) {
     // Mutating open: recovers the directory's committed state, then loads
     // it into the (still single-threaded) fresh dataspace before arming
@@ -25,7 +33,41 @@ Runtime::Runtime(RuntimeOptions options)
         options_.persist, static_cast<std::uint32_t>(options_.shards));
     persist::apply(space_, persist_mgr_->recovered());
     engine_->set_persist(persist_mgr_.get());
+    persist_mgr_->set_metrics(&metrics_);
   }
+}
+
+void Runtime::register_gauges() {
+  // Bridge the pre-existing stat pockets into the unified export as pull
+  // gauges: sampled at render time, zero cost on the hot paths.
+  metrics_registry_.gauge("sdl_tuples_resident",
+                          [this] { return space_.size(); });
+  metrics_registry_.gauge("sdl_tuples_asserted_total",
+                          [this] { return space_.stats().asserts; });
+  metrics_registry_.gauge("sdl_tuples_retracted_total",
+                          [this] { return space_.stats().retracts; });
+  metrics_registry_.gauge("sdl_txn_attempts_total",
+                          [this] { return engine_->stats().attempts.load(); });
+  metrics_registry_.gauge("sdl_txn_commits_total",
+                          [this] { return engine_->stats().commits.load(); });
+  metrics_registry_.gauge("sdl_txn_failures_total",
+                          [this] { return engine_->stats().failures.load(); });
+  metrics_registry_.gauge("sdl_wakes_delivered_total",
+                          [this] { return waits_.wakes_delivered(); });
+  metrics_registry_.gauge("sdl_processes_spawned_total",
+                          [this] { return scheduler_->total_spawned(); });
+  metrics_registry_.gauge("sdl_processes_completed_total",
+                          [this] { return scheduler_->total_completed(); });
+  metrics_registry_.gauge("sdl_consensus_sweeps_total",
+                          [this] { return consensus_->sweeps(); });
+  metrics_registry_.gauge("sdl_consensus_fires_total",
+                          [this] { return consensus_->fires(); });
+}
+
+RunReport Runtime::run() {
+  RunReport report = scheduler_->run();
+  if (obs::enabled()) report.metrics = metrics_registry_.summary();
+  return report;
 }
 
 FaultInjector& Runtime::enable_faults(std::uint64_t seed) {

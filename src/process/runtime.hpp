@@ -18,6 +18,7 @@
 
 #include "check/check.hpp"
 #include "consensus/consensus.hpp"
+#include "obs/metrics.hpp"
 #include "persist/persist.hpp"
 #include "process/scheduler.hpp"
 
@@ -64,8 +65,9 @@ class Runtime {
     return scheduler_->spawn(def_name, std::move(args));
   }
 
-  /// Drives the society to quiescence.
-  RunReport run() { return scheduler_->run(); }
+  /// Drives the society to quiescence. When the SDL_OBS flag is on, the
+  /// report's `metrics` field carries the registry's human summary.
+  RunReport run();
 
   /// Creates (or returns the existing) deterministic fault injector and
   /// threads it through every injection point — engine commit, WaitSet
@@ -114,6 +116,14 @@ class Runtime {
   };
   [[nodiscard]] Stats stats() const;
 
+  /// The observability registry (tentpole of this PR): always wired, but
+  /// instruments only record while the SDL_OBS runtime flag is on
+  /// (obs::enabled() / obs::set_enabled()). Pre-existing stat pockets
+  /// (engine, waits, scheduler, consensus, persist, space) are exposed as
+  /// gauges, so metrics().to_prometheus() / to_json() / summary() render
+  /// one unified export.
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_registry_; }
+
   /// Null when durability is off (options.persist.dir empty). Use for
   /// explicit snapshots (persist()->snapshot_now via snapshot()), stats,
   /// and what recovery reconstructed at startup.
@@ -131,8 +141,16 @@ class Runtime {
   [[nodiscard]] const RuntimeOptions& options() const { return options_; }
 
  private:
+  /// Registers the legacy stat-pocket gauges with metrics_registry_.
+  void register_gauges();
+
   RuntimeOptions options_;
   FunctionRegistry functions_;
+  // Declared before the components that hold RuntimeMetrics pointers, so
+  // the instruments outlive every hot path that might still flush into
+  // them during teardown.
+  obs::MetricsRegistry metrics_registry_;
+  obs::RuntimeMetrics metrics_{metrics_registry_};
   Dataspace space_;
   WaitSet waits_;
   TraceRecorder trace_;

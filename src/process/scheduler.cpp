@@ -195,6 +195,7 @@ void Scheduler::wake(ProcessId pid) {
       case RunState::Parked:
         p.state = RunState::Ready;
         p.park_reason = ParkReason::None;
+        if (obs_metrics() != nullptr) p.woke_at_ns = obs::now_ns();
         enqueue = true;
         break;
       case RunState::Running:
@@ -258,6 +259,23 @@ void Scheduler::wake_one_parked(std::uint64_t salt) {
   wake(victim);
 }
 
+obs::LatencyHistogram* Scheduler::park_histogram(obs::RuntimeMetrics* m,
+                                                 ParkReason reason) {
+  switch (reason) {
+    case ParkReason::DelayedTxn:
+      return m->park_delayed_txn_ns;
+    case ParkReason::Selection:
+      return m->park_selection_ns;
+    case ParkReason::Consensus:
+      return m->park_consensus_ns;
+    case ParkReason::Replication:
+      return m->park_replication_ns;
+    case ParkReason::None:
+      break;
+  }
+  return nullptr;
+}
+
 Process* Scheduler::begin_running(ProcessId pid) {
   std::scoped_lock society_lock(society_mutex_);
   auto it = society_.find(pid);
@@ -266,6 +284,29 @@ Process* Scheduler::begin_running(ProcessId pid) {
   {
     std::scoped_lock state_lock(p.state_mutex);
     assert(p.state == RunState::Ready);
+    // Deadline-staging invariant (audited; see finalize_park): every
+    // interpreter path that stages park_timeout_ms returns Parked
+    // immediately after, and finalize_park consumes-and-resets the staged
+    // value unconditionally — including when a pending wake cancels the
+    // park (the interpreter re-stages on its next park attempt). So a
+    // process can never reach dispatch with a stale staged timeout.
+    assert(p.park_timeout_ms == 0 &&
+           "staged park timeout must be consumed by finalize_park");
+    if (obs::RuntimeMetrics* const m = obs_metrics(); m != nullptr) {
+      const std::uint64_t now = obs::now_ns();
+      if (p.park_started_ns != 0) {
+        if (obs::LatencyHistogram* h = park_histogram(m, p.obs_park_reason)) {
+          h->record(now > p.park_started_ns ? now - p.park_started_ns : 0);
+        }
+      }
+      if (p.woke_at_ns != 0) {
+        m->wake_to_dispatch_ns->record(now > p.woke_at_ns ? now - p.woke_at_ns
+                                                          : 0);
+      }
+    }
+    p.park_started_ns = 0;
+    p.woke_at_ns = 0;
+    p.obs_park_reason = ParkReason::None;
     p.state = RunState::Running;
     p.pending_wake = false;
     p.park_reason = ParkReason::None;
@@ -291,6 +332,16 @@ bool Scheduler::finalize_park(Process& p, ParkReason reason) {
   // back to the scheduler default for the park reason; negative (or a
   // replication park, whose construct has its own termination detection)
   // means never.
+  //
+  // Staging invariant: park_timeout_ms is consumed-and-reset HERE,
+  // unconditionally and before the pending-wake check below, so a park
+  // cancelled between staging and arming cannot leave a stale timeout
+  // behind (the interpreter re-stages before its next Parked return, and
+  // begin_running asserts the field is clear at dispatch). The
+  // deadlines_armed_ counter is equally balanced: armed only in the
+  // successful-park branch below, disarmed exactly once per armed park —
+  // by begin_running on dispatch or by retire() on teardown; a cancelled
+  // park never reaches the arming code.
   const std::int64_t staged = p.park_timeout_ms;
   p.park_timeout_ms = 0;
   std::int64_t timeout_ms = 0;
@@ -318,6 +369,11 @@ bool Scheduler::finalize_park(Process& p, ParkReason reason) {
     }
     p.state = RunState::Parked;
     p.park_reason = reason;
+    if (obs_metrics() != nullptr) {
+      p.park_started_ns = obs::now_ns();
+      p.obs_park_reason = reason;
+      p.woke_at_ns = 0;
+    }
     if (!p.offers.empty()) {
       consensus_waiters_.fetch_add(1, std::memory_order_relaxed);
       p.counted_waiter = true;
@@ -481,6 +537,7 @@ void Scheduler::expire_deadlines(std::chrono::steady_clock::time_point now) {
         if (now < p->deadline) continue;
         p->timed_out.store(true, std::memory_order_release);
         p->state = RunState::Ready;
+        if (obs_metrics() != nullptr) p->woke_at_ns = obs::now_ns();
         // has_deadline stays set (and deadlines_armed_ stays raised)
         // until begin_running hands the process to its retiring worker —
         // the quiescence check must keep treating it as pending work.

@@ -89,6 +89,9 @@ struct RunReport {
   std::size_t parked_on_data = 0;        // delayed txn / selection guards
   std::size_t parked_on_consensus = 0;   // consensus offers awaiting peers
   std::size_t parked_on_replication = 0; // replication parent or sweeper
+  /// Human-readable metrics digest (Runtime fills it when SDL_OBS is on;
+  /// empty otherwise).
+  std::string metrics;
   [[nodiscard]] bool deadlocked() const { return still_parked > 0; }
   /// Every parked process is a consensus offer awaiting peers — the run
   /// is incomplete but not data-deadlocked; spawning the missing peers
@@ -115,6 +118,11 @@ class Scheduler {
   /// Arms the SchedulerDispatch injection point and the jittered backoff
   /// source for transient-commit retries (null disables).
   void set_fault_injector(FaultInjector* f) { faults_ = f; }
+
+  /// Arms the park/wake observability instruments (null disables). The
+  /// park paths additionally re-gate on the SDL_OBS runtime flag, once
+  /// per park/dispatch. Set between runs, never during.
+  void set_metrics(obs::RuntimeMetrics* m) { metrics_ = m; }
 
   /// Deterministic mode only: overrides the seeded random walk with an
   /// explicit schedule chooser (the explorer's recording/replaying
@@ -270,11 +278,21 @@ class Scheduler {
   /// Same, acquiring society_mutex_ (worker context, no locks held).
   [[nodiscard]] std::string explain_park(const Process& p);
 
+  /// The armed instrument set when observability is wired AND enabled,
+  /// else null (the per-operation gate, same shape as Engine's).
+  [[nodiscard]] obs::RuntimeMetrics* obs_metrics() const {
+    return (metrics_ != nullptr && obs::enabled()) ? metrics_ : nullptr;
+  }
+  /// Park-duration histogram for `reason`, from the armed set `m`.
+  static obs::LatencyHistogram* park_histogram(obs::RuntimeMetrics* m,
+                                               ParkReason reason);
+
   Engine& engine_;
   SchedulerOptions options_;
   ConsensusManager* consensus_ = nullptr;
   TraceRecorder* trace_ = nullptr;
   FaultInjector* faults_ = nullptr;
+  obs::RuntimeMetrics* metrics_ = nullptr;
 
   mutable std::mutex defs_mutex_;  // guards defs_
   std::unordered_map<std::string, std::unique_ptr<ProcessDef>> defs_;

@@ -13,7 +13,7 @@ namespace sdl {
 QueryOutcome Engine::evaluate_query(const Transaction& txn, Env& env,
                                     const View* view) const {
   if (view != nullptr && !view->imports_everything()) {
-    const WindowSource window(space_, *view, env, fns_);
+    const WindowSource window(space_, *view, env, fns_, obs_metrics());
     return txn.query.evaluate(window, env, fns_);
   }
   const DataspaceSource source(space_);
@@ -195,12 +195,34 @@ TxnResult execute_blocking(Engine& engine, const Transaction& txn, Env& env,
 TxnResult GlobalLockEngine::execute(const Transaction& txn, Env& env,
                                     ProcessId owner, const View* view) {
   stats_.attempts.add();
+  // Once-per-txn observability gate: hoist the nullable instrument set
+  // into a local; every timestamp below hides behind `m`. The span
+  // instruments are *sampled* (1-in-SDL_OBS_SAMPLE per thread): full span
+  // timing costs ~6 clock reads, which would dominate a sub-µs commit.
+  obs::RuntimeMetrics* const armed = obs_metrics();
+  obs::RuntimeMetrics* const m =
+      (armed != nullptr && obs::sample_span()) ? armed : nullptr;
+  const std::uint64_t t_start = m != nullptr ? obs::now_ns() : 0;
   TxnResult result;
   std::vector<IndexKey> touched;
+  std::uint64_t t_released = 0;
   {
-    std::scoped_lock lock(mutex_);
+    std::unique_lock lock(mutex_, std::defer_lock);
+    if (m != nullptr) {
+      if (!lock.try_lock()) {
+        m->lock_exclusive_contended->add();
+        lock.lock();
+      }
+      m->lock_exclusive_acquired->add();
+      m->txn_lock_wait_ns->record(obs::now_ns() - t_start);
+    } else {
+      lock.lock();
+    }
+    const std::uint64_t t_locked = m != nullptr ? obs::now_ns() : 0;
     result.version = waits_.version();
     QueryOutcome outcome = evaluate_query(txn, env, view);
+    const std::uint64_t t_eval = m != nullptr ? obs::now_ns() : 0;
+    if (m != nullptr) m->txn_evaluate_ns->record(t_eval - t_locked);
     if (inject_commit_fault(txn, outcome.success)) {
       result.injected_fault = true;  // effects withheld; retry is safe
     } else if (outcome.success) {
@@ -213,6 +235,11 @@ TxnResult GlobalLockEngine::execute(const Transaction& txn, Env& env,
       record_wal(owner, durable);
       result.matches = std::move(outcome.matches);
     }
+    if (m != nullptr) {
+      t_released = obs::now_ns();
+      m->txn_apply_ns->record(t_released - t_eval);
+      m->txn_lock_hold_ns->record(t_released - t_locked);
+    }
   }
   if (result.success) {
     stats_.commits.add();
@@ -220,6 +247,11 @@ TxnResult GlobalLockEngine::execute(const Transaction& txn, Env& env,
     maybe_snapshot_after_commit();
   } else {
     stats_.failures.add();
+  }
+  if (m != nullptr) {
+    const std::uint64_t t_end = obs::now_ns();
+    m->txn_publish_ns->record(t_end - t_released);
+    m->txn_total_ns->record(t_end - t_start);
   }
   return result;
 }
@@ -316,17 +348,48 @@ ShardedEngine::LockPlan ShardedEngine::plan_locks(const Transaction& txn,
   return plan;
 }
 
-void ShardedEngine::acquire(const LockPlan& plan, HeldLocks& held) {
+void ShardedEngine::acquire(const LockPlan& plan, HeldLocks& held,
+                            obs::RuntimeMetrics* m) {
   // Acquire in ascending shard order — one canonical order across both
   // modes makes the reader–writer 2PL deadlock-free (CP.21's
   // ordered-acquisition idea, spelled out because the lock set is
   // dynamic). std::shared_mutex admits writer starvation in principle;
-  // acquisition order is unaffected.
+  // acquisition order is unaffected. With instruments armed, each lock is
+  // try-locked first so a blocked acquisition counts as contended; the
+  // try-then-block dance never changes the acquisition order. Callers on
+  // the per-txn hot path pass the span-SAMPLED instrument pointer, so the
+  // acquire/contended counts here tally sampled transactions — the
+  // contention *ratio* is unbiased even though the totals are thinned.
+  auto lock_shared = [&](std::size_t i) {
+    if (m == nullptr) {
+      held.shared.emplace_back(locks_[i]);
+      return;
+    }
+    std::shared_lock<std::shared_mutex> l(locks_[i], std::try_to_lock);
+    if (!l.owns_lock()) {
+      m->lock_shared_contended->add();
+      l.lock();
+    }
+    m->lock_shared_acquired->add();
+    held.shared.push_back(std::move(l));
+  };
+  auto lock_exclusive = [&](std::size_t i) {
+    if (m == nullptr) {
+      held.exclusive.emplace_back(locks_[i]);
+      return;
+    }
+    std::unique_lock<std::shared_mutex> l(locks_[i], std::try_to_lock);
+    if (!l.owns_lock()) {
+      m->lock_exclusive_contended->add();
+      l.lock();
+    }
+    m->lock_exclusive_acquired->add();
+    held.exclusive.push_back(std::move(l));
+  };
+
   if (plan.write_all) {
     held.exclusive.reserve(lock_count_);
-    for (std::size_t i = 0; i < lock_count_; ++i) {
-      held.exclusive.emplace_back(locks_[i]);
-    }
+    for (std::size_t i = 0; i < lock_count_; ++i) lock_exclusive(i);
     return;
   }
   if (plan.read_all) {
@@ -335,10 +398,10 @@ void ShardedEngine::acquire(const LockPlan& plan, HeldLocks& held) {
     auto w = plan.write_shards.begin();
     for (std::size_t i = 0; i < lock_count_; ++i) {
       if (w != plan.write_shards.end() && *w == i) {
-        held.exclusive.emplace_back(locks_[i]);
+        lock_exclusive(i);
         ++w;
       } else {
-        held.shared.emplace_back(locks_[i]);
+        lock_shared(i);
       }
     }
     return;
@@ -350,10 +413,10 @@ void ShardedEngine::acquire(const LockPlan& plan, HeldLocks& held) {
   while (r != plan.read_shards.end() || w != plan.write_shards.end()) {
     if (w == plan.write_shards.end() ||
         (r != plan.read_shards.end() && *r < *w)) {
-      held.shared.emplace_back(locks_[*r]);
+      lock_shared(*r);
       ++r;
     } else {
-      held.exclusive.emplace_back(locks_[*w]);
+      lock_exclusive(*w);
       ++w;
     }
   }
@@ -362,13 +425,28 @@ void ShardedEngine::acquire(const LockPlan& plan, HeldLocks& held) {
 TxnResult ShardedEngine::execute(const Transaction& txn, Env& env,
                                  ProcessId owner, const View* view) {
   stats_.attempts.add();
+  // Once-per-txn observability gate: hoist the nullable instrument set
+  // into a local; every timestamp below hides behind `m`. The span
+  // instruments (and the matching per-lock acquire/contended counts that
+  // acquire() records under `m`) are *sampled* — 1-in-SDL_OBS_SAMPLE
+  // transactions per thread — because full span timing costs ~6 clock
+  // reads and would dominate a sub-µs commit (see EXPERIMENTS E19).
+  obs::RuntimeMetrics* const armed = obs_metrics();
+  obs::RuntimeMetrics* const m =
+      (armed != nullptr && obs::sample_span()) ? armed : nullptr;
+  const std::uint64_t t_start = m != nullptr ? obs::now_ns() : 0;
   const LockPlan plan = plan_locks(txn, env);
   HeldLocks held;
-  acquire(plan, held);
+  const std::uint64_t t_wait0 = m != nullptr ? obs::now_ns() : 0;
+  acquire(plan, held, m);
+  const std::uint64_t t_locked = m != nullptr ? obs::now_ns() : 0;
+  if (m != nullptr) m->txn_lock_wait_ns->record(t_locked - t_wait0);
 
   TxnResult result;
   result.version = waits_.version();
   QueryOutcome outcome = evaluate_query(txn, env, view);
+  const std::uint64_t t_eval = m != nullptr ? obs::now_ns() : 0;
+  if (m != nullptr) m->txn_evaluate_ns->record(t_eval - t_locked);
   std::vector<IndexKey> touched;
   if (inject_commit_fault(txn, outcome.success)) {
     result.injected_fault = true;  // effects withheld; retry is safe
@@ -408,6 +486,14 @@ TxnResult ShardedEngine::execute(const Transaction& txn, Env& env,
     record_history(owner, txn, outcome, result.asserted);
     result.matches = std::move(outcome.matches);
   }
+  std::uint64_t t_released = 0;
+  if (m != nullptr) {
+    t_released = obs::now_ns();
+    m->txn_apply_ns->record(t_released - t_eval);
+    // Under split_2pl sabotage the locks were dropped and re-taken mid-
+    // window; the hold span deliberately still covers the whole interval.
+    m->txn_lock_hold_ns->record(t_released - t_locked);
+  }
   held.shared.clear();
   held.exclusive.clear();  // release before publishing (CP.22)
 
@@ -417,6 +503,11 @@ TxnResult ShardedEngine::execute(const Transaction& txn, Env& env,
     maybe_snapshot_after_commit();
   } else {
     stats_.failures.add();
+  }
+  if (m != nullptr) {
+    const std::uint64_t t_end = obs::now_ns();
+    m->txn_publish_ns->record(t_end - t_released);
+    m->txn_total_ns->record(t_end - t_start);
   }
   return result;
 }

@@ -24,6 +24,7 @@
 #include "check/history.hpp"
 #include "core/striped_counter.hpp"
 #include "fault/fault.hpp"
+#include "obs/metrics.hpp"
 #include "txn/transaction.hpp"
 #include "txn/waitset.hpp"
 #include "view/view.hpp"
@@ -131,6 +132,20 @@ class Engine {
   /// only; the reference GlobalLockEngine stays unbroken by construction.
   void set_sabotage(EngineSabotage* s) { sabotage_ = s; }
 
+  /// Arms the observability instruments (null disables). Call while no
+  /// transactions are in flight. Instrumented paths additionally re-gate
+  /// on the SDL_OBS runtime flag through obs_metrics(), once per
+  /// operation.
+  void set_metrics(obs::RuntimeMetrics* m) { metrics_ = m; }
+  /// The armed instrument set when observability is wired AND enabled,
+  /// else null. This is the once-per-txn gate: callers hoist the returned
+  /// pointer into a local and branch on it, so the disabled path costs
+  /// one relaxed load + branch. Public because the scheduler and the
+  /// consensus manager pass it to the WindowSources they build.
+  [[nodiscard]] obs::RuntimeMetrics* obs_metrics() const {
+    return (metrics_ != nullptr && obs::enabled()) ? metrics_ : nullptr;
+  }
+
   /// The effect set apply_effects ACTUALLY applied, in WAL form — the
   /// retracted instance ids and the asserted (id, tuple) pairs. Collected
   /// only when durability is armed (the tuple copies are the cost). Public
@@ -209,6 +224,7 @@ class Engine {
   HistoryRecorder* history_ = nullptr;
   EngineSabotage* sabotage_ = nullptr;
   persist::PersistManager* persist_ = nullptr;
+  obs::RuntimeMetrics* metrics_ = nullptr;
 };
 
 /// Blocks the calling OS thread until `txn` commits — the delayed ('=>')
@@ -273,7 +289,10 @@ class ShardedEngine final : public Engine {
     std::vector<std::shared_lock<std::shared_mutex>> shared;
     std::vector<std::unique_lock<std::shared_mutex>> exclusive;
   };
-  void acquire(const LockPlan& plan, HeldLocks& held);
+  /// With a non-null `m`, each lock is try-locked first to count
+  /// contention (shared/exclusive separately) before blocking.
+  void acquire(const LockPlan& plan, HeldLocks& held,
+               obs::RuntimeMetrics* m = nullptr);
 
   std::unique_ptr<std::shared_mutex[]> locks_;  // one per dataspace shard
   std::size_t lock_count_;

@@ -1,27 +1,71 @@
 #include "view/view.hpp"
 
+#include <cassert>
+
+#include "obs/metrics.hpp"
+
 namespace sdl {
 namespace {
 
-/// Does `entry` admit `t`? Bindings made during the test are undone.
-/// Hot path (every record of every window scan, and the consensus
-/// manager's overlap sweeps): the undo log is a reused thread_local to
-/// avoid per-record allocation. Not re-entrant — guards are expression
-/// evaluations and cannot call back into view membership.
+#ifndef NDEBUG
+/// Debug re-verification of the "not re-entrant" invariant below: if a
+/// guard expression ever called back into view membership, the shared
+/// thread_local undo log would be clobbered mid-test.
+thread_local bool entry_admits_active = false;
+#endif
+
+/// Restores every newly bound env slot on scope exit. entry_admits used
+/// to run its undo loop inline after the guard eval, but guards call host
+/// functions that may throw arbitrary exceptions (only
+/// std::invalid_argument — the type-mismatch signal — is treated as "does
+/// not admit"); any other exception used to escape BEFORE the undo ran,
+/// leaving stale bindings in the thread-local Env that poisoned every
+/// subsequent match on that thread. A destructor is the only exit path
+/// the language guarantees.
+class BindingUndoGuard {
+ public:
+  BindingUndoGuard(Env& env, std::vector<int>& undo)
+      : env_(env), undo_(undo) {}
+  BindingUndoGuard(const BindingUndoGuard&) = delete;
+  BindingUndoGuard& operator=(const BindingUndoGuard&) = delete;
+  ~BindingUndoGuard() {
+    for (int slot : undo_) env_[static_cast<std::size_t>(slot)] = Value();
+#ifndef NDEBUG
+    entry_admits_active = false;
+#endif
+  }
+
+ private:
+  Env& env_;
+  std::vector<int>& undo_;
+};
+
+/// Does `entry` admit `t`? Bindings made during the test are undone on
+/// every exit path, exceptional ones included. Hot path (every record of
+/// every window scan, and the consensus manager's overlap sweeps): the
+/// undo log is a reused thread_local to avoid per-record allocation. Not
+/// re-entrant — guards are expression evaluations and cannot call back
+/// into view membership (asserted in debug builds).
 bool entry_admits(const ViewEntry& entry, const Tuple& t, Env& env,
                   const FunctionRegistry* fns) {
   static thread_local std::vector<int> undo;
+  assert(!entry_admits_active && "entry_admits re-entered from a guard");
+#ifndef NDEBUG
+  entry_admits_active = true;
+#endif
   undo.clear();
+  BindingUndoGuard restore(env, undo);
+  // match() self-undoes and truncates `undo` on failure, so the guard's
+  // destructor sees an empty log on this early return.
   if (!entry.pattern.match(t, env, fns, undo)) return false;
   bool ok = true;
   if (entry.guard) {
     try {
       ok = entry.guard->eval(env, fns).truthy();
     } catch (const std::invalid_argument&) {
-      ok = false;
+      ok = false;  // type mismatch on a candidate = not admitted
     }
   }
-  for (int slot : undo) env[static_cast<std::size_t>(slot)] = Value();
   return ok;
 }
 
@@ -116,8 +160,9 @@ void View::collect_import_records(
 // unpinned (arity-wide) entries. This keeps window scans linear in the
 // window size rather than |window| x |entries|.
 WindowSource::WindowSource(const Dataspace& space, const View& view, Env& env,
-                           const FunctionRegistry* fns)
-    : space_(space), view_(view), env_(env), fns_(fns) {
+                           const FunctionRegistry* fns,
+                           obs::RuntimeMetrics* metrics)
+    : space_(space), view_(view), env_(env), fns_(fns), metrics_(metrics) {
   if (view_.imports_everything()) return;
   const auto& imports = view_.spec().imports;
   pinned_.reserve(imports.size());
@@ -129,6 +174,18 @@ WindowSource::WindowSource(const Dataspace& space, const View& view, Env& env,
     } else {
       unpinned_.push_back(&entry);
     }
+  }
+}
+
+WindowSource::~WindowSource() {
+  // Tallies are plain members (one window is scanned by one thread);
+  // flushing once here keeps per-record cost at a non-atomic increment.
+  if (metrics_ == nullptr) return;
+  if (records_scanned_ != 0) {
+    metrics_->window_records_scanned->add(records_scanned_);
+  }
+  if (records_admitted_ != 0) {
+    metrics_->window_records_admitted->add(records_admitted_);
   }
 }
 
@@ -148,11 +205,21 @@ bool WindowSource::admitted(const Record& r) const {
 void WindowSource::scan_key(const IndexKey& key,
                             const Dataspace::RecordFn& fn) const {
   if (view_.imports_everything()) {
-    space_.scan_key(key, fn);
+    if (metrics_ == nullptr) {
+      space_.scan_key(key, fn);
+      return;
+    }
+    space_.scan_key(key, [&](const Record& r) {
+      ++records_scanned_;
+      ++records_admitted_;  // the whole-dataspace window admits everything
+      return fn(r);
+    });
     return;
   }
   space_.scan_key(key, [&](const Record& r) {
+    ++records_scanned_;
     if (!admitted(r)) return true;
+    ++records_admitted_;
     return fn(r);
   });
 }
@@ -160,11 +227,21 @@ void WindowSource::scan_key(const IndexKey& key,
 void WindowSource::scan_key_second(const IndexKey& key, const Value& second,
                                    const Dataspace::RecordFn& fn) const {
   if (view_.imports_everything()) {
-    space_.scan_key_second(key, second, fn);
+    if (metrics_ == nullptr) {
+      space_.scan_key_second(key, second, fn);
+      return;
+    }
+    space_.scan_key_second(key, second, [&](const Record& r) {
+      ++records_scanned_;
+      ++records_admitted_;
+      return fn(r);
+    });
     return;
   }
   space_.scan_key_second(key, second, [&](const Record& r) {
+    ++records_scanned_;
     if (!admitted(r)) return true;
+    ++records_admitted_;
     return fn(r);
   });
 }
@@ -172,7 +249,15 @@ void WindowSource::scan_key_second(const IndexKey& key, const Value& second,
 void WindowSource::scan_arity(std::uint32_t arity,
                               const Dataspace::RecordFn& fn) const {
   if (view_.imports_everything()) {
-    space_.scan_arity(arity, fn);
+    if (metrics_ == nullptr) {
+      space_.scan_arity(arity, fn);
+      return;
+    }
+    space_.scan_arity(arity, [&](const Record& r) {
+      ++records_scanned_;
+      ++records_admitted_;
+      return fn(r);
+    });
     return;
   }
   // If any entry of this arity is unpinned, the whole arity must be
@@ -181,20 +266,31 @@ void WindowSource::scan_arity(std::uint32_t arity,
   for (const ViewEntry* entry : unpinned_) {
     if (entry->pattern.arity() == arity) {
       space_.scan_arity(arity, [&](const Record& r) {
+        ++records_scanned_;
         if (!admitted(r)) return true;
+        ++records_admitted_;
         return fn(r);
       });
       return;
     }
   }
   bool keep_going = true;
-  std::unordered_set<std::uint64_t> visited_buckets;
+  // Dedupe visited buckets by the IndexKey itself, NOT by key.hash():
+  // two distinct keys with colliding hashes would silently skip the
+  // second bucket and drop its admitted tuples from the window. (On this
+  // 64-bit hash same-arity collisions happen to be impossible — the
+  // multiplier is odd, hence bijective mod 2^64 — but cross-arity
+  // collisions exist, and nothing here may depend on such accidents of
+  // the hash function; see HashCollidingPinnedBuckets in the tests.)
+  std::unordered_set<IndexKey, IndexKeyHash> visited_buckets;
   for (const PinnedEntry& pe : pinned_) {
     if (!keep_going) break;
     if (pe.key.arity != arity) continue;
-    if (!visited_buckets.insert(pe.key.hash()).second) continue;
+    if (!visited_buckets.insert(pe.key).second) continue;
     space_.scan_key(pe.key, [&](const Record& r) {
+      ++records_scanned_;
       if (!admitted(r)) return true;
+      ++records_admitted_;
       keep_going = fn(r);
       return keep_going;
     });

@@ -22,6 +22,10 @@
 
 #include "query/query.hpp"
 
+namespace sdl::obs {
+struct RuntimeMetrics;
+}
+
 namespace sdl {
 
 /// One import or export entry: tuples matching `pattern` under `guard`.
@@ -107,8 +111,13 @@ class WindowSource final : public TupleSource {
  public:
   /// Precomputes the import entries' key specs against `env`'s persistent
   /// bindings (stable for the duration of one transaction evaluation).
+  /// With a non-null `metrics`, the destructor flushes scanned/admitted
+  /// record tallies — the direct measurement of the §2.1 claim that views
+  /// bound the cost of a transaction.
   WindowSource(const Dataspace& space, const View& view, Env& env,
-               const FunctionRegistry* fns);
+               const FunctionRegistry* fns,
+               obs::RuntimeMetrics* metrics = nullptr);
+  ~WindowSource() override;
 
   void scan_key(const IndexKey& key, const Dataspace::RecordFn& fn) const override;
   void scan_arity(std::uint32_t arity, const Dataspace::RecordFn& fn) const override;
@@ -128,6 +137,11 @@ class WindowSource final : public TupleSource {
   const View& view_;
   Env& env_;  // mutated transiently during membership tests, then restored
   const FunctionRegistry* fns_;
+  obs::RuntimeMetrics* metrics_;
+  // Window-materialization tallies: plain (non-atomic) members, because a
+  // WindowSource lives inside one transaction evaluation on one thread.
+  mutable std::uint64_t records_scanned_ = 0;
+  mutable std::uint64_t records_admitted_ = 0;
   std::vector<PinnedEntry> pinned_;
   std::unordered_map<IndexKey, std::vector<const ViewEntry*>, IndexKeyHash>
       pinned_by_key_;

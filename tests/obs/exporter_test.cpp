@@ -1,0 +1,108 @@
+// Golden-output tests for the metrics exporters (the registry iterates
+// name-sorted maps, so output is deterministic) and a smoke test for the
+// periodic reporter thread.
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+
+namespace sdl::obs {
+namespace {
+
+void populate_golden(MetricsRegistry& reg) {
+  reg.counter("sdl_test_events_total").add(3);
+  reg.gauge("sdl_test_gauge", [] { return 42u; });
+  LatencyHistogram& h = reg.histogram("sdl_test_lat_ns");
+  h.record(0);     // bucket 0 (le="0")
+  h.record(1);     // bucket 1 (le="1")
+  h.record(5);     // bucket 3 (le="7")
+  h.record(1000);  // bucket 10 (le="1023")
+}
+
+TEST(ObsExporterTest, PrometheusGolden) {
+  MetricsRegistry reg;
+  populate_golden(reg);
+  const std::string expected =
+      "# TYPE sdl_test_events_total counter\n"
+      "sdl_test_events_total 3\n"
+      "# TYPE sdl_test_gauge gauge\n"
+      "sdl_test_gauge 42\n"
+      "# TYPE sdl_test_lat_ns histogram\n"
+      "sdl_test_lat_ns_bucket{le=\"0\"} 1\n"
+      "sdl_test_lat_ns_bucket{le=\"1\"} 2\n"
+      "sdl_test_lat_ns_bucket{le=\"3\"} 2\n"
+      "sdl_test_lat_ns_bucket{le=\"7\"} 3\n"
+      "sdl_test_lat_ns_bucket{le=\"15\"} 3\n"
+      "sdl_test_lat_ns_bucket{le=\"31\"} 3\n"
+      "sdl_test_lat_ns_bucket{le=\"63\"} 3\n"
+      "sdl_test_lat_ns_bucket{le=\"127\"} 3\n"
+      "sdl_test_lat_ns_bucket{le=\"255\"} 3\n"
+      "sdl_test_lat_ns_bucket{le=\"511\"} 3\n"
+      "sdl_test_lat_ns_bucket{le=\"1023\"} 4\n"
+      "sdl_test_lat_ns_bucket{le=\"+Inf\"} 4\n"
+      "sdl_test_lat_ns_sum 1006\n"
+      "sdl_test_lat_ns_count 4\n";
+  EXPECT_EQ(reg.to_prometheus(), expected);
+}
+
+TEST(ObsExporterTest, JsonGolden) {
+  MetricsRegistry reg;
+  populate_golden(reg);
+  // p50: target sample 2 lands in bucket 1 -> upper bound 1.
+  // p90/p99: target sample 4 lands in bucket 10 -> min(1023, max=1000).
+  const std::string expected =
+      "{\"counters\":{\"sdl_test_events_total\":3},"
+      "\"gauges\":{\"sdl_test_gauge\":42},"
+      "\"histograms\":{\"sdl_test_lat_ns\":{"
+      "\"count\":4,\"sum\":1006,\"max\":1000,\"mean\":251.5,"
+      "\"p50\":1,\"p90\":1000,\"p99\":1000}}}";
+  EXPECT_EQ(reg.to_json(), expected);
+}
+
+TEST(ObsExporterTest, SummaryShowsNonzeroAndHistogramDigest) {
+  MetricsRegistry reg;
+  populate_golden(reg);
+  const std::string s = reg.summary();
+  EXPECT_NE(s.find("sdl_test_events_total = 3"), std::string::npos);
+  EXPECT_NE(s.find("sdl_test_gauge = 42"), std::string::npos);
+  EXPECT_NE(s.find("sdl_test_lat_ns: count=4"), std::string::npos);
+  EXPECT_NE(s.find("max=1us"), std::string::npos);
+}
+
+TEST(ObsExporterTest, SummaryOmitsZeroInstruments) {
+  MetricsRegistry reg;
+  reg.counter("sdl_never_hit_total");
+  reg.histogram("sdl_never_hit_ns");
+  reg.gauge("sdl_zero_gauge", [] { return 0u; });
+  EXPECT_EQ(reg.summary(), "");
+}
+
+TEST(ObsExporterTest, PeriodicReporterDeliversRenders) {
+  MetricsRegistry reg;
+  reg.counter("sdl_tick_total").add(1);
+
+  std::mutex mu;
+  std::vector<std::string> renders;
+  {
+    PeriodicReporter reporter(
+        reg, std::chrono::milliseconds(5),
+        [&](const std::string& text) {
+          std::scoped_lock lock(mu);
+          renders.push_back(text);
+        });
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  }  // destructor stops the thread and flushes one final render
+
+  std::scoped_lock lock(mu);
+  ASSERT_FALSE(renders.empty());
+  EXPECT_NE(renders.back().find("sdl_tick_total = 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdl::obs

@@ -1,0 +1,180 @@
+// Unit tests for the observability instruments: counter and histogram
+// correctness under concurrent writers (run under TSan in CI — the
+// instruments must be data-race-free by construction), log2 bucketing,
+// and quantile derivation.
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+
+namespace sdl::obs {
+namespace {
+
+TEST(ObsMetricsTest, EnabledFlagToggles) {
+  const bool before = enabled();
+  set_enabled(true);
+  EXPECT_TRUE(enabled());
+  set_enabled(false);
+  EXPECT_FALSE(enabled());
+  set_enabled(before);
+}
+
+TEST(ObsMetricsTest, SpanSamplerHonorsPeriod) {
+  const std::uint32_t saved = span_sample_period();
+  set_span_sample_period(4);
+  // Run on a fresh thread: the per-thread countdown starts at 1 there, so
+  // the first call must sample and subsequent samples land every 4th call.
+  bool first = false;
+  int later_hits = 0;
+  std::thread([&] {
+    first = sample_span();
+    for (int i = 0; i < 7; ++i) {
+      if (sample_span()) ++later_hits;
+    }
+  }).join();
+  EXPECT_TRUE(first);
+  EXPECT_EQ(later_hits, 1);  // of calls 2..8 only call 5 fires
+
+  // Period 1 records every transaction, regardless of countdown state.
+  set_span_sample_period(1);
+  EXPECT_TRUE(sample_span());
+  EXPECT_TRUE(sample_span());
+  // The setter clamps nonsense to the minimum.
+  set_span_sample_period(0);
+  EXPECT_EQ(span_sample_period(), 1u);
+  set_span_sample_period(saved);
+}
+
+TEST(ObsMetricsTest, CounterConcurrentWriters) {
+  Counter c;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add(1);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.load(), kThreads * kPerThread);
+}
+
+TEST(ObsMetricsTest, HistogramBucketing) {
+  LatencyHistogram h;
+  h.record(0);    // bucket 0: exactly zero
+  h.record(1);    // bucket 1: [1, 1]
+  h.record(2);    // bucket 2: [2, 3]
+  h.record(3);    // bucket 2
+  h.record(4);    // bucket 3: [4, 7]
+  h.record(7);    // bucket 3
+  h.record(~0ull);  // bit_width = 64, clamped into the last bucket
+
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 7u);
+  EXPECT_EQ(s.max, ~0ull);
+  EXPECT_EQ(s.buckets[0], 1u);
+  EXPECT_EQ(s.buckets[1], 1u);
+  EXPECT_EQ(s.buckets[2], 2u);
+  EXPECT_EQ(s.buckets[3], 2u);
+  EXPECT_EQ(s.buckets[LatencyHistogram::kBuckets - 1], 1u);
+}
+
+TEST(ObsMetricsTest, HistogramQuantilesAreClampedUpperBounds) {
+  LatencyHistogram h;
+  for (int i = 0; i < 99; ++i) h.record(10);  // bucket 4, upper bound 15
+  h.record(1000);                             // bucket 10, upper bound 1023
+
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 100u);
+  // p50/p90 land in the [8,15] bucket: reported as its upper bound.
+  EXPECT_DOUBLE_EQ(s.quantile(0.50), 15.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.90), 15.0);
+  // p100 lands in the top bucket but is clamped by the observed max.
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 1000.0);
+  EXPECT_DOUBLE_EQ(s.mean(), (99 * 10 + 1000) / 100.0);
+}
+
+TEST(ObsMetricsTest, EmptyHistogramSnapshot) {
+  LatencyHistogram h;
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.quantile(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(ObsMetricsTest, HistogramConcurrentWriters) {
+  LatencyHistogram h;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) h.record(i % 1024);
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  std::uint64_t expected_sum = 0;
+  for (std::uint64_t i = 0; i < kPerThread; ++i) expected_sum += i % 1024;
+  expected_sum *= kThreads;
+
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, kThreads * kPerThread);
+  EXPECT_EQ(s.sum, expected_sum);
+  EXPECT_EQ(s.max, 1023u);
+}
+
+TEST(ObsMetricsTest, RecordSinceNeverUnderflows) {
+  LatencyHistogram h;
+  // A start stamp in the future (e.g. clock noise) must record 0, not
+  // wrap around to a huge duration.
+  h.record_since(now_ns() + 1'000'000'000ull);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.buckets[0], 1u);
+}
+
+TEST(ObsMetricsTest, RegistryReturnsStableInstruments) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x_total");
+  Counter& b = reg.counter("x_total");
+  EXPECT_EQ(&a, &b);
+  LatencyHistogram& ha = reg.histogram("y_ns");
+  LatencyHistogram& hb = reg.histogram("y_ns");
+  EXPECT_EQ(&ha, &hb);
+}
+
+TEST(ObsMetricsTest, RuntimeMetricsWiresEveryInstrument) {
+  MetricsRegistry reg;
+  RuntimeMetrics m(reg);
+  EXPECT_EQ(m.registry, &reg);
+  EXPECT_NE(m.txn_lock_wait_ns, nullptr);
+  EXPECT_NE(m.txn_evaluate_ns, nullptr);
+  EXPECT_NE(m.txn_apply_ns, nullptr);
+  EXPECT_NE(m.txn_publish_ns, nullptr);
+  EXPECT_NE(m.txn_total_ns, nullptr);
+  EXPECT_NE(m.txn_lock_hold_ns, nullptr);
+  EXPECT_NE(m.lock_shared_acquired, nullptr);
+  EXPECT_NE(m.lock_exclusive_acquired, nullptr);
+  EXPECT_NE(m.lock_shared_contended, nullptr);
+  EXPECT_NE(m.lock_exclusive_contended, nullptr);
+  EXPECT_NE(m.park_delayed_txn_ns, nullptr);
+  EXPECT_NE(m.park_selection_ns, nullptr);
+  EXPECT_NE(m.park_consensus_ns, nullptr);
+  EXPECT_NE(m.park_replication_ns, nullptr);
+  EXPECT_NE(m.wake_to_dispatch_ns, nullptr);
+  EXPECT_NE(m.consensus_claim_fire_ns, nullptr);
+  EXPECT_NE(m.wal_append_ns, nullptr);
+  EXPECT_NE(m.wal_flush_ns, nullptr);
+  EXPECT_NE(m.snapshot_ns, nullptr);
+  EXPECT_NE(m.window_records_scanned, nullptr);
+  EXPECT_NE(m.window_records_admitted, nullptr);
+}
+
+}  // namespace
+}  // namespace sdl::obs
