@@ -1,19 +1,30 @@
-// E15 (read-mostly scaling): reader–writer shard locking and the
-// read-only transaction fast path.
+// E15 (read-mostly scaling): optimistic lock-free reads and the
+// reader–writer sharded engine.
 //
 // Claim under test: views and content-addressed transactions "bound the
 // scope and hence the cost" of coordination — so pure queries should not
-// serialize at all. Before this optimization the sharded engine took an
-// exclusive lock per touched shard even for effect-free transactions;
-// readers of one bucket therefore serialized exactly like writers. With
-// reader–writer locks, read-only transactions take shared locks, skip
-// apply_effects, skip publication, and leave the commit version alone.
+// serialize at all. The sharded engine's read path has moved twice:
+// exclusive locks → shared locks (PR 2) → no locks at all (this PR):
+// read-only transactions now sample per-shard version counters, evaluate
+// against the live index, and re-validate, touching no mutex unless
+// validation fails repeatedly and the engine falls back to shared locks.
 //
 // Sweeps reader:writer thread mixes (100:0, 95:5, 50:50) over both
 // engines. Writers contend on one shared counter (delayed transactions,
 // so losing writers park and exercise the wakeup path); readers run
-// read-only probes of the same bucket. Reported per run:
+// read-only probes of the same bucket. Every configuration runs a
+// warm-up pass before the timed section so first-touch costs (bucket
+// allocation, allocator warm-up, page faults) never pollute the numbers.
+//
+// Reported per run (machine-readable via --benchmark_format=json):
 //   * items/s        — total operations per second (reads dominate);
+//   * ops_per_sec    — same rate from our own wall clock (the registry
+//                      feeds the derived columns below from this);
+//   * scaling_eff    — ops_per_sec(T) / (T × ops_per_sec(T=1)) for the
+//                      same engine and mix: 1.0 is perfect scaling;
+//   * vs_global_t1   — Sharded rows only: ops_per_sec relative to
+//                      GlobalLockEngine at T=1 on the same mix (the
+//                      "no regression for the simple case" guard);
 //   * reads / writes — operation counts;
 //   * wakes          — WaitSet wake callbacks delivered;
 //   * version        — commit-version delta (must equal the write count:
@@ -22,11 +33,15 @@
 // On the single-core measurement container thread sweeps cannot show
 // parallel speedup; what this bench shows there is that per-op cost of
 // the 100%-read mix stays flat as threads are added (no lock-convoy
-// collapse). On real cores the shared-lock path admits true read
-// parallelism; see EXPERIMENTS.md E15.
+// collapse) and that T=1 sharded throughput dominates the global lock.
+// On real cores the lock-free path admits true read parallelism; see
+// EXPERIMENTS.md E15.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <map>
 #include <memory>
+#include <string>
 #include <thread>
 
 #include "workloads.hpp"
@@ -37,14 +52,31 @@ using namespace sdl;
 using namespace sdl::bench;
 
 constexpr int kOpsPerThread = 4000;
+constexpr int kWarmupOps = 256;
+
+// Cross-run rate registry for the derived columns. Benchmarks execute
+// sequentially in registration order (T=1 before T>1, Global before
+// Sharded per mix), so by the time a row needs a reference rate it has
+// been recorded. Under --benchmark_filter a reference row may be absent;
+// the derived counter is then simply omitted.
+std::map<std::string, double>& rate_registry() {
+  static std::map<std::string, double> registry;
+  return registry;
+}
+
+std::string rate_key(const char* engine, int read_pct, int threads) {
+  return std::string(engine) + "/" + std::to_string(read_pct) + "/" +
+         std::to_string(threads);
+}
 
 template <typename EngineT>
-void run_mix(benchmark::State& state, int read_pct) {
+void run_mix(benchmark::State& state, const char* engine_name, int read_pct) {
   const int threads = static_cast<int>(state.range(0));
   std::uint64_t total_reads = 0;
   std::uint64_t total_writes = 0;
   std::uint64_t total_wakes = 0;
   std::uint64_t total_version = 0;
+  double busy_seconds = 0.0;
 
   for (auto _ : state) {
     state.PauseTiming();
@@ -55,8 +87,36 @@ void run_mix(benchmark::State& state, int read_pct) {
     space.insert(tup("c", 0), kEnvironmentProcess);
     std::atomic<std::uint64_t> reads{0};
     std::atomic<std::uint64_t> writes{0};
+
+    // Warm-up: the same mix, untimed, against the same engine instance.
+    std::uint64_t warm_writes = 0;
+    {
+      SymbolTable st;
+      Transaction read = TxnBuilder()
+                             .exists({"v"})
+                             .match(pat({A("c"), V("v")}))
+                             .build();
+      Transaction write = TxnBuilder(TxnType::Delayed)
+                              .exists({"n"})
+                              .match(pat({A("c"), V("n")}), true)
+                              .assert_tuple({lit(Value::atom("c")),
+                                             add(evar("n"), lit(1))})
+                              .build();
+      read.resolve(st);
+      write.resolve(st);
+      Env env(static_cast<std::size_t>(st.size()));
+      for (int i = 0; i < kWarmupOps; ++i) {
+        if (i % 100 < read_pct) {
+          benchmark::DoNotOptimize(engine.execute(read, env, ProcessId{1}));
+        } else {
+          execute_blocking(engine, write, env, ProcessId{1});
+          ++warm_writes;
+        }
+      }
+    }
     state.ResumeTiming();
 
+    const auto t0 = std::chrono::steady_clock::now();
     {
       std::vector<std::jthread> workers;
       workers.reserve(static_cast<std::size_t>(threads));
@@ -94,22 +154,26 @@ void run_mix(benchmark::State& state, int read_pct) {
         });
       }
     }
+    busy_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
 
     state.PauseTiming();
     const auto w = writes.load(std::memory_order_relaxed);
-    // Serializability: every write landed exactly once.
-    if (space.count(tup("c", static_cast<std::int64_t>(w))) != 1) {
+    // Serializability: every write (warm-up included) landed exactly once.
+    const auto expected = static_cast<std::int64_t>(warm_writes + w);
+    if (space.count(tup("c", expected)) != 1) {
       state.SkipWithError("lost update detected");
     }
     // Read-only executions must not publish: the commit version is the
     // write count, whatever the read volume.
-    if (waits.version() != w) {
+    if (waits.version() != warm_writes + w) {
       state.SkipWithError("read-only transaction bumped the commit version");
     }
     total_reads += reads.load(std::memory_order_relaxed);
     total_writes += w;
     total_wakes += waits.wakes_delivered();
-    total_version += waits.version();
+    total_version += waits.version() - warm_writes;
     state.ResumeTiming();
   }
 
@@ -118,25 +182,42 @@ void run_mix(benchmark::State& state, int read_pct) {
   state.counters["writes"] = static_cast<double>(total_writes);
   state.counters["wakes"] = static_cast<double>(total_wakes);
   state.counters["version"] = static_cast<double>(total_version);
+
+  const double ops = static_cast<double>(state.iterations()) * threads *
+                     kOpsPerThread;
+  const double rate = busy_seconds > 0.0 ? ops / busy_seconds : 0.0;
+  auto& registry = rate_registry();
+  registry[rate_key(engine_name, read_pct, threads)] = rate;
+  state.counters["ops_per_sec"] = rate;
+  if (const auto base = registry.find(rate_key(engine_name, read_pct, 1));
+      base != registry.end() && base->second > 0.0) {
+    state.counters["scaling_eff"] = rate / (threads * base->second);
+  }
+  if (std::string(engine_name) == "Sharded") {
+    if (const auto g1 = registry.find(rate_key("Global", read_pct, 1));
+        g1 != registry.end() && g1->second > 0.0) {
+      state.counters["vs_global_t1"] = rate / g1->second;
+    }
+  }
 }
 
 void BM_Global_R100(benchmark::State& state) {
-  run_mix<GlobalLockEngine>(state, 100);
+  run_mix<GlobalLockEngine>(state, "Global", 100);
 }
 void BM_Sharded_R100(benchmark::State& state) {
-  run_mix<ShardedEngine>(state, 100);
+  run_mix<ShardedEngine>(state, "Sharded", 100);
 }
 void BM_Global_R95(benchmark::State& state) {
-  run_mix<GlobalLockEngine>(state, 95);
+  run_mix<GlobalLockEngine>(state, "Global", 95);
 }
 void BM_Sharded_R95(benchmark::State& state) {
-  run_mix<ShardedEngine>(state, 95);
+  run_mix<ShardedEngine>(state, "Sharded", 95);
 }
 void BM_Global_R50(benchmark::State& state) {
-  run_mix<GlobalLockEngine>(state, 50);
+  run_mix<GlobalLockEngine>(state, "Global", 50);
 }
 void BM_Sharded_R50(benchmark::State& state) {
-  run_mix<ShardedEngine>(state, 50);
+  run_mix<ShardedEngine>(state, "Sharded", 50);
 }
 
 BENCHMARK(BM_Global_R100)->RangeMultiplier(2)->Range(1, 8)->Unit(benchmark::kMillisecond)->UseRealTime();

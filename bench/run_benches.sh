@@ -3,10 +3,26 @@
 # mapping bench name to Google Benchmark's own JSON report — so PRs leave a
 # machine-readable perf trajectory instead of an eyeballed bench_output.txt.
 #
-# Usage: bench/run_benches.sh [build-dir] [extra benchmark args...]
+# Usage: bench/run_benches.sh [--check] [build-dir] [extra benchmark args...]
 #   bench/run_benches.sh                  # uses ./build, full run
 #   bench/run_benches.sh build --benchmark_min_time=0.05
+#   bench/run_benches.sh --check build    # E15 regression gate (see below)
+#
+# --check runs only bench_e15_read_mostly and compares it against the
+# committed bench/BENCH_e15_baseline.json: every baseline row must be
+# present, invariant counters must hold exactly (version == writes —
+# read-only transactions never publish), Sharded rows must carry the
+# scaling_eff and vs_global_t1 derived columns, and per-row ops_per_sec
+# may not fall below baseline by more than SDL_BENCH_TOLERANCE (default
+# 0.5, i.e. a 50% band — bench machines are noisy; the band catches
+# collapses, not jitter). Exits nonzero on any violation.
 set -euo pipefail
+
+check_mode=0
+if [[ "${1:-}" == "--check" ]]; then
+  check_mode=1
+  shift
+fi
 
 build_dir="${1:-build}"
 shift || true
@@ -20,6 +36,78 @@ fi
 out="BENCH_$(date +%Y%m%d).json"
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "${tmpdir}"' EXIT
+
+if [[ ${check_mode} -eq 1 ]]; then
+  script_dir="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+  baseline="${script_dir}/BENCH_e15_baseline.json"
+  if [[ ! -f "${baseline}" ]]; then
+    echo "error: ${baseline} not found — generate one with:" >&2
+    echo "  ${build_dir}/bench/bench_e15_read_mostly --benchmark_format=json > bench/BENCH_e15_baseline.json" >&2
+    exit 1
+  fi
+  bin="${build_dir}/bench/bench_e15_read_mostly"
+  if [[ ! -x "${bin}" ]]; then
+    echo "error: ${bin} not built" >&2
+    exit 1
+  fi
+  current="${tmpdir}/e15_current.json"
+  echo "running bench_e15_read_mostly (check mode) ..." >&2
+  "${bin}" --benchmark_format=json "$@" > "${current}"
+  python3 - "${baseline}" "${current}" <<'PYCHECK'
+import json, os, sys
+
+with open(sys.argv[1]) as f:
+    base = json.load(f)
+with open(sys.argv[2]) as f:
+    cur = json.load(f)
+tol = float(os.environ.get("SDL_BENCH_TOLERANCE", "0.5"))
+
+def rows(doc):
+    return {b["name"]: b for b in doc.get("benchmarks", [])
+            if b.get("run_type", "iteration") == "iteration"}
+
+base_rows, cur_rows = rows(base), rows(cur)
+failures, notes = [], []
+for name, brow in sorted(base_rows.items()):
+    crow = cur_rows.get(name)
+    if crow is None:
+        failures.append(f"{name}: row missing from current run")
+        continue
+    if crow.get("error_occurred"):
+        failures.append(f"{name}: {crow.get('error_message', 'bench error')}")
+        continue
+    # Hard invariant, not a perf band: read-only transactions never
+    # publish, so the commit-version delta equals the write count.
+    if crow.get("version") != crow.get("writes"):
+        failures.append(
+            f"{name}: version {crow.get('version')} != writes "
+            f"{crow.get('writes')} (read path published)")
+    if "Sharded" in name:
+        for col in ("scaling_eff", "vs_global_t1"):
+            if col not in crow:
+                failures.append(f"{name}: derived column '{col}' missing")
+    b_rate, c_rate = brow.get("ops_per_sec"), crow.get("ops_per_sec")
+    if b_rate and c_rate:
+        ratio = c_rate / b_rate
+        if ratio < 1.0 - tol:
+            failures.append(
+                f"{name}: ops_per_sec fell to {ratio:.2f}x of baseline "
+                f"({c_rate:.0f} vs {b_rate:.0f}, band {1.0 - tol:.2f})")
+        elif ratio > 1.0 + tol:
+            notes.append(
+                f"{name}: {ratio:.2f}x faster than baseline — consider "
+                "refreshing bench/BENCH_e15_baseline.json")
+for note in notes:
+    print(f"note: {note}")
+if failures:
+    for f_ in failures:
+        print(f"FAIL: {f_}")
+    sys.exit(1)
+print(f"E15 check passed: {len(base_rows)} rows within "
+      f"±{int(tol * 100)}% of baseline, invariants hold")
+PYCHECK
+  exit $?
+fi
 
 # Explicit experiment order (a glob would sort bench_e10 before bench_e2
 # and silently skip anything misnamed). Append new experiments here.

@@ -1,0 +1,193 @@
+#include "core/epoch.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+namespace sdl::epoch {
+namespace {
+
+constexpr std::uint64_t kInactive = ~std::uint64_t{0};
+/// Attempt an epoch advance (and collect own garbage) every this many
+/// retires — amortizes the slot scan without letting backlog grow
+/// unboundedly under retract storms.
+constexpr std::size_t kCollectPeriod = 64;
+
+struct Retired {
+  void* p;
+  void (*deleter)(void*);
+  std::uint64_t epoch;
+};
+
+/// One participant. Slots are nodes of an append-only lock-free list;
+/// exited threads release their slot for reuse (claimed flag) but the
+/// node itself is never freed, so advance() can scan without locks.
+struct alignas(64) Slot {
+  std::atomic<std::uint64_t> epoch{kInactive};
+  std::atomic<bool> claimed{false};
+  Slot* next = nullptr;  // immutable after publication
+};
+
+std::atomic<Slot*> g_slots{nullptr};
+std::atomic<std::uint64_t> g_epoch{2};  // >= 2 so epoch-0 stamps are old
+std::atomic<std::int64_t> g_backlog{0};
+
+/// Retire lists whose owner thread exited before they drained. Guarded by
+/// a mutex — touched only on thread exit and inside collect passes.
+std::mutex g_orphans_mutex;
+std::vector<Retired> g_orphans;
+
+Slot* claim_slot() {
+  for (Slot* s = g_slots.load(std::memory_order_acquire); s != nullptr;
+       s = s->next) {
+    bool expected = false;
+    if (!s->claimed.load(std::memory_order_relaxed) &&
+        s->claimed.compare_exchange_strong(expected, true,
+                                           std::memory_order_acq_rel)) {
+      return s;
+    }
+  }
+  Slot* s = new Slot;
+  s->claimed.store(true, std::memory_order_relaxed);
+  Slot* head = g_slots.load(std::memory_order_relaxed);
+  do {
+    s->next = head;
+  } while (!g_slots.compare_exchange_weak(head, s, std::memory_order_acq_rel,
+                                          std::memory_order_relaxed));
+  return s;
+}
+
+/// Advance the global epoch by one if every pinned slot has caught up.
+/// All epoch loads/stores on this path are seq_cst: the advance is the
+/// proof step of the grace-period argument (see epoch.hpp) and the proof
+/// needs the single total order.
+bool try_advance() {
+  const std::uint64_t e = g_epoch.load(std::memory_order_seq_cst);
+  for (Slot* s = g_slots.load(std::memory_order_seq_cst); s != nullptr;
+       s = s->next) {
+    const std::uint64_t local = s->epoch.load(std::memory_order_seq_cst);
+    if (local != kInactive && local != e) return false;  // straggler
+  }
+  std::uint64_t expected = e;
+  g_epoch.compare_exchange_strong(expected, e + 1, std::memory_order_seq_cst);
+  return true;  // advanced, or someone else did — either way progress
+}
+
+struct Participant {
+  Slot* slot = nullptr;
+  std::uint64_t pin_depth = 0;
+  std::vector<Retired> retired;
+  std::size_t since_collect = 0;
+
+  Slot* ensure_slot() {
+    if (slot == nullptr) slot = claim_slot();
+    return slot;
+  }
+
+  /// Frees every entry of `list` whose grace period has expired (stamped
+  /// epoch + 2 <= global). Returns the number freed.
+  static std::size_t collect_list(std::vector<Retired>& list) {
+    const std::uint64_t safe = g_epoch.load(std::memory_order_seq_cst);
+    std::size_t freed = 0;
+    std::size_t keep = 0;
+    for (Retired& r : list) {
+      if (r.epoch + 2 <= safe) {
+        r.deleter(r.p);
+        ++freed;
+      } else {
+        list[keep++] = r;
+      }
+    }
+    list.resize(keep);
+    if (freed != 0) {
+      g_backlog.fetch_sub(static_cast<std::int64_t>(freed),
+                          std::memory_order_relaxed);
+    }
+    return freed;
+  }
+
+  void maybe_collect() {
+    if (++since_collect < kCollectPeriod) return;
+    since_collect = 0;
+    try_advance();
+    collect_list(retired);
+  }
+
+  ~Participant() {
+    // Thread exit: release the slot for reuse and hand any undrained
+    // retirees to the orphan list (they are freed by a later collect or
+    // by drain() — never leaked, never freed early).
+    if (slot != nullptr) {
+      slot->epoch.store(kInactive, std::memory_order_seq_cst);
+      slot->claimed.store(false, std::memory_order_release);
+    }
+    if (!retired.empty()) {
+      std::scoped_lock lock(g_orphans_mutex);
+      g_orphans.insert(g_orphans.end(), retired.begin(), retired.end());
+    }
+  }
+};
+
+thread_local Participant t_participant;
+
+}  // namespace
+
+Guard::Guard() {
+  Participant& me = t_participant;
+  if (me.pin_depth++ != 0) return;  // re-entrant: outer pin stands
+  Slot* slot = me.ensure_slot();
+  // Pin loop: publish our epoch, then re-read the global one; if an
+  // advance slipped between the two, re-publish at the newer epoch. On
+  // exit our published epoch equals a value the global counter held AFTER
+  // the store — the advance scan is guaranteed to either see us or have
+  // its new epoch seen by us.
+  std::uint64_t e = g_epoch.load(std::memory_order_seq_cst);
+  for (;;) {
+    slot->epoch.store(e, std::memory_order_seq_cst);
+    const std::uint64_t now = g_epoch.load(std::memory_order_seq_cst);
+    if (now == e) break;
+    e = now;
+  }
+}
+
+Guard::~Guard() {
+  Participant& me = t_participant;
+  if (--me.pin_depth != 0) return;
+  me.slot->epoch.store(kInactive, std::memory_order_seq_cst);
+}
+
+void retire(void* p, void (*deleter)(void*)) {
+  Participant& me = t_participant;
+  me.retired.push_back(
+      Retired{p, deleter, g_epoch.load(std::memory_order_seq_cst)});
+  g_backlog.fetch_add(1, std::memory_order_relaxed);
+  me.maybe_collect();
+}
+
+std::size_t backlog() {
+  const std::int64_t n = g_backlog.load(std::memory_order_relaxed);
+  return n > 0 ? static_cast<std::size_t>(n) : 0;
+}
+
+std::size_t drain() {
+  Participant& me = t_participant;
+  std::size_t freed = 0;
+  // Each advance can unlock one more stamp generation; three passes move
+  // everything collectable with all threads quiescent. A pinned
+  // concurrent thread simply stops the advances (best effort).
+  for (int pass = 0; pass < 3; ++pass) {
+    try_advance();
+    freed += Participant::collect_list(me.retired);
+    std::scoped_lock lock(g_orphans_mutex);
+    freed += Participant::collect_list(g_orphans);
+  }
+  return freed;
+}
+
+std::uint64_t current_epoch() {
+  return g_epoch.load(std::memory_order_seq_cst);
+}
+
+bool pinned() { return t_participant.pin_depth != 0; }
+
+}  // namespace sdl::epoch

@@ -1,0 +1,83 @@
+// Epoch-based reclamation (EBR) — the memory-safety layer under the
+// lock-free optimistic read path (ISSUE 6).
+//
+// Optimistic readers traverse the dataspace's bucket chains without taking
+// any shard lock, so a retracted tuple's node cannot be freed the moment it
+// is unlinked: a reader that loaded a pointer to it microseconds ago may
+// still be dereferencing it. Instead, writers RETIRE unlinked nodes; a
+// retired node is freed only after a GRACE PERIOD — two global epoch
+// advances — has proven that every thread pinned at unlink time has since
+// passed through a quiescent (unpinned) state.
+//
+// Protocol (classic 3-epoch EBR, crossbeam/Fraser style):
+//   * Each participating thread owns a SLOT holding its local epoch, or
+//     kInactive when not inside a critical section.
+//   * Guard (RAII) pins the thread: local epoch := global epoch. All
+//     unlocked traversal — and every writer mutation that unlinks nodes —
+//     happens inside a Guard.
+//   * retire(p, deleter) stamps p with the current global epoch e and
+//     queues it; p is freed once the global epoch reaches e + 2.
+//   * The global epoch advances from e to e+1 only when every pinned slot
+//     has reached e — so an advance is a proof that no thread still holds
+//     pointers obtained under epoch e-1, making epoch-(e-1) garbage safe.
+//
+// Why writers pin too: the advance e-1 → e scans slots AFTER the unlinking
+// writer unpins, and a reader that pins at e reads the global epoch the
+// advance published. That store–load chain (all seq_cst) is what makes the
+// writer's unlink happen-before the reader's traversal, so the reader
+// cannot load a pointer to epoch-(e-1) garbage. Without the writer's pin
+// the chain has a hole and a 2-epoch grace period is NOT sufficient.
+//
+// Costs: pinning is one seq_cst store + one seq_cst load (uncontended,
+// thread-local cache line); retiring is a thread-local vector push.
+// Advancement is amortized: each thread attempts it every
+// kCollectPeriod retires, and collects its own garbage afterwards.
+//
+// Threads: slots are claimed on first use and recycled on thread exit
+// (pending retirees migrate to a global orphan list so nothing leaks).
+// The registry is append-only, so slot scans need no lock.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sdl::epoch {
+
+/// RAII pin: the calling thread is inside an epoch-protected critical
+/// section for the Guard's lifetime. Pointers loaded from an epoch-managed
+/// structure are safe to dereference only while a Guard is alive. Cheap;
+/// re-entrant (nested Guards share the outer pin).
+class Guard {
+ public:
+  Guard();
+  ~Guard();
+  Guard(const Guard&) = delete;
+  Guard& operator=(const Guard&) = delete;
+};
+
+/// Defers `deleter(p)` until every thread pinned at call time has
+/// unpinned. May be called with or without a Guard held (unlinking writers
+/// hold one; see file comment). `deleter` must not touch anything that can
+/// die before the process does — it runs at an arbitrary later point, on
+/// an arbitrary thread (whichever one collects), possibly after the
+/// structure `p` came from is gone.
+void retire(void* p, void (*deleter)(void*));
+
+/// Number of retired-but-not-yet-freed objects (approximate; the
+/// observability layer exports it as the reclamation-backlog gauge).
+[[nodiscard]] std::size_t backlog();
+
+/// Best-effort drain: repeatedly advance the epoch and collect until no
+/// progress is possible (a concurrently pinned thread stops it). With all
+/// threads quiescent — scheduler teardown, test seams — this frees every
+/// retired object, including orphans from exited threads. Returns the
+/// number of objects freed.
+std::size_t drain();
+
+/// The current global epoch (tests/diagnostics).
+[[nodiscard]] std::uint64_t current_epoch();
+
+/// True while the calling thread holds at least one Guard (assertions).
+[[nodiscard]] bool pinned();
+
+}  // namespace sdl::epoch

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "core/epoch.hpp"
+
 namespace sdl::obs {
 
 namespace {
@@ -229,6 +231,13 @@ RuntimeMetrics::RuntimeMetrics(MetricsRegistry& reg) : registry(&reg) {
   lock_shared_contended = &reg.counter("sdl_lock_shared_contended_total");
   lock_exclusive_contended =
       &reg.counter("sdl_lock_exclusive_contended_total");
+  read_optimistic_ok = &reg.counter("sdl_read_optimistic_ok_total");
+  read_validation_retry = &reg.counter("sdl_read_validation_retry_total");
+  read_lock_fallback = &reg.counter("sdl_read_lock_fallback_total");
+  // Retired-but-not-yet-freed EBR objects: a growing value means grace
+  // periods are not expiring (a thread is parked inside an epoch::Guard —
+  // by design Guards never span a block, so sustained growth is a bug).
+  reg.gauge("sdl_epoch_backlog", [] { return epoch::backlog(); });
   park_delayed_txn_ns = &reg.histogram("sdl_park_delayed_txn_ns");
   park_selection_ns = &reg.histogram("sdl_park_selection_ns");
   park_consensus_ns = &reg.histogram("sdl_park_consensus_ns");

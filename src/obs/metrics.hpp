@@ -200,6 +200,17 @@ struct RuntimeMetrics {
   Counter* lock_shared_contended = nullptr;
   Counter* lock_exclusive_contended = nullptr;
 
+  // Engine: lock-free optimistic read path (ISSUE 6). Counted EXACTLY
+  // (not span-sampled): optimistic reads never touch the lock counters
+  // above, so these are the only record of the read path's behavior and
+  // the ratio retry/(ok+retry) is the conflict rate the bench gates on.
+  // ok = attempts whose version validation passed; retry = attempts that
+  // failed validation and were retried in place; fallback = transactions
+  // that exhausted their optimistic attempts and went to shared locks.
+  Counter* read_optimistic_ok = nullptr;
+  Counter* read_validation_retry = nullptr;
+  Counter* read_lock_fallback = nullptr;
+
   // Scheduler: park duration per ParkReason, and the latency from a wake
   // (Parked → Ready) to the next dispatch (begin_running).
   LatencyHistogram* park_delayed_txn_ns = nullptr;

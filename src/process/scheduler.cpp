@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "consensus/consensus.hpp"
+#include "core/epoch.hpp"
 
 namespace sdl {
 
@@ -96,6 +97,10 @@ Scheduler::~Scheduler() {
     watchdog_cv_.notify_all();
     watchdog_ = std::jthread();
   }
+  // Workers are joined (their epoch pins are gone and their retire lists
+  // migrated to the orphan pool), so everything erase() deferred is
+  // collectable now.
+  epoch::drain();
 }
 
 const ProcessDef& Scheduler::define(ProcessDef def) {
@@ -697,6 +702,9 @@ RunReport Scheduler::run() {
   watchdog_.request_stop();
   watchdog_cv_.notify_all();
   watchdog_ = std::jthread();  // joins
+  // Quiescent: the joined workers' retire lists (tuples retracted during
+  // the run) sit in the EBR orphan pool — reclaim them before reporting.
+  epoch::drain();
   return build_report(completed_before);
 }
 

@@ -7,6 +7,7 @@
 // locks, so sources may hand out stable references.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -58,6 +59,83 @@ class DataspaceSource final : public TupleSource {
 
  private:
   const Dataspace& space_;
+};
+
+/// The dataspace traversed WITHOUT locks — the optimistic read path
+/// (ISSUE 6). The caller must hold an epoch::Guard for this source's whole
+/// lifetime (retracted nodes it can still reach are EBR-protected, not
+/// freed) and must treat any evaluation result as provisional until
+/// validate() says the snapshot was consistent.
+///
+/// Protocol (per-shard seqlock, see dataspace.hpp):
+///   1. On the first scan touching a shard, SAMPLE its version (acquire).
+///      An odd version means a writer is mid-commit: poison the attempt
+///      (scans go empty) rather than traverse a half-applied state.
+///   2. Scans traverse live bucket chains with no lock.
+///   3. validate(): one acquire fence orders every traversal load before a
+///      relaxed re-read of each sampled version. All unchanged ⇒ every
+///      touched shard was mutation-free from its sample to the fence, so
+///      the reads form a consistent snapshot (serialized at the instant of
+///      the first re-read — samples all precede re-reads, so one instant
+///      lies in every shard's stable window). Any change ⇒ retry.
+///
+/// scan_key_second is NOT overridden: the secondary index is a writer-side
+/// plain container, so this source inherits the filtered-scan fallback.
+class OptimisticSource final : public TupleSource {
+ public:
+  explicit OptimisticSource(const Dataspace& space) : space_(space) {}
+
+  void scan_key(const IndexKey& key, const Dataspace::RecordFn& fn) const override {
+    if (!touch(space_.shard_of(key))) return;
+    space_.scan_key(key, fn);
+  }
+  void scan_arity(std::uint32_t arity, const Dataspace::RecordFn& fn) const override {
+    // Arity-wide scans cross every shard; sample them all.
+    for (std::size_t si = 0; si < space_.shard_count(); ++si) {
+      if (!touch(si)) return;
+    }
+    space_.scan_arity(arity, fn);
+  }
+
+  /// True once any touched shard had a writer mid-commit — the attempt is
+  /// already doomed and scans have gone empty; retry without evaluating
+  /// further. (Evaluation results under a poisoned source are bogus but
+  /// memory-safe.)
+  [[nodiscard]] bool failed() const { return failed_; }
+
+  /// Final validation; call after evaluation, before trusting its result.
+  [[nodiscard]] bool validate() const {
+    if (failed_) return false;
+    std::atomic_thread_fence(std::memory_order_acquire);
+    for (const auto& [si, v] : sampled_) {
+      if (space_.shard_version_validate(si) != v) return false;
+    }
+    return true;
+  }
+
+  /// Shards this attempt sampled (stats/tests).
+  [[nodiscard]] std::size_t shards_touched() const { return sampled_.size(); }
+
+ private:
+  bool touch(std::size_t si) const {
+    if (failed_) return false;
+    for (const auto& [s, v] : sampled_) {
+      if (s == si) return true;  // already sampled
+    }
+    const std::uint64_t v = space_.shard_version(si);
+    if ((v & 1) != 0) {
+      failed_ = true;
+      return false;
+    }
+    sampled_.emplace_back(si, v);
+    return true;
+  }
+
+  const Dataspace& space_;
+  /// (shard, sampled version); linear-searched — read txns touch few
+  /// shards, and a map would cost more than it saves.
+  mutable std::vector<std::pair<std::size_t, std::uint64_t>> sampled_;
+  mutable bool failed_ = false;
 };
 
 /// A negated subquery: succeeds when NO binding of `patterns` satisfying

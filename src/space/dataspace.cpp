@@ -1,12 +1,18 @@
 #include "space/dataspace.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
+
+#include "core/epoch.hpp"
 
 namespace sdl {
 
 namespace {
 bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+/// Initial bucket-table slots per shard; doubled at load factor 1.
+constexpr std::size_t kInitialSlots = 8;
 }  // namespace
 
 Dataspace::Dataspace(std::size_t shard_count) {
@@ -16,6 +22,95 @@ Dataspace::Dataspace(std::size_t shard_count) {
   shards_ = std::make_unique<Shard[]>(shard_count);
   shard_count_ = shard_count;
   shard_mask_ = shard_count - 1;
+  shard_bits_ = static_cast<std::size_t>(std::countr_zero(shard_count));
+  for (std::size_t si = 0; si < shard_count_; ++si) {
+    shards_[si].table.store(new Table(kInitialSlots),
+                            std::memory_order_relaxed);
+  }
+}
+
+Dataspace::~Dataspace() {
+  // Give EBR a chance to hand back nodes retired by erase(); anything a
+  // still-pinned thread blocks stays queued (the deleters are
+  // self-contained and never touch this object, so late frees are safe).
+  epoch::drain();
+  for (std::size_t si = 0; si < shard_count_; ++si) {
+    Table* t = shards_[si].table.load(std::memory_order_relaxed);
+    for (std::size_t slot = 0; slot <= t->mask; ++slot) {
+      BucketNode* b = t->slots[slot].load(std::memory_order_relaxed);
+      while (b != nullptr) {
+        Node* n = b->head.load(std::memory_order_relaxed);
+        while (n != nullptr) {
+          Node* next = n->next.load(std::memory_order_relaxed);
+          delete n;
+          n = next;
+        }
+        BucketNode* chain = b->chain.load(std::memory_order_relaxed);
+        delete b;
+        b = chain;
+      }
+    }
+    delete t;
+  }
+}
+
+Dataspace::BucketNode* Dataspace::find_bucket(const Shard& shard,
+                                              const IndexKey& key) const {
+  const Table* t = shard.table.load(std::memory_order_acquire);
+  for (BucketNode* b = t->slots[slot_of(*t, key)].load(std::memory_order_acquire);
+       b != nullptr; b = b->chain.load(std::memory_order_acquire)) {
+    if (b->key == key) return b;
+  }
+  return nullptr;
+}
+
+Dataspace::BucketNode* Dataspace::ensure_bucket(Shard& shard,
+                                                const IndexKey& key) {
+  if (BucketNode* b = find_bucket(shard, key)) return b;
+  Table* t = shard.table.load(std::memory_order_relaxed);
+  if (++shard.bucket_nodes > t->mask + 1) {
+    // Load factor 1: rebuild at double width. Collect every bucket first
+    // (re-chaining destroys the old chains as it goes), then push into the
+    // new slots. Readers mid-walk on the old table may see a mix of old
+    // and new chain links — that mix is acyclic and every pointer stays a
+    // live BucketNode, so the walk is memory-safe; it can miss or repeat
+    // buckets, which version validation turns into a retry.
+    Table* grown = new Table((t->mask + 1) * 2);
+    std::vector<BucketNode*> all;
+    all.reserve(shard.bucket_nodes);
+    for (std::size_t slot = 0; slot <= t->mask; ++slot) {
+      for (BucketNode* b = t->slots[slot].load(std::memory_order_relaxed);
+           b != nullptr; b = b->chain.load(std::memory_order_relaxed)) {
+        all.push_back(b);
+      }
+    }
+    for (BucketNode* b : all) {
+      auto& slot = grown->slots[slot_of(*grown, b->key)];
+      b->chain.store(slot.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+      slot.store(b, std::memory_order_release);
+    }
+    shard.table.store(grown, std::memory_order_release);
+    epoch::retire(t, [](void* p) { delete static_cast<Table*>(p); });
+    t = grown;
+  }
+  auto* b = new BucketNode(key);
+  auto& slot = t->slots[slot_of(*t, key)];
+  b->chain.store(slot.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  slot.store(b, std::memory_order_release);  // publish fully-formed
+  return b;
+}
+
+Dataspace::Node* Dataspace::link_record(BucketNode& bucket, Record rec) {
+  Node* n = new Node;
+  n->rec = std::move(rec);
+  Node* head = bucket.head.load(std::memory_order_relaxed);
+  n->next.store(head, std::memory_order_relaxed);
+  if (head != nullptr) head->prev = n;
+  bucket.position.emplace(n->rec.id, n);
+  bucket.head.store(n, std::memory_order_release);  // publish fully-formed
+  return n;
 }
 
 TupleId Dataspace::insert(Tuple t, ProcessId owner) {
@@ -28,10 +123,9 @@ TupleId Dataspace::insert(Tuple t, ProcessId owner) {
   shard.next_sequence.store(local + 1, std::memory_order_relaxed);
   const TupleId id(owner, local * shard_count_ + si);
 
-  Bucket& bucket = shard.buckets[key];
-  if (t.arity() >= 2) bucket.by_second[t[1].hash()].push_back(id);
-  bucket.position.emplace(id, bucket.records.size());
-  bucket.records.push_back(Record{id, std::move(t)});
+  BucketNode* bucket = ensure_bucket(shard, key);
+  if (t.arity() >= 2) bucket->by_second[t[1].hash()].push_back(id);
+  link_record(*bucket, Record{id, std::move(t)});
   Shard::bump(shard.live);
   Shard::bump(shard.asserts);
   return id;
@@ -39,29 +133,36 @@ TupleId Dataspace::insert(Tuple t, ProcessId owner) {
 
 bool Dataspace::erase(const IndexKey& key, TupleId id) {
   Shard& shard = shards_[shard_of(key)];
-  auto it = shard.buckets.find(key);
-  if (it == shard.buckets.end()) return false;
-  Bucket& bucket = it->second;
-  auto pit = bucket.position.find(id);
-  if (pit == bucket.position.end()) return false;
-  const std::size_t i = pit->second;
-  auto& recs = bucket.records;
+  BucketNode* bucket = find_bucket(shard, key);
+  if (bucket == nullptr) return false;
+  auto pit = bucket->position.find(id);
+  if (pit == bucket->position.end()) return false;
+  Node* n = pit->second;
 
-  if (recs[i].tuple.arity() >= 2) {
-    auto sit = bucket.by_second.find(recs[i].tuple[1].hash());
-    if (sit != bucket.by_second.end()) {
+  if (n->rec.tuple.arity() >= 2) {
+    auto sit = bucket->by_second.find(n->rec.tuple[1].hash());
+    if (sit != bucket->by_second.end()) {
       auto& ids = sit->second;
       ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
-      if (ids.empty()) bucket.by_second.erase(sit);
+      if (ids.empty()) bucket->by_second.erase(sit);
     }
   }
-  bucket.position.erase(pit);
-  if (i != recs.size() - 1) {
-    recs[i] = std::move(recs.back());
-    bucket.position[recs[i].id] = i;
+  bucket->position.erase(pit);
+
+  // Unlink. The node's own `next` is left intact so a reader standing on
+  // it can finish its walk; the node is retired, not freed — a concurrent
+  // optimistic reader may still dereference it until the grace period
+  // expires (caller holds an epoch::Guard, which makes the grace argument
+  // sound — see epoch.hpp "Why writers pin too").
+  Node* succ = n->next.load(std::memory_order_relaxed);
+  if (succ != nullptr) succ->prev = n->prev;
+  if (n->prev != nullptr) {
+    n->prev->next.store(succ, std::memory_order_release);
+  } else {
+    bucket->head.store(succ, std::memory_order_release);
   }
-  recs.pop_back();
-  if (recs.empty()) shard.buckets.erase(it);
+  epoch::retire(n, [](void* p) { delete static_cast<Node*>(p); });
+
   Shard::drop(shard.live);
   Shard::bump(shard.retracts);
   return true;
@@ -69,27 +170,29 @@ bool Dataspace::erase(const IndexKey& key, TupleId id) {
 
 void Dataspace::scan_key(const IndexKey& key, const RecordFn& fn) const {
   const Shard& shard = shards_[shard_of(key)];
-  auto it = shard.buckets.find(key);
-  if (it == shard.buckets.end()) return;
+  const BucketNode* bucket = find_bucket(shard, key);
+  if (bucket == nullptr) return;
   Shard& counters = const_cast<Shard&>(shard);
-  for (const Record& r : it->second.records) {
-    Shard::bump(counters.scanned);
-    if (!fn(r)) return;
+  std::uint64_t seen = 0;
+  for (const Node* n = bucket->head.load(std::memory_order_acquire);
+       n != nullptr; n = n->next.load(std::memory_order_acquire)) {
+    ++seen;
+    if (!fn(n->rec)) break;
   }
+  if (seen != 0) Shard::bump(counters.scanned, seen);
 }
 
 void Dataspace::scan_key_second(const IndexKey& key, const Value& second,
                                 const RecordFn& fn) const {
   const Shard& shard = shards_[shard_of(key)];
-  auto it = shard.buckets.find(key);
-  if (it == shard.buckets.end()) return;
-  const Bucket& bucket = it->second;
-  auto sit = bucket.by_second.find(second.hash());
-  if (sit == bucket.by_second.end()) return;
+  const BucketNode* bucket = find_bucket(shard, key);
+  if (bucket == nullptr) return;
+  auto sit = bucket->by_second.find(second.hash());
+  if (sit == bucket->by_second.end()) return;
   Shard& counters = const_cast<Shard&>(shard);
   for (const TupleId id : sit->second) {
     Shard::bump(counters.scanned);
-    const Record& r = bucket.records[bucket.position.at(id)];
+    const Record& r = bucket->position.at(id)->rec;
     // Hash collisions: verify the actual field.
     if (r.tuple[1] != second) continue;
     if (!fn(r)) return;
@@ -100,11 +203,24 @@ void Dataspace::scan_arity(std::uint32_t arity, const RecordFn& fn) const {
   for (std::size_t si = 0; si < shard_count_; ++si) {
     const Shard& shard = shards_[si];
     Shard& counters = const_cast<Shard&>(shard);
-    for (const auto& [key, bucket] : shard.buckets) {
-      if (key.arity != arity) continue;
-      for (const Record& r : bucket.records) {
-        Shard::bump(counters.scanned);
-        if (!fn(r)) return;
+    const Table* t = shard.table.load(std::memory_order_acquire);
+    for (std::size_t slot = 0; slot <= t->mask; ++slot) {
+      for (const BucketNode* b =
+               t->slots[slot].load(std::memory_order_acquire);
+           b != nullptr; b = b->chain.load(std::memory_order_acquire)) {
+        if (b->key.arity != arity) continue;
+        std::uint64_t seen = 0;
+        bool stop = false;
+        for (const Node* n = b->head.load(std::memory_order_acquire);
+             n != nullptr; n = n->next.load(std::memory_order_acquire)) {
+          ++seen;
+          if (!fn(n->rec)) {
+            stop = true;
+            break;
+          }
+        }
+        if (seen != 0) Shard::bump(counters.scanned, seen);
+        if (stop) return;
       }
     }
   }
@@ -112,10 +228,15 @@ void Dataspace::scan_arity(std::uint32_t arity, const RecordFn& fn) const {
 
 void Dataspace::scan_all(const RecordFn& fn) const {
   for (std::size_t si = 0; si < shard_count_; ++si) {
-    const Shard& shard = shards_[si];
-    for (const auto& [key, bucket] : shard.buckets) {
-      for (const Record& r : bucket.records) {
-        if (!fn(r)) return;
+    const Table* t = shards_[si].table.load(std::memory_order_acquire);
+    for (std::size_t slot = 0; slot <= t->mask; ++slot) {
+      for (const BucketNode* b =
+               t->slots[slot].load(std::memory_order_acquire);
+           b != nullptr; b = b->chain.load(std::memory_order_acquire)) {
+        for (const Node* n = b->head.load(std::memory_order_acquire);
+             n != nullptr; n = n->next.load(std::memory_order_acquire)) {
+          if (!fn(n->rec)) return;
+        }
       }
     }
   }
@@ -123,11 +244,10 @@ void Dataspace::scan_all(const RecordFn& fn) const {
 
 void Dataspace::for_each_instance(
     const std::function<void(const Record&)>& fn) const {
-  for (std::size_t si = 0; si < shard_count_; ++si) {
-    for (const auto& [key, bucket] : shards_[si].buckets) {
-      for (const Record& r : bucket.records) fn(r);
-    }
-  }
+  scan_all([&](const Record& r) {
+    fn(r);
+    return true;
+  });
 }
 
 void Dataspace::restore(Tuple t, TupleId id) {
@@ -146,13 +266,13 @@ void Dataspace::restore(Tuple t, TupleId id) {
   if (origin.next_sequence.load(std::memory_order_relaxed) < floor) {
     origin.next_sequence.store(floor, std::memory_order_relaxed);
   }
-  Bucket& bucket = shard.buckets[key];
-  if (!bucket.position.emplace(id, bucket.records.size()).second) {
+  BucketNode* bucket = ensure_bucket(shard, key);
+  if (bucket->position.contains(id)) {
     throw std::logic_error("Dataspace::restore: id already resident: " +
                            id.to_string());
   }
-  if (t.arity() >= 2) bucket.by_second[t[1].hash()].push_back(id);
-  bucket.records.push_back(Record{id, std::move(t)});
+  if (t.arity() >= 2) bucket->by_second[t[1].hash()].push_back(id);
+  link_record(*bucket, Record{id, std::move(t)});
   Shard::bump(shard.live);
 }
 

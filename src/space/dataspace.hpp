@@ -10,13 +10,26 @@
 // in src/txn own the locks (GlobalLockEngine one mutex, ShardedEngine one
 // reader–writer lock per shard) so that locking policy is an
 // interchangeable, benchmarkable decision (experiments E6, E15). Buckets
-// are distributed over `shard_count` shards by IndexKey hash. The lock
-// contract per shard:
-//   * mutation (insert, erase) requires that shard's lock EXCLUSIVELY;
-//   * reads (scan_*, count) require it at least SHARED — any number of
-//     concurrent readers of one shard is fine.
+// are distributed over `shard_count` shards by IndexKey hash.
+//
+// Since ISSUE 6 the storage layout is LOCK-FREE-READABLE: each shard is an
+// open hash table of bucket nodes (chained, append-only) and each bucket
+// holds its records in a doubly-linked node list whose forward pointers
+// are atomics. That supports three access modes:
+//   * mutation (insert, erase, rebuilds) requires that shard's lock
+//     EXCLUSIVELY, and the caller must bracket the whole commit with
+//     begin_shard_write/end_shard_write (the seqlock protocol below) and
+//     hold an epoch::Guard (erase defers node frees through EBR);
+//   * locked reads (scan_*, count) require the shard at least SHARED;
+//   * OPTIMISTIC reads (the ShardedEngine read path) take no lock at all:
+//     inside an epoch::Guard, sample shard_version() (reject odd = writer
+//     in progress), traverse via scan_key/scan_arity, then re-validate the
+//     sampled versions — identical ⇒ the traversal observed a consistent
+//     snapshot; changed ⇒ discard and retry. scan_key_second and every
+//     writer-side auxiliary structure (position map, secondary index) are
+//     NOT optimistic-safe: they are plain containers read only under locks.
 // Whole-space operations (scan_arity, scan_all, snapshot) need every shard
-// held in the corresponding mode.
+// held in the corresponding mode (or per-shard version validation).
 #pragma once
 
 #include <atomic>
@@ -87,6 +100,7 @@ class Dataspace {
   /// `shard_count` fixes the number of independently lockable shards for
   /// the life of the store. Must be a power of two.
   explicit Dataspace(std::size_t shard_count = 64);
+  ~Dataspace();
 
   Dataspace(const Dataspace&) = delete;
   Dataspace& operator=(const Dataspace&) = delete;
@@ -96,31 +110,74 @@ class Dataspace {
     return key.hash() & shard_mask_;
   }
 
+  // ------------------------------------------------------------- versions
+  // Per-shard seqlock: a writer holding shard si's exclusive lock brackets
+  // its commit with begin_shard_write(si) … end_shard_write(si), keeping
+  // the version ODD for the full critical section — all of one commit's
+  // mutations to a shard land inside one odd window, so an optimistic
+  // reader can never validate a half-applied commit. Engines own the
+  // bracketing (locking policy lives in src/txn); recovery-time mutation
+  // (restore) is quiescent and exempt.
+
+  /// Begin a writer critical section on shard si (version becomes odd).
+  /// Caller holds si's exclusive lock; never nests.
+  void begin_shard_write(std::size_t si) {
+    auto& v = shards_[si].version;
+    v.store(v.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  }
+  /// End a writer critical section (version becomes even again). Must be
+  /// called BEFORE releasing si's exclusive lock.
+  void end_shard_write(std::size_t si) {
+    auto& v = shards_[si].version;
+    v.store(v.load(std::memory_order_relaxed) + 1, std::memory_order_release);
+  }
+  /// Current version of shard si (acquire: the sample point of the
+  /// optimistic-read protocol; odd = writer in progress).
+  [[nodiscard]] std::uint64_t shard_version(std::size_t si) const {
+    return shards_[si].version.load(std::memory_order_acquire);
+  }
+  /// Relaxed re-read for the validation step — callers issue an acquire
+  /// fence between the last traversal load and this (see OptimisticSource).
+  [[nodiscard]] std::uint64_t shard_version_validate(std::size_t si) const {
+    return shards_[si].version.load(std::memory_order_relaxed);
+  }
+
+  // ------------------------------------------------------------ mutation
+
   /// Inserts a tuple instance owned by `owner`; returns its fresh id.
-  /// Caller must hold the lock for shard_of(IndexKey::of(t)) EXCLUSIVELY.
+  /// Caller must hold the lock for shard_of(IndexKey::of(t)) EXCLUSIVELY,
+  /// inside a begin/end_shard_write bracket when optimistic readers may
+  /// exist (i.e. under ShardedEngine).
   TupleId insert(Tuple t, ProcessId owner);
 
   /// Removes the instance `id` from the bucket `key` (which the caller
   /// derives from the matched tuple). Returns false if not present.
-  /// Caller must hold the lock for shard_of(key) EXCLUSIVELY.
+  /// Caller must hold the lock for shard_of(key) EXCLUSIVELY (bracketed as
+  /// for insert) and an epoch::Guard: the record's node is retired through
+  /// EBR, not freed, because unlocked readers may still be traversing it.
   bool erase(const IndexKey& key, TupleId id);
 
   using RecordFn = std::function<bool(const Record&)>;  // return false to stop
 
+  // --------------------------------------------------------------- reads
+
   /// Visits every record in bucket `key`. Caller holds that shard's lock
-  /// (shared mode suffices for all scan_* entry points).
+  /// (shared mode suffices) OR is an optimistic reader inside an
+  /// epoch::Guard with version validation (see file comment).
   void scan_key(const IndexKey& key, const RecordFn& fn) const;
 
   /// Visits only the records in bucket `key` whose SECOND field equals
   /// `second` — a probe on the per-bucket secondary index. This is what
   /// makes a join pattern like [label, p, l] with `p` already bound a
   /// lookup instead of a bucket scan (the §3.3 worker-model join drops
-  /// from O(N³) to O(N²) on it). Caller holds that shard's lock.
+  /// from O(N³) to O(N²) on it). Caller holds that shard's lock — the
+  /// secondary index is a writer-side plain container, NOT safe for
+  /// optimistic readers (they fall back to a filtered scan_key).
   void scan_key_second(const IndexKey& key, const Value& second,
                        const RecordFn& fn) const;
 
   /// Visits every record whose tuple has `arity` (crosses all shards —
-  /// caller must hold every shard lock).
+  /// caller holds every shard lock, or validates every shard version).
   void scan_arity(std::uint32_t arity, const RecordFn& fn) const;
 
   /// Visits every record (caller must hold every shard lock).
@@ -162,25 +219,64 @@ class Dataspace {
   [[nodiscard]] SpaceStats stats() const;
 
  private:
-  struct Bucket {
-    std::vector<Record> records;
-    /// TupleId -> position in `records` (maintained across swap-removes).
-    std::unordered_map<TupleId, std::size_t> position;
-    /// hash(second field) -> ids; empty for arity < 2 buckets.
+  /// One resident record. `next` is the unlocked-traversal pointer
+  /// (atomic, release-published); `prev` is writer-only (only ever
+  /// touched under the shard's exclusive lock) so it stays plain.
+  /// Unlinked nodes keep their `next` intact — a reader standing on a
+  /// just-retracted node can still finish its walk.
+  struct Node {
+    Record rec;
+    std::atomic<Node*> next{nullptr};
+    Node* prev = nullptr;
+  };
+
+  /// One bucket. Allocated on first insert of its key and never freed
+  /// until the Dataspace dies (an emptied bucket is a tombstone that the
+  /// next insert of the same key revives) — that is what lets readers
+  /// traverse the bucket chains without coordination. `position` and
+  /// `by_second` are writer-side auxiliaries: plain containers, mutated
+  /// under the exclusive lock, read only under (at least shared) locks.
+  struct BucketNode {
+    explicit BucketNode(const IndexKey& k) : key(k) {}
+    const IndexKey key;
+    std::atomic<Node*> head{nullptr};
+    std::atomic<BucketNode*> chain{nullptr};  // hash-slot chain link
+    /// TupleId -> node (writer-only; O(1) erase).
+    std::unordered_map<TupleId, Node*> position;
+    /// hash(second field) -> ids; empty for arity < 2 buckets (writer-only
+    /// mutation, locked readers only).
     std::unordered_map<std::uint64_t, std::vector<TupleId>> by_second;
   };
+
+  /// A shard's bucket index: open hashing with per-slot BucketNode chains.
+  /// Grown by doubling under the exclusive lock; the superseded table
+  /// array is EBR-retired because readers may still be walking it (they
+  /// may then miss or repeat buckets — version validation rejects the
+  /// attempt; memory safety is what matters here).
+  struct Table {
+    explicit Table(std::size_t slot_count)
+        : mask(slot_count - 1),
+          slots(std::make_unique<std::atomic<BucketNode*>[]>(slot_count)) {}
+    const std::size_t mask;
+    std::unique_ptr<std::atomic<BucketNode*>[]> slots;
+  };
+
   /// Per-shard state. Bucket mutation (and the asserts/retracts/live
   /// counters) happens only under this shard's EXCLUSIVE lock — a single
   /// writer — so those counter writes are load+store, not RMW. The
-  /// `scanned` counter is also bumped by readers holding the lock in
-  /// SHARED mode: concurrent load+store bumps may lose counts, which is
+  /// `scanned` counter is also bumped by readers (shared-mode or
+  /// optimistic): concurrent load+store bumps may lose counts, which is
   /// accepted — stats are documented approximate, and an RMW here would
   /// put every concurrent same-shard reader back on one contended cache
-  /// line (the exact ceiling the shared-lock fast path removes, E15).
+  /// line (the exact ceiling the lock-free read path removes, E15).
   /// Atomics keep the unlocked aggregate reads (size()/stats()) and the
-  /// shared-mode bumps well-defined (no UB, no torn values).
+  /// unlocked bumps well-defined (no UB, no torn values). `version` sits
+  /// on its own cache line: optimistic readers hammer it with loads and
+  /// sharing it with writer-updated counters would bounce the line.
   struct Shard {
-    std::unordered_map<IndexKey, Bucket, IndexKeyHash> buckets;
+    std::atomic<Table*> table{nullptr};
+    std::size_t bucket_nodes = 0;  // writer-only: BucketNodes ever created
+    alignas(64) std::atomic<std::uint64_t> version{0};
     alignas(64) std::atomic<std::uint64_t> next_sequence{1};
     std::atomic<std::uint64_t> live{0};
     std::atomic<std::uint64_t> asserts{0};
@@ -195,9 +291,27 @@ class Dataspace {
     }
   };
 
+  /// Slot index of `key` in `t`. The shard selector consumed the hash's
+  /// low bits, so the table consumes the next ones up.
+  [[nodiscard]] std::size_t slot_of(const Table& t, const IndexKey& key) const {
+    return (key.hash() >> shard_bits_) & t.mask;
+  }
+
+  /// Bucket lookup by chain walk (readers and writers alike; writers see
+  /// a stable table under their exclusive lock).
+  [[nodiscard]] BucketNode* find_bucket(const Shard& shard,
+                                        const IndexKey& key) const;
+
+  /// Writer-only: find-or-create, growing the table at load factor 1.
+  BucketNode* ensure_bucket(Shard& shard, const IndexKey& key);
+
+  /// Writer-only: link a fresh node at the bucket's head (release-publish).
+  Node* link_record(BucketNode& bucket, Record rec);
+
   std::unique_ptr<Shard[]> shards_;  // Shard is immovable (atomics)
   std::size_t shard_count_;
   std::size_t shard_mask_;
+  std::size_t shard_bits_;
 };
 
 }  // namespace sdl

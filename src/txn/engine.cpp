@@ -6,6 +6,7 @@
 #include <thread>
 #include <unordered_set>
 
+#include "core/epoch.hpp"
 #include "persist/persist.hpp"
 
 namespace sdl {
@@ -350,6 +351,7 @@ ShardedEngine::LockPlan ShardedEngine::plan_locks(const Transaction& txn,
 
 void ShardedEngine::acquire(const LockPlan& plan, HeldLocks& held,
                             obs::RuntimeMetrics* m) {
+  held.space = &space_;
   // Acquire in ascending shard order — one canonical order across both
   // modes makes the reader–writer 2PL deadlock-free (CP.21's
   // ordered-acquisition idea, spelled out because the lock set is
@@ -373,18 +375,24 @@ void ShardedEngine::acquire(const LockPlan& plan, HeldLocks& held,
     m->lock_shared_acquired->add();
     held.shared.push_back(std::move(l));
   };
+  // Exclusive acquisition opens the shard's seqlock write bracket (version
+  // goes odd) the moment the lock is held: the whole critical section —
+  // evaluation included — is one odd window, so optimistic readers reject
+  // or invalidate against ALL of this commit's mutations as a unit.
   auto lock_exclusive = [&](std::size_t i) {
     if (m == nullptr) {
       held.exclusive.emplace_back(locks_[i]);
-      return;
+    } else {
+      std::unique_lock<std::shared_mutex> l(locks_[i], std::try_to_lock);
+      if (!l.owns_lock()) {
+        m->lock_exclusive_contended->add();
+        l.lock();
+      }
+      m->lock_exclusive_acquired->add();
+      held.exclusive.push_back(std::move(l));
     }
-    std::unique_lock<std::shared_mutex> l(locks_[i], std::try_to_lock);
-    if (!l.owns_lock()) {
-      m->lock_exclusive_contended->add();
-      l.lock();
-    }
-    m->lock_exclusive_acquired->add();
-    held.exclusive.push_back(std::move(l));
+    space_.begin_shard_write(i);
+    held.exclusive_shards.push_back(i);
   };
 
   if (plan.write_all) {
@@ -422,6 +430,15 @@ void ShardedEngine::acquire(const LockPlan& plan, HeldLocks& held,
   }
 }
 
+void ShardedEngine::release(HeldLocks& held) {
+  // Close the seqlock write brackets (versions back to even, release
+  // order) strictly BEFORE dropping the locks: an optimistic reader that
+  // samples between end_shard_write and unlock just sees a quiet shard.
+  held.end_writes();
+  held.shared.clear();
+  held.exclusive.clear();
+}
+
 TxnResult ShardedEngine::execute(const Transaction& txn, Env& env,
                                  ProcessId owner, const View* view) {
   stats_.attempts.add();
@@ -435,6 +452,36 @@ TxnResult ShardedEngine::execute(const Transaction& txn, Env& env,
   obs::RuntimeMetrics* const m =
       (armed != nullptr && obs::sample_span()) ? armed : nullptr;
   const std::uint64_t t_start = m != nullptr ? obs::now_ns() : 0;
+
+  // Lock-free read path. Gated to transactions the protocol fully covers:
+  // no view window (WindowSource hands out lock-contract references), no
+  // armed history recorder (its serialization witness is a lock-held
+  // sequence number) and no armed fault injector (its commit point is a
+  // locked-path hook) — sim and checker runs therefore exercise the
+  // always-correct locked path below, unchanged.
+  if (txn.is_read_only() && (view == nullptr || view->imports_everything()) &&
+      (history_ == nullptr || !history_->enabled()) && faults_ == nullptr) {
+    TxnResult result;
+    if (try_optimistic_read(txn, env, result, armed)) {
+      if (result.success) {
+        stats_.commits.add();
+      } else {
+        stats_.failures.add();
+      }
+      if (m != nullptr) m->txn_total_ns->record(obs::now_ns() - t_start);
+      return result;
+    }
+    // Validation kept failing: fall through to the shared-lock path.
+  }
+
+  // Commutative blind-assert path: a pure-guard, assert-only transaction
+  // reads nothing from D, so its guard and assert fields evaluate OUTSIDE
+  // any lock and only the resolved target shards get locked (exclusive).
+  // Sabotage runs use the regular path — its hooks live there.
+  if (!txn.is_read_only() && txn.query.pure_guard() && sabotage_ == nullptr) {
+    return execute_blind_assert(txn, env, owner, view, m, t_start);
+  }
+
   const LockPlan plan = plan_locks(txn, env);
   HeldLocks held;
   const std::uint64_t t_wait0 = m != nullptr ? obs::now_ns() : 0;
@@ -456,6 +503,10 @@ TxnResult ShardedEngine::execute(const Transaction& txn, Env& env,
     // readers of the same shard commit under shared locks without
     // bumping the commit version or waking anyone (E15).
     if (!txn.is_read_only()) {
+      // Pin for the mutation region: erase() retires nodes and a growing
+      // bucket table retires its predecessor; the writer's pin is part of
+      // the EBR grace-period argument (epoch.hpp "Why writers pin too").
+      epoch::Guard eguard;
       const bool drop = sabotage_ != nullptr &&
                         sabotage_->drop_effects.load(std::memory_order_relaxed);
       const bool split = sabotage_ != nullptr &&
@@ -470,8 +521,7 @@ TxnResult ShardedEngine::execute(const Transaction& txn, Env& env,
         // Break strict 2PL: drop every lock between evaluation and
         // application, widen the unprotected window, then re-lock and
         // apply whatever is still there.
-        held.shared.clear();
-        held.exclusive.clear();
+        release(held);
         std::this_thread::sleep_for(std::chrono::microseconds(100));
         acquire(plan, held);
         touched = apply_effects(txn, outcome, owner, view, result.asserted,
@@ -494,8 +544,7 @@ TxnResult ShardedEngine::execute(const Transaction& txn, Env& env,
     // window; the hold span deliberately still covers the whole interval.
     m->txn_lock_hold_ns->record(t_released - t_locked);
   }
-  held.shared.clear();
-  held.exclusive.clear();  // release before publishing (CP.22)
+  release(held);  // release before publishing (CP.22)
 
   if (result.success) {
     stats_.commits.add();
@@ -512,8 +561,152 @@ TxnResult ShardedEngine::execute(const Transaction& txn, Env& env,
   return result;
 }
 
+bool ShardedEngine::try_optimistic_read(const Transaction& txn, Env& env,
+                                        TxnResult& result,
+                                        obs::RuntimeMetrics* armed) {
+  for (int attempt = 0; attempt < kOptimisticAttempts; ++attempt) {
+    // Bounded backoff before each retry: a failed validation means a
+    // writer just committed into a sampled shard — yield once rather than
+    // spin into its successor's critical section.
+    if (attempt != 0) std::this_thread::yield();
+    // The pin makes every node reachable from the live bucket chains —
+    // including ones a concurrent writer unlinks mid-traversal — safe to
+    // dereference until the Guard drops (epoch.hpp).
+    epoch::Guard guard;
+    const OptimisticSource source(space_);
+    result.version = waits_.version();
+    QueryOutcome outcome = txn.query.evaluate(source, env, fns_);
+    if (source.validate()) {
+      // The traversal observed a consistent snapshot. Matches are safe to
+      // hand out past the Guard: QueryMatch bindings deep-copy values,
+      // they never point into retired nodes.
+      result.success = outcome.success;
+      result.matches = std::move(outcome.matches);
+      stats_.read_optimistic.add();
+      if (armed != nullptr) armed->read_optimistic_ok->add();
+      return true;
+    }
+    stats_.read_retries.add();
+    if (armed != nullptr) armed->read_validation_retry->add();
+  }
+  stats_.read_fallbacks.add();
+  if (armed != nullptr) armed->read_lock_fallback->add();
+  return false;
+}
+
+TxnResult ShardedEngine::execute_blind_assert(const Transaction& txn, Env& env,
+                                              ProcessId owner, const View* view,
+                                              obs::RuntimeMetrics* m,
+                                              std::uint64_t t_start) {
+  TxnResult result;
+  result.version = waits_.version();
+  // Guard and assert fields read only the environment (pure_guard = no
+  // patterns, no negations), so evaluate them against an empty source with
+  // no locks held. A throwing field expression aborts here, D untouched.
+  struct NullSource final : TupleSource {
+    void scan_key(const IndexKey&, const Dataspace::RecordFn&) const override {}
+    void scan_arity(std::uint32_t, const Dataspace::RecordFn&) const override {}
+  };
+  const NullSource nothing;
+  QueryOutcome outcome = txn.query.evaluate(nothing, env, fns_);
+  const std::uint64_t t_eval = m != nullptr ? obs::now_ns() : 0;
+  if (m != nullptr) m->txn_evaluate_ns->record(t_eval - t_start);
+  if (!outcome.success) {
+    stats_.failures.add();
+    if (m != nullptr) m->txn_total_ns->record(obs::now_ns() - t_start);
+    return result;
+  }
+  // Materialize (and export-filter) every assertion outside the locks —
+  // mirrors apply_effects' first half; the critical section below is just
+  // the links.
+  std::vector<Tuple> to_insert;
+  for (const QueryMatch& match : outcome.matches) {
+    for (const AssertTemplate& a : txn.asserts) {
+      std::vector<Value> fields;
+      fields.reserve(a.fields.size());
+      for (const ExprPtr& f : a.fields) {
+        fields.push_back(f->eval(match.binding, fns_));
+      }
+      Tuple t(std::move(fields));
+      if (view != nullptr && !view->exports_everything()) {
+        Env scratch = match.binding;
+        if (!view->exports_tuple(t, scratch, fns_)) continue;  // dropped
+      }
+      to_insert.push_back(std::move(t));
+    }
+  }
+  // The materialized tuples resolve the target shards exactly — no
+  // conservative write_set, no LockPlan.
+  std::vector<std::size_t> shards;
+  shards.reserve(to_insert.size());
+  for (const Tuple& t : to_insert) shards.push_back(space_.shard_of(IndexKey::of(t)));
+  std::sort(shards.begin(), shards.end());
+  shards.erase(std::unique(shards.begin(), shards.end()), shards.end());
+
+  LockPlan plan;
+  plan.write_shards = std::move(shards);
+  HeldLocks held;
+  const std::uint64_t t_wait0 = m != nullptr ? obs::now_ns() : 0;
+  acquire(plan, held, m);
+  const std::uint64_t t_locked = m != nullptr ? obs::now_ns() : 0;
+  if (m != nullptr) m->txn_lock_wait_ns->record(t_locked - t_wait0);
+
+  std::vector<IndexKey> touched;
+  if (inject_commit_fault(txn, /*query_succeeded=*/true)) {
+    result.injected_fault = true;  // effects withheld; retry is safe
+  } else {
+    epoch::Guard eguard;  // bucket-table growth retires the old table
+    DurableEffects& durable = durable_scratch();
+    touched.reserve(to_insert.size());
+    for (Tuple& t : to_insert) {
+      const IndexKey key = IndexKey::of(t);
+      Tuple wal_copy;
+      if (persist_ != nullptr) wal_copy = t;
+      const TupleId id = space_.insert(std::move(t), owner);
+      result.asserted.push_back(id);
+      if (persist_ != nullptr) durable.asserts.emplace_back(id, std::move(wal_copy));
+      touched.push_back(key);
+    }
+    result.success = true;
+    record_history(owner, txn, outcome, result.asserted);
+    record_wal(owner, durable);
+    result.matches = std::move(outcome.matches);
+  }
+  std::uint64_t t_released = 0;
+  if (m != nullptr) {
+    t_released = obs::now_ns();
+    m->txn_apply_ns->record(t_released - t_locked);
+    m->txn_lock_hold_ns->record(t_released - t_locked);
+  }
+  release(held);  // release before publishing (CP.22)
+
+  if (result.success) {
+    stats_.commits.add();
+    stats_.blind_asserts.add();
+    if (!touched.empty()) waits_.publish_batch(std::move(touched));
+    maybe_snapshot_after_commit();
+  } else {
+    stats_.failures.add();  // injected faults count as failures, as in execute()
+  }
+  if (m != nullptr) {
+    const std::uint64_t t_end = obs::now_ns();
+    m->txn_publish_ns->record(t_end - t_released);
+    m->txn_total_ns->record(t_end - t_start);
+  }
+  return result;
+}
+
 bool ShardedEngine::probe(const Transaction& txn, Env& env, const View* view) {
   stats_.probes.add();
+  // Lock-free first: a probe is a pre-check, so a validated optimistic
+  // evaluation answers it with no locks at all. No history/fault gating —
+  // probes never record history and never commit.
+  if (view == nullptr || view->imports_everything()) {
+    TxnResult scratch;
+    if (try_optimistic_read(txn, env, scratch, obs_metrics())) {
+      return scratch.success;
+    }
+  }
   // A probe never applies effects, so even retract-tagged patterns and
   // assertion targets contribute only READ locks: lock every bucket the
   // query scans, shared, and evaluate.
@@ -539,11 +732,19 @@ bool ShardedEngine::probe(const Transaction& txn, Env& env, const View* view) {
 }
 
 void ShardedEngine::exclusive(const std::function<std::vector<IndexKey>()>& fn) {
-  std::vector<std::unique_lock<std::shared_mutex>> held;
-  held.reserve(lock_count_);
-  for (std::size_t i = 0; i < lock_count_; ++i) held.emplace_back(locks_[i]);
-  std::vector<IndexKey> touched = fn();
-  held.clear();
+  // Full write bracketing: `fn` may mutate any shard (the consensus
+  // composite does), so every version goes odd for the duration and the
+  // writer pins (fn's erases retire nodes).
+  LockPlan plan;
+  plan.write_all = true;
+  HeldLocks held;
+  acquire(plan, held);
+  std::vector<IndexKey> touched;
+  {
+    epoch::Guard eguard;
+    touched = fn();
+  }
+  release(held);
   if (!touched.empty()) waits_.publish_batch(std::move(touched));
 }
 

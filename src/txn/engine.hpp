@@ -76,9 +76,21 @@ struct EngineStats {
   StripedCounter attempts;
   StripedCounter commits;
   StripedCounter failures;
-  /// Effect-free probe() evaluations (read locks only, never counted as
-  /// attempts/commits/failures — they are pre-checks, not transactions).
+  /// Effect-free probe() evaluations (never counted as attempts/commits/
+  /// failures — they are pre-checks, not transactions). Optimistic probes
+  /// count here too; only their locked fallback takes read locks.
   StripedCounter probes;
+  /// Lock-free read path (ShardedEngine, ISSUE 6). These are engine-level
+  /// ground truth, always on (the obs registry mirrors them, null-gated):
+  /// optimistic evaluations NEVER touch a shard lock, so they must never
+  /// appear in lock-acquire instrumentation — these counters are where
+  /// they show up instead.
+  StripedCounter read_optimistic;  // validations that passed
+  StripedCounter read_retries;     // validations that failed, retried in place
+  StripedCounter read_fallbacks;   // attempts exhausted -> shared-lock path
+  /// Commutative blind-assert commits (pure-guard, assert-only txns that
+  /// skipped lock planning and locked only their target shards).
+  StripedCounter blind_asserts;
 };
 
 class Engine {
@@ -261,9 +273,40 @@ class GlobalLockEngine final : public Engine {
 /// as the pre-r/w planner widened to `all`. Locks are held through commit
 /// (strict 2PL), and the single canonical acquisition order across both
 /// modes keeps the engine deadlock-free.
+///
+/// Two commute-exploiting fast paths bypass that machinery (ISSUE 6):
+///
+///   * OPTIMISTIC READS — a read-only transaction takes NO locks: inside
+///     an epoch::Guard it samples per-shard seqlock versions lazily,
+///     evaluates against the live buckets, and revalidates the samples
+///     (OptimisticSource, query.hpp). Valid ⇒ the result is a consistent
+///     snapshot, serialized where every sampled shard was quiet; invalid ⇒
+///     retry in place, then fall back to the shared-lock path after
+///     kOptimisticAttempts so write-heavy mixes cannot livelock. Gated off
+///     when a view window, the history recorder, or the fault injector is
+///     armed — those need the locked path's witnesses and injection
+///     points, and the locked path is always semantically correct.
+///   * BLIND ASSERTS — a pure-guard, assert-only transaction reads nothing
+///     from the dataspace, so it commutes with everything except asserts
+///     into its own target buckets. Its guard and field expressions are
+///     evaluated OUTSIDE any lock; only the resolved target shards are
+///     then locked (exclusive, ascending), shrinking the writer critical
+///     section optimistic readers must validate against.
+///
+/// Exclusive critical sections are bracketed with the dataspace's
+/// begin/end_shard_write so the whole commit is one odd-version window —
+/// never per mutation, or a reader could validate a half-applied commit.
+/// Writers hold an epoch::Guard across mutation (erase retires nodes; see
+/// epoch.hpp "Why writers pin too"). GlobalLockEngine skips all of this:
+/// a dataspace driven by it has no lock-free readers by construction.
 class ShardedEngine final : public Engine {
  public:
   ShardedEngine(Dataspace& space, WaitSet& waits, const FunctionRegistry* fns);
+
+  /// Optimistic read attempts per transaction before falling back to the
+  /// shared-lock path (tuned low: validation failures are contention
+  /// signals, and the fallback is cheap and always correct).
+  static constexpr int kOptimisticAttempts = 3;
 
   TxnResult execute(const Transaction& txn, Env& env, ProcessId owner,
                     const View* view = nullptr) override;
@@ -283,16 +326,53 @@ class ShardedEngine final : public Engine {
   };
   LockPlan plan_locks(const Transaction& txn, Env& env) const;
 
-  /// RAII for one execute()'s lock set; locks are acquired in ascending
-  /// shard order regardless of mode and released all at once.
+  /// One execute()'s lock set; locks are acquired in ascending shard
+  /// order regardless of mode. `exclusive_shards` remembers which shards
+  /// are write-bracketed (seqlock odd) so the version windows close
+  /// BEFORE the locks drop — including when an effect expression throws
+  /// (the destructor body runs before the lock members unwind), or an
+  /// aborted transaction would leave a shard permanently odd and
+  /// optimistic readers falling back forever.
   struct HeldLocks {
+    HeldLocks() = default;
+    HeldLocks(const HeldLocks&) = delete;
+    HeldLocks& operator=(const HeldLocks&) = delete;
+    ~HeldLocks() { end_writes(); }
+    /// Closes the seqlock write brackets (idempotent; locks still held).
+    void end_writes() {
+      if (space != nullptr) {
+        for (const std::size_t si : exclusive_shards) {
+          space->end_shard_write(si);
+        }
+      }
+      exclusive_shards.clear();
+    }
+    Dataspace* space = nullptr;  // set by acquire()
     std::vector<std::shared_lock<std::shared_mutex>> shared;
     std::vector<std::unique_lock<std::shared_mutex>> exclusive;
+    std::vector<std::size_t> exclusive_shards;
   };
   /// With a non-null `m`, each lock is try-locked first to count
-  /// contention (shared/exclusive separately) before blocking.
+  /// contention (shared/exclusive separately) before blocking. Every
+  /// exclusively-locked shard is begin_shard_write-bracketed on acquire.
   void acquire(const LockPlan& plan, HeldLocks& held,
                obs::RuntimeMetrics* m = nullptr);
+  /// Ends the write brackets, then releases every lock.
+  void release(HeldLocks& held);
+
+  /// The optimistic read path: up to kOptimisticAttempts lock-free
+  /// evaluations. Returns true when `result` is settled (validation
+  /// passed); false = fall back to the locked path.
+  bool try_optimistic_read(const Transaction& txn, Env& env, TxnResult& result,
+                           obs::RuntimeMetrics* armed);
+
+  /// The commutative blind-assert path: evaluates the guard and
+  /// materializes the assert tuples outside any lock, then takes only the
+  /// target shards' exclusive locks to link them in.
+  TxnResult execute_blind_assert(const Transaction& txn, Env& env,
+                                 ProcessId owner, const View* view,
+                                 obs::RuntimeMetrics* m,
+                                 std::uint64_t t_start);
 
   std::unique_ptr<std::shared_mutex[]> locks_;  // one per dataspace shard
   std::size_t lock_count_;
