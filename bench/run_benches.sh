@@ -8,14 +8,22 @@
 #   bench/run_benches.sh build --benchmark_min_time=0.05
 #   bench/run_benches.sh --check build    # E15 regression gate (see below)
 #
-# --check runs only bench_e15_read_mostly and compares it against the
-# committed bench/BENCH_e15_baseline.json: every baseline row must be
-# present, invariant counters must hold exactly (version == writes —
-# read-only transactions never publish), Sharded rows must carry the
-# scaling_eff and vs_global_t1 derived columns, and per-row ops_per_sec
-# may not fall below baseline by more than SDL_BENCH_TOLERANCE (default
-# 0.5, i.e. a 50% band — bench machines are noisy; the band catches
-# collapses, not jitter). Exits nonzero on any violation.
+# --check runs the regression gates and exits nonzero on any violation:
+#   * E15 vs the committed bench/BENCH_e15_baseline.json: every baseline
+#     row must be present, every current row must be in the baseline (a
+#     new row means the baseline needs regenerating — a clear failure,
+#     not a silent skip), invariant counters must hold exactly (version
+#     == writes — read-only transactions never publish), Sharded rows
+#     must carry the scaling_eff and vs_global_t1 derived columns, and
+#     per-row ops_per_sec may not fall below baseline by more than
+#     SDL_BENCH_TOLERANCE (default 0.5, i.e. a 50% band — bench machines
+#     are noisy; the band catches collapses, not jitter). ALL
+#     out-of-tolerance rows are listed, not just the first.
+#   * E20 overload smoke: goodput at 2x saturation must stay >=
+#     SDL_E20_GATE (default 0.7) of the peak-rate row — the graceful-
+#     degradation plateau. SDL_E20_MS shortens the per-row window for CI.
+# A bench binary that exits nonzero or emits unparseable JSON is itself a
+# clear FAIL, never a bare shell error.
 set -euo pipefail
 
 check_mode=0
@@ -50,16 +58,27 @@ if [[ ${check_mode} -eq 1 ]]; then
     echo "error: ${bin} not built" >&2
     exit 1
   fi
+  check_status=0
   current="${tmpdir}/e15_current.json"
   echo "running bench_e15_read_mostly (check mode) ..." >&2
-  "${bin}" --benchmark_format=json "$@" > "${current}"
-  python3 - "${baseline}" "${current}" <<'PYCHECK'
+  # A bench binary dying must produce a diagnosable FAIL, not a bare
+  # `set -e` abort with the JSON half-written.
+  if ! "${bin}" --benchmark_format=json "$@" > "${current}"; then
+    echo "FAIL: bench_e15_read_mostly exited nonzero — no comparison run" >&2
+    check_status=1
+  elif ! python3 - "${baseline}" "${current}" <<'PYCHECK'
 import json, os, sys
 
-with open(sys.argv[1]) as f:
-    base = json.load(f)
-with open(sys.argv[2]) as f:
-    cur = json.load(f)
+def load(path, label):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"FAIL: {label} ({path}) is not readable JSON: {e}")
+        sys.exit(1)
+
+base = load(sys.argv[1], "baseline")
+cur = load(sys.argv[2], "current run")
 tol = float(os.environ.get("SDL_BENCH_TOLERANCE", "0.5"))
 
 def rows(doc):
@@ -68,6 +87,14 @@ def rows(doc):
 
 base_rows, cur_rows = rows(base), rows(cur)
 failures, notes = [], []
+# Both directions: a baseline row the bench no longer emits is lost
+# coverage; a current row absent from the baseline means the bench grew
+# and the committed baseline must be regenerated (silently skipping it
+# would leave the new row permanently ungated).
+for name in sorted(set(cur_rows) - set(base_rows)):
+    failures.append(
+        f"{name}: row not in committed baseline — regenerate "
+        "bench/BENCH_e15_baseline.json to cover it")
 for name, brow in sorted(base_rows.items()):
     crow = cur_rows.get(name)
     if crow is None:
@@ -106,7 +133,70 @@ if failures:
 print(f"E15 check passed: {len(base_rows)} rows within "
       f"±{int(tol * 100)}% of baseline, invariants hold")
 PYCHECK
-  exit $?
+  then
+    check_status=1
+  fi
+
+  # E20 overload smoke: the degradation curve must plateau — goodput at
+  # 2x saturation stays within SDL_E20_GATE of the best row (self-
+  # relative, so the gate is machine-speed independent).
+  e20_bin="${build_dir}/bench/bench_e20_overload"
+  if [[ ! -x "${e20_bin}" ]]; then
+    echo "FAIL: ${e20_bin} not built — the overload gate cannot run" >&2
+    check_status=1
+  else
+    e20_current="${tmpdir}/e20_current.json"
+    echo "running bench_e20_overload (check mode) ..." >&2
+    if ! "${e20_bin}" --benchmark_format=json "$@" > "${e20_current}"; then
+      echo "FAIL: bench_e20_overload exited nonzero — no overload gate run" >&2
+      check_status=1
+    elif ! python3 - "${e20_current}" <<'PYE20'
+import json, os, sys
+
+try:
+    with open(sys.argv[1]) as f:
+        cur = json.load(f)
+except (OSError, ValueError) as e:
+    print(f"FAIL: E20 output is not readable JSON: {e}")
+    sys.exit(1)
+gate = float(os.environ.get("SDL_E20_GATE", "0.7"))
+
+rows = {b["name"]: b for b in cur.get("benchmarks", [])
+        if b.get("run_type", "iteration") == "iteration"}
+failures = []
+for name, row in sorted(rows.items()):
+    if row.get("error_occurred"):
+        failures.append(f"{name}: {row.get('error_message', 'bench error')}")
+over = [r for n, r in rows.items() if "/200/" in n or n.endswith("/200")]
+if not over and not failures:
+    failures.append("E20: no 2x-saturation row in output")
+peak = max((r.get("goodput_per_sec", 0.0) for r in rows.values()),
+           default=0.0)
+for row in over:
+    ratio = row.get("goodput_vs_peak")
+    if ratio is None:
+        failures.append("E20: 2x row lacks goodput_vs_peak counter")
+    elif ratio < gate:
+        failures.append(
+            f"E20: goodput at 2x saturation fell to {ratio:.2f}x of peak "
+            f"({row.get('goodput_per_sec', 0.0):.0f}/s vs {peak:.0f}/s, "
+            f"gate {gate:.2f}) — degradation curve is a cliff, not a plateau")
+    if row.get("sheds_total", 0) <= 0:
+        failures.append(
+            "E20: 2x row shows zero admission sheds — the gate never "
+            "engaged, so the plateau (if any) is untested")
+if failures:
+    for f_ in failures:
+        print(f"FAIL: {f_}")
+    sys.exit(1)
+print(f"E20 check passed: goodput plateau at 2x saturation holds "
+      f"(gate {gate:.2f}, peak {peak:.0f}/s)")
+PYE20
+    then
+      check_status=1
+    fi
+  fi
+  exit ${check_status}
 fi
 
 # Explicit experiment order (a glob would sort bench_e10 before bench_e2
@@ -131,6 +221,7 @@ bench_names=(
   bench_e17_sim_explore
   bench_e18_durability
   bench_e19_observability
+  bench_e20_overload
 )
 
 benches=()

@@ -1,0 +1,184 @@
+#include "control/overload.hpp"
+
+#include "core/epoch.hpp"
+
+namespace sdl::control {
+
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+OverloadControl::OverloadControl(OverloadOptions opts) : options_(opts) {
+  // The budget starts full: a cold runtime has banked no successes yet,
+  // but startup retries (recovery re-checks, first contended commits) are
+  // not a storm — penalizing them would just slow the ramp.
+  tokens_milli_.store(static_cast<std::uint64_t>(options_.retry_budget_cap) *
+                          1000ull,
+                      std::memory_order_relaxed);
+}
+
+bool OverloadControl::try_admit(std::int64_t* retry_after_us) {
+  // Amortized epoch watchdog: schedulerless hosts (the open-loop bench,
+  // raw-API callers) have no watchdog thread, so the backlog check rides
+  // the admission stream instead — every 1024th crossing, off the hot path.
+  if (options_.epoch_backlog_threshold != 0 &&
+      (admit_crossings_.fetch_add(1, std::memory_order_relaxed) & 1023u) ==
+          1023u) {
+    tick();
+  }
+  if (FaultInjector* f = faults(); f != nullptr) {
+    if (f->decide(FaultPoint::AdmissionShed) != FaultAction::None) {
+      stats_.sheds.fetch_add(1, std::memory_order_relaxed);
+      if (retry_after_us != nullptr) *retry_after_us = options_.retry_after_us;
+      return false;
+    }
+  }
+  if (options_.max_inflight == 0) {
+    stats_.admitted.fetch_add(1, std::memory_order_relaxed);
+    inflight_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  // Optimistic claim + undo on overflow: the gate is crossed once per
+  // host transaction, so one fetch_add beats a CAS loop; momentary
+  // overshoot by the number of racing claimants is harmless (they all
+  // undo).
+  const std::size_t prev = inflight_.fetch_add(1, std::memory_order_acquire);
+  if (prev >= options_.max_inflight) {
+    inflight_.fetch_sub(1, std::memory_order_release);
+    stats_.sheds.fetch_add(1, std::memory_order_relaxed);
+    if (retry_after_us != nullptr) {
+      // Load-scaled hint: the further past the limit demand is, the longer
+      // the caller should stay away. `prev` counts the claimants ahead of
+      // us, so (prev - limit + 1) is our queue-depth-equivalent.
+      const std::size_t excess = prev - options_.max_inflight + 1;
+      *retry_after_us = options_.retry_after_us *
+                        static_cast<std::int64_t>(excess < 64 ? excess : 64);
+    }
+    return false;
+  }
+  stats_.admitted.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void OverloadControl::release() {
+  inflight_.fetch_sub(1, std::memory_order_release);
+}
+
+bool OverloadControl::try_spend_retry() {
+  if (FaultInjector* f = faults(); f != nullptr) {
+    if (f->decide(FaultPoint::RetryBudgetExhausted) != FaultAction::None) {
+      stats_.retry_denied.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  }
+  if (options_.retry_budget_cap == 0) return true;  // budget disabled
+  std::uint64_t cur = tokens_milli_.load(std::memory_order_relaxed);
+  while (true) {
+    if (cur < 1000) {
+      stats_.retry_denied.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (tokens_milli_.compare_exchange_weak(cur, cur - 1000,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_relaxed)) {
+      stats_.retry_spent.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+}
+
+void OverloadControl::deposit() {
+  if (options_.retry_budget_cap == 0) return;
+  const std::uint64_t cap =
+      static_cast<std::uint64_t>(options_.retry_budget_cap) * 1000ull;
+  const std::uint64_t add = options_.retry_deposit_millitokens;
+  std::uint64_t cur = tokens_milli_.load(std::memory_order_relaxed);
+  while (cur < cap) {
+    const std::uint64_t next = cur + add < cap ? cur + add : cap;
+    if (tokens_milli_.compare_exchange_weak(cur, next,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+bool OverloadControl::optimistic_allowed() {
+  if (options_.breaker_failure_threshold == 0) return true;
+  int state = breaker_.load(std::memory_order_acquire);
+  if (state == kClosed) return true;
+  if (state == kOpen) {
+    if (steady_now_ns() < reopen_at_ns_.load(std::memory_order_relaxed)) {
+      return false;
+    }
+    // Cooldown elapsed: exactly one caller wins the HalfOpen probe slot.
+    if (breaker_.compare_exchange_strong(state, kHalfOpen,
+                                         std::memory_order_acq_rel)) {
+      return true;
+    }
+    return false;
+  }
+  // HalfOpen: the probe is already in flight; everyone else keeps to the
+  // locked path until it reports.
+  return false;
+}
+
+void OverloadControl::on_optimistic_ok() {
+  consecutive_fallbacks_.store(0, std::memory_order_relaxed);
+  int state = breaker_.load(std::memory_order_acquire);
+  if (state == kHalfOpen) {
+    breaker_.compare_exchange_strong(state, kClosed,
+                                     std::memory_order_acq_rel);
+  }
+}
+
+void OverloadControl::on_optimistic_fallback() {
+  if (options_.breaker_failure_threshold == 0) return;
+  int state = breaker_.load(std::memory_order_acquire);
+  if (state == kHalfOpen) {
+    // The probe itself failed validation: the write pressure is still
+    // there — re-open without waiting for a fallback streak.
+    trip_breaker();
+    return;
+  }
+  const std::uint32_t streak =
+      consecutive_fallbacks_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (streak >= options_.breaker_failure_threshold) {
+    consecutive_fallbacks_.store(0, std::memory_order_relaxed);
+    trip_breaker();
+  }
+}
+
+void OverloadControl::trip_breaker() {
+  if (options_.breaker_failure_threshold == 0) return;
+  reopen_at_ns_.store(
+      steady_now_ns() + options_.breaker_open_ms * 1'000'000,
+      std::memory_order_relaxed);
+  if (breaker_.exchange(kOpen, std::memory_order_acq_rel) != kOpen) {
+    stats_.breaker_trips.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+int OverloadControl::breaker_state() const {
+  return breaker_.load(std::memory_order_acquire);
+}
+
+void OverloadControl::tick() {
+  if (options_.epoch_backlog_threshold == 0) return;
+  if (epoch::backlog() <= options_.epoch_backlog_threshold) return;
+  // Backlog past threshold: readers (or a stalled thread) are pinning
+  // epochs while retirement outpaces collection. Force the advance+collect
+  // cycle — and since the optimistic read path is what pins epochs at
+  // scale, circuit-break it so the backlog can actually drain.
+  stats_.forced_drains.fetch_add(1, std::memory_order_relaxed);
+  epoch::drain();
+  trip_breaker();
+}
+
+}  // namespace sdl::control

@@ -1,0 +1,203 @@
+// Overload protection: admission control, retry budgets and circuit
+// breaking (robustness tentpole).
+//
+// Every retry mechanism in the runtime is an *amplifier* under overload:
+// transient-commit backoff re-offers the same transaction, optimistic-read
+// validation failures re-evaluate the same query, parked processes pile
+// into WaitSet buckets, and the WAL group-commit batch grows without bound
+// when the flusher lags the committers. Each is individually correct and
+// collectively a collapse mechanism — at saturation they multiply offered
+// load exactly when capacity is gone ("Tuple spaces implementations and
+// their efficiency" documents the resulting cliff in comparable runtimes).
+//
+// OverloadControl is the shared brake. One instance per Runtime, threaded
+// through the engine, scheduler, WaitSet and WAL writer with the same
+// null-gated-pointer idiom as the FaultInjector: a runtime that never arms
+// it pays one predicted-not-taken branch per crossing, and a disarmed
+// limit (its option left 0) is skipped inside the armed instance too, so
+// arming only the admission gate changes nothing else.
+//
+// Mechanisms (state machines documented in docs/IMPLEMENTATION.md §15):
+//   * ADMISSION GATE — a bounded in-flight budget for host-submitted
+//     transactions (Runtime::execute). At the limit the transaction is
+//     rejected immediately with TxnResult::shed and a load-scaled
+//     RetryAfter hint instead of queueing: rejecting early is the only
+//     move that costs less than the work being rejected.
+//   * RETRY BUDGET — a token bucket both retry loops draw from. Each
+//     successful transaction deposits a fraction of a token; each retry
+//     (transient-commit or optimistic-validation) spends a whole one.
+//     Under goodput the bucket stays full and retries are free; in a
+//     retry storm deposits stop, the bucket drains, and retriers decay to
+//     their fallback path (requeue / shared-lock read) instead of
+//     multiplying attempts.
+//   * CIRCUIT BREAKER — Closed/Open/HalfOpen over the optimistic read
+//     path. Consecutive validation-exhausted fallbacks or an epoch-
+//     reclamation backlog past threshold trip it Open: reads go straight
+//     to the always-correct shared-lock path (no wasted unlocked
+//     evaluations). After `breaker_open_ms` one probe is let through
+//     (HalfOpen); success closes the breaker, failure re-opens it.
+//   * BACKPRESSURE CAPS — per-bucket WaitSet park-set saturation (the
+//     scheduler converts parks into short-deadline parks so the watchdog
+//     sheds them) and a WAL group-commit batch byte cap (committers block
+//     on the flusher instead of growing the batch without bound).
+//   * EPOCH WATCHDOG — when the retired-not-freed backlog crosses
+//     `epoch_backlog_threshold`, force an advance+collect cycle and trip
+//     the breaker (a large backlog means readers are pinning epochs —
+//     the optimistic path is the pressure source).
+//
+// Every decision is counted in OverloadStats (exported as obs gauges by
+// the Runtime) and can be forced deterministically through the
+// FaultInjector's AdmissionShed / RetryBudgetExhausted points.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+#include "fault/fault.hpp"
+
+namespace sdl::control {
+
+struct OverloadOptions {
+  /// Admission gate: max host transactions in flight; 0 = unlimited.
+  std::size_t max_inflight = 0;
+  /// Base RetryAfter hint on a shed, in µs (scaled up with excess load).
+  std::int64_t retry_after_us = 200;
+  /// WaitSet per-bucket park-set cap; 0 = unlimited. Parks into a
+  /// saturated bucket get a forced short deadline instead of parking
+  /// forever (the watchdog sheds them as timeouts).
+  std::size_t max_parked_per_bucket = 0;
+  /// Forced park deadline for saturated buckets, ms. Must be > 0 when
+  /// max_parked_per_bucket is set.
+  std::int64_t saturated_park_timeout_ms = 25;
+  /// WAL group-commit batch cap in bytes; 0 = unlimited. Committers block
+  /// until the flusher drains the batch (bounded memory, bounded ack lag).
+  std::size_t wal_max_batch_bytes = 0;
+  /// Epoch reclamation backlog (retired-not-freed nodes) that forces an
+  /// advance+collect and trips the breaker; 0 = watchdog off.
+  std::size_t epoch_backlog_threshold = 0;
+  /// Retry budget capacity in whole tokens (also the initial fill);
+  /// 0 = budget disabled (every try_spend_retry succeeds).
+  std::uint32_t retry_budget_cap = 0;
+  /// Tokens deposited per successful transaction, in thousandths (100 =
+  /// 0.1 token — ten successes buy one retry).
+  std::uint32_t retry_deposit_millitokens = 100;
+  /// Consecutive optimistic-read fallbacks that trip the breaker;
+  /// 0 = breaker disabled (optimistic path never circuit-broken).
+  std::uint32_t breaker_failure_threshold = 0;
+  /// How long the breaker stays Open before letting a HalfOpen probe
+  /// through, ms.
+  std::int64_t breaker_open_ms = 10;
+
+  /// Any mechanism armed? The Runtime only instantiates (and wires) an
+  /// OverloadControl when true, so default-constructed options cost
+  /// nothing anywhere.
+  [[nodiscard]] bool enabled() const {
+    return max_inflight != 0 || max_parked_per_bucket != 0 ||
+           wal_max_batch_bytes != 0 || epoch_backlog_threshold != 0 ||
+           retry_budget_cap != 0 || breaker_failure_threshold != 0;
+  }
+};
+
+/// Decision counters — relaxed atomics, always exact (these are shed/
+/// throttle decisions, not per-op hot-path samples). The Runtime bridges
+/// them into the obs registry as pull gauges.
+struct OverloadStats {
+  std::atomic<std::uint64_t> admitted{0};
+  std::atomic<std::uint64_t> sheds{0};            // admission rejections
+  std::atomic<std::uint64_t> retry_spent{0};      // retries the budget paid for
+  std::atomic<std::uint64_t> retry_denied{0};     // retries refused (bucket dry)
+  std::atomic<std::uint64_t> breaker_trips{0};    // Closed/HalfOpen -> Open
+  std::atomic<std::uint64_t> wal_waits{0};        // committer blocked on flusher
+  std::atomic<std::uint64_t> park_saturated{0};   // parks into a full bucket
+  std::atomic<std::uint64_t> forced_drains{0};    // epoch watchdog interventions
+};
+
+class OverloadControl {
+ public:
+  explicit OverloadControl(OverloadOptions opts);
+  OverloadControl(const OverloadControl&) = delete;
+  OverloadControl& operator=(const OverloadControl&) = delete;
+
+  // --- admission gate -----------------------------------------------------
+  /// Claims one in-flight slot. Returns false (a shed) when the gate is at
+  /// its limit or the AdmissionShed fault point forces one; then
+  /// `*retry_after_us` carries the backoff hint, scaled by how far over
+  /// the limit demand currently is. Callers MUST pair a true return with
+  /// exactly one release(). Every ~1k admissions the epoch watchdog check
+  /// runs amortized here, so schedulerless hosts (open-loop benches) get
+  /// backlog protection without a watchdog thread.
+  [[nodiscard]] bool try_admit(std::int64_t* retry_after_us);
+  void release();
+  [[nodiscard]] std::size_t inflight() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+
+  // --- retry budget -------------------------------------------------------
+  /// Spends one token for a retry. False = budget dry (or the
+  /// RetryBudgetExhausted point forced it): the caller must take its
+  /// fallback path instead of retrying.
+  [[nodiscard]] bool try_spend_retry();
+  /// Deposits the per-success fraction (commits refill the budget —
+  /// goodput is what makes retries affordable).
+  void deposit();
+  /// Current whole tokens (diagnostics/gauges).
+  [[nodiscard]] std::uint64_t retry_tokens() const {
+    return tokens_milli_.load(std::memory_order_relaxed) / 1000;
+  }
+
+  // --- circuit breaker ----------------------------------------------------
+  /// May the optimistic read path run right now? Closed: yes. Open: no,
+  /// until breaker_open_ms elapses — then exactly one caller wins the
+  /// HalfOpen probe slot (true) while the rest keep falling back.
+  [[nodiscard]] bool optimistic_allowed();
+  /// A validated optimistic read: closes a HalfOpen breaker, clears the
+  /// consecutive-fallback count.
+  void on_optimistic_ok();
+  /// An optimistic read exhausted its attempts (or its retry budget) and
+  /// fell back. Consecutive fallbacks past the threshold trip the breaker;
+  /// a HalfOpen probe failing re-opens it immediately.
+  void on_optimistic_fallback();
+  /// Force Open (epoch watchdog, tests).
+  void trip_breaker();
+  /// 0 = Closed, 1 = Open, 2 = HalfOpen (gauge encoding).
+  [[nodiscard]] int breaker_state() const;
+
+  // --- epoch watchdog -----------------------------------------------------
+  /// Checks epoch::backlog() against the threshold; past it, forces an
+  /// advance+collect cycle and trips the breaker. Called by the
+  /// scheduler's watchdog each tick and amortized from try_admit().
+  void tick();
+
+  /// Arms the AdmissionShed / RetryBudgetExhausted points (null disables).
+  void set_fault_injector(FaultInjector* f) {
+    faults_.store(f, std::memory_order_release);
+  }
+
+  [[nodiscard]] const OverloadOptions& options() const { return options_; }
+  [[nodiscard]] OverloadStats& stats() { return stats_; }
+
+ private:
+  enum : int { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+  [[nodiscard]] FaultInjector* faults() const {
+    return faults_.load(std::memory_order_acquire);
+  }
+
+  const OverloadOptions options_;
+  OverloadStats stats_;
+  std::atomic<FaultInjector*> faults_{nullptr};
+
+  std::atomic<std::size_t> inflight_{0};
+  std::atomic<std::uint64_t> admit_crossings_{0};  // amortized-tick counter
+
+  /// Token bucket in millitokens so fractional deposits stay integral.
+  std::atomic<std::uint64_t> tokens_milli_{0};
+
+  std::atomic<int> breaker_{kClosed};
+  std::atomic<std::uint32_t> consecutive_fallbacks_{0};
+  /// steady_clock deadline (ns since epoch) after which Open may HalfOpen.
+  std::atomic<std::int64_t> reopen_at_ns_{0};
+};
+
+}  // namespace sdl::control

@@ -28,6 +28,8 @@ const char* fault_point_name(FaultPoint p) {
     case FaultPoint::ConsensusCommit: return "consensus-commit";
     case FaultPoint::WalAppend: return "wal-append";
     case FaultPoint::SnapshotWrite: return "snapshot-write";
+    case FaultPoint::AdmissionShed: return "admission-shed";
+    case FaultPoint::RetryBudgetExhausted: return "retry-budget-exhausted";
   }
   return "?";
 }

@@ -48,8 +48,10 @@ enum class FaultPoint : std::uint8_t {
   ConsensusCommit,    // offers evaluated, composite effects not yet applied
   WalAppend,          // WAL writer framed the record, bytes not yet durable
   SnapshotWrite,      // snapshot payload serialized, file not yet renamed
+  AdmissionShed,      // overload gate consulted; any armed action forces a shed
+  RetryBudgetExhausted,  // retry budget consulted; any armed action denies it
 };
-inline constexpr std::size_t kFaultPointCount = 8;
+inline constexpr std::size_t kFaultPointCount = 10;
 
 enum class FaultAction : std::uint8_t {
   None = 0,

@@ -155,6 +155,10 @@ void PersistManager::set_metrics(obs::RuntimeMetrics* m) {
   wal_->set_metrics(m);
 }
 
+void PersistManager::set_overload(control::OverloadControl* c) {
+  wal_->set_overload(c);
+}
+
 PersistManager::Stats PersistManager::stats() const {
   Stats s;
   s.logged_commits = wal_->appended_commits();

@@ -108,6 +108,9 @@ class PersistManager {
   /// disarms; also re-gated on the SDL_OBS runtime flag per operation).
   void set_metrics(obs::RuntimeMetrics* m);
 
+  /// Arms the overload layer's WAL group-commit batch cap (null disarms).
+  void set_overload(control::OverloadControl* c);
+
   [[nodiscard]] bool wal_alive() const { return wal_->alive(); }
 
   struct Stats {

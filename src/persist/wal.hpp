@@ -49,6 +49,7 @@
 #include <utility>
 #include <vector>
 
+#include "control/overload.hpp"
 #include "core/tuple.hpp"
 #include "fault/fault.hpp"
 #include "obs/metrics.hpp"
@@ -135,6 +136,12 @@ class WalWriter {
   /// re-gated on the SDL_OBS runtime flag, once per append/flush).
   void set_metrics(obs::RuntimeMetrics* m) { metrics_ = m; }
 
+  /// Arms the overload layer's group-commit batch cap (null disables).
+  /// When the parked batch exceeds wal_max_batch_bytes, committers block
+  /// on the flusher instead of growing it — bounded memory and bounded
+  /// ack lag when the device cannot keep up with the commit rate.
+  void set_overload(control::OverloadControl* c) { overload_ = c; }
+
  private:
   void open_segment(std::uint64_t start_seq);  // caller holds mutex_
   void sync_locked(std::unique_lock<std::mutex>& lock);
@@ -150,6 +157,7 @@ class WalWriter {
   const std::uint64_t fsync_every_;
   FaultInjector* faults_ = nullptr;
   obs::RuntimeMetrics* metrics_ = nullptr;
+  control::OverloadControl* overload_ = nullptr;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;       // wakes the flusher at a batch boundary

@@ -24,6 +24,12 @@ Runtime::Runtime(RuntimeOptions options)
   engine_->set_metrics(&metrics_);
   scheduler_->set_metrics(&metrics_);
   consensus_->set_metrics(&metrics_);
+  if (options_.overload.enabled()) {
+    overload_ = std::make_unique<control::OverloadControl>(options_.overload);
+    engine_->set_overload(overload_.get());
+    waits_.set_overload(overload_.get());
+    scheduler_->set_overload(overload_.get());
+  }
   register_gauges();
   if (options_.persist.enabled()) {
     // Mutating open: recovers the directory's committed state, then loads
@@ -34,6 +40,7 @@ Runtime::Runtime(RuntimeOptions options)
     persist::apply(space_, persist_mgr_->recovered());
     engine_->set_persist(persist_mgr_.get());
     persist_mgr_->set_metrics(&metrics_);
+    if (overload_) persist_mgr_->set_overload(overload_.get());
   }
 }
 
@@ -62,6 +69,40 @@ void Runtime::register_gauges() {
                           [this] { return consensus_->sweeps(); });
   metrics_registry_.gauge("sdl_consensus_fires_total",
                           [this] { return consensus_->fires(); });
+  if (overload_) {
+    control::OverloadControl* const c = overload_.get();
+    metrics_registry_.gauge("sdl_admission_inflight",
+                            [c] { return c->inflight(); });
+    metrics_registry_.gauge("sdl_admitted_total", [c] {
+      return c->stats().admitted.load(std::memory_order_relaxed);
+    });
+    metrics_registry_.gauge("sdl_admission_shed_total", [c] {
+      return c->stats().sheds.load(std::memory_order_relaxed);
+    });
+    metrics_registry_.gauge("sdl_retry_budget_tokens",
+                            [c] { return c->retry_tokens(); });
+    metrics_registry_.gauge("sdl_retry_spent_total", [c] {
+      return c->stats().retry_spent.load(std::memory_order_relaxed);
+    });
+    metrics_registry_.gauge("sdl_retry_denied_total", [c] {
+      return c->stats().retry_denied.load(std::memory_order_relaxed);
+    });
+    metrics_registry_.gauge(
+        "sdl_breaker_state",
+        [c] { return static_cast<std::uint64_t>(c->breaker_state()); });
+    metrics_registry_.gauge("sdl_breaker_trips_total", [c] {
+      return c->stats().breaker_trips.load(std::memory_order_relaxed);
+    });
+    metrics_registry_.gauge("sdl_wal_backpressure_waits_total", [c] {
+      return c->stats().wal_waits.load(std::memory_order_relaxed);
+    });
+    metrics_registry_.gauge("sdl_park_saturated_total", [c] {
+      return c->stats().park_saturated.load(std::memory_order_relaxed);
+    });
+    metrics_registry_.gauge("sdl_epoch_forced_drains_total", [c] {
+      return c->stats().forced_drains.load(std::memory_order_relaxed);
+    });
+  }
 }
 
 RunReport Runtime::run() {
@@ -78,6 +119,7 @@ FaultInjector& Runtime::enable_faults(std::uint64_t seed) {
     scheduler_->set_fault_injector(faults_.get());
     consensus_->set_fault_injector(faults_.get());
     if (persist_mgr_) persist_mgr_->set_fault_injector(faults_.get());
+    if (overload_) overload_->set_fault_injector(faults_.get());
   }
   return *faults_;
 }
@@ -89,6 +131,7 @@ void Runtime::disable_faults() {
   scheduler_->set_fault_injector(nullptr);
   consensus_->set_fault_injector(nullptr);
   if (persist_mgr_) persist_mgr_->set_fault_injector(nullptr);
+  if (overload_) overload_->set_fault_injector(nullptr);
   faults_.reset();
 }
 
@@ -177,10 +220,36 @@ std::string Runtime::Stats::to_string() const {
   return out;
 }
 
+namespace {
+/// Pairs every admitted execute() with exactly one release, on every exit
+/// path (success, failure, exception from a host function).
+struct AdmissionGuard {
+  control::OverloadControl* ctl;
+  ~AdmissionGuard() {
+    if (ctl != nullptr) ctl->release();
+  }
+};
+}  // namespace
+
 TxnResult Runtime::execute(const Transaction& txn, Env& env, ProcessId owner) {
+  AdmissionGuard admitted{nullptr};
+  if (overload_) {
+    std::int64_t retry_after_us = 0;
+    if (!overload_->try_admit(&retry_after_us)) {
+      // RetryAfter outcome: nothing evaluated, nothing applied. The hint
+      // scales with how far past the limit the gate is, so a storm of
+      // rejected callers spreads out instead of hammering in lockstep.
+      TxnResult shed;
+      shed.shed = true;
+      shed.retry_after_us = retry_after_us;
+      return shed;
+    }
+    admitted.ctl = overload_.get();
+  }
   TxnResult result = txn.type == TxnType::Delayed
                          ? execute_blocking(*engine_, txn, env, owner)
                          : engine_->execute(txn, env, owner);
+  if (overload_ && result.success) overload_->deposit();
   if (!result.success) return result;
   // Apply the local action list (lets, spawns) the way the scheduler does
   // for society processes — the dataspace effects already committed.

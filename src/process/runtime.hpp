@@ -40,6 +40,12 @@ struct RuntimeOptions {
   /// continuations are NOT durable — only the dataspace is shared state
   /// (§2.1); hosts re-spawn the society after recovery.
   persist::PersistOptions persist;
+  /// Overload protection (admission control, retry budgets, circuit
+  /// breaker, backpressure caps). Off by default — the control layer is
+  /// only instantiated when any limit is set (overload.enabled()), so a
+  /// default-constructed Runtime pays nothing, and deterministic-sim runs
+  /// stay bit-identical unless a test arms it deliberately.
+  control::OverloadOptions overload;
 };
 
 class Runtime {
@@ -93,8 +99,23 @@ class Runtime {
 
   /// Executes one transaction on behalf of the environment (blocking for
   /// delayed transactions) — the host-program escape hatch.
+  ///
+  /// Admission-controlled when the overload layer is armed with an
+  /// in-flight limit: past the limit the call returns immediately with
+  /// `TxnResult::shed` set and `retry_after_us` carrying a load-scaled
+  /// backoff hint — the RetryAfter outcome. Nothing is evaluated or
+  /// applied for a shed transaction; the caller resubmits after backing
+  /// off (or drops the request, its deadline permitting).
   TxnResult execute(const Transaction& txn, Env& env,
                     ProcessId owner = kEnvironmentProcess);
+
+  /// Null when overload protection is off (no limit set in
+  /// options.overload). Shed/throttle/breaker counters live here and are
+  /// mirrored into metrics() as sdl_admission_*/sdl_retry_*/sdl_breaker_*
+  /// gauges.
+  [[nodiscard]] control::OverloadControl* overload() {
+    return overload_.get();
+  }
 
   /// One-struct summary of runtime counters — what an operator dashboard
   /// (or the paper's envisioned environment) would display after a run.
@@ -151,6 +172,10 @@ class Runtime {
   // them during teardown.
   obs::MetricsRegistry metrics_registry_;
   obs::RuntimeMetrics metrics_{metrics_registry_};
+  // Declared before waits_/engine_/scheduler_/persist_mgr_, which hold raw
+  // pointers into it: the control block must outlive every component that
+  // might consult it during teardown.
+  std::unique_ptr<control::OverloadControl> overload_;
   Dataspace space_;
   WaitSet waits_;
   TraceRecorder trace_;

@@ -363,6 +363,18 @@ bool Scheduler::finalize_park(Process& p, ParkReason reason) {
   }
   if (staged > 0) timeout_ms = staged;
   if (staged < 0 || reason == ParkReason::Replication) timeout_ms = 0;
+  // Saturated-bucket shedding: a park into a WaitSet bucket past its cap
+  // gets a forced short deadline — even one staged "never" — so overload
+  // converts into bounded timeouts instead of an unbounded park set.
+  // Replication parks are exempt (their construct detects termination
+  // itself; shedding a sweeper would wedge the group accounting).
+  if (overload_ != nullptr && p.park_saturated &&
+      reason != ParkReason::Replication) {
+    const std::int64_t cap_ms = overload_->options().saturated_park_timeout_ms;
+    if (cap_ms > 0 && (timeout_ms <= 0 || timeout_ms > cap_ms)) {
+      timeout_ms = cap_ms;
+    }
+  }
 
   bool armed = false;
   {
@@ -506,9 +518,15 @@ void Scheduler::work_finished() {
 // --------------------------------------------------------------- deadlines
 
 void Scheduler::watchdog_loop(const std::stop_token& st) {
+  // With the epoch-backlog watchdog armed the loop must keep ticking even
+  // when no park deadlines are armed — the backlog grows from the read
+  // path, which never arms a deadline.
+  const bool overload_tick =
+      overload_ != nullptr && overload_->options().epoch_backlog_threshold != 0;
   std::unique_lock lock(watchdog_mutex_);
   while (!st.stop_requested()) {
-    if (deadlines_armed_.load(std::memory_order_acquire) == 0) {
+    if (!overload_tick &&
+        deadlines_armed_.load(std::memory_order_acquire) == 0) {
       // Nothing armed: sleep until a park arms a deadline (or stop).
       watchdog_cv_.wait(lock, st, [this] {
         return deadlines_armed_.load(std::memory_order_acquire) > 0;
@@ -520,7 +538,10 @@ void Scheduler::watchdog_loop(const std::stop_token& st) {
                           [] { return false; });
     if (st.stop_requested()) break;
     lock.unlock();
-    expire_deadlines(std::chrono::steady_clock::now());
+    if (deadlines_armed_.load(std::memory_order_acquire) > 0) {
+      expire_deadlines(std::chrono::steady_clock::now());
+    }
+    if (overload_tick) overload_->tick();
     lock.lock();
   }
 }
@@ -1043,6 +1064,11 @@ TxnResult Scheduler::execute_engine(Process& p, const Transaction& txn) {
   // exhaustion the caller yields (requeue) rather than parks.
   for (std::size_t attempt = 0;
        r.injected_fault && attempt < options_.commit_retry_limit; ++attempt) {
+    // The shared retry budget gates every in-place retry: under a retry
+    // storm the bucket drains and the process yields back to the ready
+    // queue (the caller's exhaustion path) instead of amplifying offered
+    // load with hot backoff-retry cycles.
+    if (overload_ != nullptr && !overload_->try_spend_retry()) break;
     commit_retries_.fetch_add(1, std::memory_order_relaxed);
     const unsigned shift = attempt < 6 ? static_cast<unsigned>(attempt) : 6u;
     const std::uint64_t base =
@@ -1053,6 +1079,9 @@ TxnResult Scheduler::execute_engine(Process& p, const Transaction& txn) {
   }
   if (r.success) {
     ++p.txns_committed;
+    // Successes refill the retry budget — goodput is what makes retries
+    // affordable (Finagle-style ratio budget).
+    if (overload_ != nullptr) overload_->deposit();
     if (trace_ != nullptr && trace_->enabled()) {
       trace_->record(TraceKind::Commit, p.pid, txn.to_string());
     }
@@ -1064,8 +1093,14 @@ void Scheduler::ensure_subscription(Process& p, WaitSet::Interest interest) {
   if (p.ticket != WaitSet::kInvalidTicket) return;
   const ProcessId pid = p.pid;
   p.interest = interest;  // diagnosis copy (wait-for reports)
-  p.ticket = engine_.waits().subscribe(std::move(interest),
-                                       [this, pid] { wake(pid); });
+  bool saturated = false;
+  p.ticket = engine_.waits().subscribe(
+      std::move(interest), [this, pid] { wake(pid); },
+      overload_ != nullptr ? &saturated : nullptr);
+  // A saturated bucket means this park joins a queue already past its
+  // cap; finalize_park converts the hint into a forced short deadline so
+  // the watchdog sheds the excess instead of letting the bucket grow.
+  p.park_saturated = saturated;
 }
 
 void Scheduler::drop_subscription(Process& p) {
@@ -1073,6 +1108,7 @@ void Scheduler::drop_subscription(Process& p) {
   engine_.waits().unsubscribe(p.ticket);
   p.ticket = WaitSet::kInvalidTicket;
   p.interest = {};
+  p.park_saturated = false;
 }
 
 ControlAction Scheduler::apply_actions(Process& p, const Transaction& txn,

@@ -22,6 +22,7 @@
 #include <shared_mutex>
 
 #include "check/history.hpp"
+#include "control/overload.hpp"
 #include "core/striped_counter.hpp"
 #include "fault/fault.hpp"
 #include "obs/metrics.hpp"
@@ -60,6 +61,14 @@ struct TxnResult {
   /// dataspace. Retrying is safe (nothing was applied) and expected — the
   /// scheduler retries with bounded, jittered backoff.
   bool injected_fault = false;
+  /// The transaction was SHED by the overload layer before any evaluation:
+  /// the admission gate was at its in-flight limit (or the AdmissionShed
+  /// fault point forced a shed). Nothing ran, nothing was applied; the
+  /// caller should back off for ~retry_after_us and resubmit — the
+  /// RetryAfter outcome, distinct from a query failure.
+  bool shed = false;
+  /// Backoff hint accompanying `shed`, in µs (load-scaled).
+  std::int64_t retry_after_us = 0;
   /// WaitSet version sampled during the attempt (diagnostics).
   std::uint64_t version = 0;
   /// Query matches (Exists: one; ForAll: zero or more). Bindings are
@@ -167,6 +176,15 @@ class Engine {
     std::vector<std::pair<TupleId, Tuple>> asserts;
   };
 
+  /// Arms the overload-protection layer (null disables). The ShardedEngine
+  /// consults it on the optimistic read path: a tripped circuit breaker
+  /// routes reads straight to the shared-lock path, and validation
+  /// retries draw from the shared retry budget (a dry budget means an
+  /// immediate fallback instead of re-evaluating). Call while no
+  /// transactions are in flight.
+  void set_overload(control::OverloadControl* c) { overload_ = c; }
+  [[nodiscard]] control::OverloadControl* overload() const { return overload_; }
+
   /// Arms the durability subsystem (null disables). When armed, every
   /// effectful commit logs its effect set to the WAL while the commit's
   /// locks are held, and a snapshot runs when one falls due. Call while
@@ -235,6 +253,7 @@ class Engine {
   FaultInjector* faults_ = nullptr;
   HistoryRecorder* history_ = nullptr;
   EngineSabotage* sabotage_ = nullptr;
+  control::OverloadControl* overload_ = nullptr;
   persist::PersistManager* persist_ = nullptr;
   obs::RuntimeMetrics* metrics_ = nullptr;
 };

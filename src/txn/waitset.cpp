@@ -11,14 +11,29 @@ void remove_ticket(std::vector<WaitSet::Ticket>& v, WaitSet::Ticket t) {
 
 }  // namespace
 
-WaitSet::Ticket WaitSet::subscribe(Interest interest, std::function<void()> wake) {
+WaitSet::Ticket WaitSet::subscribe(Interest interest, std::function<void()> wake,
+                                   bool* saturated) {
+  // Park-set cap: a bucket already holding `cap` subscribers is a queue
+  // that can only be drained one publish at a time — piling more parked
+  // processes onto it converts overload into unbounded latency. The cap
+  // check rides the same lock as the insert, so the count is exact.
+  const std::size_t cap =
+      overload_ != nullptr ? overload_->options().max_parked_per_bucket : 0;
   std::scoped_lock lock(mutex_);
   live_subscribers_.fetch_add(1, std::memory_order_release);
   const Ticket ticket = next_ticket_++;
   if (interest.everything) {
     all_.push_back(ticket);
   } else {
-    for (const IndexKey& k : interest.keys) by_key_[k].push_back(ticket);
+    for (const IndexKey& k : interest.keys) {
+      std::vector<Ticket>& bucket = by_key_[k];
+      if (cap != 0 && bucket.size() >= cap) {
+        if (saturated != nullptr) *saturated = true;
+        overload_->stats().park_saturated.fetch_add(1,
+                                                    std::memory_order_relaxed);
+      }
+      bucket.push_back(ticket);
+    }
     for (std::uint32_t a : interest.arities) by_arity_[a].push_back(ticket);
   }
   entries_.emplace(ticket, Entry{std::move(interest), std::move(wake)});

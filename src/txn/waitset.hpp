@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "control/overload.hpp"
 #include "fault/fault.hpp"
 #include "space/dataspace.hpp"
 
@@ -44,7 +45,15 @@ class WaitSet {
 
   /// Registers `wake` to be invoked (possibly concurrently, possibly
   /// spuriously) whenever a matching commit is published.
-  Ticket subscribe(Interest interest, std::function<void()> wake);
+  ///
+  /// Backpressure: when the overload layer is armed with a per-bucket
+  /// park cap, `*saturated` (if non-null) is set true when any exact key
+  /// in `interest` already holds at least the cap's worth of subscribers.
+  /// The subscription is still registered — wakeup correctness is not
+  /// negotiable — but the caller is expected to bound its park (the
+  /// scheduler forces a short deadline so the watchdog sheds it).
+  Ticket subscribe(Interest interest, std::function<void()> wake,
+                   bool* saturated = nullptr);
 
   void unsubscribe(Ticket ticket);
 
@@ -89,6 +98,10 @@ class WaitSet {
   /// wakeup; Delay widens the commit→publish and collect→invoke windows.
   void set_fault_injector(FaultInjector* f) { faults_ = f; }
 
+  /// Arms the overload layer's per-bucket park-set cap (null disables).
+  /// Set while no subscribers churn (Runtime wiring time).
+  void set_overload(control::OverloadControl* c) { overload_ = c; }
+
  private:
   struct Entry {
     Interest interest;
@@ -99,6 +112,7 @@ class WaitSet {
   std::atomic<std::uint64_t> version_{0};
   std::atomic<std::uint64_t> wakes_{0};
   FaultInjector* faults_ = nullptr;
+  control::OverloadControl* overload_ = nullptr;
   /// Lock-free publish fast path: commits with nobody subscribed skip the
   /// mutex entirely (otherwise every commit in the system serializes on
   /// it — measured as the scaling ceiling in experiment E6).
