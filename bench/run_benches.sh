@@ -22,6 +22,17 @@
 #   * E20 overload smoke: goodput at 2x saturation must stay >=
 #     SDL_E20_GATE (default 0.7) of the peak-rate row — the graceful-
 #     degradation plateau. SDL_E20_MS shortens the per-row window for CI.
+#   * E13 wakeup-check ablation vs bench/BENCH_e13_baseline.json (same
+#     two-direction row coverage + tolerance band as E15), plus the
+#     self-relative incremental gate: the empty-delta wakeup check must
+#     be >= SDL_E13_GATE (default 2.0) times faster than the full probe
+#     on the largest guard-heavy shape.
+#   * E5 dataspace primitives vs bench/BENCH_e5_baseline.json — the
+#     zero-regression guard for the delta-capture hooks on the commit
+#     path (tolerance band, both-direction row coverage).
+#   * Generic rule: a GATED bench binary that is built but has no
+#     committed baseline fails the check outright — gates never silently
+#     skip.
 # A bench binary that exits nonzero or emits unparseable JSON is itself a
 # clear FAIL, never a bare shell error.
 set -euo pipefail
@@ -196,6 +207,127 @@ PYE20
       check_status=1
     fi
   fi
+
+  # Baselined gates share one python body: two-direction row coverage
+  # plus the SDL_BENCH_TOLERANCE band, exactly the E15 discipline. The
+  # generic rule rides the loop: a gated binary that is built but has no
+  # committed baseline is a FAIL, not a skip — a gate that silently
+  # skips is indistinguishable from a gate that passes.
+  run_baselined_gate() {
+    local bench_name="$1" baseline_file="$2"
+    shift 2  # remaining args pass through to the benchmark binary
+    local bin="${build_dir}/bench/${bench_name}"
+    if [[ ! -x "${bin}" ]]; then
+      echo "FAIL: ${bin} not built — the ${bench_name} gate cannot run" >&2
+      return 1
+    fi
+    if [[ ! -f "${baseline_file}" ]]; then
+      echo "FAIL: ${bench_name} is built but ${baseline_file} is not" \
+           "committed — generate it with:" >&2
+      echo "  ${bin} --benchmark_format=json > ${baseline_file}" >&2
+      return 1
+    fi
+    local current="${tmpdir}/${bench_name}_current.json"
+    echo "running ${bench_name} (check mode) ..." >&2
+    if ! "${bin}" --benchmark_format=json "$@" > "${current}"; then
+      echo "FAIL: ${bench_name} exited nonzero — no comparison run" >&2
+      return 1
+    fi
+    python3 - "${baseline_file}" "${current}" "${bench_name}" <<'PYBASE'
+import json, os, sys
+
+def load(path, label):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"FAIL: {label} ({path}) is not readable JSON: {e}")
+        sys.exit(1)
+
+base = load(sys.argv[1], "baseline")
+cur = load(sys.argv[2], "current run")
+bench = sys.argv[3]
+tol = float(os.environ.get("SDL_BENCH_TOLERANCE", "0.5"))
+
+def rows(doc):
+    return {b["name"]: b for b in doc.get("benchmarks", [])
+            if b.get("run_type", "iteration") == "iteration"}
+
+base_rows, cur_rows = rows(base), rows(cur)
+failures, notes = [], []
+# The E13 columns are ablations: the signal is the self-relative ratio
+# below, not absolute magnitude (the naive full-scan column is
+# deliberately pathological and bimodal under cache pressure — banding
+# it flakes). E5 is the zero-regression guard, so its band stays.
+banded = bench != "bench_e13_planner"
+for name in sorted(set(cur_rows) - set(base_rows)):
+    failures.append(
+        f"{name}: row not in committed baseline — regenerate "
+        f"{sys.argv[1]} to cover it")
+for name, brow in sorted(base_rows.items()):
+    crow = cur_rows.get(name)
+    if crow is None:
+        failures.append(f"{name}: row missing from current run")
+        continue
+    if crow.get("error_occurred"):
+        failures.append(f"{name}: {crow.get('error_message', 'bench error')}")
+        continue
+    b_t, c_t = brow.get("real_time"), crow.get("real_time")
+    if banded and b_t and c_t:
+        ratio = c_t / b_t
+        if ratio > 1.0 + tol:
+            failures.append(
+                f"{name}: real_time grew to {ratio:.2f}x of baseline "
+                f"({c_t:.2f} vs {b_t:.2f}, band {1.0 + tol:.2f})")
+        elif ratio < 1.0 - tol:
+            notes.append(
+                f"{name}: {ratio:.2f}x faster than baseline — consider "
+                f"refreshing {sys.argv[1]}")
+
+if bench == "bench_e13_planner":
+    # Self-relative incremental gate on the largest guard-heavy shape:
+    # machine speed cancels out of the ratio.
+    gate = float(os.environ.get("SDL_E13_GATE", "2.0"))
+    full = cur_rows.get("BM_WakeupFullProbe/16384")
+    empty = cur_rows.get("BM_WakeupIncrementalEmpty/16384")
+    if full is None or empty is None:
+        failures.append("E13: wakeup ablation rows missing — gate cannot run")
+    else:
+        speedup = full["real_time"] / max(empty["real_time"], 1e-9)
+        if speedup < gate:
+            failures.append(
+                f"E13: incremental empty-delta wakeup check is only "
+                f"{speedup:.1f}x faster than the full probe at 16384 "
+                f"(gate {gate:.1f}x)")
+        else:
+            print(f"E13 wakeup gate: {speedup:.0f}x over full probe "
+                  f"(gate {gate:.1f}x)")
+
+for note in notes:
+    print(f"note: {note}")
+if failures:
+    for f_ in failures:
+        print(f"FAIL: {f_}")
+    sys.exit(1)
+if banded:
+    print(f"{bench} check passed: {len(base_rows)} rows within "
+          f"±{int(tol * 100)}% of baseline")
+else:
+    print(f"{bench} check passed: {len(base_rows)} rows covered "
+          f"(ratio-gated, no absolute band)")
+PYBASE
+  }
+
+  script_dir="${script_dir:-$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)}"
+  if ! run_baselined_gate bench_e13_planner \
+      "${script_dir}/BENCH_e13_baseline.json" "$@"; then
+    check_status=1
+  fi
+  if ! run_baselined_gate bench_e5_dataspace \
+      "${script_dir}/BENCH_e5_baseline.json" "$@"; then
+    check_status=1
+  fi
+
   exit ${check_status}
 fi
 

@@ -1,0 +1,160 @@
+#include "query/incremental.hpp"
+
+namespace sdl {
+
+const char* inc_fallback_name(IncFallbackReason r) {
+  switch (r) {
+    case IncFallbackReason::Nonmonotone:
+      return "nonmonotone";
+    case IncFallbackReason::View:
+      return "view";
+    case IncFallbackReason::NoDelta:
+      return "no_delta";
+    case IncFallbackReason::Batch:
+      return "batch";
+    case IncFallbackReason::Capacity:
+      return "capacity";
+  }
+  return "unknown";
+}
+
+IncrementalState::IncrementalState(std::vector<KeySpec> specs,
+                                   IncrementalControl* control)
+    : specs_(std::move(specs)), control_(control) {
+  if (control_ != nullptr) {
+    control_->states_created.fetch_add(1, std::memory_order_relaxed);
+    control_->states_live.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+IncrementalState::~IncrementalState() {
+  // Last reference — no concurrent access, but keep the global byte and
+  // live-state accounting exact (the shed-leak tests assert both go to
+  // zero after the watchdog drops saturated parks).
+  std::scoped_lock lock(mutex_);
+  drop_entries_locked();
+  if (control_ != nullptr) {
+    control_->states_live.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void IncrementalState::drop_entries_locked() {
+  pending_.clear();
+  if (control_ != nullptr && bytes_ > 0) {
+    control_->state_bytes.fetch_sub(static_cast<std::int64_t>(bytes_),
+                                    std::memory_order_relaxed);
+  }
+  bytes_ = 0;
+}
+
+void IncrementalState::deliver(const std::vector<DeltaEntry>& delta) {
+  std::scoped_lock lock(mutex_);
+  // Already invalidated: the next wakeup does a full evaluation anyway,
+  // which covers this commit too — don't grow a doomed buffer.
+  if (invalid_) return;
+  for (const DeltaEntry& e : delta) {
+    bool hit = false;
+    for (const KeySpec& s : specs_) {
+      if (relevant(s, e.key)) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) continue;
+    if (control_ != nullptr) {
+      const IncrementalOptions& opt = control_->options();
+      if (pending_.size() >= opt.max_delta_entries) {
+        // Recompute-cheaper threshold (OVN's fallback discipline).
+        drop_entries_locked();
+        invalid_ = true;
+        reason_ = IncFallbackReason::Batch;
+        return;
+      }
+      const std::size_t b = entry_bytes(e);
+      const auto global =
+          control_->state_bytes.load(std::memory_order_relaxed);
+      if (bytes_ + b > opt.max_state_bytes ||
+          global + static_cast<std::int64_t>(b) >
+              static_cast<std::int64_t>(opt.max_total_bytes)) {
+        // Memory-pressure trim (lflow-cache discipline): degrade this
+        // state to full re-evaluation rather than grow the footprint.
+        drop_entries_locked();
+        invalid_ = true;
+        reason_ = IncFallbackReason::Capacity;
+        return;
+      }
+      bytes_ += b;
+      control_->state_bytes.fetch_add(static_cast<std::int64_t>(b),
+                                      std::memory_order_relaxed);
+    }
+    pending_.push_back(e);
+  }
+}
+
+void IncrementalState::invalidate(IncFallbackReason reason) {
+  std::scoped_lock lock(mutex_);
+  if (invalid_) return;
+  drop_entries_locked();
+  invalid_ = true;
+  reason_ = reason;
+}
+
+IncrementalState::Pending IncrementalState::take() {
+  std::scoped_lock lock(mutex_);
+  Pending out;
+  out.invalid = invalid_;
+  out.reason = reason_;
+  if (!invalid_) out.entries = std::move(pending_);
+  pending_.clear();
+  if (control_ != nullptr && bytes_ > 0) {
+    control_->state_bytes.fetch_sub(static_cast<std::int64_t>(bytes_),
+                                    std::memory_order_relaxed);
+  }
+  bytes_ = 0;
+  // Re-arm. Sound either way: the caller's follow-up evaluation (seeded
+  // probe on the swapped-out entries, or the full fallback) runs under
+  // engine locks ordered after every commit whose publish preceded this
+  // swap, and any later commit re-wakes the process.
+  invalid_ = false;
+  return out;
+}
+
+std::size_t IncrementalState::pending_entries() const {
+  std::scoped_lock lock(mutex_);
+  return pending_.size();
+}
+
+std::size_t IncrementalState::pending_bytes() const {
+  std::scoped_lock lock(mutex_);
+  return bytes_;
+}
+
+bool IncrementalState::invalidated() const {
+  std::scoped_lock lock(mutex_);
+  return invalid_;
+}
+
+std::shared_ptr<IncrementalState> make_incremental_state(
+    const Query& query, Env& env, const FunctionRegistry* fns,
+    IncrementalControl* control) {
+  // The monotonicity argument needs Exists with no negated groups; a pure
+  // guard over a frozen env can never be enabled by an assert at all, so
+  // it keeps the always-full path (it only wakes via WakeAll/timeouts).
+  if (query.quantifier != Quantifier::Exists || !query.negations.empty() ||
+      query.pure_guard()) {
+    return nullptr;
+  }
+  // Pattern-aligned specs with the park-frozen environment: locals
+  // cleared, process-persistent bindings live — the widest constraint any
+  // enumeration depth will use, so delta routing can never miss a
+  // candidate (same freeze as the WaitSet interest).
+  query.clear_locals(env);
+  std::vector<KeySpec> specs;
+  specs.reserve(query.patterns.size());
+  for (const TuplePattern& p : query.patterns) {
+    specs.push_back(p.key_spec(env, fns));
+  }
+  return std::make_shared<IncrementalState>(std::move(specs), control);
+}
+
+}  // namespace sdl

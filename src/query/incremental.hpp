@@ -1,0 +1,233 @@
+// Delta-driven wakeup evaluation for parked delayed transactions (ROADMAP
+// item 2, modeled on OVN's incremental processing engine and its
+// lflow-cache fallback/trim discipline).
+//
+// The problem: a parked delayed transaction re-runs its full predicate —
+// candidate enumeration, joins, guards — on every wakeup, so a wakeup
+// check costs O(window) when the commit that woke it changed one effect
+// set (E13 measured failing guards as *the* hot path at scale).
+//
+// The design rests on a monotonicity argument instead of materialized
+// join state. For a parked query in the MONOTONE FRAGMENT — Exists
+// quantifier, no negated groups — with its environment frozen (the
+// process is parked; only the process itself mutates its env):
+//
+//   A full evaluation that failed at time T0 can only become satisfiable
+//   at T1 > T0 if some satisfying assignment uses at least one tuple
+//   ASSERTED in (T0, T1]. Retracts can never enable it: candidates only
+//   shrink, the T0 enumeration was exhaustive over then-live tuples, and
+//   guards are deterministic over bindings.
+//
+// So the retained state per parked query is just the accumulated delta of
+// relevant asserts since the last failed evaluation (filtered by the
+// query's per-pattern KeySpecs), and a wakeup check is:
+//
+//   * delta empty and state valid  -> still parked, ZERO evaluation;
+//   * delta non-empty              -> seeded satisfiability check under
+//     the engine's read locks: for each pattern index with relevant
+//     entries, enumerate the join with THAT pattern's candidates
+//     restricted to the (liveness-checked) delta instances. All seeded
+//     checks false  => provably still unsatisfiable => stay parked.
+//     Any true      => fall through to the full execute(), which rebinds
+//     from scratch — bindings are identical to the always-full path by
+//     construction.
+//
+// Soundness of the capture window: states are attached at subscribe time
+// and the subscribe-first discipline puts the subscription before the
+// failed evaluation, so the accumulated delta is a SUPERSET of the
+// asserts since the evaluation (stale extra entries fail the liveness
+// probe or simply re-fail the seeded check — conservative, never wrong).
+// A commit whose publish races a wakeup check either lands its entries
+// before the check's swap (they are checked) or after (they stay pending
+// and its wake re-queues the process — the existing lost-wakeup
+// discipline).
+//
+// Everything outside the monotone fragment falls back to the full
+// re-evaluation path, counted per reason (OVN's explicit full-recompute
+// fallback): ForAll/negations never create state (`nonmonotone`),
+// view-scoped processes never create state (`view`), a publish that
+// carries no delta payload — Engine::exclusive composites, consensus
+// fires, seeds — invalidates every state it reaches (`no_delta`), a delta
+// batch past the recompute-cheaper threshold invalidates (`batch`), and
+// per-state / global byte caps trim retained state under memory pressure
+// (`capacity`, the lflow-cache discipline).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "query/query.hpp"
+
+namespace sdl {
+
+/// One asserted instance from a commit's effect set, routed by the
+/// WaitSet to the parked queries whose key specs it may enable. The tuple
+/// is a copy — engines only build deltas while someone is listening
+/// (WaitSet::incremental_listeners), so idle societies never pay for it.
+struct DeltaEntry {
+  IndexKey key;
+  TupleId id;
+  Tuple tuple;
+};
+
+/// Why a wakeup check fell back to (or never left) full re-evaluation.
+enum class IncFallbackReason : std::uint8_t {
+  Nonmonotone = 0,  // ForAll / negated groups / pure guard: no state made
+  View = 1,         // view-scoped process: window admission, no state made
+  NoDelta = 2,      // a matched publish carried no delta payload
+  Batch = 3,        // delta grew past the recompute-cheaper threshold
+  Capacity = 4,     // per-state or global byte cap hit (trim)
+};
+inline constexpr std::size_t kIncFallbackReasons = 5;
+
+[[nodiscard]] const char* inc_fallback_name(IncFallbackReason r);
+
+/// Dials for the incremental path. Off by default; even when enabled it
+/// is forced off under deterministic sim, an armed fault injector, or an
+/// armed history recorder — the checker keeps exercising the always-full
+/// path — unless `force` overrides (the sim-sweep equivalence tests).
+struct IncrementalOptions {
+  bool enabled = false;
+  /// Engage even under sim/faults/history. Test-only: the 64-seed sweep
+  /// proving the incremental path preserves serializability needs it on
+  /// inside deterministic runs.
+  bool force = false;
+  /// Delta entries per state past which recomputing is cheaper than
+  /// seeding (OVN's fallback discipline): the state invalidates with
+  /// reason `batch` and the next wakeup does a full probe.
+  std::size_t max_delta_entries = 64;
+  /// Per-state retained bytes cap (reason `capacity`).
+  std::size_t max_state_bytes = 64 * 1024;
+  /// Global retained bytes across every parked state; past it new
+  /// deliveries trim (invalidate) their state instead of growing it —
+  /// memory pressure degrades to full re-evaluation, never OOM.
+  std::size_t max_total_bytes = 8 * 1024 * 1024;
+};
+
+/// Per-Runtime control block: the options plus exact (always-on) counters
+/// the tests assert against and Runtime::register_gauges exposes. The
+/// null-gated RuntimeMetrics counters mirror the hot-path ones.
+class IncrementalControl {
+ public:
+  explicit IncrementalControl(IncrementalOptions options)
+      : options_(options) {}
+
+  [[nodiscard]] const IncrementalOptions& options() const { return options_; }
+
+  void count_fallback(IncFallbackReason r) {
+    fallbacks_[static_cast<std::size_t>(r)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t fallbacks(IncFallbackReason r) const {
+    return fallbacks_[static_cast<std::size_t>(r)].load(
+        std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t fallbacks_total() const {
+    std::uint64_t total = 0;
+    for (const auto& f : fallbacks_) total += f.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  /// Wakeup checks answered "still parked" with an empty delta — the
+  /// zero-evaluation fast path, and the headline win on retract-heavy or
+  /// unrelated-commit churn.
+  std::atomic<std::uint64_t> checks_empty{0};
+  /// Wakeup checks that ran a seeded enumeration.
+  std::atomic<std::uint64_t> checks_seeded{0};
+  /// Seeded checks that reported possibly-enabled (fell through to the
+  /// full execute).
+  std::atomic<std::uint64_t> wakes_confirmed{0};
+  /// Total delta entries consumed by seeded checks.
+  std::atomic<std::uint64_t> delta_entries_applied{0};
+  /// States ever created / currently alive / currently retained bytes.
+  std::atomic<std::uint64_t> states_created{0};
+  std::atomic<std::int64_t> states_live{0};
+  std::atomic<std::int64_t> state_bytes{0};
+
+ private:
+  const IncrementalOptions options_;
+  std::atomic<std::uint64_t> fallbacks_[kIncFallbackReasons] = {};
+};
+
+/// The retained state of one parked delayed transaction: the query's
+/// frozen per-pattern key specs and the pending relevant delta. Shared
+/// between the WaitSet entry (deliveries from commit threads, under the
+/// WaitSet mutex) and the owning Process (take() from the worker that
+/// re-checks it); the internal mutex makes each side atomic.
+class IncrementalState {
+ public:
+  /// `specs` are the query's pattern-aligned key specs computed with the
+  /// park-time environment (locals cleared) — frozen while parked, same
+  /// freeze as the WaitSet interest. `control` may be null (unit tests).
+  IncrementalState(std::vector<KeySpec> specs, IncrementalControl* control);
+  ~IncrementalState();
+  IncrementalState(const IncrementalState&) = delete;
+  IncrementalState& operator=(const IncrementalState&) = delete;
+
+  /// Bucket-level relevance: could an assert into `key` participate in a
+  /// match of a pattern with this spec?
+  [[nodiscard]] static bool relevant(const KeySpec& spec, const IndexKey& key) {
+    return spec.kind == KeySpec::Kind::Exact ? spec.key == key
+                                             : spec.arity == key.arity;
+  }
+
+  /// Appends the spec-relevant entries of a published delta. Called by
+  /// the WaitSet under its mutex. Overflow past the batch / byte caps
+  /// invalidates the state instead of growing it.
+  void deliver(const std::vector<DeltaEntry>& delta);
+
+  /// Marks the state unusable until the next full evaluation re-arms it
+  /// (a matched publish without a delta payload, or memory-pressure trim).
+  void invalidate(IncFallbackReason reason);
+
+  /// What take() hands the wakeup check: the swapped-out pending delta,
+  /// or the invalidation verdict. Either way the state is re-armed —
+  /// sound because the caller's follow-up evaluation (seeded or full)
+  /// runs under engine locks that order it after every commit whose
+  /// entries were swapped out, and later commits re-wake the process.
+  struct Pending {
+    std::vector<DeltaEntry> entries;
+    bool invalid = false;
+    IncFallbackReason reason = IncFallbackReason::NoDelta;
+  };
+  [[nodiscard]] Pending take();
+
+  [[nodiscard]] const std::vector<KeySpec>& specs() const { return specs_; }
+
+  // Introspection (tests / diagnostics).
+  [[nodiscard]] std::size_t pending_entries() const;
+  [[nodiscard]] std::size_t pending_bytes() const;
+  [[nodiscard]] bool invalidated() const;
+
+ private:
+  /// Approximate retained footprint of one entry (strings undercounted —
+  /// the caps bound growth, they are not an allocator).
+  [[nodiscard]] static std::size_t entry_bytes(const DeltaEntry& e) {
+    return sizeof(DeltaEntry) + e.tuple.arity() * sizeof(Value);
+  }
+  /// Drops pending entries and returns their bytes to the global budget.
+  /// Caller holds mutex_.
+  void drop_entries_locked();
+
+  const std::vector<KeySpec> specs_;
+  IncrementalControl* const control_;  // null in standalone unit tests
+
+  mutable std::mutex mutex_;
+  std::vector<DeltaEntry> pending_;
+  std::size_t bytes_ = 0;
+  bool invalid_ = false;
+  IncFallbackReason reason_ = IncFallbackReason::NoDelta;
+};
+
+/// Builds the retained state for a parked delayed transaction, or null
+/// when the query is outside the monotone fragment (ForAll, negated
+/// groups, pure guard) — the caller counts the `nonmonotone` fallback.
+/// Clears the query's locals in `env` (same freeze as interest_of).
+[[nodiscard]] std::shared_ptr<IncrementalState> make_incremental_state(
+    const Query& query, Env& env, const FunctionRegistry* fns,
+    IncrementalControl* control);
+
+}  // namespace sdl

@@ -1,5 +1,6 @@
 #include "query/query.hpp"
 
+#include <limits>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -25,14 +26,25 @@ bool guard_true(const ExprPtr& guard, const Env& env, const FunctionRegistry* fn
 /// whole enumeration (Exists / negation-witness early exit).
 class JoinEnumerator {
  public:
+  /// No pattern is delta-seeded.
+  static constexpr std::size_t kNoSeed = std::numeric_limits<std::size_t>::max();
+
+  /// When `seed_idx != kNoSeed`, pattern `seed_idx` enumerates the records
+  /// in `seeds` instead of scanning the source — the O(delta) leg of the
+  /// incremental wakeup check (src/query/incremental.hpp). `seeds` may be
+  /// wider than the pattern's bucket at the current binding depth (they
+  /// were routed by the park-frozen, widest key spec); match() filters.
   JoinEnumerator(const std::vector<TuplePattern>& patterns,
                  const TupleSource& source, Env& env, const FunctionRegistry* fns,
-                 bool planner)
+                 bool planner, std::size_t seed_idx = kNoSeed,
+                 const std::vector<const Record*>* seeds = nullptr)
       : patterns_(patterns),
         source_(source),
         env_(env),
         fns_(fns),
         planner_(planner),
+        seed_idx_(seed_idx),
+        seeds_(seeds),
         chosen_(patterns.size(), nullptr) {}
 
   /// Runs the enumeration; returns false iff on_complete stopped it.
@@ -71,13 +83,19 @@ class JoinEnumerator {
       int rank;
       if (!ready(patterns_[i])) {
         rank = 2;
+      } else if (i == seed_idx_) {
+        // The delta-seeded pattern has O(delta) candidates — cheaper than
+        // any index probe. Readiness still rules: a seeded pattern whose
+        // embedded expressions need other bindings waits its turn, exactly
+        // as in the unseeded plan.
+        rank = -1;
       } else {
         rank = patterns_[i].key_spec(env_, fns_).kind == KeySpec::Kind::Exact ? 0 : 1;
       }
       if (rank < best_rank) {
         best_rank = rank;
         best = i;
-        if (rank == 0) break;
+        if (rank < 0 || (rank == 0 && seed_idx_ == kNoSeed)) break;
       }
     }
     return best;
@@ -130,6 +148,13 @@ class JoinEnumerator {
       return keep_going;
     };
 
+    if (idx == seed_idx_) {
+      for (const Record* r : *seeds_) {
+        if (!try_record(*r)) break;
+      }
+      return keep_going;
+    }
+
     const KeySpec spec = p.key_spec(env_, fns_);
     if (spec.kind == KeySpec::Kind::Exact) {
       // A pinned second field upgrades the bucket scan to a probe on the
@@ -151,6 +176,8 @@ class JoinEnumerator {
   Env& env_;
   const FunctionRegistry* fns_;
   const bool planner_;
+  const std::size_t seed_idx_;
+  const std::vector<const Record*>* seeds_;
   std::vector<const Record*> chosen_;
   std::vector<int> undo_;
   const std::function<bool()>* on_complete_ = nullptr;
@@ -251,6 +278,33 @@ QueryOutcome Query::evaluate(const TupleSource& source, Env& env,
   out.success = !violated;
   clear_locals(env);
   return out;
+}
+
+bool Query::satisfiable_seeded(const TupleSource& source, Env& env,
+                               const FunctionRegistry* fns,
+                               std::size_t seed_idx,
+                               const std::vector<const Record*>& seeds) const {
+  // Outside the monotone fragment the seeded shortcut is unsound — answer
+  // "maybe satisfiable" so the caller takes the full path. States are
+  // never created for these shapes; this is belt-and-braces.
+  if (quantifier != Quantifier::Exists || !negations.empty() ||
+      seed_idx >= patterns.size()) {
+    return true;
+  }
+  clear_locals(env);
+  JoinEnumerator join(patterns, source, env, fns, use_planner, seed_idx,
+                      &seeds);
+  bool witness = false;
+  join.enumerate([&]() -> bool {
+    if (!guard_true(guard, env, fns)) return true;
+    witness = true;
+    return false;
+  });
+  // Bindings never escape — a positive answer falls through to the full
+  // execute(), which rebinds from scratch under the same locks.
+  join.unwind();
+  clear_locals(env);
+  return witness;
 }
 
 std::vector<KeySpec> Query::read_set(const Env& env,

@@ -1,0 +1,99 @@
+// Park-bucket caps × retained incremental state (ISSUE 8): a saturated
+// park shed by the watchdog, or killed outright, must free its
+// IncrementalState with the subscription. The control block's exact
+// states_live / state_bytes accounting turns any leak into an assertion
+// here, and the ASan CI job turns it into a report.
+#include <gtest/gtest.h>
+
+#include "process/runtime.hpp"
+
+namespace sdl {
+namespace {
+
+ProcessDef lonely_def() {
+  // Parks forever on a bucket nobody publishes to: monotone Exists, so
+  // the park carries retained state whenever incremental is active.
+  ProcessDef def;
+  def.name = "Lonely";
+  def.body = seq({stmt(TxnBuilder(TxnType::Delayed)
+                           .match(pat({A("never")}), true)
+                           .timeout(-1)
+                           .build())});
+  return def;
+}
+
+TEST(IncrementalShed, WatchdogShedParksFreeRetainedState) {
+  RuntimeOptions o;
+  o.overload.max_parked_per_bucket = 1;
+  o.overload.saturated_park_timeout_ms = 20;
+  o.incremental.enabled = true;
+  Runtime rt(o);
+  rt.define(lonely_def());
+  const ProcessId a = rt.spawn("Lonely");
+  const ProcessId b = rt.spawn("Lonely");
+  const ProcessId c = rt.spawn("Lonely");
+  const RunReport report = rt.run();
+  ASSERT_NE(rt.incremental(), nullptr);
+  // Only the first fits under the cap; the two overflow parks get forced
+  // short deadlines and the watchdog sheds them — their retained states
+  // must die with their subscriptions, not linger in the WaitSet.
+  EXPECT_EQ(report.timed_out.size(), 2u);
+  EXPECT_EQ(report.still_parked, 1u);
+  EXPECT_EQ(rt.incremental()->states_created.load(), 3u);
+  EXPECT_EQ(rt.incremental()->states_live.load(), 1)
+      << "shed parks leaked retained state";
+  EXPECT_EQ(rt.waits().subscriber_count(), 1u);
+  // Tear down the survivor too: kill + run drains every subscription and
+  // the accounting must return to exactly zero.
+  rt.scheduler().kill(a);
+  rt.scheduler().kill(b);
+  rt.scheduler().kill(c);
+  rt.run();
+  EXPECT_EQ(rt.incremental()->states_live.load(), 0);
+  EXPECT_EQ(rt.incremental()->state_bytes.load(), 0);
+  EXPECT_EQ(rt.waits().subscriber_count(), 0u);
+}
+
+TEST(IncrementalShed, TimedOutParkWithPendingDeltaReturnsItsBytes) {
+  RuntimeOptions o;
+  o.overload.max_parked_per_bucket = 1;
+  o.overload.saturated_park_timeout_ms = 20;
+  o.incremental.enabled = true;
+  Runtime rt(o);
+  // The waiter wants <never,x> AND <fed,x>; commits into "fed" route
+  // delta entries into its retained state (bytes > 0) without ever
+  // enabling it. The shed must return those bytes to the global budget.
+  ProcessDef waiter;
+  waiter.name = "Waiter";
+  waiter.body = seq({stmt(TxnBuilder(TxnType::Delayed)
+                              .exists({"x"})
+                              .match(pat({A("never"), V("x")}), true)
+                              .match(pat({A("fed"), V("x")}))
+                              .timeout(-1)
+                              .build())});
+  ProcessDef feeder;
+  feeder.name = "Feeder";
+  feeder.body = seq({stmt(TxnBuilder()
+                              .assert_tuple({lit(Value::atom("fed")), lit(1)})
+                              .build()),
+                     stmt(TxnBuilder()
+                              .assert_tuple({lit(Value::atom("fed")), lit(2)})
+                              .build())});
+  rt.define(std::move(waiter));
+  rt.define(std::move(feeder));
+  const ProcessId w1 = rt.spawn("Waiter");
+  const ProcessId w2 = rt.spawn("Waiter");
+  rt.spawn("Feeder");
+  rt.run();
+  ASSERT_NE(rt.incremental(), nullptr);
+  rt.scheduler().kill(w1);
+  rt.scheduler().kill(w2);
+  rt.run();
+  EXPECT_EQ(rt.incremental()->states_live.load(), 0);
+  EXPECT_EQ(rt.incremental()->state_bytes.load(), 0)
+      << "retained delta bytes leaked past teardown";
+  EXPECT_EQ(rt.waits().subscriber_count(), 0u);
+}
+
+}  // namespace
+}  // namespace sdl

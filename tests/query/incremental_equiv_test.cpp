@@ -1,0 +1,411 @@
+// Equivalence harness for delta-driven wakeup evaluation (ISSUE 8).
+//
+// The incremental path's correctness rests on a proof obligation: a
+// wakeup check answered from the retained delta must reach the SAME
+// decision as a full re-evaluation would have, on every wakeup, under
+// every schedule. This file discharges that obligation differentially:
+// a single-threaded harness drives real engines through randomized
+// commit schedules (assert-heavy, retract-heavy, invalidating) and after
+// EVERY commit compares the incremental decision against a full
+// probe — single-threaded, so the comparison is exact in both
+// directions, not merely conservative:
+//
+//   * empty delta, valid state  => full probe MUST fail (the monotone
+//     still-parked proof);
+//   * seeded check verdict      => MUST equal the full probe verdict
+//     (true is a restriction of the full enumeration; false is the
+//     monotonicity theorem);
+//   * invalidated state         => the harness falls back to the full
+//     probe, like the scheduler, and the fallback reason is asserted.
+//
+// Runtime-level tests then cover the scheduler's gating matrix: the
+// view-scoped fallback, the off-under-sim default, and end-to-end
+// societies with incremental forced on.
+#include "query/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "process/runtime.hpp"
+#include "txn/engine.hpp"
+
+namespace sdl {
+namespace {
+
+enum class Kind { Global, Sharded };
+
+/// One parked reader over a private symbol table: the delayed txn, its
+/// env, and the retained state, subscribed the way the scheduler does it
+/// (subscribe first, state attached to the subscription).
+struct Reader {
+  SymbolTable st;
+  Env env;
+  Transaction txn;
+  std::shared_ptr<IncrementalState> state;
+  WaitSet::Ticket ticket = WaitSet::kInvalidTicket;
+};
+
+class IncrementalEquivTest : public ::testing::TestWithParam<Kind> {
+ protected:
+  void reset(IncrementalOptions opts = {}) {
+    space = std::make_unique<Dataspace>(16);
+    waits = std::make_unique<WaitSet>();
+    if (GetParam() == Kind::Global) {
+      engine = std::make_unique<GlobalLockEngine>(*space, *waits, &fns);
+    } else {
+      engine = std::make_unique<ShardedEngine>(*space, *waits, &fns);
+    }
+    opts.enabled = true;
+    control = std::make_unique<IncrementalControl>(opts);
+  }
+
+  /// Builds + subscribes the canonical reader: ∃x,y: <a,x>! <b,y>! : x==y.
+  /// Requires a matching pair — randomized writers toggle satisfiability.
+  Reader make_reader() {
+    Reader r;
+    r.txn = TxnBuilder(TxnType::Delayed)
+                .exists({"x", "y"})
+                .match(pat({A("a"), V("x")}), true)
+                .match(pat({A("b"), V("y")}), true)
+                .where(eq(evar("x"), evar("y")))
+                .build();
+    r.txn.resolve(r.st);
+    r.env.resize(static_cast<std::size_t>(r.st.size()));
+    subscribe(r);
+    return r;
+  }
+
+  void subscribe(Reader& r) {
+    r.state = make_incremental_state(r.txn.query, r.env, &fns, control.get());
+    ASSERT_NE(r.state, nullptr);
+    r.ticket = waits->subscribe(engine->interest_of(r.txn, r.env), [] {},
+                                nullptr, r.state);
+  }
+
+  void unsubscribe(Reader& r) {
+    waits->unsubscribe(r.ticket);
+    r.ticket = WaitSet::kInvalidTicket;
+    r.state.reset();
+  }
+
+  /// Mirrors the scheduler's post-wake protocol: run full evaluations
+  /// (the same evaluator as the always-full path, so bindings are
+  /// identical by construction) until the query fails, re-subscribing
+  /// with fresh state after each success like a repeat loop would. The
+  /// terminal FAILED full evaluation is what re-establishes the parked
+  /// premise the monotone still-parked proof is relative to.
+  void drain(Reader& r) {
+    while (engine->probe(r.txn, r.env)) {
+      ASSERT_TRUE(engine->execute(r.txn, r.env, 2).success);
+      const auto x = r.env[static_cast<std::size_t>(*r.st.lookup("x"))];
+      const auto y = r.env[static_cast<std::size_t>(*r.st.lookup("y"))];
+      EXPECT_EQ(x, y) << "guard violated by committed binding";
+      unsubscribe(r);
+      subscribe(r);
+    }
+  }
+
+  /// One writer commit. `head` is "a"/"b"/"c"; retract=true consumes one
+  /// <head,v> instance (failure = no-op, nothing published).
+  bool writer(const std::string& head, int v, bool retract) {
+    SymbolTable st;
+    TxnBuilder b;
+    if (retract) {
+      b.match(pat({A(head), C(Value(v))}), true);
+    } else {
+      b.assert_tuple({lit(Value::atom(head)), lit(v)});
+    }
+    Transaction t = b.build();
+    t.resolve(st);
+    Env env(static_cast<std::size_t>(st.size()));
+    return engine->execute(t, env, 1).success;
+  }
+
+  /// The scheduler's wakeup decision, replicated exactly, followed by
+  /// the differential assertion against a full probe. Returns the
+  /// agreed-on verdict: true = the reader may now run.
+  bool check_equivalence(Reader& r, std::uint64_t tag) {
+    IncrementalState::Pending pending = r.state->take();
+    bool enabled;
+    if (pending.invalid) {
+      control->count_fallback(pending.reason);
+      enabled = engine->probe(r.txn, r.env);
+    } else if (pending.entries.empty()) {
+      control->checks_empty.fetch_add(1, std::memory_order_relaxed);
+      enabled = false;  // claimed proof of still-unsatisfiable
+    } else {
+      control->checks_seeded.fetch_add(1, std::memory_order_relaxed);
+      enabled = engine->probe_seeded(r.txn, r.env, r.state->specs(),
+                                     pending.entries);
+    }
+    const bool full = engine->probe(r.txn, r.env);
+    EXPECT_EQ(enabled, full)
+        << "incremental decision diverged from full re-evaluation (tag="
+        << tag << ", invalid=" << pending.invalid
+        << ", entries=" << pending.entries.size() << ")";
+    return full;
+  }
+
+  Dataspace& ds() { return *space; }
+
+  FunctionRegistry fns;
+  std::unique_ptr<Dataspace> space;
+  std::unique_ptr<WaitSet> waits;
+  std::unique_ptr<Engine> engine;
+  std::unique_ptr<IncrementalControl> control;
+};
+
+TEST_P(IncrementalEquivTest, RandomizedSchedulesMatchFullReevaluation) {
+  // 64 seeded schedules; odd seeds are retract-heavy (the delta stays
+  // empty across most commits — the monotone fast path must keep proving
+  // still-parked), even seeds are assert-heavy (seeded checks dominate).
+  // Every 16th op is an exclusive() composite, which publishes without a
+  // delta payload and must invalidate the state (NoDelta fallback).
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    reset();
+    std::mt19937_64 rng(seed);
+    // Pre-populate so retracts have something to consume.
+    for (int v = 0; v < 3; ++v) writer("a", v, false);
+    Reader r = make_reader();
+    // Establish the parked premise the monotone proof needs: the state's
+    // claims are relative to a failed full evaluation.
+    drain(r);
+    const int retract_pct = (seed % 2 == 1) ? 70 : 25;
+    for (std::uint64_t op = 0; op < 120; ++op) {
+      if (op % 16 == 15) {
+        // Composite commit outside the engine's capture path: asserts a
+        // relevant tuple, publishes null-delta.
+        Dataspace& d = ds();
+        const int v = static_cast<int>(rng() % 4);
+        engine->exclusive([&d, v]() -> std::vector<IndexKey> {
+          const Tuple t = tup("b", v);
+          const IndexKey k = IndexKey::of(t);
+          d.insert(tup("b", v), 9);
+          return {k};
+        });
+      } else {
+        const std::string head = (rng() % 2 == 0) ? "a" : "b";
+        const int v = static_cast<int>(rng() % 4);
+        const bool retract = static_cast<int>(rng() % 100) < retract_pct;
+        writer(head, v, retract);
+      }
+      const bool enabled = check_equivalence(r, seed * 1000 + op);
+      if (enabled) drain(r);
+    }
+    unsubscribe(r);
+  }
+  // Vacuity guard: the sweep must have exercised every decision class.
+  EXPECT_GT(control->checks_empty.load(), 0u);
+  EXPECT_GT(control->checks_seeded.load(), 0u);
+  EXPECT_GT(control->fallbacks(IncFallbackReason::NoDelta), 0u);
+}
+
+TEST_P(IncrementalEquivTest, RetractOnlyCommitKeepsStateValidAndCheckFree) {
+  reset();
+  writer("a", 1, false);
+  Reader r = make_reader();
+  ASSERT_FALSE(engine->probe(r.txn, r.env));  // no <b,_>: parked premise
+  // A retract-only commit publishes its touched keys with an EMPTY
+  // delta: the state must stay valid and the next check must be the
+  // O(1) empty-take still-parked proof, with no evaluation at all.
+  ASSERT_TRUE(writer("a", 1, true));
+  IncrementalState::Pending pending = r.state->take();
+  EXPECT_FALSE(pending.invalid);
+  EXPECT_TRUE(pending.entries.empty());
+  EXPECT_FALSE(engine->probe(r.txn, r.env));
+  unsubscribe(r);
+}
+
+TEST_P(IncrementalEquivTest, BatchOverflowFallsBackAndStaysEquivalent) {
+  IncrementalOptions opts;
+  opts.max_delta_entries = 4;
+  reset(opts);
+  Reader r = make_reader();
+  for (int i = 0; i < 5; ++i) writer("a", i, false);
+  IncrementalState::Pending pending = r.state->take();
+  EXPECT_TRUE(pending.invalid);
+  EXPECT_EQ(pending.reason, IncFallbackReason::Batch);
+  EXPECT_TRUE(pending.entries.empty()) << "overflowed state keeps no delta";
+  // take() re-armed the state; the full probe the scheduler would now run
+  // agrees with reality (no <b,_> yet, still unsatisfiable).
+  EXPECT_FALSE(engine->probe(r.txn, r.env));
+  unsubscribe(r);
+}
+
+TEST_P(IncrementalEquivTest, ByteCapTrimsStateUnderMemoryPressure) {
+  IncrementalOptions opts;
+  opts.max_state_bytes = 1;  // any delivery overflows
+  reset(opts);
+  Reader r = make_reader();
+  writer("a", 7, false);
+  IncrementalState::Pending pending = r.state->take();
+  EXPECT_TRUE(pending.invalid);
+  EXPECT_EQ(pending.reason, IncFallbackReason::Capacity);
+  EXPECT_EQ(control->state_bytes.load(), 0) << "trim returned its bytes";
+  unsubscribe(r);
+}
+
+TEST_P(IncrementalEquivTest, GlobalByteBudgetTrimsNewDeliveries) {
+  IncrementalOptions opts;
+  opts.max_total_bytes = 1;
+  reset(opts);
+  Reader r = make_reader();
+  writer("b", 3, false);
+  IncrementalState::Pending pending = r.state->take();
+  EXPECT_TRUE(pending.invalid);
+  EXPECT_EQ(pending.reason, IncFallbackReason::Capacity);
+  unsubscribe(r);
+}
+
+TEST_P(IncrementalEquivTest, NonmonotoneQueriesNeverGetState) {
+  reset();
+  SymbolTable st;
+  // ForAll is outside the monotone fragment.
+  Transaction fa = TxnBuilder(TxnType::Delayed)
+                       .forall({"x"})
+                       .match(pat({A("a"), V("x")}))
+                       .build();
+  fa.resolve(st);
+  Env env(static_cast<std::size_t>(st.size()));
+  EXPECT_EQ(make_incremental_state(fa.query, env, &fns, control.get()),
+            nullptr);
+  // A negated group breaks monotonicity (a retract can enable it).
+  SymbolTable st2;
+  Transaction neg = TxnBuilder(TxnType::Delayed)
+                        .exists({"x"})
+                        .match(pat({A("a"), V("x")}))
+                        .none({pat({A("stop")})})
+                        .build();
+  neg.resolve(st2);
+  Env env2(static_cast<std::size_t>(st2.size()));
+  EXPECT_EQ(make_incremental_state(neg.query, env2, &fns, control.get()),
+            nullptr);
+}
+
+TEST_P(IncrementalEquivTest, StateAccountingReturnsToZero) {
+  reset();
+  {
+    Reader r = make_reader();
+    writer("a", 1, false);
+    writer("b", 1, false);
+    EXPECT_GT(control->state_bytes.load(), 0);
+    unsubscribe(r);
+  }
+  EXPECT_EQ(control->states_live.load(), 0);
+  EXPECT_EQ(control->state_bytes.load(), 0);
+  EXPECT_GT(control->states_created.load(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, IncrementalEquivTest,
+                         ::testing::Values(Kind::Global, Kind::Sharded));
+
+// ---- Runtime-level gating and end-to-end equivalence ----
+
+TEST(IncrementalRuntimeTest, ThreadedSocietyRunsCorrectlyWithIncrementalOn) {
+  // The ReadHeavy society shape from the sim sweeps, threaded, with the
+  // incremental path enabled for real: writers keep a==b, readers park on
+  // the equality guard. Correctness of the final dataspace plus exact
+  // state-accounting teardown is the end-to-end claim.
+  RuntimeOptions o;
+  o.incremental.enabled = true;
+  Runtime rt(o);
+  rt.seed(tup("a", 0));
+  rt.seed(tup("b", 0));
+  ProcessDef w;
+  w.name = "Inc2";
+  w.body = seq({stmt(TxnBuilder(TxnType::Delayed)
+                         .exists({"x", "y"})
+                         .match(pat({A("a"), V("x")}), true)
+                         .match(pat({A("b"), V("y")}), true)
+                         .assert_tuple({lit(Value::atom("a")),
+                                        add(evar("x"), lit(1))})
+                         .assert_tuple({lit(Value::atom("b")),
+                                        add(evar("y"), lit(1))})
+                         .build())});
+  ProcessDef r;
+  r.name = "ReadBoth";
+  r.body = seq({stmt(TxnBuilder(TxnType::Delayed)
+                         .exists({"x", "y"})
+                         .match(pat({A("a"), V("x")}))
+                         .match(pat({A("b"), V("y")}))
+                         .where(eq(evar("x"), evar("y")))
+                         .build())});
+  rt.define(std::move(w));
+  rt.define(std::move(r));
+  for (int i = 0; i < 4; ++i) {
+    rt.spawn("Inc2");
+    rt.spawn("ReadBoth");
+  }
+  const RunReport report = rt.run();
+  EXPECT_TRUE(report.clean()) << report.still_parked << " parked";
+  EXPECT_EQ(rt.space().count(tup("a", 4)), 1u);
+  EXPECT_EQ(rt.space().count(tup("b", 4)), 1u);
+  ASSERT_NE(rt.incremental(), nullptr);
+  EXPECT_GT(rt.incremental()->states_created.load(), 0u)
+      << "incremental path never engaged";
+  EXPECT_EQ(rt.incremental()->states_live.load(), 0);
+  EXPECT_EQ(rt.incremental()->state_bytes.load(), 0);
+  EXPECT_EQ(rt.waits().subscriber_count(), 0u);
+}
+
+TEST(IncrementalRuntimeTest, ViewScopedProcessesFallBackByReason) {
+  // A view-scoped reader re-admits candidates through its window on
+  // every evaluation; the scheduler must refuse to create state for it
+  // and count the `view` fallback instead.
+  RuntimeOptions o;
+  o.incremental.enabled = true;
+  Runtime rt(o);
+  rt.seed(tup("a", 1));
+  ProcessDef w;
+  w.name = "Producer";
+  w.body = seq({stmt(TxnBuilder().assert_tuple(
+      {lit(Value::atom("b")), lit(1)}).build())});
+  ProcessDef r;
+  r.name = "Windowed";
+  r.view.import(pat({A("a"), W()}));
+  r.view.import(pat({A("b"), W()}));
+  r.body = seq({stmt(TxnBuilder(TxnType::Delayed)
+                         .exists({"x"})
+                         .match(pat({A("a"), V("x")}))
+                         .match(pat({A("b"), V("x")}))
+                         .build())});
+  rt.define(std::move(w));
+  rt.define(std::move(r));
+  rt.spawn("Windowed");
+  rt.spawn("Producer");
+  const RunReport report = rt.run();
+  EXPECT_TRUE(report.clean());
+  ASSERT_NE(rt.incremental(), nullptr);
+  EXPECT_GT(rt.incremental()->fallbacks(IncFallbackReason::View), 0u);
+  EXPECT_EQ(rt.incremental()->states_created.load(), 0u);
+}
+
+TEST(IncrementalRuntimeTest, DisabledByDefaultAndGatedOffUnderSim) {
+  Runtime off;
+  EXPECT_EQ(off.incremental(), nullptr);
+  // Enabled but deterministic: the scheduler's gating matrix keeps the
+  // always-full path (states_created stays 0) unless force overrides.
+  RuntimeOptions o;
+  o.incremental.enabled = true;
+  o.scheduler.deterministic_seed = 7;
+  Runtime rt(o);
+  rt.seed(tup("a", 1));
+  ProcessDef d;
+  d.name = "Take";
+  d.body = seq({stmt(TxnBuilder(TxnType::Delayed)
+                         .exists({"x"})
+                         .match(pat({A("a"), V("x")}), true)
+                         .build())});
+  rt.define(std::move(d));
+  rt.spawn("Take");
+  EXPECT_TRUE(rt.run().clean());
+  ASSERT_NE(rt.incremental(), nullptr);
+  EXPECT_EQ(rt.incremental()->states_created.load(), 0u);
+}
+
+}  // namespace
+}  // namespace sdl
