@@ -3,10 +3,17 @@
 # mapping bench name to Google Benchmark's own JSON report — so PRs leave a
 # machine-readable perf trajectory instead of an eyeballed bench_output.txt.
 #
-# Usage: bench/run_benches.sh [--check] [build-dir] [extra benchmark args...]
+# Usage: bench/run_benches.sh [--check] [--filter <regex>] [build-dir] \
+#                              [extra benchmark args...]
 #   bench/run_benches.sh                  # uses ./build, full run
 #   bench/run_benches.sh build --benchmark_min_time=0.05
 #   bench/run_benches.sh --check build    # E15 regression gate (see below)
+#   bench/run_benches.sh --filter 'e1[58]' build   # only matching benches
+#
+# --filter <regex> restricts which bench binaries run: in a full run it
+# filters bench_names; in --check mode it filters which gates execute
+# (a gate whose bench does not match is skipped WITH a printed notice,
+# so a filtered check is visibly partial, never silently green).
 #
 # --check runs the regression gates and exits nonzero on any violation:
 #   * E15 vs the committed bench/BENCH_e15_baseline.json: every baseline
@@ -18,7 +25,10 @@
 #     per-row ops_per_sec may not fall below baseline by more than
 #     SDL_BENCH_TOLERANCE (default 0.5, i.e. a 50% band — bench machines
 #     are noisy; the band catches collapses, not jitter). ALL
-#     out-of-tolerance rows are listed, not just the first.
+#     out-of-tolerance rows are listed, not just the first. Sharded rows
+#     with 2..nproc threads must also hit SDL_E15_SCALING_GATE (default
+#     0.25) parallel efficiency — on a single-core host that gate prints
+#     an explicit `SKIPPED (nproc=1)` instead of a spurious verdict.
 #   * E20 overload smoke: goodput at 2x saturation must stay >=
 #     SDL_E20_GATE (default 0.7) of the peak-rate row — the graceful-
 #     degradation plateau. SDL_E20_MS shortens the per-row window for CI.
@@ -30,6 +40,12 @@
 #   * E5 dataspace primitives vs bench/BENCH_e5_baseline.json — the
 #     zero-regression guard for the delta-capture hooks on the commit
 #     path (tolerance band, both-direction row coverage).
+#   * E21 replication vs bench/BENCH_e21_baseline.json (same band), plus
+#     the overhead gate: follower rows must commit at >= 1 - SDL_E21_GATE
+#     (default 0.10) of the 0-follower rate — WAL shipping stays off the
+#     commit path. Needs cores for the followers: prints an explicit
+#     `SKIPPED (nproc=1)` on single-core, where the slowdown measures CPU
+#     time-sharing, not shipping. Lag/applied columns gate everywhere.
 #   * Generic rule: a GATED bench binary that is built but has no
 #     committed baseline fails the check outright — gates never silently
 #     skip.
@@ -38,13 +54,28 @@
 set -euo pipefail
 
 check_mode=0
-if [[ "${1:-}" == "--check" ]]; then
-  check_mode=1
-  shift
-fi
+filter=""
+while [[ $# -gt 0 ]]; do
+  case "${1}" in
+    --check) check_mode=1; shift ;;
+    --filter)
+      filter="${2:?error: --filter needs a regex argument}"
+      shift 2
+      ;;
+    *) break ;;
+  esac
+done
 
 build_dir="${1:-build}"
 shift || true
+
+# Does this bench name survive the --filter? (No filter: everything does.)
+want() {
+  [[ -z "${filter}" ]] || [[ "$1" =~ ${filter} ]]
+}
+skip_gate() {
+  echo "SKIPPED: $1 gate (excluded by --filter '${filter}')" >&2
+}
 
 if [[ ! -d "${build_dir}/bench" ]]; then
   echo "error: '${build_dir}/bench' not found — build first:" >&2
@@ -58,6 +89,10 @@ trap 'rm -rf "${tmpdir}"' EXIT
 
 if [[ ${check_mode} -eq 1 ]]; then
   script_dir="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+  check_status=0
+  if ! want bench_e15_read_mostly; then
+    skip_gate bench_e15_read_mostly
+  else
   baseline="${script_dir}/BENCH_e15_baseline.json"
   if [[ ! -f "${baseline}" ]]; then
     echo "error: ${baseline} not found — generate one with:" >&2
@@ -69,7 +104,6 @@ if [[ ${check_mode} -eq 1 ]]; then
     echo "error: ${bin} not built" >&2
     exit 1
   fi
-  check_status=0
   current="${tmpdir}/e15_current.json"
   echo "running bench_e15_read_mostly (check mode) ..." >&2
   # A bench binary dying must produce a diagnosable FAIL, not a bare
@@ -135,6 +169,37 @@ for name, brow in sorted(base_rows.items()):
             notes.append(
                 f"{name}: {ratio:.2f}x faster than baseline — consider "
                 "refreshing bench/BENCH_e15_baseline.json")
+
+# Scaling gate: Sharded rows running 2..nproc threads must show at least
+# SDL_E15_SCALING_GATE parallel efficiency (rate(T) / (T * rate(1))).
+# On a single-core host no thread count in that range exists — threads
+# time-share the one core, so parallel speedup is unmeasurable and the
+# gate is SKIPPED with an explicit printed reason, never silently green
+# (and never a spurious failure).
+nproc = os.cpu_count() or 1
+sgate = float(os.environ.get("SDL_E15_SCALING_GATE", "0.25"))
+if nproc == 1:
+    print("E15 scaling_eff gate: SKIPPED (nproc=1 — threads time-share "
+          "one core, parallel efficiency is unmeasurable here)")
+else:
+    gated = 0
+    for name, crow in sorted(cur_rows.items()):
+        if "Sharded" not in name or "scaling_eff" not in crow:
+            continue
+        try:
+            threads = int(name.split("/")[1])
+        except (IndexError, ValueError):
+            continue
+        if threads < 2 or threads > nproc:
+            continue
+        gated += 1
+        if crow["scaling_eff"] < sgate:
+            failures.append(
+                f"{name}: scaling_eff {crow['scaling_eff']:.2f} below gate "
+                f"{sgate:.2f} (sharded engine stopped scaling)")
+    print(f"E15 scaling_eff gate: {gated} Sharded rows checked against "
+          f"{sgate:.2f} (nproc={nproc})")
+
 for note in notes:
     print(f"note: {note}")
 if failures:
@@ -147,10 +212,14 @@ PYCHECK
   then
     check_status=1
   fi
+  fi  # want bench_e15_read_mostly
 
   # E20 overload smoke: the degradation curve must plateau — goodput at
   # 2x saturation stays within SDL_E20_GATE of the best row (self-
   # relative, so the gate is machine-speed independent).
+  if ! want bench_e20_overload; then
+    skip_gate bench_e20_overload
+  else
   e20_bin="${build_dir}/bench/bench_e20_overload"
   if [[ ! -x "${e20_bin}" ]]; then
     echo "FAIL: ${e20_bin} not built — the overload gate cannot run" >&2
@@ -207,6 +276,7 @@ PYE20
       check_status=1
     fi
   fi
+  fi  # want bench_e20_overload
 
   # Baselined gates share one python body: two-direction row coverage
   # plus the SDL_BENCH_TOLERANCE band, exactly the E15 discipline. The
@@ -303,6 +373,53 @@ if bench == "bench_e13_planner":
             print(f"E13 wakeup gate: {speedup:.0f}x over full probe "
                   f"(gate {gate:.1f}x)")
 
+if bench == "bench_e21_replication":
+    # Replication overhead gate: follower rows must commit at >=
+    # (1 - SDL_E21_GATE) of the 0-follower reference rate — WAL shipping
+    # stays off the commit path. Only meaningful when followers have
+    # their own cores: on a single-core host the follower apply threads
+    # time-share the leader's core and the slowdown measures CPU
+    # contention, not shipping overhead, so the vs_0f gate is SKIPPED
+    # with an explicit printed reason. The lag/applied column checks and
+    # the baseline real_time band above still hold on single-core.
+    gate = float(os.environ.get("SDL_E21_GATE", "0.10"))
+    nproc = os.cpu_count() or 1
+    gated = 0
+    for name, crow in sorted(cur_rows.items()):
+        if crow.get("error_occurred"):
+            continue
+        for col in ("ops_per_sec", "lag_records", "lag_ms", "applied"):
+            if col not in crow:
+                failures.append(f"{name}: column '{col}' missing")
+        try:
+            followers = int(name.split("/")[1])
+        except (IndexError, ValueError):
+            failures.append(f"{name}: cannot parse follower count")
+            continue
+        if followers == 0:
+            continue
+        if "vs_0f" not in crow:
+            failures.append(f"{name}: derived column 'vs_0f' missing")
+            continue
+        if crow.get("applied", 0) <= 0:
+            failures.append(
+                f"{name}: applied == 0 — replication never ran")
+        if nproc <= followers:
+            continue  # not enough cores to host the followers
+        gated += 1
+        if crow["vs_0f"] < 1.0 - gate:
+            failures.append(
+                f"{name}: leader rate fell to {crow['vs_0f']:.2f}x of the "
+                f"0-follower row (gate {1.0 - gate:.2f}) — shipping is on "
+                "the commit path")
+    if nproc == 1:
+        print("E21 overhead gate: SKIPPED (nproc=1 — follower apply "
+              "threads time-share the leader's core; the slowdown is CPU "
+              "contention, not shipping overhead)")
+    else:
+        print(f"E21 overhead gate: {gated} follower rows checked against "
+              f"{1.0 - gate:.2f}x of the 0-follower rate (nproc={nproc})")
+
 for note in notes:
     print(f"note: {note}")
 if failures:
@@ -319,13 +436,29 @@ PYBASE
   }
 
   script_dir="${script_dir:-$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)}"
-  if ! run_baselined_gate bench_e13_planner \
-      "${script_dir}/BENCH_e13_baseline.json" "$@"; then
-    check_status=1
+  if want bench_e13_planner; then
+    if ! run_baselined_gate bench_e13_planner \
+        "${script_dir}/BENCH_e13_baseline.json" "$@"; then
+      check_status=1
+    fi
+  else
+    skip_gate bench_e13_planner
   fi
-  if ! run_baselined_gate bench_e5_dataspace \
-      "${script_dir}/BENCH_e5_baseline.json" "$@"; then
-    check_status=1
+  if want bench_e5_dataspace; then
+    if ! run_baselined_gate bench_e5_dataspace \
+        "${script_dir}/BENCH_e5_baseline.json" "$@"; then
+      check_status=1
+    fi
+  else
+    skip_gate bench_e5_dataspace
+  fi
+  if want bench_e21_replication; then
+    if ! run_baselined_gate bench_e21_replication \
+        "${script_dir}/BENCH_e21_baseline.json" "$@"; then
+      check_status=1
+    fi
+  else
+    skip_gate bench_e21_replication
   fi
 
   exit ${check_status}
@@ -354,10 +487,15 @@ bench_names=(
   bench_e18_durability
   bench_e19_observability
   bench_e20_overload
+  bench_e21_replication
 )
 
 benches=()
 for name in "${bench_names[@]}"; do
+  if ! want "${name}"; then
+    echo "SKIPPED: ${name} (excluded by --filter '${filter}')" >&2
+    continue
+  fi
   bin="${build_dir}/bench/${name}"
   if [[ -x "${bin}" ]]; then
     benches+=("${bin}")

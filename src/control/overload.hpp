@@ -112,6 +112,7 @@ struct OverloadStats {
   std::atomic<std::uint64_t> wal_waits{0};        // committer blocked on flusher
   std::atomic<std::uint64_t> park_saturated{0};   // parks into a full bucket
   std::atomic<std::uint64_t> forced_drains{0};    // epoch watchdog interventions
+  std::atomic<std::uint64_t> repl_backpressure{0};  // writes shed on follower lag
 };
 
 class OverloadControl {

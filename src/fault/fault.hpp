@@ -50,8 +50,14 @@ enum class FaultPoint : std::uint8_t {
   SnapshotWrite,      // snapshot payload serialized, file not yet renamed
   AdmissionShed,      // overload gate consulted; any armed action forces a shed
   RetryBudgetExhausted,  // retry budget consulted; any armed action denies it
+  ReplSend,           // leader tailer: batch framed, not yet handed to the
+                      // transport (Delay stalls the stream, Kill drops the
+                      // session mid-stream — the follower must reconnect)
+  ReplApply,          // follower applier: batch decoded, not yet applied
+                      // (FailCommit rejects it for redelivery, Kill tears
+                      // the session down mid-apply)
 };
-inline constexpr std::size_t kFaultPointCount = 10;
+inline constexpr std::size_t kFaultPointCount = 12;
 
 enum class FaultAction : std::uint8_t {
   None = 0,

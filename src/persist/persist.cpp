@@ -25,7 +25,11 @@ PersistManager::PersistManager(PersistOptions opts, std::uint32_t shard_count)
   clean_directory();
   wal_ = std::make_unique<WalWriter>(opts_.dir, shard_count_,
                                      recovered_.last_seq + 1,
-                                     opts_.fsync_every);
+                                     opts_.fsync_every, opts_.node_id);
+  if (recovered_.used_snapshot) {
+    last_snapshot_barrier_.store(recovered_.snapshot_barrier,
+                                 std::memory_order_release);
+  }
 }
 
 void PersistManager::clean_directory() {
@@ -43,6 +47,12 @@ void PersistManager::clean_directory() {
     }
     if (name.size() > 4 && name.compare(name.size() - 4, 4, ".wal") == 0) {
       WalReadResult seg = read_wal_segment(path);
+      if (seg.format_mismatch) {
+        // Another format revision's data — unreadable here but intact.
+        // Leave it byte-for-byte untouched (never truncate, never delete);
+        // recovery already refused to chain past it.
+        continue;
+      }
       if (!seg.header_ok || seg.start_seq > recovered_.last_seq + 1) {
         // Headerless stub from a crashed rotate, or a segment past a
         // corruption/gap that recovery refused to trust.
@@ -124,6 +134,7 @@ bool PersistManager::snapshot_now(const Dataspace& space,
     return false;
   }
   snapshots_written_.fetch_add(1, std::memory_order_relaxed);
+  last_snapshot_barrier_.store(barrier, std::memory_order_release);
 
   // Only now that the new snapshot is durable: drop everything it
   // supersedes. A crash before this point recovers from the older
@@ -157,6 +168,11 @@ void PersistManager::set_metrics(obs::RuntimeMetrics* m) {
 
 void PersistManager::set_overload(control::OverloadControl* c) {
   wal_->set_overload(c);
+}
+
+void PersistManager::set_durable_listener(
+    std::function<void(std::uint64_t)> fn) {
+  wal_->set_durable_listener(std::move(fn));
 }
 
 PersistManager::Stats PersistManager::stats() const {

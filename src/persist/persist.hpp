@@ -53,6 +53,10 @@ struct PersistOptions {
   /// Logged commits between automatic snapshots; 0 = only explicit
   /// snapshot_now() calls.
   std::uint64_t snapshot_every = 0;
+  /// Replication origin id stamped into every WAL segment header this
+  /// node writes (0 = unreplicated single-node default). A follower
+  /// replaying shipped segments can then attribute the log to its leader.
+  std::uint64_t node_id = 0;
 
   [[nodiscard]] bool enabled() const { return !dir.empty(); }
 };
@@ -111,6 +115,23 @@ class PersistManager {
   /// Arms the overload layer's WAL group-commit batch cap (null disarms).
   void set_overload(control::OverloadControl* c);
 
+  /// Replication hook: fires on every durable-watermark advance (see
+  /// WalWriter::set_durable_listener for the calling contract).
+  void set_durable_listener(std::function<void(std::uint64_t)> fn);
+
+  /// Highest sequence the replication tailer may ship (durable
+  /// watermark; the append watermark when fsync_every == 0).
+  [[nodiscard]] std::uint64_t shippable_seq() const {
+    return wal_->shippable_seq();
+  }
+
+  /// Barrier of the newest durable snapshot (0 = none yet). Segments at
+  /// or below this are pruned: a follower needing seq <= barrier must be
+  /// seeded from the snapshot file instead of the WAL tail.
+  [[nodiscard]] std::uint64_t last_snapshot_barrier() const {
+    return last_snapshot_barrier_.load(std::memory_order_acquire);
+  }
+
   [[nodiscard]] bool wal_alive() const { return wal_->alive(); }
 
   struct Stats {
@@ -140,6 +161,7 @@ class PersistManager {
   std::atomic<std::uint64_t> commits_since_snapshot_{0};
   std::atomic<std::uint64_t> snapshots_written_{0};
   std::atomic<std::uint64_t> snapshot_failures_{0};
+  std::atomic<std::uint64_t> last_snapshot_barrier_{0};
   std::atomic<bool> snapshots_dead_{false};  // SnapshotWrite kill fired
 };
 

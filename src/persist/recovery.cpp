@@ -97,6 +97,17 @@ RecoveredState replay(const std::string& dir) {
     }
     const std::string path = dir + "/" + wal_segment_name(start);
     WalReadResult seg = read_wal_segment(path);
+    if (seg.format_mismatch) {
+      // Distinct from corruption: the segment is intact but written by a
+      // different format revision. Recovery cannot decode past it, but
+      // the file must be preserved untouched (clean_directory honors the
+      // same flag).
+      state.notes.push_back(wal_segment_name(start) +
+                            " format mismatch: " + seg.detail +
+                            " — stopping (file preserved)");
+      stopped = true;
+      continue;
+    }
     if (!seg.header_ok) {
       // An empty/headerless trailing segment (crash at rotate) is benign;
       // anything with content behind it cannot be trusted.

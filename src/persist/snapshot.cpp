@@ -93,16 +93,20 @@ bool write_snapshot(const std::string& dir, std::uint32_t shard_count,
 }
 
 SnapshotReadResult read_snapshot(const std::string& path) {
-  SnapshotReadResult result;
   std::ifstream in(path, std::ios::binary);
   if (!in) {
+    SnapshotReadResult result;
     result.detail = "cannot open";
     return result;
   }
   std::string data((std::istreambuf_iterator<char>(in)),
                    std::istreambuf_iterator<char>());
   if (in.bad()) throw std::runtime_error("snapshot: read failed: " + path);
+  return parse_snapshot(data);
+}
 
+SnapshotReadResult parse_snapshot(std::string_view data) {
+  SnapshotReadResult result;
   if (data.size() < sizeof kSnapMagic + 4 ||
       std::memcmp(data.data(), kSnapMagic, sizeof kSnapMagic) != 0) {
     result.detail = "bad snapshot header";

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -54,5 +55,11 @@ bool write_snapshot(const std::string& dir, std::uint32_t shard_count,
 /// Reads and validates one snapshot file. Never throws on bad content;
 /// throws std::runtime_error only if the file exists but cannot be read.
 SnapshotReadResult read_snapshot(const std::string& path);
+
+/// Validates and decodes snapshot-file bytes already in memory — the ONE
+/// parse path shared by read_snapshot (recovery) and the replication
+/// stream, which ships the raw snapshot file to seed a follower joining
+/// behind the retained WAL window.
+SnapshotReadResult parse_snapshot(std::string_view data);
 
 }  // namespace sdl::persist

@@ -17,8 +17,13 @@ namespace sdl::persist {
 namespace {
 
 // Durable format constants — append-only, never renumber.
-constexpr char kWalMagic[8] = {'S', 'D', 'L', 'W', 'A', 'L', '1', '\n'};
-constexpr std::size_t kHeaderSize = 8 + 12 + 4;  // magic, payload, crc
+// v2 ("SDLWAL2\n") adds an explicit format-version field and the origin
+// node id to the header payload; v1 ("SDLWAL1\n") is recognized only to
+// be rejected as a format mismatch (never corruption).
+constexpr char kWalMagic[8] = {'S', 'D', 'L', 'W', 'A', 'L', '2', '\n'};
+constexpr char kWalMagicV1[8] = {'S', 'D', 'L', 'W', 'A', 'L', '1', '\n'};
+constexpr std::size_t kHeaderSize = kWalHeaderSize;  // magic, payload, crc
+constexpr std::size_t kHeaderPayload = 24;  // version, shards, seq, origin
 constexpr std::uint8_t kRecordCommit = 1;
 // A frame length beyond this is corruption, not a huge commit: even a
 // consensus composite over thousands of tuples stays far below it.
@@ -28,11 +33,14 @@ constexpr std::uint32_t kMaxRecordLen = 1u << 30;
 // ext4 halves the per-sync latency and CPU. ~20k typical commit frames.
 constexpr std::uint64_t kPreallocChunk = 1u << 20;
 
-std::string header_bytes(std::uint32_t shard_count, std::uint64_t start_seq) {
+std::string header_bytes(std::uint32_t shard_count, std::uint64_t start_seq,
+                         std::uint64_t origin_node) {
   std::string out(kWalMagic, sizeof kWalMagic);
   std::string payload;
+  codec::put_u32(payload, kWalFormatVersion);
   codec::put_u32(payload, shard_count);
   codec::put_u64(payload, start_seq);
+  codec::put_u64(payload, origin_node);
   out += payload;
   codec::put_u32(out, codec::crc32(payload.data(), payload.size()));
   return out;
@@ -75,6 +83,61 @@ std::string wal_segment_name(std::uint64_t start_seq) {
   return buf;
 }
 
+WalFrameParse parse_wal_frame(std::string_view data) {
+  WalFrameParse out;
+  if (data.size() < 8) {
+    // A crash can land the file size anywhere inside the preallocated
+    // region, including 1-7 bytes past the last frame. All-zero short
+    // tails are that padding — clean end-of-log, same as a full [0][0]
+    // marker below. Only a NONZERO partial header is a torn write (or,
+    // for a live tail, a frame still being flushed).
+    for (const char c : data) {
+      if (c != '\0') {
+        out.status = WalFrameStatus::Torn;
+        out.detail = "torn frame header";
+        return out;
+      }
+    }
+    out.status = WalFrameStatus::End;
+    return out;
+  }
+  codec::Reader fr(data.data(), 8);
+  const std::uint32_t len = fr.get_u32();
+  const std::uint32_t crc = fr.get_u32();
+  if (len == 0 && crc == 0) {
+    // Preallocation padding: the writer fallocates segment space ahead
+    // of the data, so a crashed segment ends in zeros. A real frame's
+    // payload is never empty (it always carries a record kind byte), so
+    // [0][0] unambiguously marks clean end-of-log — not corruption.
+    out.status = WalFrameStatus::End;
+    return out;
+  }
+  if (len > kMaxRecordLen) {
+    out.status = WalFrameStatus::Corrupt;
+    out.detail = "frame length " + std::to_string(len) + " exceeds cap";
+    return out;
+  }
+  if (data.size() - 8 < len) {
+    out.status = WalFrameStatus::Torn;
+    out.detail = "torn record";
+    return out;
+  }
+  const std::string_view payload(data.data() + 8, len);
+  if (codec::crc32(payload.data(), payload.size()) != crc) {
+    out.status = WalFrameStatus::Corrupt;
+    out.detail = "record crc mismatch";
+    return out;
+  }
+  if (!decode_commit(payload, &out.commit)) {
+    out.status = WalFrameStatus::Corrupt;
+    out.detail = "undecodable record";
+    return out;
+  }
+  out.status = WalFrameStatus::Ok;
+  out.size = 8 + len;
+  return out;
+}
+
 WalReadResult read_wal_segment(const std::string& path) {
   WalReadResult result;
   std::ifstream in(path, std::ios::binary);
@@ -89,6 +152,17 @@ WalReadResult read_wal_segment(const std::string& path) {
     result.detail = "empty segment";
     return result;
   }
+  if (data.size() >= sizeof kWalMagicV1 &&
+      std::memcmp(data.data(), kWalMagicV1, sizeof kWalMagicV1) == 0) {
+    // A v1 segment (pre format-version header). Its records are intact —
+    // this binary just does not decode that layout. Distinct rejection:
+    // never classified as corrupt, never truncated.
+    result.format_mismatch = true;
+    result.format_version = 1;
+    result.detail = "segment format version 1 (binary speaks version " +
+                    std::to_string(kWalFormatVersion) + ")";
+    return result;
+  }
   if (data.size() < kHeaderSize ||
       std::memcmp(data.data(), kWalMagic, sizeof kWalMagic) != 0) {
     result.corrupt = true;
@@ -96,81 +170,60 @@ WalReadResult read_wal_segment(const std::string& path) {
     return result;
   }
   {
-    codec::Reader r(data.data() + sizeof kWalMagic, 16);
+    codec::Reader r(data.data() + sizeof kWalMagic, kHeaderPayload + 4);
+    const std::uint32_t version = r.get_u32();
     const std::uint32_t shard_count = r.get_u32();
     const std::uint64_t start_seq = r.get_u64();
+    const std::uint64_t origin_node = r.get_u64();
     const std::uint32_t crc = r.get_u32();
-    if (crc != codec::crc32(data.data() + sizeof kWalMagic, 12)) {
+    if (crc != codec::crc32(data.data() + sizeof kWalMagic, kHeaderPayload)) {
       result.corrupt = true;
       result.detail = "segment header crc mismatch";
+      return result;
+    }
+    result.format_version = version;
+    if (version != kWalFormatVersion) {
+      // CRC-clean header from a different (newer) format revision: the
+      // payload layout beyond the header is unknown to this binary.
+      result.format_mismatch = true;
+      result.detail = "segment format version " + std::to_string(version) +
+                      " (binary speaks version " +
+                      std::to_string(kWalFormatVersion) + ")";
       return result;
     }
     result.header_ok = true;
     result.shard_count = shard_count;
     result.start_seq = start_seq;
+    result.origin_node = origin_node;
   }
 
   std::size_t off = kHeaderSize;
   result.valid_bytes = off;
   while (off < data.size()) {
-    if (data.size() - off < 8) {
-      // A crash can land the file size anywhere inside the preallocated
-      // region, including 1-7 bytes past the last frame. All-zero short
-      // tails are that padding — clean end-of-log, same as a full [0][0]
-      // marker below. Only a NONZERO partial header is a torn write.
-      bool all_zero = true;
-      for (std::size_t i = off; i < data.size(); ++i) {
-        if (data[i] != '\0') {
-          all_zero = false;
-          break;
-        }
-      }
-      if (!all_zero) {
-        result.corrupt = true;
-        result.detail = "torn frame header at offset " + std::to_string(off);
-      }
-      break;
-    }
-    codec::Reader fr(data.data() + off, 8);
-    const std::uint32_t len = fr.get_u32();
-    const std::uint32_t crc = fr.get_u32();
-    if (len == 0 && crc == 0) {
-      // Preallocation padding: the writer fallocates segment space ahead
-      // of the data, so a crashed segment ends in zeros. A real frame's
-      // payload is never empty (it always carries a record kind byte), so
-      // [0][0] unambiguously marks clean end-of-log — not corruption.
-      break;
-    }
-    if (len > kMaxRecordLen || data.size() - off - 8 < len) {
+    WalFrameParse frame = parse_wal_frame(std::string_view(data).substr(off));
+    if (frame.status == WalFrameStatus::End) break;
+    if (frame.status != WalFrameStatus::Ok) {
+      // A torn frame in a file at rest is a crash cut; corrupt is damage.
+      // Either way the clean prefix ends here.
       result.corrupt = true;
-      result.detail = "torn record at offset " + std::to_string(off);
-      break;
-    }
-    const std::string_view payload(data.data() + off + 8, len);
-    if (codec::crc32(payload.data(), payload.size()) != crc) {
-      result.corrupt = true;
-      result.detail = "record crc mismatch at offset " + std::to_string(off);
-      break;
-    }
-    WalCommit commit;
-    if (!decode_commit(payload, &commit)) {
-      result.corrupt = true;
-      result.detail = "undecodable record at offset " + std::to_string(off);
+      result.detail = frame.detail + " at offset " + std::to_string(off);
       break;
     }
     result.offsets.push_back(off);
-    result.commits.push_back(std::move(commit));
-    off += 8 + len;
+    result.commits.push_back(std::move(frame.commit));
+    off += frame.size;
     result.valid_bytes = off;
   }
   return result;
 }
 
 WalWriter::WalWriter(std::string dir, std::uint32_t shard_count,
-                     std::uint64_t next_seq, std::uint64_t fsync_every)
+                     std::uint64_t next_seq, std::uint64_t fsync_every,
+                     std::uint64_t origin_node)
     : dir_(std::move(dir)),
       shard_count_(shard_count),
       fsync_every_(fsync_every),
+      origin_node_(origin_node),
       next_seq_(next_seq),
       last_appended_(next_seq - 1),
       last_synced_(next_seq - 1) {
@@ -243,6 +296,7 @@ void WalWriter::flusher_main() {
       if (ok && target > last_synced_) {
         last_synced_ = target;
         ++syncs_;
+        if (durable_listener_) durable_listener_(last_synced_);
       }
       done_cv_.notify_all();
     } else {
@@ -273,7 +327,8 @@ void WalWriter::open_segment(std::uint64_t start_seq) {
   prealloc_end_ = file_off_;
   if (st.st_size == 0) {
     ensure_capacity_locked(kPreallocChunk);
-    const std::string header = header_bytes(shard_count_, start_seq);
+    const std::string header =
+        header_bytes(shard_count_, start_seq, origin_node_);
     if (!write_at(fd_, header.data(), header.size(), 0)) {
       throw std::runtime_error("wal: cannot write segment header: " + path_);
     }
@@ -440,6 +495,10 @@ std::uint64_t WalWriter::append(
     unsynced_ = 0;
     flush_requested_ = true;
     notify = true;
+  } else if (fsync_every_ == 0 && durable_listener_) {
+    // Durability off: the write-through IS the watermark (see
+    // shippable_seq) — replication still makes progress.
+    durable_listener_(last_appended_);
   }
   const std::uint64_t acked = last_appended_;
   lock.unlock();
@@ -472,10 +531,12 @@ void WalWriter::sync_locked(std::unique_lock<std::mutex>& lock) {
     file_off_ += pending.size();
   }
   ::fdatasync(fd_);
+  const bool advanced = last_appended_ > last_synced_;
   last_synced_ = last_appended_;
   unsynced_ = 0;
   ++syncs_;
   if (obs_m != nullptr) obs_m->wal_flush_ns->record_since(t_flush0);
+  if (advanced && durable_listener_) durable_listener_(last_synced_);
 }
 
 void WalWriter::sync() {
@@ -514,6 +575,11 @@ std::uint64_t WalWriter::last_appended() const {
 std::uint64_t WalWriter::last_synced() const {
   std::scoped_lock lock(mutex_);
   return last_synced_;
+}
+
+std::uint64_t WalWriter::shippable_seq() const {
+  std::scoped_lock lock(mutex_);
+  return fsync_every_ == 0 ? last_appended_ : last_synced_;
 }
 
 std::uint64_t WalWriter::appended_commits() const {

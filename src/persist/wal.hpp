@@ -13,10 +13,15 @@
 //     recovers a serially-consistent prefix by construction.
 //
 // Framing: each record is [u32 len][u32 crc32(payload)][payload]; a
-// segment starts with a 24-byte header stamping the dataspace geometry
-// (shard_count — TupleId sequences are shard-striped, so recovery into a
-// different geometry could collide fresh ids with restored ones) and the
-// first sequence number the segment may contain. Fsync is batched:
+// segment starts with a fixed-size header stamping the format version,
+// the dataspace geometry (shard_count — TupleId sequences are
+// shard-striped, so recovery into a different geometry could collide
+// fresh ids with restored ones), the first sequence number the segment
+// may contain, and the origin node id (replication: a follower must be
+// able to tell whose log it is replaying). A version mismatch is
+// reported as `format_mismatch`, distinct from corruption — a newer
+// node's segment shipped to an older binary is readable-someday data,
+// not damage, and must never be truncated away. Fsync is batched:
 // `fsync_every` commits per fsync(2) (1 = group size one, 0 = never), the
 // classic group-commit throughput/durability dial experiment E18 measures.
 // For fsync_every > 1 committers never issue a syscall at all: frames park
@@ -43,6 +48,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -69,18 +75,34 @@ struct WalCommit {
 
 /// Parse of one segment file. `corrupt` marks a torn or damaged tail;
 /// `valid_bytes` is the length of the clean prefix (the truncation point
-/// under the truncate-at-first-corrupt policy). Commits are in file
-/// order; `offsets[i]` is the byte offset of commit i's frame.
+/// under the truncate-at-first-corrupt policy). `format_mismatch` is a
+/// DISTINCT rejection: the header is intact but stamps a format version
+/// this binary does not speak (e.g. a v1 segment, or one shipped from a
+/// newer node) — the file must be left untouched, never truncated.
+/// Commits are in file order; `offsets[i]` is the byte offset of commit
+/// i's frame.
 struct WalReadResult {
   bool header_ok = false;
+  bool format_mismatch = false;
+  std::uint32_t format_version = 0;
   std::uint32_t shard_count = 0;
   std::uint64_t start_seq = 0;
+  std::uint64_t origin_node = 0;
   std::vector<WalCommit> commits;
   std::vector<std::uint64_t> offsets;
   std::uint64_t valid_bytes = 0;
   bool corrupt = false;
   std::string detail;
 };
+
+/// Current segment format version ("SDLWAL2\n" header). Version 1
+/// ("SDLWAL1\n", no version/origin fields) is recognized and rejected as
+/// a format mismatch, not corruption.
+constexpr std::uint32_t kWalFormatVersion = 2;
+
+/// Byte size of the v2 segment header (magic + payload + crc). Frame 0
+/// starts at exactly this offset; the replication tailer seeks here.
+constexpr std::size_t kWalHeaderSize = 8 + 24 + 4;
 
 /// Reads and validates one WAL segment file. Never throws on bad input —
 /// torn and corrupt files yield a clean-prefix result with `corrupt` set.
@@ -90,12 +112,34 @@ WalReadResult read_wal_segment(const std::string& path);
 /// Segment file name for a given starting sequence ("wal-<seq>.wal").
 std::string wal_segment_name(std::uint64_t start_seq);
 
+/// Incremental frame parse over an in-memory byte window — the ONE decode
+/// path shared by read_wal_segment (recovery) and the replication stream
+/// (leader tailer re-validating before ship, follower apply). `data` is
+/// any window whose byte 0 is a frame boundary (NOT including the segment
+/// header).
+enum class WalFrameStatus {
+  Ok,       // one whole frame decoded; `size` bytes consumed
+  End,      // clean end-of-log ([0][0] marker or all-zero padding tail)
+  Torn,     // partial frame: more bytes may still arrive (live tail) or
+            // the write was cut (crash) — caller context decides
+  Corrupt,  // crc mismatch or undecodable payload: never recoverable
+};
+struct WalFrameParse {
+  WalFrameStatus status = WalFrameStatus::End;
+  std::size_t size = 0;  // frame bytes ([hdr 8][payload]) when status==Ok
+  WalCommit commit;      // decoded record when status==Ok
+  std::string detail;    // human-readable reason for Torn/Corrupt
+};
+WalFrameParse parse_wal_frame(std::string_view data);
+
 class WalWriter {
  public:
   /// Opens (creating or appending to) the segment for `next_seq` in `dir`.
   /// `fsync_every`: commits per fsync batch; 1 = every commit, 0 = never.
+  /// `origin_node` is stamped into every segment header this writer
+  /// creates (0 = unreplicated single-node default).
   WalWriter(std::string dir, std::uint32_t shard_count, std::uint64_t next_seq,
-            std::uint64_t fsync_every);
+            std::uint64_t fsync_every, std::uint64_t origin_node = 0);
   ~WalWriter();
   WalWriter(const WalWriter&) = delete;
   WalWriter& operator=(const WalWriter&) = delete;
@@ -142,6 +186,24 @@ class WalWriter {
   /// ack lag when the device cannot keep up with the commit rate.
   void set_overload(control::OverloadControl* c) { overload_ = c; }
 
+  /// Replication hook: `fn(durable_seq)` fires every time the durable
+  /// watermark advances — after the group-commit flusher's fdatasync, an
+  /// inline strict sync, or (fsync_every == 0, durability off) a plain
+  /// write-through. Called with the writer mutex HELD: the listener must
+  /// only flip a flag / notify a condition variable and must never call
+  /// back into the writer. This is how records ship once durable, never
+  /// before. Set before the first append; null disables.
+  void set_durable_listener(std::function<void(std::uint64_t)> fn) {
+    std::scoped_lock lock(mutex_);
+    durable_listener_ = std::move(fn);
+  }
+
+  /// Highest sequence the replication tailer may ship: the durable
+  /// watermark (last_synced), except with durability off (fsync_every ==
+  /// 0) where records are as durable as they will ever get once written —
+  /// there the append watermark gates shipping instead.
+  [[nodiscard]] std::uint64_t shippable_seq() const;
+
  private:
   void open_segment(std::uint64_t start_seq);  // caller holds mutex_
   void sync_locked(std::unique_lock<std::mutex>& lock);
@@ -155,6 +217,7 @@ class WalWriter {
   const std::string dir_;
   const std::uint32_t shard_count_;
   const std::uint64_t fsync_every_;
+  const std::uint64_t origin_node_;
   FaultInjector* faults_ = nullptr;
   obs::RuntimeMetrics* metrics_ = nullptr;
   control::OverloadControl* overload_ = nullptr;
@@ -180,6 +243,7 @@ class WalWriter {
   std::string batch_;  // group-commit frames parked until the next flush
   std::string frame_scratch_;  // reused per-append encode buffer
   std::uint64_t syncs_ = 0;
+  std::function<void(std::uint64_t)> durable_listener_;  // repl wakeup
 };
 
 }  // namespace sdl::persist

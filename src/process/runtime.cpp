@@ -1,5 +1,9 @@
 #include "process/runtime.hpp"
 
+#include <stdexcept>
+
+#include "repl/net_transport.hpp"
+
 namespace sdl {
 
 Runtime::Runtime(RuntimeOptions options)
@@ -8,6 +12,11 @@ Runtime::Runtime(RuntimeOptions options)
       waits_(options.wake_policy),
       trace_(options.trace_capacity) {
   trace_.set_enabled(options.tracing);
+  // Stamp the replication node id into the WAL segment headers this node
+  // writes, so shipped segments carry their origin.
+  if (options_.repl.enabled() && options_.persist.node_id == 0) {
+    options_.persist.node_id = options_.repl.node_id;
+  }
   if (options_.engine == EngineKind::GlobalLock) {
     engine_ = std::make_unique<GlobalLockEngine>(space_, waits_, &functions_);
   } else {
@@ -45,6 +54,30 @@ Runtime::Runtime(RuntimeOptions options)
     engine_->set_persist(persist_mgr_.get());
     persist_mgr_->set_metrics(&metrics_);
     if (overload_) persist_mgr_->set_overload(overload_.get());
+  }
+  if (options_.repl.enabled()) {
+    if (options_.repl.role == repl::Role::Leader) {
+      if (!persist_mgr_) {
+        throw std::invalid_argument(
+            "repl: a leader requires persist.dir — the WAL is the "
+            "replication stream");
+      }
+      repl_leader_ =
+          std::make_unique<repl::ReplLeader>(options_.repl, persist_mgr_.get());
+    } else {
+      // The follower's id->IndexKey shadow map is seeded with whatever its
+      // own recovery restored (WAL retracts carry only ids).
+      static const std::vector<std::pair<TupleId, Tuple>> kEmpty;
+      repl_follower_ = std::make_unique<repl::ReplFollower>(
+          options_.repl, engine_.get(), persist_mgr_.get(),
+          persist_mgr_ ? persist_mgr_->recovered().live : kEmpty);
+      if (options_.repl.connect_port != 0) {
+        auto t = repl::net_connect(options_.repl.connect_port,
+                                   options_.repl.poll_interval_ms);
+        if (t != nullptr) repl_follower_->attach(std::move(t));
+      }
+    }
+    register_repl_gauges();
   }
 }
 
@@ -131,6 +164,45 @@ void Runtime::register_gauges() {
   }
 }
 
+void Runtime::register_repl_gauges() {
+  if (repl_leader_) {
+    repl::ReplLeader* const l = repl_leader_.get();
+    metrics_registry_.gauge("sdl_repl_lag_records",
+                            [l] { return l->stats().lag_records; });
+    metrics_registry_.gauge("sdl_repl_lag_bytes",
+                            [l] { return l->stats().lag_bytes; });
+    metrics_registry_.gauge("sdl_repl_batches_sent_total",
+                            [l] { return l->stats().batches_sent; });
+    metrics_registry_.gauge("sdl_repl_snapshots_sent_total",
+                            [l] { return l->stats().snapshots_sent; });
+    metrics_registry_.gauge("sdl_repl_sessions_started_total",
+                            [l] { return l->stats().sessions_started; });
+    metrics_registry_.gauge("sdl_repl_backpressure_total",
+                            [l] { return l->stats().backpressure_hits; });
+    if (overload_) {
+      control::OverloadControl* const c = overload_.get();
+      metrics_registry_.gauge("sdl_repl_write_sheds_total", [c] {
+        return c->stats().repl_backpressure.load(std::memory_order_relaxed);
+      });
+    }
+  }
+  if (repl_follower_) {
+    repl::ReplFollower* const f = repl_follower_.get();
+    metrics_registry_.gauge("sdl_repl_applied_seq",
+                            [f] { return f->applied_seq(); });
+    metrics_registry_.gauge("sdl_repl_batches_applied_total",
+                            [f] { return f->stats().batches_applied; });
+    metrics_registry_.gauge("sdl_repl_snapshots_loaded_total",
+                            [f] { return f->stats().snapshots_loaded; });
+    metrics_registry_.gauge("sdl_repl_reconnects_total",
+                            [f] { return f->stats().reconnects; });
+    metrics_registry_.gauge("sdl_repl_promotions_total",
+                            [f] { return f->stats().promotions; });
+    metrics_registry_.gauge("sdl_repl_missing_retracts_total",
+                            [f] { return f->stats().missing_retracts; });
+  }
+}
+
 RunReport Runtime::run() {
   RunReport report = scheduler_->run();
   if (obs::enabled()) report.metrics = metrics_registry_.summary();
@@ -146,6 +218,8 @@ FaultInjector& Runtime::enable_faults(std::uint64_t seed) {
     consensus_->set_fault_injector(faults_.get());
     if (persist_mgr_) persist_mgr_->set_fault_injector(faults_.get());
     if (overload_) overload_->set_fault_injector(faults_.get());
+    if (repl_leader_) repl_leader_->set_fault_injector(faults_.get());
+    if (repl_follower_) repl_follower_->set_fault_injector(faults_.get());
   }
   return *faults_;
 }
@@ -158,6 +232,8 @@ void Runtime::disable_faults() {
   consensus_->set_fault_injector(nullptr);
   if (persist_mgr_) persist_mgr_->set_fault_injector(nullptr);
   if (overload_) overload_->set_fault_injector(nullptr);
+  if (repl_leader_) repl_leader_->set_fault_injector(nullptr);
+  if (repl_follower_) repl_follower_->set_fault_injector(nullptr);
   faults_.reset();
 }
 
@@ -181,6 +257,11 @@ CheckReport Runtime::check_history() const {
 }
 
 TupleId Runtime::seed(Tuple t) {
+  if (repl_follower_ && !repl_follower_->writable()) {
+    throw std::logic_error(
+        "repl: seed() on an unpromoted follower — replicas take state from "
+        "the leader's stream only");
+  }
   TupleId id;
   const IndexKey key = IndexKey::of(t);
   engine_->exclusive([&]() -> std::vector<IndexKey> {
@@ -212,6 +293,16 @@ bool Runtime::snapshot() {
           return {};
         });
       });
+}
+
+std::uint64_t Runtime::promote_to_leader() {
+  if (!repl_follower_) return 0;
+  // Fence first: no replicated apply may land after the watermark we
+  // return. Then start the new leader epoch on a fresh WAL segment so its
+  // log is cleanly separated from the replicated prefix.
+  const std::uint64_t fence = repl_follower_->promote();
+  if (persist_mgr_) snapshot();
+  return fence;
 }
 
 Runtime::Stats Runtime::stats() const {
@@ -258,6 +349,27 @@ struct AdmissionGuard {
 }  // namespace
 
 TxnResult Runtime::execute(const Transaction& txn, Env& env, ProcessId owner) {
+  // Replication gates, writes only — local reads always go through (on a
+  // follower they are the eventually-consistent read path).
+  if (!txn.is_read_only()) {
+    if (repl_follower_ && !repl_follower_->writable()) {
+      TxnResult refused;
+      refused.not_leader = true;
+      return refused;
+    }
+    if (repl_leader_ && repl_leader_->lag_exceeded()) {
+      // Followers are past the byte-lag cap: shed the write instead of
+      // letting them fall unboundedly behind (RetryAfter outcome).
+      if (overload_) {
+        overload_->stats().repl_backpressure.fetch_add(
+            1, std::memory_order_relaxed);
+      }
+      TxnResult shed;
+      shed.shed = true;
+      shed.retry_after_us = options_.repl.poll_interval_ms * 1000;
+      return shed;
+    }
+  }
   AdmissionGuard admitted{nullptr};
   if (overload_) {
     std::int64_t retry_after_us = 0;

@@ -21,6 +21,7 @@
 #include "obs/metrics.hpp"
 #include "persist/persist.hpp"
 #include "process/scheduler.hpp"
+#include "repl/repl.hpp"
 
 namespace sdl {
 
@@ -51,6 +52,12 @@ struct RuntimeOptions {
   /// scheduler keeps it off under deterministic sim, armed faults, or an
   /// armed history recorder unless `incremental.force` overrides.
   IncrementalOptions incremental;
+  /// Leader/follower replication (src/repl). Off unless repl.role is set.
+  /// A Leader requires persist.dir (the WAL is the replication stream) and
+  /// streams durable records to attached followers; a Follower applies the
+  /// leader's stream, refuses local writes until promoted, and serves
+  /// eventually-consistent local reads with an applied-seq watermark.
+  repl::ReplOptions repl;
 };
 
 class Runtime {
@@ -164,6 +171,21 @@ class Runtime {
   /// off). True when the snapshot became durable.
   bool snapshot();
 
+  /// Null unless options.repl.role selected that side. The leader accepts
+  /// followers (repl_leader()->add_follower for loopback, listen_port for
+  /// TCP); the follower exposes the applied watermark and attach().
+  [[nodiscard]] repl::ReplLeader* repl_leader() { return repl_leader_.get(); }
+  [[nodiscard]] repl::ReplFollower* repl_follower() {
+    return repl_follower_.get();
+  }
+
+  /// Failover: promotes this FOLLOWER to a writable leader. Fences at the
+  /// last contiguously applied record, rotates the local WAL onto a fresh
+  /// segment via an immediate snapshot barrier (the new leader epoch
+  /// starts on its own segment), and lifts the write gate. Returns the
+  /// fence sequence (0 when this node is not a follower).
+  std::uint64_t promote_to_leader();
+
   [[nodiscard]] Dataspace& space() { return space_; }
   [[nodiscard]] Engine& engine() { return *engine_; }
   [[nodiscard]] WaitSet& waits() { return waits_; }
@@ -175,6 +197,8 @@ class Runtime {
  private:
   /// Registers the legacy stat-pocket gauges with metrics_registry_.
   void register_gauges();
+  /// Registers the sdl_repl_* gauges (called once repl components exist).
+  void register_repl_gauges();
 
   RuntimeOptions options_;
   FunctionRegistry functions_;
@@ -200,6 +224,11 @@ class Runtime {
   std::unique_ptr<FaultInjector> faults_;
   std::unique_ptr<HistoryRecorder> history_;
   std::unique_ptr<persist::PersistManager> persist_mgr_;
+  // Declared after persist_mgr_: the leader registers a durable listener
+  // with the WAL and must detach it (its destructor does) before the
+  // PersistManager dies — reverse destruction order guarantees that.
+  std::unique_ptr<repl::ReplLeader> repl_leader_;
+  std::unique_ptr<repl::ReplFollower> repl_follower_;
 };
 
 }  // namespace sdl

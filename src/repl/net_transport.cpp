@@ -1,0 +1,208 @@
+#include "repl/net_transport.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "core/codec.hpp"
+
+namespace sdl::repl {
+
+namespace {
+
+constexpr std::uint32_t kMaxNetFrame = 1u << 30;
+
+void put_le32(char* dst, std::uint32_t v) {
+  dst[0] = static_cast<char>(v & 0xff);
+  dst[1] = static_cast<char>((v >> 8) & 0xff);
+  dst[2] = static_cast<char>((v >> 16) & 0xff);
+  dst[3] = static_cast<char>((v >> 24) & 0xff);
+}
+
+std::uint32_t get_le32(const char* src) {
+  const auto* u = reinterpret_cast<const unsigned char*>(src);
+  return static_cast<std::uint32_t>(u[0]) |
+         (static_cast<std::uint32_t>(u[1]) << 8) |
+         (static_cast<std::uint32_t>(u[2]) << 16) |
+         (static_cast<std::uint32_t>(u[3]) << 24);
+}
+
+/// Writes all of buf or fails. MSG_NOSIGNAL: a dead peer must surface as
+/// an error return, not SIGPIPE.
+bool send_all(int fd, const char* buf, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, buf, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    buf += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+class NetTransport final : public Transport {
+ public:
+  explicit NetTransport(int fd) : fd_(fd) {
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+
+  ~NetTransport() override {
+    close();
+    ::close(fd_);
+  }
+
+  bool send(std::string frame) override {
+    if (closed_.load(std::memory_order_acquire)) return false;
+    char header[8];
+    put_le32(header, static_cast<std::uint32_t>(frame.size()));
+    put_le32(header + 4, codec::crc32(frame.data(), frame.size()));
+    if (frame.size() > kMaxNetFrame) return false;
+    if (!send_all(fd_, header, sizeof(header)) ||
+        !send_all(fd_, frame.data(), frame.size())) {
+      close();
+      return false;
+    }
+    return true;
+  }
+
+  RecvStatus recv(std::string* frame, int timeout_ms) override {
+    char header[8];
+    RecvStatus st = recv_exact(header, sizeof(header), timeout_ms, true);
+    if (st != RecvStatus::Ok) return st;
+    const std::uint32_t len = get_le32(header);
+    const std::uint32_t want_crc = get_le32(header + 4);
+    if (len > kMaxNetFrame) {
+      close();
+      return RecvStatus::Closed;
+    }
+    frame->resize(len);
+    // Body read: the peer already committed to this frame, so wait as
+    // long as it takes rather than tearing a half-read stream.
+    st = recv_exact(frame->data(), len, -1, false);
+    if (st != RecvStatus::Ok) return RecvStatus::Closed;
+    if (codec::crc32(frame->data(), len) != want_crc) {
+      close();
+      return RecvStatus::Closed;
+    }
+    return RecvStatus::Ok;
+  }
+
+  void close() override {
+    if (!closed_.exchange(true, std::memory_order_acq_rel)) {
+      ::shutdown(fd_, SHUT_RDWR);
+    }
+  }
+
+  [[nodiscard]] bool alive() const override {
+    return !closed_.load(std::memory_order_acquire);
+  }
+
+ private:
+  /// Reads exactly `len` bytes. `can_timeout` applies the deadline only
+  /// before the FIRST byte of the unit — once a frame starts arriving we
+  /// finish it (a timeout mid-frame would desync the stream).
+  RecvStatus recv_exact(char* buf, std::size_t len, int timeout_ms,
+                        bool can_timeout) {
+    std::size_t got = 0;
+    while (got < len) {
+      if (closed_.load(std::memory_order_acquire)) return RecvStatus::Closed;
+      struct pollfd pfd = {fd_, POLLIN, 0};
+      const int wait = (can_timeout && got == 0) ? timeout_ms : -1;
+      const int pr = ::poll(&pfd, 1, wait);
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        close();
+        return RecvStatus::Closed;
+      }
+      if (pr == 0) return RecvStatus::Timeout;
+      const ssize_t n = ::recv(fd_, buf + got, len - got, 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        close();
+        return RecvStatus::Closed;
+      }
+      if (n == 0) {
+        close();
+        return RecvStatus::Closed;
+      }
+      got += static_cast<std::size_t>(n);
+    }
+    return RecvStatus::Ok;
+  }
+
+  const int fd_;
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace
+
+NetListener::~NetListener() { close(); }
+
+std::unique_ptr<NetListener> NetListener::bind(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return nullptr;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 16) != 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  sockaddr_in bound = {};
+  socklen_t blen = sizeof(bound);
+  std::uint16_t actual = port;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &blen) == 0) {
+    actual = ntohs(bound.sin_port);
+  }
+  return std::unique_ptr<NetListener>(new NetListener(fd, actual));
+}
+
+std::unique_ptr<Transport> NetListener::accept(int timeout_ms) {
+  if (fd_ < 0) return nullptr;
+  struct pollfd pfd = {fd_, POLLIN, 0};
+  const int pr = ::poll(&pfd, 1, timeout_ms);
+  if (pr <= 0) return nullptr;
+  const int cfd = ::accept(fd_, nullptr, nullptr);
+  if (cfd < 0) return nullptr;
+  return std::make_unique<NetTransport>(cfd);
+}
+
+void NetListener::close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::unique_ptr<Transport> net_connect(std::uint16_t port, int timeout_ms) {
+  (void)timeout_ms;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return nullptr;
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  return std::make_unique<NetTransport>(fd);
+}
+
+}  // namespace sdl::repl

@@ -1,0 +1,54 @@
+// TCP transport for replication (replication tentpole).
+//
+// Real multi-process topologies run the leader/follower protocol over
+// plain TCP. Outer framing per wire message:
+//
+//   [u32 len][u32 crc32(payload)][payload]   (little-endian, like the WAL)
+//
+// The CRC catches corruption the kernel won't (bad NICs, middleboxes);
+// a mismatched frame closes the connection — the protocol recovers by
+// reconnecting and re-handshaking from the follower's watermark, so
+// tearing down a suspect stream is always safe.
+//
+// Threading matches the Transport contract: one thread sends, one thread
+// receives, close() may race both. The socket fd is shutdown() on close
+// to wake a blocked recv; recv timeouts use poll().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "repl/transport.hpp"
+
+namespace sdl::repl {
+
+/// Listening socket bound to 127.0.0.1:`port` (port 0 = kernel-assigned;
+/// `port()` reports the actual one). accept() blocks up to `timeout_ms`
+/// and returns one connected Transport per peer, or nullptr on timeout /
+/// after close().
+class NetListener {
+ public:
+  ~NetListener();
+
+  /// Returns nullptr when the bind/listen fails (port busy).
+  static std::unique_ptr<NetListener> bind(std::uint16_t port);
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  std::unique_ptr<Transport> accept(int timeout_ms);
+
+  /// Idempotent; wakes a blocked accept().
+  void close();
+
+ private:
+  NetListener(int fd, std::uint16_t port) : fd_(fd), port_(port) {}
+
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to 127.0.0.1:`port`. Returns nullptr when the peer refuses.
+std::unique_ptr<Transport> net_connect(std::uint16_t port, int timeout_ms);
+
+}  // namespace sdl::repl

@@ -1,0 +1,82 @@
+#include "repl/transport.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+namespace sdl::repl {
+
+namespace {
+
+/// Shared state of one loopback pair: two FIFO queues (one per
+/// direction) under one mutex. Endpoint `side` sends into queues[side]
+/// and receives from queues[1 - side].
+struct LoopbackCore {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::string> queues[2];
+  bool closed = false;
+};
+
+class LoopbackTransport final : public Transport {
+ public:
+  LoopbackTransport(std::shared_ptr<LoopbackCore> core, int side)
+      : core_(std::move(core)), side_(side) {}
+
+  ~LoopbackTransport() override { close(); }
+
+  bool send(std::string frame) override {
+    std::unique_lock lock(core_->mutex);
+    if (core_->closed) return false;
+    core_->queues[side_].push_back(std::move(frame));
+    lock.unlock();
+    core_->cv.notify_all();
+    return true;
+  }
+
+  RecvStatus recv(std::string* frame, int timeout_ms) override {
+    std::unique_lock lock(core_->mutex);
+    auto& inbox = core_->queues[1 - side_];
+    if (inbox.empty() && timeout_ms > 0) {
+      core_->cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                         [&] { return core_->closed || !inbox.empty(); });
+    }
+    if (!inbox.empty()) {
+      // Drain messages already queued even after close: the peer's last
+      // acks/batches are real protocol state, not garbage.
+      *frame = std::move(inbox.front());
+      inbox.pop_front();
+      return RecvStatus::Ok;
+    }
+    return core_->closed ? RecvStatus::Closed : RecvStatus::Timeout;
+  }
+
+  void close() override {
+    {
+      std::scoped_lock lock(core_->mutex);
+      core_->closed = true;
+    }
+    core_->cv.notify_all();
+  }
+
+  [[nodiscard]] bool alive() const override {
+    std::scoped_lock lock(core_->mutex);
+    return !core_->closed;
+  }
+
+ private:
+  const std::shared_ptr<LoopbackCore> core_;
+  const int side_;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+make_loopback_pair() {
+  auto core = std::make_shared<LoopbackCore>();
+  return {std::make_unique<LoopbackTransport>(core, 0),
+          std::make_unique<LoopbackTransport>(core, 1)};
+}
+
+}  // namespace sdl::repl

@@ -1,0 +1,59 @@
+// Replication transport abstraction (replication tentpole).
+//
+// The leader/follower protocol (repl.hpp) is transport-agnostic: sessions
+// exchange opaque, already-framed wire messages (wire.hpp) over anything
+// that can move byte strings in order. Two implementations ship:
+//
+//   * LoopbackTransport (here) — a pair of in-process endpoints joined by
+//     two bounded-by-protocol queues. Tests and the deterministic chaos
+//     sweeps use it: no sockets, no ports, no kernel buffering — the only
+//     nondeterminism left is thread scheduling, which the seed-driven
+//     FaultInjector (ReplSend/ReplApply) perturbs on purpose.
+//   * NetTransport (net_transport.hpp) — length-prefixed, CRC-framed TCP
+//     on a real socket, for actual multi-process topologies.
+//
+// Contract: send() and recv() are each called from ONE thread at a time
+// (the session thread owns its transport), but send and recv may race
+// each other and close() may race both — endpoints are internally
+// synchronized. Message boundaries are preserved: one send() is one
+// recv(). Ordering is FIFO per direction. A closed endpoint fails sends
+// immediately and drains nothing further.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace sdl::repl {
+
+enum class RecvStatus : std::uint8_t {
+  Ok = 0,   // one message delivered
+  Timeout,  // nothing arrived within the deadline; transport still alive
+  Closed,   // peer gone (or close() called); nothing further will arrive
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Queues one wire message. Returns false when the transport is closed
+  /// (the message is dropped — the session must treat this as peer death).
+  virtual bool send(std::string frame) = 0;
+
+  /// Waits up to `timeout_ms` for the next message (0 = poll). Delivered
+  /// messages arrive whole and in send order.
+  virtual RecvStatus recv(std::string* frame, int timeout_ms) = 0;
+
+  /// Idempotent; wakes any blocked recv() on both endpoints.
+  virtual void close() = 0;
+
+  [[nodiscard]] virtual bool alive() const = 0;
+};
+
+/// Creates two joined in-process endpoints: what one sends the other
+/// receives. Destroying either endpoint closes the pair.
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+make_loopback_pair();
+
+}  // namespace sdl::repl

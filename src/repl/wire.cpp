@@ -1,0 +1,70 @@
+#include "repl/wire.hpp"
+
+#include "core/codec.hpp"
+
+namespace sdl::repl {
+
+std::string encode_hello(const HelloMsg& m) {
+  std::string out;
+  codec::put_u8(out, static_cast<std::uint8_t>(MsgKind::Hello));
+  codec::put_varint(out, m.node_id);
+  codec::put_varint(out, m.last_applied);
+  return out;
+}
+
+std::string encode_snapshot(const SnapshotMsg& m) {
+  std::string out;
+  codec::put_u8(out, static_cast<std::uint8_t>(MsgKind::Snapshot));
+  codec::put_string(out, m.file_bytes);
+  return out;
+}
+
+std::string encode_batch(const BatchMsg& m) {
+  std::string out;
+  codec::put_u8(out, static_cast<std::uint8_t>(MsgKind::Batch));
+  codec::put_varint(out, m.first_seq);
+  codec::put_varint(out, m.last_seq);
+  codec::put_string(out, m.frames);
+  return out;
+}
+
+std::string encode_ack(const AckMsg& m) {
+  std::string out;
+  codec::put_u8(out, static_cast<std::uint8_t>(MsgKind::Ack));
+  codec::put_varint(out, m.applied_seq);
+  codec::put_varint(out, m.applied_bytes);
+  return out;
+}
+
+bool decode_message(std::string_view frame, Message* out) {
+  codec::Reader r(frame);
+  const std::uint8_t kind = r.get_u8();
+  if (!r.ok()) return false;
+  switch (static_cast<MsgKind>(kind)) {
+    case MsgKind::Hello:
+      out->kind = MsgKind::Hello;
+      out->hello.node_id = r.get_varint();
+      out->hello.last_applied = r.get_varint();
+      break;
+    case MsgKind::Snapshot:
+      out->kind = MsgKind::Snapshot;
+      out->snapshot.file_bytes = r.get_string();
+      break;
+    case MsgKind::Batch:
+      out->kind = MsgKind::Batch;
+      out->batch.first_seq = r.get_varint();
+      out->batch.last_seq = r.get_varint();
+      out->batch.frames = r.get_string();
+      break;
+    case MsgKind::Ack:
+      out->kind = MsgKind::Ack;
+      out->ack.applied_seq = r.get_varint();
+      out->ack.applied_bytes = r.get_varint();
+      break;
+    default:
+      return false;
+  }
+  return r.ok() && r.at_end();
+}
+
+}  // namespace sdl::repl

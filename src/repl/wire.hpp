@@ -1,0 +1,85 @@
+// Replication wire protocol (replication tentpole).
+//
+// Four message kinds move a leader's WAL to its followers:
+//
+//   Hello    follower → leader, once per session: who I am and the last
+//            leader sequence I have contiguously applied. The leader
+//            resumes the stream at last_applied + 1 — or, if that point
+//            has been pruned behind a snapshot barrier, seeds the
+//            follower with a Snapshot first.
+//   Snapshot leader → follower: the raw bytes of an exclusive-barrier
+//            snapshot FILE (persist/snapshot.hpp format, one CRC over
+//            the payload) — the follower parses it with the exact
+//            parse_snapshot recovery uses, restores every record with
+//            its restart-stable TupleId, and continues from barrier + 1.
+//   Batch    leader → follower: a contiguous run of raw WAL FRAMES
+//            ([u32 len][u32 crc][payload] each, persist/wal.hpp format)
+//            copied verbatim from the leader's segment files — shipped
+//            only once durable (the group-commit flusher's watermark
+//            gates the tailer). The follower decodes them with the same
+//            parse_wal_frame recovery uses: one decode path, zero
+//            re-encoding on the hot path, and every record is still
+//            covered end-to-end by its own CRC.
+//   Ack      follower → leader, after each applied batch/snapshot: the
+//            new applied watermark plus a PER-SESSION applied-bytes
+//            counter the leader windows against its per-session sent
+//            bytes (a reconnected session restarts both at zero).
+//
+// Each message is [u8 kind][kind-specific payload] built on core/codec;
+// transports add their own outer framing (length prefix + CRC for TCP).
+// decode_message never throws on malformed input — it returns false and
+// the session treats the peer as byzantine/dead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sdl::repl {
+
+enum class MsgKind : std::uint8_t {
+  Hello = 1,
+  Snapshot = 2,
+  Batch = 3,
+  Ack = 4,
+};
+
+struct HelloMsg {
+  std::uint64_t node_id = 0;
+  std::uint64_t last_applied = 0;  // leader sequence, 0 = fresh follower
+};
+
+struct SnapshotMsg {
+  std::string file_bytes;  // verbatim snapshot file (persist::parse_snapshot)
+};
+
+struct BatchMsg {
+  std::uint64_t first_seq = 0;  // sequence of the first frame
+  std::uint64_t last_seq = 0;   // sequence of the last frame
+  std::string frames;           // concatenated raw WAL frames
+};
+
+struct AckMsg {
+  std::uint64_t applied_seq = 0;    // follower's contiguous watermark
+  std::uint64_t applied_bytes = 0;  // per-session bytes applied
+};
+
+std::string encode_hello(const HelloMsg& m);
+std::string encode_snapshot(const SnapshotMsg& m);
+std::string encode_batch(const BatchMsg& m);
+std::string encode_ack(const AckMsg& m);
+
+/// One decoded message; `kind` selects which member is meaningful.
+struct Message {
+  MsgKind kind = MsgKind::Hello;
+  HelloMsg hello;
+  SnapshotMsg snapshot;
+  BatchMsg batch;
+  AckMsg ack;
+};
+
+/// Returns false on any malformed frame (unknown kind, truncation,
+/// trailing bytes). Never throws.
+bool decode_message(std::string_view frame, Message* out);
+
+}  // namespace sdl::repl

@@ -94,6 +94,58 @@ void Engine::maybe_snapshot_after_commit() {
   });
 }
 
+Engine::ReplApplyOutcome Engine::apply_replicated(
+    const std::vector<persist::WalCommit>& batch,
+    std::unordered_map<TupleId, IndexKey>* id_index) {
+  ReplApplyOutcome out;
+  if (batch.empty()) return out;
+  // Total exclusion, not per-commit 2PL: the leader's WAL order IS the
+  // serialization order, so the follower replays it single-file — the
+  // exclusive section brackets every shard (seqlock-odd under
+  // ShardedEngine, with an epoch guard held), which is exactly what
+  // restore/erase require, and the returned keys are published after
+  // release so parked local readers wake. Batching many commits per
+  // section amortizes the all-shard acquisition.
+  exclusive([&]() -> std::vector<IndexKey> {
+    std::vector<IndexKey> touched;
+    for (const persist::WalCommit& c : batch) {
+      for (const TupleId id : c.retracts) {
+        const auto it = id_index->find(id);
+        if (it == id_index->end() || !space_.erase(it->second, id)) {
+          // The leader retracted an instance this follower never had (or
+          // already dropped): stream divergence, surfaced as a counter —
+          // the chaos sweep's checker turns any nonzero into a failure.
+          ++out.missing_retracts;
+          if (it != id_index->end()) id_index->erase(it);
+          continue;
+        }
+        touched.push_back(it->second);
+        id_index->erase(it);
+        ++out.applied_effects;
+      }
+      for (const auto& [id, tuple] : c.asserts) {
+        const IndexKey key = IndexKey::of(tuple);
+        space_.restore(tuple, id);
+        id_index->emplace(id, key);
+        touched.push_back(key);
+        ++out.applied_effects;
+      }
+      // Follower-side durability: re-log under the follower's OWN
+      // sequence numbers while the exclusion is held (same lock-held
+      // witness discipline as a local commit) — its private recovery
+      // stream, independent of the leader seqs it acknowledges.
+      if (persist_ != nullptr &&
+          (!c.retracts.empty() || !c.asserts.empty())) {
+        persist_->log_commit(c.owner, c.fire, c.retracts, c.asserts);
+      }
+      ++out.applied_commits;
+    }
+    return touched;
+  });
+  maybe_snapshot_after_commit();
+  return out;
+}
+
 std::vector<IndexKey> Engine::apply_effects(const Transaction& txn,
                                             const QueryOutcome& outcome,
                                             ProcessId owner, const View* view,

@@ -20,9 +20,11 @@
 #include <functional>
 #include <memory>
 #include <shared_mutex>
+#include <unordered_map>
 
 #include "check/history.hpp"
 #include "control/overload.hpp"
+#include "persist/wal.hpp"
 #include "core/striped_counter.hpp"
 #include "fault/fault.hpp"
 #include "obs/metrics.hpp"
@@ -69,6 +71,11 @@ struct TxnResult {
   bool shed = false;
   /// Backoff hint accompanying `shed`, in µs (load-scaled).
   std::int64_t retry_after_us = 0;
+  /// The write was refused because this node is a replication FOLLOWER
+  /// that has not been promoted: followers apply the leader's stream only
+  /// (local reads are fine — they go through, eventually consistent).
+  /// Nothing ran; resubmit to the leader, or after promotion.
+  bool not_leader = false;
   /// WaitSet version sampled during the attempt (diagnostics).
   std::uint64_t version = 0;
   /// Query matches (Exists: one; ForAll: zero or more). Bindings are
@@ -208,6 +215,28 @@ class Engine {
   /// Builds the WaitSet interest for a transaction's read set (call with
   /// locals cleared — done internally).
   [[nodiscard]] WaitSet::Interest interest_of(const Transaction& txn, Env& env) const;
+
+  /// Replication apply path (src/repl): applies a batch of leader WAL
+  /// commits on a follower under total exclusion, preserving the leader's
+  /// restart-stable TupleIds via Dataspace::restore — the same decode and
+  /// id discipline recovery's replay() uses, so a promoted follower is
+  /// byte-equivalent to a recovered leader. `id_index` is the follower's
+  /// id→bucket shadow map (WAL retracts carry only ids and the dataspace
+  /// keeps no global id index): seeded by snapshot restore, maintained
+  /// here across batches. Touched keys are published on release, so
+  /// parked local readers (the follower serves the optimistic read path)
+  /// wake exactly as they would on a local commit. When the follower's
+  /// own durability is armed, each commit is re-logged to its local WAL
+  /// inside the same exclusion (its private recovery stream — local
+  /// sequence numbers, not the leader's).
+  struct ReplApplyOutcome {
+    std::uint64_t applied_commits = 0;
+    std::uint64_t applied_effects = 0;    // retracts + asserts applied
+    std::uint64_t missing_retracts = 0;   // divergence signal: id not found
+  };
+  ReplApplyOutcome apply_replicated(
+      const std::vector<persist::WalCommit>& batch,
+      std::unordered_map<TupleId, IndexKey>* id_index);
 
  protected:
   /// Evaluates `txn`'s query against the dataspace, through `view`'s

@@ -10,7 +10,10 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <set>
+
+#include "core/codec.hpp"
 
 #include "persist/persist.hpp"
 #include "process/runtime.hpp"
@@ -290,6 +293,48 @@ TEST_F(RecoveryTest, GroupCommitAcksSurviveRestart) {
   }
   Runtime rt2(opts());
   expect_same_state(sorted_state(rt2), before);
+}
+
+TEST_F(RecoveryTest, OldFormatSegmentIsPreservedByteForByte) {
+  // An old-format (v1) segment in the directory — say, shipped over from a
+  // node that never upgraded — must stop recovery's chaining at that point
+  // but NEVER be truncated or deleted by the reopening writer's directory
+  // cleanup: the bytes are intact data in a layout this binary refuses to
+  // decode, which is format_mismatch, not corruption.
+  std::vector<Record> before;
+  {
+    Runtime rt(opts());
+    for (int i = 0; i < 6; ++i) rt.seed(tup("job", i));
+    before = sorted_state(rt);
+  }
+  // Byte-exact v1 fixture: "SDLWAL1\n" + {u32 shards, u64 start_seq} + crc.
+  std::string v1("SDLWAL1\n", 8);
+  std::string payload;
+  codec::put_u32(payload, 64);
+  codec::put_u64(payload, 100);
+  v1 += payload;
+  codec::put_u32(v1, codec::crc32(payload.data(), payload.size()));
+  const std::string fixture = dir + "/wal-00000000000000000100.wal";
+  std::ofstream(fixture, std::ios::binary) << v1;
+
+  const persist::RecoveredState state = persist::replay(dir);
+  EXPECT_EQ(state.last_seq, 6u) << "the v2 prefix still recovers";
+  bool noted = false;
+  for (const std::string& n : state.notes) {
+    if (n.find("format mismatch") != std::string::npos) noted = true;
+  }
+  EXPECT_TRUE(noted) << "recovery must say WHY it stopped chaining";
+
+  // Reopen for writing: clean_directory trims torn tails and deletes
+  // unreachable segments — but must leave the v1 file untouched.
+  {
+    Runtime rt2(opts());
+    expect_same_state(sorted_state(rt2), before);
+  }
+  std::ifstream in(fixture, std::ios::binary);
+  const std::string after((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  EXPECT_EQ(after, v1) << "v1 segment was modified on reopen";
 }
 
 }  // namespace

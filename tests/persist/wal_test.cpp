@@ -194,6 +194,70 @@ TEST_F(WalTest, ShortZeroTailIsCleanPaddingNotCorruption) {
   }
 }
 
+TEST_F(WalTest, RejectsV1SegmentAsFormatMismatchNotCorruption) {
+  // Byte-exact v1 fixture (the pre-format-version header layout this repo
+  // shipped before the v2 header): magic "SDLWAL1\n", then a 12-byte
+  // payload {u32 shard_count, u64 start_seq}, then crc32 of that payload.
+  std::string v1("SDLWAL1\n", 8);
+  std::string payload;
+  codec::put_u32(payload, 16);
+  codec::put_u64(payload, 1);
+  v1 += payload;
+  codec::put_u32(v1, codec::crc32(payload.data(), payload.size()));
+
+  const std::string path = dir + "/wal-00000000000000000001.wal";
+  std::ofstream(path, std::ios::binary) << v1;
+
+  const WalReadResult r = read_wal_segment(path);
+  EXPECT_TRUE(r.format_mismatch) << "v1 must be a DISTINCT rejection";
+  EXPECT_EQ(r.format_version, 1u);
+  EXPECT_FALSE(r.corrupt) << "old format is intact data, not damage";
+  EXPECT_FALSE(r.header_ok);
+  EXPECT_TRUE(r.commits.empty());
+  EXPECT_NE(r.detail.find("format version 1"), std::string::npos) << r.detail;
+}
+
+TEST_F(WalTest, RejectsNewerFormatVersionAsMismatch) {
+  // A CRC-clean v2-magic header stamping a future format version: the
+  // header parses but the payload layout beyond it is unknown.
+  std::string seg;
+  {
+    WalWriter w(dir, 16, 1, 1);
+    seg = w.segment_path();
+    w.append(1, 0, {}, {{TupleId(1, 1), tup("x")}});
+  }
+  std::string data = slurp(seg);
+  std::string payload;
+  codec::put_u32(payload, 99);  // future version
+  codec::put_u32(payload, 16);
+  codec::put_u64(payload, 1);
+  codec::put_u64(payload, 0);
+  std::string patched(data.data(), 8);
+  patched += payload;
+  codec::put_u32(patched, codec::crc32(payload.data(), payload.size()));
+  patched += data.substr(kWalHeaderSize);
+  std::ofstream(seg, std::ios::binary | std::ios::trunc) << patched;
+
+  const WalReadResult r = read_wal_segment(seg);
+  EXPECT_TRUE(r.format_mismatch);
+  EXPECT_EQ(r.format_version, 99u);
+  EXPECT_FALSE(r.corrupt);
+  EXPECT_FALSE(r.header_ok);
+}
+
+TEST_F(WalTest, HeaderStampsOriginNode) {
+  std::string seg;
+  {
+    WalWriter w(dir, 16, 1, 1, /*origin_node=*/7);
+    seg = w.segment_path();
+    w.append(1, 0, {}, {{TupleId(1, 1), tup("x")}});
+  }
+  const WalReadResult r = read_wal_segment(seg);
+  ASSERT_TRUE(r.header_ok);
+  EXPECT_EQ(r.origin_node, 7u);
+  EXPECT_EQ(r.format_version, kWalFormatVersion);
+}
+
 // ---- the torn-write property (ISSUE 4 satellite) ----
 //
 // For EVERY byte offset of a valid multi-record segment, the truncated

@@ -1,0 +1,140 @@
+// Transport contract, for both implementations: message boundaries
+// preserved, FIFO per direction, close() wakes blocked receivers, and
+// messages already queued are still drained after close (the peer's last
+// acks are protocol state, not garbage).
+#include "repl/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "repl/net_transport.hpp"
+
+namespace sdl::repl {
+namespace {
+
+TEST(LoopbackTransportTest, PreservesBoundariesAndOrder) {
+  auto [a, b] = make_loopback_pair();
+  ASSERT_TRUE(a->send("one"));
+  ASSERT_TRUE(a->send("two"));
+  ASSERT_TRUE(a->send(std::string(100000, 'x')));
+  std::string m;
+  ASSERT_EQ(b->recv(&m, 100), RecvStatus::Ok);
+  EXPECT_EQ(m, "one");
+  ASSERT_EQ(b->recv(&m, 100), RecvStatus::Ok);
+  EXPECT_EQ(m, "two");
+  ASSERT_EQ(b->recv(&m, 100), RecvStatus::Ok);
+  EXPECT_EQ(m.size(), 100000u);
+}
+
+TEST(LoopbackTransportTest, BothDirectionsIndependent) {
+  auto [a, b] = make_loopback_pair();
+  ASSERT_TRUE(a->send("a->b"));
+  ASSERT_TRUE(b->send("b->a"));
+  std::string m;
+  ASSERT_EQ(a->recv(&m, 100), RecvStatus::Ok);
+  EXPECT_EQ(m, "b->a");
+  ASSERT_EQ(b->recv(&m, 100), RecvStatus::Ok);
+  EXPECT_EQ(m, "a->b");
+}
+
+TEST(LoopbackTransportTest, TimeoutWhenIdle) {
+  auto [a, b] = make_loopback_pair();
+  std::string m;
+  EXPECT_EQ(b->recv(&m, 10), RecvStatus::Timeout);
+  EXPECT_TRUE(b->alive());
+  (void)a;
+}
+
+TEST(LoopbackTransportTest, CloseDrainsQueuedThenReportsClosed) {
+  auto [a, b] = make_loopback_pair();
+  ASSERT_TRUE(a->send("last words"));
+  a->close();
+  EXPECT_FALSE(a->send("after close"));
+  std::string m;
+  ASSERT_EQ(b->recv(&m, 100), RecvStatus::Ok);
+  EXPECT_EQ(m, "last words");
+  EXPECT_EQ(b->recv(&m, 100), RecvStatus::Closed);
+}
+
+TEST(LoopbackTransportTest, CloseWakesBlockedReceiver) {
+  auto [a, b] = make_loopback_pair();
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    a->close();
+  });
+  std::string m;
+  EXPECT_EQ(b->recv(&m, 10000), RecvStatus::Closed);
+  closer.join();
+}
+
+class NetTransportTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<NetListener> listener;
+  std::unique_ptr<Transport> client;
+  std::unique_ptr<Transport> server;
+
+  void SetUp() override {
+    listener = NetListener::bind(0);  // kernel-assigned port
+    ASSERT_NE(listener, nullptr);
+    std::thread dial([&] { client = net_connect(listener->port(), 1000); });
+    server = listener->accept(1000);
+    dial.join();
+    ASSERT_NE(client, nullptr);
+    ASSERT_NE(server, nullptr);
+  }
+};
+
+TEST_F(NetTransportTest, RoundtripsFramesBothWays) {
+  ASSERT_TRUE(client->send("hello"));
+  ASSERT_TRUE(client->send(std::string(256 * 1024, 'z')));  // bigger than MTU
+  std::string m;
+  ASSERT_EQ(server->recv(&m, 2000), RecvStatus::Ok);
+  EXPECT_EQ(m, "hello");
+  ASSERT_EQ(server->recv(&m, 2000), RecvStatus::Ok);
+  EXPECT_EQ(m.size(), 256u * 1024);
+  ASSERT_TRUE(server->send("ack"));
+  ASSERT_EQ(client->recv(&m, 2000), RecvStatus::Ok);
+  EXPECT_EQ(m, "ack");
+}
+
+TEST_F(NetTransportTest, EmptyFrameIsAValidMessage) {
+  ASSERT_TRUE(client->send(""));
+  std::string m = "stale";
+  ASSERT_EQ(server->recv(&m, 2000), RecvStatus::Ok);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST_F(NetTransportTest, PeerCloseSurfacesAsClosed) {
+  client->close();
+  std::string m;
+  EXPECT_EQ(server->recv(&m, 2000), RecvStatus::Closed);
+  EXPECT_FALSE(client->send("dead"));
+}
+
+TEST_F(NetTransportTest, TimeoutLeavesStreamIntact) {
+  std::string m;
+  EXPECT_EQ(server->recv(&m, 10), RecvStatus::Timeout);
+  ASSERT_TRUE(client->send("late"));
+  ASSERT_EQ(server->recv(&m, 2000), RecvStatus::Ok);
+  EXPECT_EQ(m, "late");
+}
+
+TEST(NetListenerTest, AcceptTimesOutWithoutDialers) {
+  auto listener = NetListener::bind(0);
+  ASSERT_NE(listener, nullptr);
+  EXPECT_EQ(listener->accept(10), nullptr);
+}
+
+TEST(NetConnectTest, RefusedConnectionReturnsNull) {
+  // Bind-then-close leaves a port that refuses connections.
+  auto listener = NetListener::bind(0);
+  ASSERT_NE(listener, nullptr);
+  const std::uint16_t port = listener->port();
+  listener->close();
+  EXPECT_EQ(net_connect(port, 100), nullptr);
+}
+
+}  // namespace
+}  // namespace sdl::repl
