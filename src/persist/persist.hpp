@@ -89,6 +89,14 @@ class PersistManager {
                            const std::vector<TupleId>& retracts,
                            const std::vector<std::pair<TupleId, Tuple>>& asserts);
 
+  /// Replication (follower side): appends a leader-seq watermark marker
+  /// (WalCommit::repl_mark) covering everything re-logged so far. Does
+  /// NOT count toward the snapshot interval — markers are metadata, not
+  /// commits. Returns the local sequence, or 0 on a dead writer.
+  std::uint64_t log_repl_mark(std::uint64_t mark) {
+    return wal_->append_repl_mark(mark);
+  }
+
   /// True when snapshot_every is configured and enough commits have been
   /// logged — the scheduler-side hook for calling maybe_snapshot without
   /// taking a lock on the common path.

@@ -25,6 +25,11 @@ constexpr char kWalMagicV1[8] = {'S', 'D', 'L', 'W', 'A', 'L', '1', '\n'};
 constexpr std::size_t kHeaderSize = kWalHeaderSize;  // magic, payload, crc
 constexpr std::size_t kHeaderPayload = 24;  // version, shards, seq, origin
 constexpr std::uint8_t kRecordCommit = 1;
+// Follower-only watermark record (WalCommit::repl_mark). Additive within
+// the v2 format: leader segments never contain it, so cross-node shipped
+// logs stay decodable by any v2 reader; only a follower's OWN directory
+// carries these, and the binary that wrote them reads them back.
+constexpr std::uint8_t kRecordReplMark = 2;
 // A frame length beyond this is corruption, not a huge commit: even a
 // consensus composite over thousands of tuples stays far below it.
 constexpr std::uint32_t kMaxRecordLen = 1u << 30;
@@ -48,7 +53,13 @@ std::string header_bytes(std::uint32_t shard_count, std::uint64_t start_seq,
 
 bool decode_commit(std::string_view payload, WalCommit* out) {
   codec::Reader r(payload);
-  if (r.get_u8() != kRecordCommit) return false;
+  const std::uint8_t kind = r.get_u8();
+  if (kind == kRecordReplMark) {
+    out->seq = r.get_varint();
+    out->repl_mark = r.get_varint();
+    return r.ok() && r.at_end() && out->repl_mark != 0;
+  }
+  if (kind != kRecordCommit) return false;
   out->seq = r.get_varint();
   out->owner = static_cast<ProcessId>(r.get_varint());
   out->fire = r.get_varint();
@@ -506,6 +517,54 @@ std::uint64_t WalWriter::append(
   // Notify after unlock: waking the flusher while holding the mutex would
   // bounce it straight back to sleep (and on one core, preempt the
   // committer mid-critical-section).
+  if (notify) cv_.notify_one();
+  return acked;
+}
+
+std::uint64_t WalWriter::append_repl_mark(std::uint64_t mark) {
+  std::unique_lock lock(mutex_);
+  if (dead_ || mark == 0) return 0;
+  // Tiny metadata frame: skips the group-commit byte cap (a ~20-byte
+  // record cannot meaningfully grow the batch) and the WalAppend fault
+  // point (which targets commit appends). Ships through the same batch /
+  // write-through path so its durability order matches the data's.
+  std::string& frame = frame_scratch_;
+  frame.clear();
+  frame.append(8, '\0');
+  codec::put_u8(frame, kRecordReplMark);
+  codec::put_varint(frame, next_seq_);
+  codec::put_varint(frame, mark);
+  const std::size_t payload_len = frame.size() - 8;
+  std::string header;
+  codec::put_u32(header, static_cast<std::uint32_t>(payload_len));
+  codec::put_u32(header, codec::crc32(frame.data() + 8, payload_len));
+  frame.replace(0, 8, header);
+
+  if (fsync_every_ > 1) {
+    batch_ += frame;
+  } else {
+    ensure_capacity_locked(frame.size());
+    if (!write_at(fd_, frame.data(), frame.size(), file_off_)) {
+      dead_ = true;
+      return 0;
+    }
+    file_off_ += frame.size();
+  }
+  last_appended_ = next_seq_++;
+  ++appended_;
+  ++unsynced_;
+  bool notify = false;
+  if (fsync_every_ == 1) {
+    sync_locked(lock);
+  } else if (fsync_every_ > 1 && unsynced_ >= fsync_every_) {
+    unsynced_ = 0;
+    flush_requested_ = true;
+    notify = true;
+  } else if (fsync_every_ == 0 && durable_listener_) {
+    durable_listener_(last_appended_);
+  }
+  const std::uint64_t acked = last_appended_;
+  lock.unlock();
   if (notify) cv_.notify_one();
   return acked;
 }

@@ -65,10 +65,21 @@ namespace sdl::persist {
 /// One committed transaction as the WAL stores it. `fire` groups the
 /// members of a consensus composite into one atomic record (0 = an
 /// independent commit, matching HistoryEntry::consensus_fire).
+///
+/// `repl_mark` != 0 marks a REPLICATION WATERMARK record instead of a
+/// commit: a follower appends one right after re-logging an applied
+/// batch, carrying the leader sequence that batch reached. It has no
+/// effect set (replay no-ops it) but consumes a local sequence number
+/// like any frame, and because it is appended after the batch in the
+/// same group-commit stream it is durable exactly when the data it
+/// covers is — recovery restores the follower's leader-seq watermark
+/// from it (RecoveredState::repl_applied_seq) so a restarted follower
+/// resumes the stream where it left off instead of from zero.
 struct WalCommit {
   std::uint64_t seq = 0;
   ProcessId owner = 0;
   std::uint64_t fire = 0;
+  std::uint64_t repl_mark = 0;  // leader-seq watermark; 0 = normal commit
   std::vector<TupleId> retracts;
   std::vector<std::pair<TupleId, Tuple>> asserts;
 };
@@ -152,6 +163,14 @@ class WalWriter {
   std::uint64_t append(ProcessId owner, std::uint64_t fire,
                        const std::vector<TupleId>& retracts,
                        const std::vector<std::pair<TupleId, Tuple>>& asserts);
+
+  /// Appends a replication watermark record (WalCommit::repl_mark): the
+  /// follower's durable "applied through leader seq `mark`" stamp. Same
+  /// batching/sync discipline as append(); returns the assigned local
+  /// sequence, or 0 when the writer is dead. Call it right after the
+  /// batch's re-logged commits, before any other append can interleave
+  /// (the follower applier is single-threaded, so this holds trivially).
+  std::uint64_t append_repl_mark(std::uint64_t mark);
 
   /// Forces an fsync of any unsynced appends (snapshot barrier, teardown).
   void sync();

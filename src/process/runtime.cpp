@@ -66,11 +66,14 @@ Runtime::Runtime(RuntimeOptions options)
           std::make_unique<repl::ReplLeader>(options_.repl, persist_mgr_.get());
     } else {
       // The follower's id->IndexKey shadow map is seeded with whatever its
-      // own recovery restored (WAL retracts carry only ids).
+      // own recovery restored (WAL retracts carry only ids), and the
+      // leader-seq watermark with what the re-logged repl_mark records
+      // prove durable — the reattach Hello resumes the stream there.
       static const std::vector<std::pair<TupleId, Tuple>> kEmpty;
       repl_follower_ = std::make_unique<repl::ReplFollower>(
           options_.repl, engine_.get(), persist_mgr_.get(),
-          persist_mgr_ ? persist_mgr_->recovered().live : kEmpty);
+          persist_mgr_ ? persist_mgr_->recovered().live : kEmpty,
+          persist_mgr_ ? persist_mgr_->recovered().repl_applied_seq : 0);
       if (options_.repl.connect_port != 0) {
         auto t = repl::net_connect(options_.repl.connect_port,
                                    options_.repl.poll_interval_ms);
@@ -295,14 +298,17 @@ bool Runtime::snapshot() {
       });
 }
 
-std::uint64_t Runtime::promote_to_leader() {
-  if (!repl_follower_) return 0;
+Runtime::Promotion Runtime::promote_to_leader() {
+  Promotion out;
+  if (!repl_follower_) return out;
   // Fence first: no replicated apply may land after the watermark we
   // return. Then start the new leader epoch on a fresh WAL segment so its
-  // log is cleanly separated from the replicated prefix.
-  const std::uint64_t fence = repl_follower_->promote();
-  if (persist_mgr_) snapshot();
-  return fence;
+  // log is cleanly separated from the replicated prefix. The barrier can
+  // fail (disk full, injected fault) — surface that instead of swallowing
+  // it; the promotion itself still stands.
+  out.fence = repl_follower_->promote();
+  if (persist_mgr_) out.wal_rotated = snapshot();
+  return out;
 }
 
 Runtime::Stats Runtime::stats() const {

@@ -179,12 +179,23 @@ class Runtime {
     return repl_follower_.get();
   }
 
+  /// Result of promote_to_leader(). `fence` is the last contiguously
+  /// applied leader sequence (0 when this node is not a follower);
+  /// `wal_rotated` reports whether the epoch-boundary snapshot barrier
+  /// actually moved the WAL onto a fresh segment. A false rotation does
+  /// NOT void the promotion — the node is writable and its old WAL keeps
+  /// it recoverable — but callers that rely on the new epoch living on
+  /// its own segment (e.g. before truncating old segments) must check it.
+  struct Promotion {
+    std::uint64_t fence = 0;
+    bool wal_rotated = false;
+  };
+
   /// Failover: promotes this FOLLOWER to a writable leader. Fences at the
   /// last contiguously applied record, rotates the local WAL onto a fresh
   /// segment via an immediate snapshot barrier (the new leader epoch
-  /// starts on its own segment), and lifts the write gate. Returns the
-  /// fence sequence (0 when this node is not a follower).
-  std::uint64_t promote_to_leader();
+  /// starts on its own segment), and lifts the write gate.
+  Promotion promote_to_leader();
 
   [[nodiscard]] Dataspace& space() { return space_; }
   [[nodiscard]] Engine& engine() { return *engine_; }

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <cstring>
@@ -17,7 +18,12 @@ namespace sdl::repl {
 
 namespace {
 
+// Hard cap on one wire frame (matches the WAL's kMaxRecordLen — snapshot
+// seeds can be legitimately large). The body buffer grows incrementally
+// (kRecvChunk at a time) as bytes arrive, so a bogus length costs memory
+// only in proportion to data the peer actually sends.
 constexpr std::uint32_t kMaxNetFrame = 1u << 30;
+constexpr std::size_t kRecvChunk = 1u << 20;
 
 void put_le32(char* dst, std::uint32_t v) {
   dst[0] = static_cast<char>(v & 0xff);
@@ -86,11 +92,21 @@ class NetTransport final : public Transport {
       close();
       return RecvStatus::Closed;
     }
-    frame->resize(len);
     // Body read: the peer already committed to this frame, so wait as
-    // long as it takes rather than tearing a half-read stream.
-    st = recv_exact(frame->data(), len, -1, false);
-    if (st != RecvStatus::Ok) return RecvStatus::Closed;
+    // long as it takes rather than tearing a half-read stream. Grow the
+    // buffer chunk-by-chunk as bytes actually arrive — the length field
+    // is peer-controlled and unvalidated until the CRC, so a hostile or
+    // corrupt header must not be able to force a huge upfront allocation.
+    frame->clear();
+    std::size_t got = 0;
+    while (got < len) {
+      const std::size_t step =
+          std::min<std::size_t>(len - got, kRecvChunk);
+      frame->resize(got + step);
+      st = recv_exact(frame->data() + got, step, -1, false);
+      if (st != RecvStatus::Ok) return RecvStatus::Closed;
+      got += step;
+    }
     if (codec::crc32(frame->data(), len) != want_crc) {
       close();
       return RecvStatus::Closed;
@@ -147,7 +163,12 @@ class NetTransport final : public Transport {
 
 }  // namespace
 
-NetListener::~NetListener() { close(); }
+NetListener::~NetListener() {
+  close();
+  // Safe to release the fd here: the owner joins any accepting thread
+  // before destroying the listener (see close()'s contract).
+  if (fd_ >= 0) ::close(fd_);
+}
 
 std::unique_ptr<NetListener> NetListener::bind(std::uint16_t port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -173,20 +194,21 @@ std::unique_ptr<NetListener> NetListener::bind(std::uint16_t port) {
 }
 
 std::unique_ptr<Transport> NetListener::accept(int timeout_ms) {
-  if (fd_ < 0) return nullptr;
+  if (fd_ < 0 || closed_.load(std::memory_order_acquire)) return nullptr;
   struct pollfd pfd = {fd_, POLLIN, 0};
   const int pr = ::poll(&pfd, 1, timeout_ms);
-  if (pr <= 0) return nullptr;
+  if (pr <= 0 || closed_.load(std::memory_order_acquire)) return nullptr;
   const int cfd = ::accept(fd_, nullptr, nullptr);
   if (cfd < 0) return nullptr;
   return std::make_unique<NetTransport>(cfd);
 }
 
 void NetListener::close() {
-  if (fd_ >= 0) {
+  // shutdown() wakes a blocked poll()/accept() (it returns EINVAL from
+  // then on); the fd stays open until the destructor so a racing accept
+  // thread never polls a reclaimed descriptor number.
+  if (!closed_.exchange(true, std::memory_order_acq_rel) && fd_ >= 0) {
     ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
   }
 }
 

@@ -15,6 +15,7 @@
 // to wake a blocked recv; recv timeouts use poll().
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -38,14 +39,20 @@ class NetListener {
 
   std::unique_ptr<Transport> accept(int timeout_ms);
 
-  /// Idempotent; wakes a blocked accept().
+  /// Idempotent; wakes a blocked accept(). Only shutdown(2)s the socket —
+  /// close() may race a concurrent accept()/poll() on another thread, and
+  /// ::close(2)ing there would both race the fd read and let a concurrent
+  /// open() reclaim the fd number under the live poll. The fd itself is
+  /// released by the destructor, which the owner runs only after joining
+  /// the accept thread.
   void close();
 
  private:
   NetListener(int fd, std::uint16_t port) : fd_(fd), port_(port) {}
 
-  int fd_ = -1;
+  const int fd_;
   std::uint16_t port_ = 0;
+  std::atomic<bool> closed_{false};
 };
 
 /// Connects to 127.0.0.1:`port`. Returns nullptr when the peer refuses.

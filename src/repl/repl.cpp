@@ -77,14 +77,24 @@ bool read_file(const std::string& path, std::string* out) {
 
 ReplLeader::ReplLeader(ReplOptions opts, persist::PersistManager* persist)
     : opts_(std::move(opts)), persist_(persist) {
-  // Wake sleeping tailers the instant the durable watermark advances.
-  // The listener runs with the WAL writer mutex held: store + notify
-  // only, never back into persist (see WalWriter::set_durable_listener).
+  // Seed BEFORE registering the listener, and advance with a fetch-max:
+  // a callback racing the constructor can then never be overwritten by
+  // the older seed value. Wake sleeping tailers the instant the durable
+  // watermark advances. The listener runs with the WAL writer mutex held:
+  // store + notify only, never back into persist (see
+  // WalWriter::set_durable_listener) — taking durable_mutex_ here is safe
+  // (wait_shippable never touches the writer under it) and closes the
+  // missed-wakeup window between a tailer's predicate check and its wait.
+  durable_seq_.store(persist_->shippable_seq(), std::memory_order_release);
   persist_->set_durable_listener([this](std::uint64_t seq) {
-    durable_seq_.store(seq, std::memory_order_release);
+    std::uint64_t cur = durable_seq_.load(std::memory_order_relaxed);
+    while (cur < seq && !durable_seq_.compare_exchange_weak(
+                            cur, seq, std::memory_order_release,
+                            std::memory_order_relaxed)) {
+    }
+    { std::scoped_lock lock(durable_mutex_); }
     durable_cv_.notify_all();
   });
-  durable_seq_.store(persist_->shippable_seq(), std::memory_order_release);
   if (opts_.listen_port != 0) {
     listener_ = NetListener::bind(opts_.listen_port);
     if (listener_ != nullptr) {
@@ -120,7 +130,13 @@ void ReplLeader::add_follower(std::unique_ptr<Transport> transport) {
 
 void ReplLeader::stop() {
   stop_.store(true, std::memory_order_release);
+  {
+    std::scoped_lock lock(durable_mutex_);
+  }
   durable_cv_.notify_all();
+  // close() only shutdown()s the listening socket (waking the blocked
+  // accept); the fd itself is closed by the NetListener destructor, after
+  // the accept thread is joined — no fd reuse under a live poll().
   if (listener_ != nullptr) listener_->close();
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::unique_ptr<Session>> drained;
@@ -408,12 +424,18 @@ void ReplLeader::session_main(Session* s) {
 
 ReplFollower::ReplFollower(
     ReplOptions opts, Engine* engine, persist::PersistManager* persist,
-    const std::vector<std::pair<TupleId, Tuple>>& initial)
+    const std::vector<std::pair<TupleId, Tuple>>& initial,
+    std::uint64_t recovered_applied_seq)
     : opts_(std::move(opts)), engine_(engine), persist_(persist) {
   id_index_.reserve(initial.size());
   for (const auto& [id, tuple] : initial) {
     id_index_.emplace(id, IndexKey::of(tuple));
   }
+  // Restart continuity: the Hello resumes the stream at the watermark the
+  // re-logged WAL's repl_mark records prove durable. At most it
+  // UNDERestimates (torn marker tail) — the redelivered suffix is
+  // absorbed idempotently (Engine::apply_replicated).
+  applied_seq_.store(recovered_applied_seq, std::memory_order_release);
 }
 
 ReplFollower::~ReplFollower() { detach(); }
@@ -465,6 +487,7 @@ ReplFollowerStats ReplFollower::stats() const {
   out.reconnects = attaches > 0 ? attaches - 1 : 0;
   out.promotions = promotions_.load(std::memory_order_relaxed);
   out.missing_retracts = missing_retracts_.load(std::memory_order_relaxed);
+  out.redundant_asserts = redundant_asserts_.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -555,6 +578,9 @@ bool ReplFollower::apply_snapshot(const std::string& file_bytes) {
   // the exact apply path (exclusion, publish, re-log to the local WAL) —
   // the follower's own log then carries the seed and stays recoverable.
   persist::WalCommit reset;
+  // The reset's seq is the leader watermark the snapshot covers — the
+  // engine stamps it into the trailing repl_mark record.
+  reset.seq = snap.barrier_seq;
   reset.retracts.reserve(id_index_.size());
   for (const auto& [id, key] : id_index_) reset.retracts.push_back(id);
   reset.asserts = std::move(snap.records);
@@ -564,7 +590,15 @@ bool ReplFollower::apply_snapshot(const std::string& file_bytes) {
       engine_->apply_replicated(batch, &id_index_);
   missing_retracts_.fetch_add(out.missing_retracts,
                               std::memory_order_relaxed);
+  redundant_asserts_.fetch_add(out.redundant_asserts,
+                               std::memory_order_relaxed);
   applied_commits_.fetch_add(out.applied_commits, std::memory_order_relaxed);
+  if (!out.ok) {
+    // The reset commit failed mid-apply: reject the session with the
+    // watermark untouched; the reconnect handshake re-seeds from scratch.
+    batches_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   applied_seq_.store(snap.barrier_seq, std::memory_order_release);
   snapshots_loaded_.fetch_add(1, std::memory_order_relaxed);
   return true;
@@ -608,7 +642,20 @@ bool ReplFollower::apply_batch(std::uint64_t first_seq,
       engine_->apply_replicated(batch, &id_index_);
   missing_retracts_.fetch_add(out.missing_retracts,
                               std::memory_order_relaxed);
+  redundant_asserts_.fetch_add(out.redundant_asserts,
+                               std::memory_order_relaxed);
   applied_commits_.fetch_add(out.applied_commits, std::memory_order_relaxed);
+  if (!out.ok) {
+    // A commit threw mid-batch: everything before it applied and
+    // re-logged. Advance the watermark to that prefix, reject the
+    // session; the reconnect handshake resumes exactly there.
+    if (out.applied_commits > 0) {
+      applied_seq_.store(batch[out.applied_commits - 1].seq,
+                         std::memory_order_release);
+    }
+    batches_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   batches_applied_.fetch_add(1, std::memory_order_relaxed);
   applied_seq_.store(expect - 1, std::memory_order_release);
   *applied_bytes = bytes;

@@ -14,10 +14,17 @@
 //   * Each FOLLOWER applies batches onto its own Runtime under total
 //     exclusion (Engine::apply_replicated), preserving restart-stable
 //     TupleIds, and re-logs every commit to its own WAL — a follower is
-//     an independently recoverable replica, not a cache. Local parked
-//     readers wake on the applied keys, and the lock-free optimistic
-//     read path (ISSUE 6) serves eventually-consistent reads with the
-//     applied-seq watermark exposed for staleness checks.
+//     an independently recoverable replica, not a cache. A repl_mark
+//     watermark record trails every re-logged batch in the same stream,
+//     so the leader-seq watermark is durable exactly with the data and a
+//     RESTARTED follower resumes the stream from where its recovery left
+//     off (RecoveredState::repl_applied_seq) instead of from zero; the
+//     apply path is redelivery-idempotent besides, so an underestimated
+//     watermark (torn marker) costs a resend, never a crash or
+//     divergence. Local parked readers wake on the applied keys, and the
+//     lock-free optimistic read path (ISSUE 6) serves eventually-
+//     consistent reads with the applied-seq watermark exposed for
+//     staleness checks.
 //   * A follower joining BEHIND the retained WAL window (the leader
 //     pruned segments past a snapshot barrier) is seeded with the raw
 //     snapshot file first, then tailed from barrier + 1 — the same
@@ -181,6 +188,7 @@ struct ReplFollowerStats {
   std::uint64_t reconnects = 0;        // attach() calls past the first
   std::uint64_t promotions = 0;
   std::uint64_t missing_retracts = 0;  // divergence signal (should be 0)
+  std::uint64_t redundant_asserts = 0;  // idempotent redelivery skips
 };
 
 /// Applies a leader's stream onto a local engine. One applier thread per
@@ -192,9 +200,14 @@ class ReplFollower {
   /// the follower is independently recoverable. `initial` seeds the
   /// id -> IndexKey shadow map with the records already resident (the
   /// follower's own recovery), since WAL retracts carry only ids.
+  /// `recovered_applied_seq` seeds the leader-seq watermark with what
+  /// recovery restored from the re-logged WAL's repl_mark records
+  /// (RecoveredState::repl_applied_seq) — the Hello handshake then
+  /// resumes the stream there instead of redelivering from zero.
   ReplFollower(ReplOptions opts, Engine* engine,
                persist::PersistManager* persist,
-               const std::vector<std::pair<TupleId, Tuple>>& initial);
+               const std::vector<std::pair<TupleId, Tuple>>& initial,
+               std::uint64_t recovered_applied_seq = 0);
   ~ReplFollower();
   ReplFollower(const ReplFollower&) = delete;
   ReplFollower& operator=(const ReplFollower&) = delete;
@@ -263,6 +276,7 @@ class ReplFollower {
   std::atomic<std::uint64_t> attaches_{0};
   std::atomic<std::uint64_t> promotions_{0};
   std::atomic<std::uint64_t> missing_retracts_{0};
+  std::atomic<std::uint64_t> redundant_asserts_{0};
   std::atomic<bool> writable_{false};
 };
 

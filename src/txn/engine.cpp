@@ -106,43 +106,81 @@ Engine::ReplApplyOutcome Engine::apply_replicated(
   // restore/erase require, and the returned keys are published after
   // release so parked local readers wake. Batching many commits per
   // section amortizes the all-shard acquisition.
+  std::uint64_t marked = 0;  // leader seq the trailing watermark covers
   exclusive([&]() -> std::vector<IndexKey> {
     std::vector<IndexKey> touched;
     for (const persist::WalCommit& c : batch) {
-      for (const TupleId id : c.retracts) {
-        const auto it = id_index->find(id);
-        if (it == id_index->end() || !space_.erase(it->second, id)) {
-          // The leader retracted an instance this follower never had (or
-          // already dropped): stream divergence, surfaced as a counter —
-          // the chaos sweep's checker turns any nonzero into a failure.
-          ++out.missing_retracts;
-          if (it != id_index->end()) id_index->erase(it);
-          continue;
+      // Catch INSIDE the exclusion: ShardedEngine::exclusive does not
+      // release its shard locks on unwind, and the applier thread has no
+      // handler above it — an escaping throw would std::terminate the
+      // follower. A failing commit instead stops the batch after the last
+      // fully applied one; the caller rejects the session and the
+      // reconnect handshake resumes from the watermark.
+      try {
+        for (const TupleId id : c.retracts) {
+          const auto it = id_index->find(id);
+          if (it == id_index->end() || !space_.erase(it->second, id)) {
+            // The leader retracted an instance this follower never had (or
+            // already dropped): stream divergence, surfaced as a counter —
+            // the chaos sweep's checker turns any nonzero into a failure.
+            ++out.missing_retracts;
+            if (it != id_index->end()) id_index->erase(it);
+            continue;
+          }
+          touched.push_back(it->second);
+          id_index->erase(it);
+          ++out.applied_effects;
         }
-        touched.push_back(it->second);
-        id_index->erase(it);
-        ++out.applied_effects;
-      }
-      for (const auto& [id, tuple] : c.asserts) {
-        const IndexKey key = IndexKey::of(tuple);
-        space_.restore(tuple, id);
-        id_index->emplace(id, key);
-        touched.push_back(key);
-        ++out.applied_effects;
-      }
-      // Follower-side durability: re-log under the follower's OWN
-      // sequence numbers while the exclusion is held (same lock-held
-      // witness discipline as a local commit) — its private recovery
-      // stream, independent of the leader seqs it acknowledges.
-      if (persist_ != nullptr &&
-          (!c.retracts.empty() || !c.asserts.empty())) {
-        persist_->log_commit(c.owner, c.fire, c.retracts, c.asserts);
+        for (const auto& [id, tuple] : c.asserts) {
+          if (id_index->count(id) != 0) {
+            // Redelivery after a follower restart: the instance is already
+            // resident (same id ⇒ same tuple). Idempotent skip, counted
+            // apart from the divergence signal.
+            ++out.redundant_asserts;
+            continue;
+          }
+          const IndexKey key = IndexKey::of(tuple);
+          space_.restore(tuple, id);
+          id_index->emplace(id, key);
+          touched.push_back(key);
+          ++out.applied_effects;
+        }
+        // Follower-side durability: re-log under the follower's OWN
+        // sequence numbers while the exclusion is held (same lock-held
+        // witness discipline as a local commit) — its private recovery
+        // stream, independent of the leader seqs it acknowledges.
+        if (persist_ != nullptr &&
+            (!c.retracts.empty() || !c.asserts.empty())) {
+          persist_->log_commit(c.owner, c.fire, c.retracts, c.asserts);
+        }
+      } catch (const std::exception& e) {
+        out.ok = false;
+        out.error = e.what();
+        break;
       }
       ++out.applied_commits;
+      marked = c.seq;
     }
+    // Watermark marker: follows the re-logged batch in the same stream,
+    // so it is durable exactly when the data it covers is. One leader seq
+    // per re-logged frame keeps recovery's frame counting exact even when
+    // the marker itself is torn off the tail.
+    if (persist_ != nullptr && marked != 0) persist_->log_repl_mark(marked);
     return touched;
   });
-  maybe_snapshot_after_commit();
+  if (persist_ != nullptr && marked != 0) {
+    // A due snapshot rotates the WAL and prunes the segments holding the
+    // marker just written — re-stamp it onto the fresh segment so the
+    // watermark survives the prune. Single-threaded on a follower (only
+    // the applier writes), so the append cannot interleave with commits.
+    const std::uint64_t barrier_before = persist_->last_snapshot_barrier();
+    maybe_snapshot_after_commit();
+    if (persist_->last_snapshot_barrier() != barrier_before) {
+      persist_->log_repl_mark(marked);
+    }
+  } else {
+    maybe_snapshot_after_commit();
+  }
   return out;
 }
 

@@ -229,10 +229,24 @@ class Engine {
   /// own durability is armed, each commit is re-logged to its local WAL
   /// inside the same exclusion (its private recovery stream — local
   /// sequence numbers, not the leader's).
+  /// The apply is REDELIVERY-IDEMPOTENT: an assert whose id is already
+  /// resident is skipped (counted in redundant_asserts, not divergence) —
+  /// after a follower restart the leader may legitimately resend a suffix
+  /// the local recovery already covers. Any exception a commit raises is
+  /// caught INSIDE the exclusive section (ShardedEngine::exclusive does
+  /// not unwind its shard locks), recorded in `ok`/`error`, and stops the
+  /// batch after the last fully applied commit. When the follower's
+  /// durability is armed, a repl_mark watermark record follows the batch's
+  /// re-logs in the same stream (and is re-stamped onto the fresh segment
+  /// when the post-commit snapshot rotates the WAL), so the watermark is
+  /// exactly as durable as the data it covers.
   struct ReplApplyOutcome {
     std::uint64_t applied_commits = 0;
     std::uint64_t applied_effects = 0;    // retracts + asserts applied
     std::uint64_t missing_retracts = 0;   // divergence signal: id not found
+    std::uint64_t redundant_asserts = 0;  // redelivered, already resident
+    bool ok = true;                       // false: a commit threw mid-batch
+    std::string error;                    // what() of the failing commit
   };
   ReplApplyOutcome apply_replicated(
       const std::vector<persist::WalCommit>& batch,

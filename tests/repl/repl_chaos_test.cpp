@@ -138,7 +138,10 @@ class ReplChaosTest : public ::testing::Test {
 
     leader.reset();  // kill the leader (destructor = clean process death)
 
-    const std::uint64_t fence = follower->promote_to_leader();
+    const auto promotion = follower->promote_to_leader();
+    const std::uint64_t fence = promotion.fence;
+    EXPECT_TRUE(promotion.wal_rotated)
+        << "epoch-boundary WAL rotation must succeed on a healthy disk";
     EXPECT_TRUE(follower->repl_follower()->writable());
     EXPECT_EQ(follower->repl_follower()->stats().missing_retracts, 0u);
 

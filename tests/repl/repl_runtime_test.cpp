@@ -226,6 +226,45 @@ TEST_F(ReplRuntimeTest, FollowerIsIndependentlyRecoverable) {
   }
 }
 
+TEST_F(ReplRuntimeTest, RestartedFollowerReattachesAtDurableWatermark) {
+  Runtime leader(leader_opts());
+  std::uint64_t watermark_at_death = 0;
+  {
+    Runtime follower(follower_opts(/*with_persist=*/true));
+    connect(leader, follower);
+    for (int i = 0; i < 10; ++i) leader.seed(tup("job", i));
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(leader.execute(consume_job(), env).success);
+    }
+    ASSERT_TRUE(wait_until([&] { return converged(leader, follower); }));
+    watermark_at_death = follower.repl_follower()->applied_seq();
+  }  // follower process dies; the leader keeps running
+
+  for (int i = 10; i < 14; ++i) leader.seed(tup("job", i));
+
+  // Reopen the follower from its own directory. The re-logged repl_mark
+  // records prove how far the old incarnation durably applied, so the
+  // reattach Hello resumes the stream instead of replaying from seq 1 —
+  // and even a conservative (under-reported) watermark is safe because
+  // redelivered asserts of resident tuples are skipped, not fatal.
+  Runtime follower(follower_opts(/*with_persist=*/true));
+  EXPECT_EQ(follower.repl_follower()->applied_seq(), watermark_at_death)
+      << "recovery must reconstruct the applied watermark from the WAL";
+  connect(leader, follower);
+  ASSERT_TRUE(wait_until([&] { return converged(leader, follower); }));
+  expect_same_state(leader, follower);
+
+  const repl::ReplFollowerStats fs = follower.repl_follower()->stats();
+  EXPECT_EQ(fs.missing_retracts, 0u);
+  EXPECT_EQ(fs.batches_rejected, 0u);
+  EXPECT_EQ(fs.applied_seq, leader.persist()->shippable_seq());
+
+  // And the restarted incarnation's own WAL still recovers cleanly.
+  const persist::RecoveredState state = persist::replay(follower_dir);
+  EXPECT_TRUE(persist::verify_recovery(state).ok());
+  EXPECT_EQ(state.repl_applied_seq, fs.applied_seq);
+}
+
 TEST_F(ReplRuntimeTest, PromotionFencesRotatesAndResumesWritable) {
   auto leader = std::make_unique<Runtime>(leader_opts());
   Runtime follower(follower_opts());
@@ -236,8 +275,11 @@ TEST_F(ReplRuntimeTest, PromotionFencesRotatesAndResumesWritable) {
 
   leader.reset();  // leader death: sessions tear down
 
-  const std::uint64_t fence = follower.promote_to_leader();
-  EXPECT_EQ(fence, watermark) << "fence = last contiguously applied record";
+  const auto promotion = follower.promote_to_leader();
+  EXPECT_EQ(promotion.fence, watermark)
+      << "fence = last contiguously applied record";
+  EXPECT_TRUE(promotion.wal_rotated)
+      << "epoch-boundary WAL rotation must succeed on a healthy disk";
   EXPECT_TRUE(follower.repl_follower()->writable());
   EXPECT_EQ(follower.repl_follower()->stats().promotions, 1u);
 
