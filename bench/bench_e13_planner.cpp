@@ -14,6 +14,14 @@
 // the same engine read locks as the full probe). run_benches.sh --check
 // gates BM_WakeupFullProbe / BM_WakeupIncrementalEmpty at >= 2x on the
 // largest shape, self-relative so the gate is machine-independent.
+//
+// ISSUE 10 adds the compiled-tier columns: the same query executed
+// through the bytecode match program (use_compiler on, the default) vs
+// the join interpreter (use_compiler off), on a guard-heavy all-reject
+// sweep — the shape where per-candidate expression-tree walking
+// dominates. run_benches.sh --check gates BM_GuardHeavyInterpreted /
+// BM_GuardHeavyCompiled at >= SDL_E13_GATE (2x) on the largest shape,
+// again self-relative.
 #include <benchmark/benchmark.h>
 
 #include "query/incremental.hpp"
@@ -137,6 +145,65 @@ void BM_WakeupIncrementalSeeded(benchmark::State& state) {
 BENCHMARK(BM_WakeupFullProbe)->RangeMultiplier(4)->Range(64, 16384)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_WakeupIncrementalEmpty)->RangeMultiplier(4)->Range(64, 16384)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_WakeupIncrementalSeeded)->RangeMultiplier(4)->Range(64, 16384)->Unit(benchmark::kMicrosecond);
+
+// ---- Compiled-tier ablation (ISSUE 10) ----
+
+/// Guard-heavy all-reject sweep: ∃v: <g,v> : ((v*3 + v/7 - v%11) * 2)
+/// mod 5 == 9 — eight operators per candidate, never true (a mod-5
+/// residue is 0..4 for numeric v), so every evaluation walks the whole
+/// window and pays the guard on every candidate. The bucket is
+/// heterogeneous, half numeric and half atom payloads — the realistic
+/// worst case the tentpole targets: on atom candidates the interpreter
+/// uses a C++ throw/catch round-trip (std::invalid_argument out of
+/// arith, caught by guard_true) as its reject path, while the compiled
+/// tier returns a Trap code from the same flat bytecode pass. Numeric
+/// candidates isolate plain per-candidate expression cost: shared_ptr
+/// tree re-walk vs pre-resolved bytecode.
+struct GuardHeavySetup {
+  Dataspace space{64};
+  SymbolTable st;
+  Query query;
+  Env env;
+
+  GuardHeavySetup(std::int64_t size, bool compiled) {
+    for (std::int64_t i = 0; i < size; ++i) {
+      space.insert(i % 2 == 0 ? tup("g", i) : tup("g", Value::atom("opaque")),
+                   kEnvironmentProcess);
+    }
+    query.use_compiler = compiled;
+    query.local_vars = {"v"};
+    query.patterns = {pat({A("g"), V("v")})};
+    query.guard =
+        eq(mod(mul(add(mul(evar("v"), lit(3)),
+                       sub(div_(evar("v"), lit(7)), mod(evar("v"), lit(11)))),
+                   lit(2)),
+               lit(5)),
+           lit(9));
+    query.resolve(st);
+    env.resize(static_cast<std::size_t>(st.size()));
+  }
+};
+
+void BM_GuardHeavyInterpreted(benchmark::State& state) {
+  GuardHeavySetup s(state.range(0), /*compiled=*/false);
+  const DataspaceSource src(s.space);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.query.evaluate(src, s.env, nullptr).success);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_GuardHeavyCompiled(benchmark::State& state) {
+  GuardHeavySetup s(state.range(0), /*compiled=*/true);
+  const DataspaceSource src(s.space);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.query.evaluate(src, s.env, nullptr).success);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_GuardHeavyInterpreted)->RangeMultiplier(4)->Range(64, 16384)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_GuardHeavyCompiled)->RangeMultiplier(4)->Range(64, 16384)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

@@ -33,10 +33,11 @@
 #     SDL_E20_GATE (default 0.7) of the peak-rate row — the graceful-
 #     degradation plateau. SDL_E20_MS shortens the per-row window for CI.
 #   * E13 wakeup-check ablation vs bench/BENCH_e13_baseline.json (same
-#     two-direction row coverage + tolerance band as E15), plus the
-#     self-relative incremental gate: the empty-delta wakeup check must
-#     be >= SDL_E13_GATE (default 2.0) times faster than the full probe
-#     on the largest guard-heavy shape.
+#     two-direction row coverage + tolerance band as E15), plus two
+#     self-relative gates on the largest guard-heavy shape: the
+#     empty-delta wakeup check must be >= SDL_E13_GATE (default 2.0)
+#     times faster than the full probe, and the compiled bytecode tier
+#     must be >= SDL_E13_GATE times faster than the join interpreter.
 #   * E5 dataspace primitives vs bench/BENCH_e5_baseline.json — the
 #     zero-regression guard for the delta-capture hooks on the commit
 #     path (tolerance band, both-direction row coverage).
@@ -371,6 +372,23 @@ if bench == "bench_e13_planner":
                 f"(gate {gate:.1f}x)")
         else:
             print(f"E13 wakeup gate: {speedup:.0f}x over full probe "
+                  f"(gate {gate:.1f}x)")
+    # Compiled-tier gate (ISSUE 10), same discipline: the bytecode match
+    # program must beat the join interpreter by >= SDL_E13_GATE on the
+    # largest guard-heavy shape. Self-relative, so machine speed cancels.
+    interp = cur_rows.get("BM_GuardHeavyInterpreted/16384")
+    comp = cur_rows.get("BM_GuardHeavyCompiled/16384")
+    if interp is None or comp is None:
+        failures.append("E13: compiler ablation rows missing — gate cannot run")
+    else:
+        speedup = interp["real_time"] / max(comp["real_time"], 1e-9)
+        if speedup < gate:
+            failures.append(
+                f"E13: compiled guard-heavy evaluation is only "
+                f"{speedup:.1f}x faster than the interpreter at 16384 "
+                f"(gate {gate:.1f}x)")
+        else:
+            print(f"E13 compiler gate: {speedup:.0f}x over interpreter "
                   f"(gate {gate:.1f}x)")
 
 if bench == "bench_e21_replication":

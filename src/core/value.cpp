@@ -98,31 +98,39 @@ std::size_t Value::hash() const {
 }
 
 int Value::numeric_compare(const Value& a, const Value& b) {
-  if (a.is_number() && b.is_number()) {
-    const double x = a.as_number();
-    const double y = b.as_number();
-    if (x < y) return -1;
-    if (x > y) return 1;
-    return 0;
-  }
-  if (a.kind() != b.kind()) {
+  int c = 0;
+  if (!numeric_compare_opt(a, b, c)) {
     throw std::invalid_argument("sdl::Value: cannot compare " + a.to_string() +
                                 " with " + b.to_string());
   }
+  return c;
+}
+
+bool Value::numeric_compare_opt(const Value& a, const Value& b,
+                                int& out) noexcept {
+  if (a.is_number() && b.is_number()) {
+    const double x = a.is_int() ? static_cast<double>(a.as_int()) : a.as_double();
+    const double y = b.is_int() ? static_cast<double>(b.as_int()) : b.as_double();
+    out = x < y ? -1 : (x > y ? 1 : 0);
+    return true;
+  }
+  if (a.kind() != b.kind()) return false;
   switch (a.kind()) {
     case Kind::Bool:
-      return static_cast<int>(a.as_bool()) - static_cast<int>(b.as_bool());
+      out = static_cast<int>(a.as_bool()) - static_cast<int>(b.as_bool());
+      return true;
     case Kind::Atom: {
       const int c = a.as_atom().text().compare(b.as_atom().text());
-      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+      out = c < 0 ? -1 : (c > 0 ? 1 : 0);
+      return true;
     }
     case Kind::String: {
       const int c = a.as_string().compare(b.as_string());
-      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+      out = c < 0 ? -1 : (c > 0 ? 1 : 0);
+      return true;
     }
     default:
-      throw std::invalid_argument("sdl::Value: cannot compare " + a.to_string() +
-                                  " with " + b.to_string());
+      return false;
   }
 }
 

@@ -84,6 +84,13 @@ class Value {
   /// std::invalid_argument — SDL guards do not order across kinds.
   [[nodiscard]] static int numeric_compare(const Value& a, const Value& b);
 
+  /// numeric_compare without the exception: returns false (out untouched)
+  /// where numeric_compare would throw. The query VM's exception-free
+  /// comparison path; numeric_compare delegates here so the two can never
+  /// disagree.
+  [[nodiscard]] static bool numeric_compare_opt(const Value& a, const Value& b,
+                                                int& out) noexcept;
+
   /// Convenience: intern an atom value.
   static Value atom(std::string_view spelling) { return Value(Atom::intern(spelling)); }
 

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "query/compile.hpp"
 #include "repl/net_transport.hpp"
 
 namespace sdl {
@@ -109,6 +110,25 @@ void Runtime::register_gauges() {
                           [this] { return consensus_->sweeps(); });
   metrics_registry_.gauge("sdl_consensus_fires_total",
                           [this] { return consensus_->fires(); });
+  // Compiled-query plan cache (src/query/compile.hpp). The counters are
+  // process-global — every Query shares one stats block — so these gauges
+  // cover all runtimes in the process; in the common one-runtime-per-
+  // process deployment that distinction is invisible.
+  metrics_registry_.gauge("sdl_plan_cache_hits_total", [] {
+    return plan_cache_stats().hits.load(std::memory_order_relaxed);
+  });
+  metrics_registry_.gauge("sdl_plan_cache_misses_total", [] {
+    return plan_cache_stats().misses.load(std::memory_order_relaxed);
+  });
+  metrics_registry_.gauge("sdl_plan_cache_compiles_total", [] {
+    return plan_cache_stats().compiles.load(std::memory_order_relaxed);
+  });
+  metrics_registry_.gauge("sdl_plan_cache_invalidations_total", [] {
+    return plan_cache_stats().invalidations.load(std::memory_order_relaxed);
+  });
+  metrics_registry_.gauge("sdl_plan_cache_bailouts_total", [] {
+    return plan_cache_stats().bailouts.load(std::memory_order_relaxed);
+  });
   if (overload_) {
     control::OverloadControl* const c = overload_.get();
     metrics_registry_.gauge("sdl_admission_inflight",

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "query/vm.hpp"
+
 namespace sdl {
 
 void FunctionRegistry::register_function(const std::string& name, Fn fn) {
@@ -37,64 +39,32 @@ void Expr::resolve(SymbolTable& symtab) {
 
 namespace {
 
+[[noreturn]] void throw_trap(vm::Trap t) {
+  throw std::invalid_argument(vm::trap_message(t));
+}
+
+// Arithmetic and ordering delegate to the checked helpers the VM executes
+// (src/query/vm.cpp) so the two tiers cannot diverge. This is where the
+// evaluator crash fixes live: INT64_MIN / -1 and % -1 are rejected like
+// division by zero instead of raising SIGFPE, Add/Sub/Mul widen to double
+// on signed wrap instead of invoking UB, and Pow's exponent loop is capped
+// (std::pow fallback) instead of spinning 10^10 iterations under a shard
+// lock.
 Value arith(Expr::Op op, const Value& a, const Value& b) {
-  const bool both_int = a.is_int() && b.is_int();
-  switch (op) {
-    case Expr::Op::Add:
-      if (both_int) return a.as_int() + b.as_int();
-      return a.as_number() + b.as_number();
-    case Expr::Op::Sub:
-      if (both_int) return a.as_int() - b.as_int();
-      return a.as_number() - b.as_number();
-    case Expr::Op::Mul:
-      if (both_int) return a.as_int() * b.as_int();
-      return a.as_number() * b.as_number();
-    case Expr::Op::Div:
-      if (both_int) {
-        if (b.as_int() == 0) throw std::invalid_argument("sdl: division by zero");
-        return a.as_int() / b.as_int();
-      }
-      return a.as_number() / b.as_number();
-    case Expr::Op::Mod: {
-      if (!both_int) throw std::invalid_argument("sdl: mod requires integers");
-      if (b.as_int() == 0) throw std::invalid_argument("sdl: mod by zero");
-      return a.as_int() % b.as_int();
-    }
-    case Expr::Op::Pow: {
-      if (both_int && b.as_int() >= 0) {
-        std::int64_t r = 1;
-        std::int64_t base = a.as_int();
-        for (std::int64_t i = 0; i < b.as_int(); ++i) r *= base;
-        return r;
-      }
-      return std::pow(a.as_number(), b.as_number());
-    }
-    default:
-      throw std::logic_error("sdl: arith on non-arithmetic op");
+  Value out;
+  if (const vm::Trap t = vm::arith_checked(op, a, b, out); t != vm::Trap::None) {
+    throw_trap(t);
   }
+  return out;
 }
 
 bool compare(Expr::Op op, const Value& a, const Value& b) {
-  // Equality is structural except Int/Double, which compare numerically so
-  // that "a = 3" matches a field asserted as 3.0 and vice versa.
-  if (op == Expr::Op::Eq || op == Expr::Op::Ne) {
-    bool equal;
-    if (a.is_number() && b.is_number()) {
-      equal = a.as_number() == b.as_number();
-    } else {
-      equal = a == b;
-    }
-    return op == Expr::Op::Eq ? equal : !equal;
+  bool out;
+  if (const vm::Trap t = vm::compare_checked(op, a, b, out);
+      t != vm::Trap::None) {
+    throw_trap(t);
   }
-  const int c = Value::numeric_compare(a, b);
-  switch (op) {
-    case Expr::Op::Lt: return c < 0;
-    case Expr::Op::Le: return c <= 0;
-    case Expr::Op::Gt: return c > 0;
-    case Expr::Op::Ge: return c >= 0;
-    default:
-      throw std::logic_error("sdl: compare on non-comparison op");
-  }
+  return out;
 }
 
 }  // namespace
@@ -115,8 +85,11 @@ Value Expr::eval(const Env& env, const FunctionRegistry* fns) const {
     }
     case Op::Neg: {
       const Value v = children_[0]->eval(env, fns);
-      if (v.is_int()) return -v.as_int();
-      return -v.as_number();
+      Value out;
+      if (const vm::Trap t = vm::negate_checked(v, out); t != vm::Trap::None) {
+        throw_trap(t);
+      }
+      return out;
     }
     case Op::Not:
       return !children_[0]->eval(env, fns).truthy();

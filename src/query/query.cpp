@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "query/compile.hpp"
+
 namespace sdl {
 namespace {
 
@@ -209,6 +211,10 @@ void Query::resolve(SymbolTable& symtab) {
     for (TuplePattern& p : g.patterns) p.resolve(symtab);
     resolve_expr(g.guard, symtab);
   }
+  // The plan cache is created here — single-threaded, exactly once — so
+  // concurrent evaluations never race on lazy initialisation. Actual
+  // compilation is deferred to the first evaluation per binding signature.
+  plan_cache_ = std::make_shared<PlanCache>(*this);
 }
 
 void Query::clear_locals(Env& env) const {
@@ -236,6 +242,19 @@ bool Query::negation_holds(const NegatedGroup& g, const TupleSource& source,
 QueryOutcome Query::evaluate(const TupleSource& source, Env& env,
                              const FunctionRegistry* fns) const {
   clear_locals(env);
+
+  // Compiled tier: for shapes whose plan depends only on the binding
+  // signature, execute the cached bytecode program (src/query/compile.hpp)
+  // — same outcome, no per-candidate planning or exception control flow.
+  if (use_compiler && plan_cache_ && query_compiler_enabled()) {
+    if (const auto prog = plan_cache_->acquire(*this, env, source.stats_epoch(),
+                                               PlanCache::kNoSeed)) {
+      QueryOutcome out = vm_execute(*prog, source, env, fns);
+      if (!out.success || quantifier == Quantifier::ForAll) clear_locals(env);
+      return out;
+    }
+  }
+
   QueryOutcome out;
 
   JoinEnumerator join(patterns, source, env, fns, use_planner);
@@ -274,7 +293,14 @@ QueryOutcome Query::evaluate(const TupleSource& source, Env& env,
     out.matches.push_back(make_match(patterns, join.chosen(), env));
     return true;
   });
-  if (violated) out.matches.clear();
+  if (violated) {
+    out.matches.clear();
+    // The violating callback STOPPED the enumeration, which skips the
+    // backtrack-undo, and clear_locals below only resets declared locals —
+    // pattern variables outside local_vars (C++-API queries) would stay
+    // bound and corrupt the next evaluation. Undo everything explicitly.
+    join.unwind();
+  }
   out.success = !violated;
   clear_locals(env);
   return out;
@@ -292,6 +318,18 @@ bool Query::satisfiable_seeded(const TupleSource& source, Env& env,
     return true;
   }
   clear_locals(env);
+
+  // Native compiled seeded check: the O(delta) wakeup path without
+  // tree-walking (plan keyed by seed index as well as signature).
+  if (use_compiler && plan_cache_ && query_compiler_enabled()) {
+    if (const auto prog =
+            plan_cache_->acquire(*this, env, source.stats_epoch(), seed_idx)) {
+      const bool witness = vm_satisfiable_seeded(*prog, source, env, fns, seeds);
+      clear_locals(env);
+      return witness;
+    }
+  }
+
   JoinEnumerator join(patterns, source, env, fns, use_planner, seed_idx,
                       &seeds);
   bool witness = false;

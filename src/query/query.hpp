@@ -18,11 +18,19 @@
 
 namespace sdl {
 
+class PlanCache;  // src/query/compile.hpp
+
 /// Where candidate tuples come from. Implementations: DataspaceSource
 /// (below) and WindowSource (src/view/view.hpp).
 class TupleSource {
  public:
   virtual ~TupleSource() = default;
+
+  /// Index-statistics epoch of the backing store (see
+  /// Dataspace::stats_epoch). Part of the compiled-plan cache key: a
+  /// bumped epoch invalidates plans built against the old statistics.
+  /// Sources with no meaningful statistics report a constant.
+  [[nodiscard]] virtual std::uint64_t stats_epoch() const { return 0; }
 
   /// Visit records in the bucket `key`; stop early if fn returns false.
   virtual void scan_key(const IndexKey& key, const Dataspace::RecordFn& fn) const = 0;
@@ -46,6 +54,9 @@ class TupleSource {
 class DataspaceSource final : public TupleSource {
  public:
   explicit DataspaceSource(const Dataspace& space) : space_(space) {}
+  [[nodiscard]] std::uint64_t stats_epoch() const override {
+    return space_.stats_epoch();
+  }
   void scan_key(const IndexKey& key, const Dataspace::RecordFn& fn) const override {
     space_.scan_key(key, fn);
   }
@@ -84,6 +95,10 @@ class DataspaceSource final : public TupleSource {
 class OptimisticSource final : public TupleSource {
  public:
   explicit OptimisticSource(const Dataspace& space) : space_(space) {}
+
+  [[nodiscard]] std::uint64_t stats_epoch() const override {
+    return space_.stats_epoch();
+  }
 
   void scan_key(const IndexKey& key, const Dataspace::RecordFn& fn) const override {
     if (!touch(space_.shard_of(key))) return;
@@ -188,6 +203,13 @@ class Query {
   /// programmer. Disable for the E13 ablation or to get strict
   /// textual-order evaluation.
   bool use_planner = true;
+  /// Compiled tier (ROADMAP item 5, src/query/compile.hpp): when true and
+  /// the shape is compilable, evaluate() and satisfiable_seeded() execute
+  /// a cached bytecode match program instead of walking the pattern trees.
+  /// Semantics are identical (the differential harness in tests/query
+  /// proves it); disable per-query for ablations, or process-wide with
+  /// set_query_compiler_enabled(false).
+  bool use_compiler = true;
 
   /// Interns names and resolves expressions. Call exactly once.
   void resolve(SymbolTable& symtab);
@@ -237,6 +259,10 @@ class Query {
 
  private:
   std::vector<int> local_slots_;  // filled by resolve()
+  /// Compiled-plan cache, created by resolve(); shared by copies of this
+  /// query (copies have the identical resolved shape). Null before
+  /// resolve() — evaluation then always takes the interpreter.
+  std::shared_ptr<PlanCache> plan_cache_;
 
   bool negation_holds(const NegatedGroup& g, const TupleSource& source, Env& env,
                       const FunctionRegistry* fns) const;

@@ -93,6 +93,9 @@ Dataspace::BucketNode* Dataspace::ensure_bucket(Shard& shard,
     shard.table.store(grown, std::memory_order_release);
     epoch::retire(t, [](void* p) { delete static_cast<Table*>(p); });
     t = grown;
+    // Index statistics drifted (population doubled past this table's
+    // capacity) — advance the epoch so cached query plans re-compile.
+    stats_epoch_.fetch_add(1, std::memory_order_relaxed);
   }
   auto* b = new BucketNode(key);
   auto& slot = t->slots[slot_of(*t, key)];

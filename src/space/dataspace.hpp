@@ -110,6 +110,16 @@ class Dataspace {
     return key.hash() & shard_mask_;
   }
 
+  /// Index-statistics epoch: bumped whenever a shard's bucket table
+  /// resizes, i.e. the store's population has drifted by a factor large
+  /// enough to re-plan against. The compiled-query plan cache
+  /// (src/query/compile.hpp) keys entries by this value, so drift
+  /// invalidates stale plans on their next lookup. Monotonic; relaxed
+  /// ordering suffices (a racing reader merely recompiles one epoch late).
+  [[nodiscard]] std::uint64_t stats_epoch() const {
+    return stats_epoch_.load(std::memory_order_relaxed);
+  }
+
   // ------------------------------------------------------------- versions
   // Per-shard seqlock: a writer holding shard si's exclusive lock brackets
   // its commit with begin_shard_write(si) … end_shard_write(si), keeping
@@ -321,6 +331,7 @@ class Dataspace {
   std::size_t shard_count_;
   std::size_t shard_mask_;
   std::size_t shard_bits_;
+  std::atomic<std::uint64_t> stats_epoch_{0};  // see stats_epoch()
 };
 
 }  // namespace sdl

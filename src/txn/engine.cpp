@@ -11,6 +11,11 @@
 
 namespace sdl {
 
+// Both engines funnel every query — execute, probe, probe_seeded, wakeup
+// re-check — through Query::evaluate / Query::satisfiable_seeded, so the
+// compiled bytecode tier (query/compile.hpp) applies uniformly here: hot
+// shapes run match programs from the per-query plan cache, value-dependent
+// shapes fall back to the join interpreter per evaluation.
 QueryOutcome Engine::evaluate_query(const Transaction& txn, Env& env,
                                     const View* view) const {
   if (view != nullptr && !view->imports_everything()) {

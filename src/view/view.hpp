@@ -119,6 +119,10 @@ class WindowSource final : public TupleSource {
                obs::RuntimeMetrics* metrics = nullptr);
   ~WindowSource() override;
 
+  [[nodiscard]] std::uint64_t stats_epoch() const override {
+    return space_.stats_epoch();
+  }
+
   void scan_key(const IndexKey& key, const Dataspace::RecordFn& fn) const override;
   void scan_arity(std::uint32_t arity, const Dataspace::RecordFn& fn) const override;
   void scan_key_second(const IndexKey& key, const Value& second,

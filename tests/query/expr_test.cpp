@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <limits>
 #include <stdexcept>
 
 namespace sdl {
@@ -39,6 +42,56 @@ TEST(ExprTest, IntegerPower) {
 TEST(ExprTest, DivisionByZeroThrows) {
   EXPECT_THROW(eval_resolved(div_(lit(1), lit(0))), std::invalid_argument);
   EXPECT_THROW(eval_resolved(mod(lit(1), lit(0))), std::invalid_argument);
+}
+
+TEST(ExprTest, Int64MinDividedByMinusOneThrows) {
+  // INT64_MIN / -1 and INT64_MIN % -1 trap in hardware (the quotient is
+  // unrepresentable); the evaluator must reject them like division by
+  // zero, not SIGFPE the process.
+  const Value min_v(std::numeric_limits<std::int64_t>::min());
+  EXPECT_THROW(eval_resolved(div_(lit(min_v), lit(-1))), std::invalid_argument);
+  EXPECT_THROW(eval_resolved(mod(lit(min_v), lit(-1))), std::invalid_argument);
+  // Neighbouring values stay exact.
+  const Value min_plus1(std::numeric_limits<std::int64_t>::min() + 1);
+  EXPECT_EQ(eval_resolved(div_(lit(min_plus1), lit(-1))),
+            Value(std::numeric_limits<std::int64_t>::max()));
+}
+
+TEST(ExprTest, ArithmeticOverflowWidensToDouble) {
+  const Value max_v(std::numeric_limits<std::int64_t>::max());
+  const Value min_v(std::numeric_limits<std::int64_t>::min());
+  const Value add_r = eval_resolved(add(lit(max_v), lit(1)));
+  ASSERT_TRUE(add_r.is_double());
+  EXPECT_DOUBLE_EQ(add_r.as_double(),
+                   static_cast<double>(std::numeric_limits<std::int64_t>::max()) + 1.0);
+  const Value sub_r = eval_resolved(sub(lit(min_v), lit(1)));
+  ASSERT_TRUE(sub_r.is_double());
+  const Value mul_r = eval_resolved(mul(lit(max_v), lit(2)));
+  ASSERT_TRUE(mul_r.is_double());
+  const Value neg_r = eval_resolved(neg(lit(min_v)));
+  ASSERT_TRUE(neg_r.is_double());
+  EXPECT_DOUBLE_EQ(neg_r.as_double(),
+                   -static_cast<double>(std::numeric_limits<std::int64_t>::min()));
+}
+
+TEST(ExprTest, PowHugeExponentTerminates) {
+  // 2 ** 10^10 used to spin the square-and-multiply loop ~10^10 times and
+  // silently overflow; now any exponent whose result cannot fit int64
+  // falls through to std::pow.
+  const Value r = eval_resolved(pow_(lit(2), lit(Value(std::int64_t{10000000000}))));
+  ASSERT_TRUE(r.is_double());
+  EXPECT_TRUE(std::isinf(r.as_double()));
+  // Largest exact power-of-two still integer.
+  EXPECT_EQ(eval_resolved(pow_(lit(2), lit(62))), Value(std::int64_t{1} << 62));
+  // One past it widens instead of wrapping.
+  const Value p63 = eval_resolved(pow_(lit(2), lit(63)));
+  ASSERT_TRUE(p63.is_double());
+  EXPECT_DOUBLE_EQ(p63.as_double(), std::ldexp(1.0, 63));
+  // Closed forms for degenerate bases ignore the cap entirely.
+  EXPECT_EQ(eval_resolved(pow_(lit(1), lit(Value(std::int64_t{10000000000})))), Value(1));
+  EXPECT_EQ(eval_resolved(pow_(lit(0), lit(Value(std::int64_t{10000000000})))), Value(0));
+  EXPECT_EQ(eval_resolved(pow_(lit(-1), lit(Value(std::int64_t{10000000001})))),
+            Value(-1));
 }
 
 TEST(ExprTest, Comparisons) {

@@ -209,6 +209,35 @@ TEST(QueryTest, ForAllChecksEveryBinding) {
   EXPECT_TRUE(out2.matches.empty());
 }
 
+TEST(QueryTest, ViolatedForAllUnbindsPatternVars) {
+  // Regression: a violated ForAll used to return without unwinding the
+  // violating candidate's bindings, so pattern variables not declared
+  // local stayed bound in env and acted as equality constraints on every
+  // later evaluation. Exercise both tiers.
+  for (const bool compiled : {true, false}) {
+    QueryFixture f;
+    f.space.insert(tup("t", 1), 0);
+    f.space.insert(tup("t", 2), 0);
+    Query q;
+    q.quantifier = Quantifier::ForAll;
+    q.patterns = {pat({A("t"), V("x")})};
+    q.guard = lt(evar("x"), lit(2));  // violated by <t, 2>
+    q.use_compiler = compiled;
+    EXPECT_FALSE(f.run(q).success);
+    EXPECT_TRUE(f.slot("x").is_nil())
+        << "violated ForAll leaked a binding (compiled=" << compiled << ")";
+    // Re-evaluation must see a fresh slot: with the leak, x was pinned to
+    // the violating value and this Exists could only match <t, 2>.
+    Query q2;
+    q2.patterns = {pat({A("t"), V("x")})};
+    q2.guard = eq(evar("x"), lit(1));
+    q2.use_compiler = compiled;
+    EXPECT_TRUE(f.run(q2).success)
+        << "stale ForAll binding constrained a later query (compiled="
+        << compiled << ")";
+  }
+}
+
 TEST(QueryTest, ForAllCollectsRetractionsPerMatch) {
   // ∀p : <threshold,p,*>! — retract all thresholds (§3.3 Label).
   QueryFixture f;

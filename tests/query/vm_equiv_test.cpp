@@ -1,0 +1,558 @@
+// Differential harness for the compiled query tier (ISSUE 10).
+//
+// The compiler's correctness claim is total equivalence: for every query
+// in the compilable fragment, the bytecode match program must produce the
+// SAME QueryOutcome — success bit, match order, bindings, read sets,
+// retract sets — and the same final env as the join interpreter, under
+// every binding signature. This file discharges that claim two ways:
+//
+//   * a shape sweep: every execution feature the compiler lowers
+//     (exact/arity/secondary scans, joins, wildcards, retract tags,
+//     negations, ForAll, seeded probes, guard traps, pre-bound
+//     signatures) evaluated compiled-vs-interpreted on the same data;
+//   * a seeded property test over random expression trees: the VM's
+//     value-or-trap must agree with the interpreter's value-or-throw on
+//     every tree. Runs under the ASan+UBSan and TSan CI jobs, so the
+//     satellite arithmetic fixes are exercised with sanitizers watching.
+#include "query/compile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sdl {
+namespace {
+
+/// Evaluates structurally identical queries compiled and interpreted over
+/// one dataspace and asserts outcome + env equivalence.
+struct DiffFixture {
+  Dataspace space{16};
+  FunctionRegistry fns;
+
+  /// `make` builds the query fresh per tier (resolve() is once-only);
+  /// `pre` seeds process-persistent bindings after resolve, before
+  /// evaluation — the binding-signature dimension of the cache key.
+  QueryOutcome diff(const std::function<Query()>& make,
+                    const std::function<void(SymbolTable&, Env&)>& pre = {},
+                    bool expect_compiled = true) {
+    SymbolTable st_c;
+    SymbolTable st_i;
+    Query qc = make();
+    Query qi = make();
+    qc.use_compiler = true;
+    qi.use_compiler = false;
+    qc.resolve(st_c);
+    qi.resolve(st_i);
+    Env env_c(static_cast<std::size_t>(st_c.size()));
+    Env env_i(static_cast<std::size_t>(st_i.size()));
+    if (pre) {
+      pre(st_c, env_c);
+      pre(st_i, env_i);
+    }
+    const auto& stats = plan_cache_stats();
+    const std::uint64_t lookups0 = stats.hits.load() + stats.misses.load();
+    const std::uint64_t bailouts0 = stats.bailouts.load();
+    const DataspaceSource src(space);
+    const QueryOutcome oc = qc.evaluate(src, env_c, &fns);
+    const QueryOutcome oi = qi.evaluate(src, env_i, &fns);
+    if (expect_compiled) {
+      EXPECT_GT(stats.hits.load() + stats.misses.load(), lookups0)
+          << "compiled tier never engaged — the comparison is vacuous";
+    } else {
+      EXPECT_GT(stats.bailouts.load(), bailouts0)
+          << "expected an interpreter bailout";
+    }
+    expect_equiv(oc, oi, env_c, env_i);
+    return oc;
+  }
+
+  static void expect_equiv(const QueryOutcome& oc, const QueryOutcome& oi,
+                           const Env& env_c, const Env& env_i) {
+    EXPECT_EQ(oc.success, oi.success);
+    ASSERT_EQ(oc.matches.size(), oi.matches.size());
+    for (std::size_t m = 0; m < oc.matches.size(); ++m) {
+      const QueryMatch& a = oc.matches[m];
+      const QueryMatch& b = oi.matches[m];
+      EXPECT_EQ(a.binding, b.binding) << "match " << m << " binding";
+      EXPECT_EQ(a.reads, b.reads) << "match " << m << " read set";
+      ASSERT_EQ(a.retract.size(), b.retract.size()) << "match " << m;
+      for (std::size_t r = 0; r < a.retract.size(); ++r) {
+        EXPECT_TRUE(a.retract[r].first == b.retract[r].first);
+        EXPECT_EQ(a.retract[r].second, b.retract[r].second);
+      }
+    }
+    EXPECT_EQ(env_c, env_i) << "final environments diverged";
+  }
+};
+
+TEST(VmEquivTest, ExistsShapesAgree) {
+  DiffFixture f;
+  f.space.insert(tup("year", 90), 0);
+  f.space.insert(tup("year", 80), 0);
+  f.space.insert(tup("index", 3), 0);
+  f.space.insert(tup("value", 3), 0);
+  f.space.insert(tup("value", 4), 0);
+
+  // Membership (all-const pattern).
+  EXPECT_TRUE(f.diff([] {
+                  Query q;
+                  q.patterns = {pat({A("year"), C(90)})};
+                  return q;
+                }).success);
+  // Binding + guard.
+  const QueryOutcome bound = f.diff([] {
+    Query q;
+    q.local_vars = {"a"};
+    q.patterns = {pat({A("year"), V("a")})};
+    q.guard = gt(evar("a"), lit(87));
+    return q;
+  });
+  ASSERT_TRUE(bound.success);
+  // Guard filters everything.
+  EXPECT_FALSE(f.diff([] {
+                   Query q;
+                   q.local_vars = {"a"};
+                   q.patterns = {pat({A("year"), V("a")})};
+                   q.guard = gt(evar("a"), lit(95));
+                   return q;
+                 }).success);
+  // Join across two patterns with a shared variable, plus a wildcard.
+  EXPECT_TRUE(f.diff([] {
+                  Query q;
+                  q.local_vars = {"p"};
+                  q.patterns = {pat({A("index"), V("p")}),
+                                pat({A("value"), V("p")}), pat({W(), W()})};
+                  return q;
+                }).success);
+}
+
+TEST(VmEquivTest, RetractTagsAndDistinctnessAgree) {
+  DiffFixture f;
+  f.space.insert(tup("t", 1), 0);
+  f.space.insert(tup("t", 1), 0);
+  f.space.insert(tup("t", 2), 0);
+  const QueryOutcome out = f.diff([] {
+    Query q;
+    q.local_vars = {"x", "y"};
+    TuplePattern p1 = pat({A("t"), V("x")});
+    p1.set_retract(true);
+    TuplePattern p2 = pat({A("t"), V("y")});
+    p2.set_retract(true);
+    q.patterns = {p1, p2};
+    q.guard = eq(evar("x"), evar("y"));
+    return q;
+  });
+  ASSERT_TRUE(out.success);
+  EXPECT_EQ(out.matches[0].retract.size(), 2u);
+  EXPECT_NE(out.matches[0].retract[0].second, out.matches[0].retract[1].second)
+      << "distinctness: the two patterns must bind two instances";
+}
+
+TEST(VmEquivTest, NegationsAgree) {
+  DiffFixture f;
+  f.space.insert(tup("job", 1), 0);
+  f.space.insert(tup("job", 2), 0);
+  f.space.insert(tup("done", 1), 0);
+  // ∃x: <job,x> with no <done,x> — negation joined on an outer variable.
+  const QueryOutcome out = f.diff([] {
+    Query q;
+    q.local_vars = {"x"};
+    q.patterns = {pat({A("job"), V("x")})};
+    NegatedGroup g;
+    g.patterns = {pat({A("done"), V("x")})};
+    q.negations = {g};
+    return q;
+  });
+  ASSERT_TRUE(out.success);
+  // Negation with its own local witness + guard.
+  f.space.insert(tup("cap", 10), 0);
+  EXPECT_FALSE(f.diff([] {
+                   Query q;
+                   q.local_vars = {"x"};
+                   q.patterns = {pat({A("job"), V("x")})};
+                   NegatedGroup g;
+                   g.patterns = {pat({A("cap"), V("c")})};
+                   g.guard = gt(evar("c"), lit(0));
+                   q.negations = {g};
+                   return q;
+                 }).success)
+      << "a cap witness blocks every candidate";
+}
+
+TEST(VmEquivTest, ForAllAgrees) {
+  DiffFixture f;
+  // Vacuous.
+  EXPECT_TRUE(f.diff([] {
+                  Query q;
+                  q.quantifier = Quantifier::ForAll;
+                  q.local_vars = {"x"};
+                  q.patterns = {pat({A("none"), V("x")})};
+                  return q;
+                }).success);
+  f.space.insert(tup("n", 1), 0);
+  f.space.insert(tup("n", 2), 0);
+  f.space.insert(tup("n", 3), 0);
+  // Satisfied: one match per binding, in identical order.
+  const QueryOutcome all = f.diff([] {
+    Query q;
+    q.quantifier = Quantifier::ForAll;
+    q.local_vars = {"x"};
+    TuplePattern p = pat({A("n"), V("x")});
+    p.set_retract(true);
+    q.patterns = {p};
+    q.guard = gt(evar("x"), lit(0));
+    return q;
+  });
+  ASSERT_TRUE(all.success);
+  EXPECT_EQ(all.matches.size(), 3u);
+  // Violated.
+  EXPECT_FALSE(f.diff([] {
+                   Query q;
+                   q.quantifier = Quantifier::ForAll;
+                   q.local_vars = {"x"};
+                   q.patterns = {pat({A("n"), V("x")})};
+                   q.guard = lt(evar("x"), lit(3));
+                   return q;
+                 }).success);
+}
+
+TEST(VmEquivTest, SecondaryProbesAgree) {
+  DiffFixture f;
+  for (int i = 0; i < 8; ++i) f.space.insert(tup("edge", i, i * 10), 0);
+  // Constant second field: ExactConst scan + Second::Const.
+  EXPECT_TRUE(f.diff([] {
+                  Query q;
+                  q.local_vars = {"w"};
+                  q.patterns = {pat({A("edge"), C(3), V("w")})};
+                  q.guard = eq(evar("w"), lit(30));
+                  return q;
+                }).success);
+  // Second field bound by an earlier pattern: Second::Slot.
+  f.space.insert(tup("pick", 5), 0);
+  const QueryOutcome out = f.diff([] {
+    Query q;
+    q.local_vars = {"x", "w"};
+    q.patterns = {pat({A("pick"), V("x")}), pat({A("edge"), V("x"), V("w")})};
+    return q;
+  });
+  ASSERT_TRUE(out.success);
+}
+
+TEST(VmEquivTest, PlannerOffAndTextualOrderAgree) {
+  DiffFixture f;
+  for (int i = 0; i < 6; ++i) f.space.insert(tup("wide", i), 0);
+  f.space.insert(tup("pin", 4), 0);
+  for (const bool planner : {true, false}) {
+    const QueryOutcome out = f.diff([planner] {
+      Query q;
+      q.use_planner = planner;
+      q.local_vars = {"x"};
+      q.patterns = {pat({A("wide"), V("x")}), pat({A("pin"), V("x")})};
+      return q;
+    });
+    ASSERT_TRUE(out.success) << "planner=" << planner;
+  }
+}
+
+TEST(VmEquivTest, GuardTrapsRejectInsteadOfCrashing) {
+  DiffFixture f;
+  f.space.insert(tup("d", 0), 0);
+  f.space.insert(tup("d", 2), 0);
+  // 10 / x traps on the x=0 candidate; both tiers must skip it and accept
+  // x=2.
+  const QueryOutcome out = f.diff([] {
+    Query q;
+    q.local_vars = {"x"};
+    q.patterns = {pat({A("d"), V("x")})};
+    q.guard = eq(div_(lit(10), evar("x")), lit(5));
+    return q;
+  });
+  ASSERT_TRUE(out.success);
+  // INT64_MIN / -1 in a guard: overflow trap, not SIGFPE (satellite 1).
+  const Value min_v(std::numeric_limits<std::int64_t>::min());
+  f.space.insert(tup("m", -1), 0);
+  EXPECT_FALSE(f.diff([min_v] {
+                   Query q;
+                   q.local_vars = {"x"};
+                   q.patterns = {pat({A("m"), V("x")})};
+                   q.guard = eq(div_(lit(min_v), evar("x")), lit(0));
+                   return q;
+                 }).success);
+  // Host function throwing std::invalid_argument rejects, both tiers.
+  f.fns.register_function("picky", [](std::span<const Value> args) -> Value {
+    if (args[0].as_int() < 0) throw std::invalid_argument("negative");
+    return args[0];
+  });
+  EXPECT_FALSE(f.diff([] {
+                   Query q;
+                   q.local_vars = {"x"};
+                   q.patterns = {pat({A("m"), V("x")})};
+                   q.guard = eq(call_fn("picky", {evar("x")}), lit(-1));
+                   return q;
+                 }).success);
+}
+
+TEST(VmEquivTest, PreBoundSignaturesGetDistinctPlans) {
+  DiffFixture f;
+  f.space.insert(tup("kv", 1, 10), 0);
+  f.space.insert(tup("kv", 2, 20), 0);
+  const auto make = [] {
+    Query q;
+    q.local_vars = {"v"};  // k is process-persistent
+    q.patterns = {pat({A("kv"), V("k"), V("v")})};
+    return q;
+  };
+  // Unbound k: k and v both bind.
+  const QueryOutcome free_k = f.diff(make);
+  ASSERT_TRUE(free_k.success);
+  // Pre-bound k: the pattern constrains on it (different cache signature,
+  // secondary probe on the bound slot).
+  const QueryOutcome pinned = f.diff(make, [](SymbolTable& st, Env& env) {
+    env[static_cast<std::size_t>(*st.lookup("k"))] = Value(2);
+  });
+  ASSERT_TRUE(pinned.success);
+}
+
+TEST(VmEquivTest, ComputedTermShapesBailOutToInterpreter) {
+  DiffFixture f;
+  f.space.insert(tup("s", 4), 0);
+  // <s, 2+2>: a computed Expr term — outside the compilable fragment; the
+  // compiled tier must bail (counted) and fall through with identical
+  // results.
+  EXPECT_TRUE(f.diff(
+                   [] {
+                     Query q;
+                     q.patterns = {pat({A("s"), E(add(lit(2), lit(2)))})};
+                     return q;
+                   },
+                   {}, /*expect_compiled=*/false)
+                  .success);
+  EXPECT_FALSE(query_shape_compilable([] {
+    Query q;
+    q.patterns = {pat({A("s"), E(add(lit(2), lit(2)))})};
+    return q;
+  }()));
+}
+
+TEST(VmEquivTest, SeededProbesAgree) {
+  DiffFixture f;
+  f.space.insert(tup("a", 1), 0);
+  f.space.insert(tup("a", 2), 0);
+  f.space.insert(tup("b", 2), 0);
+  // Collect the <a,_> records as the delta-seed list, the way the wakeup
+  // path would hand them over.
+  std::vector<const Record*> seeds;
+  f.space.scan_key(IndexKey::of_head(2, Value::atom("a")),
+                   [&seeds](const Record& r) {
+                     seeds.push_back(&r);
+                     return true;
+                   });
+  ASSERT_EQ(seeds.size(), 2u);
+  for (std::size_t seed_idx : {std::size_t{0}, std::size_t{1}}) {
+    SymbolTable st_c;
+    SymbolTable st_i;
+    const auto make = [] {
+      Query q;
+      q.local_vars = {"x"};
+      q.patterns = {pat({A("a"), V("x")}), pat({A("b"), V("x")})};
+      return q;
+    };
+    Query qc = make();
+    Query qi = make();
+    qc.use_compiler = true;
+    qi.use_compiler = false;
+    qc.resolve(st_c);
+    qi.resolve(st_i);
+    Env env_c(static_cast<std::size_t>(st_c.size()));
+    Env env_i(static_cast<std::size_t>(st_i.size()));
+    const DataspaceSource src(f.space);
+    // seed_idx 0 seeds pattern <a,x> from the delta; seed_idx 1 seeds
+    // <b,x> with records that belong to bucket <a,_> — arity matches but
+    // heads don't, so the seeded candidates all fail the head check.
+    const bool sc = qc.satisfiable_seeded(src, env_c, &f.fns, seed_idx, seeds);
+    const bool si = qi.satisfiable_seeded(src, env_i, &f.fns, seed_idx, seeds);
+    EXPECT_EQ(sc, si) << "seed_idx=" << seed_idx;
+    EXPECT_EQ(sc, seed_idx == 0);
+    EXPECT_EQ(env_c, env_i);
+    for (const Value& v : env_c) {
+      EXPECT_TRUE(v.is_nil()) << "seeded probe leaked a binding";
+    }
+  }
+}
+
+TEST(VmEquivTest, PlanCacheInvalidatesOnIndexGrowth) {
+  DiffFixture f;
+  f.space.insert(tup("g", 0), 0);
+  SymbolTable st;
+  Query q;
+  q.local_vars = {"x"};
+  q.patterns = {pat({A("g"), V("x")})};
+  q.resolve(st);
+  Env env(static_cast<std::size_t>(st.size()));
+  const auto& stats = plan_cache_stats();
+  {
+    const DataspaceSource src(f.space);
+    ASSERT_TRUE(q.evaluate(src, env, &f.fns).success);
+  }
+  q.clear_locals(env);
+  const std::uint64_t inval0 = stats.invalidations.load();
+  const std::uint64_t epoch0 = f.space.stats_epoch();
+  // Grow the space until a bucket table resizes (epoch bump = the index
+  // statistics the plan was built against have drifted). Distinct integer
+  // heads create distinct buckets, which is what forces the resize.
+  for (int i = 1; f.space.stats_epoch() == epoch0 && i < 4096; ++i) {
+    f.space.insert(tup(i, i, i), 0);
+  }
+  ASSERT_GT(f.space.stats_epoch(), epoch0) << "growth never resized the index";
+  {
+    const DataspaceSource src(f.space);
+    ASSERT_TRUE(q.evaluate(src, env, &f.fns).success);
+  }
+  EXPECT_GT(stats.invalidations.load(), inval0)
+      << "stale plan survived an index-statistics epoch bump";
+}
+
+TEST(VmEquivTest, ProcessWideKillSwitchForcesInterpreter) {
+  DiffFixture f;
+  f.space.insert(tup("k", 1), 0);
+  SymbolTable st;
+  Query q;
+  q.local_vars = {"x"};
+  q.patterns = {pat({A("k"), V("x")})};
+  q.resolve(st);
+  Env env(static_cast<std::size_t>(st.size()));
+  const auto& stats = plan_cache_stats();
+  set_query_compiler_enabled(false);
+  const std::uint64_t lookups0 = stats.hits.load() + stats.misses.load();
+  {
+    const DataspaceSource src(f.space);
+    EXPECT_TRUE(q.evaluate(src, env, &f.fns).success);
+  }
+  EXPECT_EQ(stats.hits.load() + stats.misses.load(), lookups0)
+      << "kill switch did not bypass the plan cache";
+  set_query_compiler_enabled(true);
+}
+
+// ---- Seeded expression property test (runs under ASan+UBSan in CI) ----
+
+/// Random expression trees: every operator the language has, over int,
+/// double, bool, atom and variable leaves (some variables unbound). The
+/// contract: the VM returns exactly the interpreter's value, or traps
+/// exactly when the interpreter throws std::invalid_argument.
+class ExprGen {
+ public:
+  explicit ExprGen(std::uint64_t seed) : rng_(seed) {}
+
+  ExprPtr gen(int depth) {
+    if (depth <= 0 || pick(4) == 0) return leaf();
+    switch (pick(16)) {
+      case 0: return neg(gen(depth - 1));
+      case 1: return lnot(gen(depth - 1));
+      case 2: return add(gen(depth - 1), gen(depth - 1));
+      case 3: return sub(gen(depth - 1), gen(depth - 1));
+      case 4: return mul(gen(depth - 1), gen(depth - 1));
+      case 5: return div_(gen(depth - 1), gen(depth - 1));
+      case 6: return mod(gen(depth - 1), gen(depth - 1));
+      case 7: return pow_(gen(depth - 1), gen(depth - 1));
+      case 8: return eq(gen(depth - 1), gen(depth - 1));
+      case 9: return ne(gen(depth - 1), gen(depth - 1));
+      case 10: return lt(gen(depth - 1), gen(depth - 1));
+      case 11: return le(gen(depth - 1), gen(depth - 1));
+      case 12: return gt(gen(depth - 1), gen(depth - 1));
+      case 13: return ge(gen(depth - 1), gen(depth - 1));
+      case 14: return land(gen(depth - 1), gen(depth - 1));
+      default: return lor(gen(depth - 1), gen(depth - 1));
+    }
+  }
+
+ private:
+  ExprPtr leaf() {
+    switch (pick(8)) {
+      case 0: return lit(Value(static_cast<std::int64_t>(rng_())));
+      case 1: return lit(Value(std::numeric_limits<std::int64_t>::min() +
+                               static_cast<std::int64_t>(pick(3))));
+      case 2: return lit(Value(std::numeric_limits<std::int64_t>::max() -
+                               static_cast<std::int64_t>(pick(3))));
+      case 3: return lit(Value(static_cast<std::int64_t>(pick(5)) - 2));
+      case 4: return lit(Value(0.5 * static_cast<double>(pick(9)) - 2.0));
+      case 5: return lit(Value(pick(2) == 0));
+      case 6: return lit(Value::atom(pick(2) == 0 ? "red" : "blue"));
+      default:
+        // b0/b1 bound, ghost unbound — the Trap::Unbound axis.
+        switch (pick(3)) {
+          case 0: return evar("b0");
+          case 1: return evar("b1");
+          default: return evar("ghost");
+        }
+    }
+  }
+
+  std::uint32_t pick(std::uint32_t n) {
+    return static_cast<std::uint32_t>(rng_() % n);
+  }
+  std::mt19937_64 rng_;
+};
+
+TEST(VmEquivTest, RandomExpressionsValueOrTrapParity) {
+  FunctionRegistry fns;
+  fns.register_function("half", [](std::span<const Value> args) -> Value {
+    if (!args[0].is_int()) throw std::invalid_argument("half: want int");
+    return args[0].as_int() / 2;
+  });
+  std::size_t trapped = 0;
+  std::size_t valued = 0;
+  for (std::uint64_t seed = 0; seed < 500; ++seed) {
+    ExprGen gen(seed);
+    const ExprPtr e = call_fn("half", {gen.gen(4)});  // exercise Call too
+    SymbolTable st;
+    e->resolve(st);
+    Env env(static_cast<std::size_t>(st.size()));
+    if (const auto s = st.lookup("b0")) {
+      env[static_cast<std::size_t>(*s)] = Value(std::int64_t{7});
+    }
+    if (const auto s = st.lookup("b1")) {
+      env[static_cast<std::size_t>(*s)] = Value(2.5);
+    }
+    bool threw = false;
+    Value want;
+    try {
+      want = e->eval(env, &fns);
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+    vm::ExprProgram prog;
+    compile_expr(e, prog);
+    std::vector<Value> regs(static_cast<std::size_t>(prog.num_regs));
+    const vm::EvalResult got = vm::run(prog, env, &fns, regs);
+    if (threw) {
+      ++trapped;
+      EXPECT_NE(got.trap, vm::Trap::None)
+          << "seed " << seed << ": interpreter threw on " << e->to_string()
+          << " but the VM produced " << got.value.to_string();
+    } else {
+      ++valued;
+      ASSERT_EQ(got.trap, vm::Trap::None)
+          << "seed " << seed << ": VM trapped (" << vm::trap_message(got.trap)
+          << ") on " << e->to_string() << " = " << want.to_string();
+      const bool both_nan = want.is_double() && got.value.is_double() &&
+                            std::isnan(want.as_double()) &&
+                            std::isnan(got.value.as_double());
+      EXPECT_TRUE(both_nan || want == got.value)
+          << "seed " << seed << ": " << e->to_string() << " interpreter="
+          << want.to_string() << " vm=" << got.value.to_string();
+    }
+  }
+  // Vacuity guard: the sweep must exercise both result classes.
+  EXPECT_GT(trapped, 0u);
+  EXPECT_GT(valued, 0u);
+}
+
+}  // namespace
+}  // namespace sdl
